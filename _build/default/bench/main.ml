@@ -1,0 +1,311 @@
+(* Benchmark harness: one Bechamel group per paper artifact.
+
+   - table1/*: the five symbolic tests on the original PLIC (the
+     workload behind Table 1), at benchmark scale;
+   - table2/*: time-to-first-detection for each injected fault (the
+     workload behind Table 2);
+   - ablations: PK vs heavyweight-SystemC-style kernel (Section 5.2's
+     motivation), integer vs float sc_time (Section 4.3), solver caches
+     on/off, and first-error vs exhaustive exploration (Section 5.3).
+
+   After the micro-benchmarks the harness prints the actual Table 1 and
+   Table 2 reproductions at the configured scale (SYMSYSC_SOURCES,
+   default 8; the FE310 value is 51).
+
+   Run with:  dune exec bench/main.exe *)
+
+open Bechamel
+open Toolkit
+
+module Engine = Symex.Engine
+module Config = Plic.Config
+module Fault = Plic.Fault
+
+let bench_sources = 4
+let bench_limits =
+  { Engine.no_limits with Engine.max_paths = Some 400 }
+
+let bench_config =
+  { Engine.default_config with Engine.limits = bench_limits }
+
+let params variant faults =
+  Symsysc.Tests.with_faults faults
+    (Symsysc.Tests.with_variant variant
+       (Symsysc.Tests.scaled_params ~num_sources:bench_sources ~t5_max_len:8))
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 workload: one bench per test                                *)
+
+let table1_tests =
+  let original = params Config.Original [] in
+  List.map
+    (fun (name, test) ->
+       Test.make ~name
+         (Staged.stage (fun () -> ignore (Engine.run ~config:bench_config (test original)))))
+    Symsysc.Tests.all
+
+(* ------------------------------------------------------------------ *)
+(* Table 2 workload: time-to-first-detection per injected fault        *)
+
+let detector_for = function
+  | Fault.IF1 | Fault.IF2 | Fault.IF4 | Fault.IF5 -> "T1"
+  | Fault.IF3 -> "T2"
+  | Fault.IF6 -> "T3"
+
+let table2_tests =
+  List.map
+    (fun fault ->
+       let test =
+         match Symsysc.Tests.by_name (detector_for fault) with
+         | Some t -> t
+         | None -> assert false
+       in
+       let p = params Config.Fixed [ fault ] in
+       let config = { bench_config with Engine.stop_after_errors = Some 1 } in
+       Test.make
+         ~name:(Printf.sprintf "%s-by-%s" (Fault.to_string fault) (detector_for fault))
+         (Staged.stage (fun () -> ignore (Engine.run ~config (test p)))))
+    Fault.all
+
+(* ------------------------------------------------------------------ *)
+(* Kernel ablation: PK vs heavyweight SystemC-style kernel             *)
+
+let pk_workload () =
+  let sched = Pk.Scheduler.create () in
+  let ev = Pk.Event.make "e" in
+  let n = ref 0 in
+  Pk.Scheduler.spawn sched
+    (Pk.Process.make "w" (fun () ->
+         incr n;
+         Pk.Process.Wait_event ev));
+  Pk.Scheduler.run_ready sched;
+  for _ = 1 to 500 do
+    Pk.Scheduler.notify_at sched ev (Pk.Sc_time.ns 10);
+    ignore (Pk.Scheduler.step sched)
+  done;
+  assert (!n = 501)
+
+let heavy_workload () =
+  let k = Pk.Heavy_kernel.create () in
+  let ev = Pk.Heavy_kernel.new_event k in
+  let n = ref 0 in
+  Pk.Heavy_kernel.spawn k "w" (fun () ->
+      incr n;
+      Pk.Heavy_kernel.Wait_event ev);
+  for _ = 1 to 500 do
+    Pk.Heavy_kernel.notify_after k ev 1e-8;
+    ignore (Pk.Heavy_kernel.step k)
+  done;
+  assert (!n = 501)
+
+let kernel_tests =
+  [
+    Test.make ~name:"peripheral-kernel" (Staged.stage pk_workload);
+    Test.make ~name:"systemc-style-heavy" (Staged.stage heavy_workload);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* sc_time ablation: integer vs float arithmetic                       *)
+
+let int_time_workload () =
+  let t = ref Pk.Sc_time.zero in
+  for i = 1 to 10_000 do
+    t := Pk.Sc_time.add !t (Pk.Sc_time.ns i);
+    if Pk.Sc_time.(!t > Pk.Sc_time.us 1) then t := Pk.Sc_time.zero
+  done
+
+let float_time_workload () =
+  let t = ref 0.0 in
+  for i = 1 to 10_000 do
+    t := !t +. (float_of_int i *. 1e-9);
+    if !t > 1e-6 then t := 0.0
+  done;
+  ignore !t
+
+let time_tests =
+  [
+    Test.make ~name:"integer-ps" (Staged.stage int_time_workload);
+    Test.make ~name:"float-seconds" (Staged.stage float_time_workload);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Solver-cache ablation                                               *)
+
+let solver_workload () =
+  (* A fixed family of queries with shared structure, as exploration
+     produces: caches should make the repeats nearly free. *)
+  let x = Smt.Expr.fresh_var "bench_x" 32 in
+  let y = Smt.Expr.fresh_var "bench_y" 32 in
+  for k = 1 to 12 do
+    let q =
+      [
+        Smt.Expr.ult x (Smt.Expr.int ~width:32 50);
+        Smt.Expr.ugt (Smt.Expr.add x y) (Smt.Expr.int ~width:32 k);
+      ]
+    in
+    ignore (Smt.Solver.is_sat q);
+    ignore (Smt.Solver.is_sat q)
+  done
+
+let solver_tests =
+  [
+    Test.make ~name:"caches-on"
+      (Staged.stage (fun () ->
+           Smt.Solver.set_caching true;
+           solver_workload ()));
+    Test.make ~name:"caches-off"
+      (Staged.stage (fun () ->
+           Smt.Solver.set_caching false;
+           Smt.Solver.clear_caches ();
+           solver_workload ();
+           Smt.Solver.set_caching true));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* First-error vs exhaustive exploration (Section 5.3's observation)   *)
+
+let exploration_tests =
+  let p = params Config.Original [] in
+  let t1 =
+    match Symsysc.Tests.by_name "T1" with Some t -> t | None -> assert false
+  in
+  [
+    Test.make ~name:"first-error"
+      (Staged.stage (fun () ->
+           let config = { bench_config with Engine.stop_after_errors = Some 1 } in
+           ignore (Engine.run ~config (t1 p))));
+    Test.make ~name:"exhaustive"
+      (Staged.stage (fun () -> ignore (Engine.run ~config:bench_config (t1 p))));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Baseline: symbolic execution vs random testing on the IF6 harness   *)
+
+let baseline_tests =
+  let p =
+    Symsysc.Tests.with_faults [ Fault.IF6 ]
+      (params Config.Fixed [ Fault.IF6 ])
+  in
+  let harness = Symsysc.Tests.masking_harness p in
+  [
+    Test.make ~name:"symbolic-first-error"
+      (Staged.stage (fun () ->
+           let config = { bench_config with Engine.stop_after_errors = Some 1 } in
+           ignore (Engine.run ~config harness)));
+    Test.make ~name:"random-testing"
+      (Staged.stage (fun () ->
+           ignore (Engine.random_test ~seed:11 ~max_trials:100_000 harness)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Second peripheral: the CLINT comparator property                    *)
+
+let clint_property () =
+  let sched = Pk.Scheduler.create () in
+  let clint = Clint.create Clint.Config.fe310 sched in
+  let port = Clint.Port.create () in
+  Clint.connect clint port;
+  Pk.Scheduler.run_ready sched;
+  let cmp = Engine.fresh "mtimecmp" 64 in
+  Engine.assume
+    (Smt.Expr.and_
+       (Smt.Expr.uge cmp (Smt.Expr.int ~width:64 1))
+       (Smt.Expr.ule cmp (Smt.Expr.int ~width:64 8)));
+  let data =
+    Array.init 8 (fun i -> Smt.Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) cmp)
+  in
+  let p =
+    Tlm.Payload.make_write
+      ~addr:(Symex.Value.of_int Clint.mtimecmp_base)
+      ~len:(Symex.Value.of_int 8) ~data
+  in
+  ignore (Clint.transport clint p Pk.Sc_time.zero);
+  Pk.Scheduler.run_until sched
+    (Pk.Sc_time.mul_int Clint.Config.fe310.Clint.Config.tick 10);
+  Engine.check ~site:"clint:fired" (Smt.Expr.bool port.Clint.Port.timer_pending)
+
+let clint_tests =
+  [
+    Test.make ~name:"timer-comparator-sweep"
+      (Staged.stage (fun () ->
+           ignore (Engine.run ~config:bench_config clint_property)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel driver                                                     *)
+
+let benchmark_group name tests =
+  let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:Measure.[| run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances grouped in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let rows = Hashtbl.fold (fun k v acc -> (k, v) :: acc) results [] in
+  let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
+  List.iter
+    (fun (test_name, ols_result) ->
+       match Analyze.OLS.estimates ols_result with
+       | Some [ ns ] ->
+         Format.printf "  %-40s %12.3f ms/run@." test_name (ns /. 1e6)
+       | Some _ | None -> Format.printf "  %-40s (no estimate)@." test_name)
+    rows
+
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with Failure _ -> default)
+  | None -> default
+
+let () =
+  Format.printf "=== SymSysC benchmark harness ===@.@.";
+  Format.printf "-- Table 1 workload (per-test exploration, %d sources) --@."
+    bench_sources;
+  benchmark_group "table1" table1_tests;
+  Format.printf "@.-- Table 2 workload (time to first fault detection) --@.";
+  benchmark_group "table2" table2_tests;
+  Format.printf "@.-- Ablation: PK vs heavyweight kernel (501 activations) --@.";
+  benchmark_group "kernel" kernel_tests;
+  Format.printf "@.-- Ablation: integer vs float simulation time (10k ops) --@.";
+  benchmark_group "sc_time" time_tests;
+  Format.printf "@.-- Ablation: solver caches (24 queries) --@.";
+  benchmark_group "solver" solver_tests;
+  Format.printf "@.-- Ablation: first error vs exhaustive exploration (T1) --@.";
+  benchmark_group "exploration" exploration_tests;
+  Format.printf "@.-- Baseline: symbolic vs random testing (fault IF6) --@.";
+  benchmark_group "baseline" baseline_tests;
+  Format.printf "@.-- Second peripheral: CLINT timer property --@.";
+  benchmark_group "clint" clint_tests;
+
+  (* ---- the actual table reproductions ---- *)
+  let sources = getenv_int "SYMSYSC_SOURCES" 8 in
+  let t5_len = getenv_int "SYMSYSC_T5_LEN" 16 in
+  let scenario =
+    Symsysc.Verify.scenario ~num_sources:sources ~t5_max_len:t5_len
+      ~max_paths:(getenv_int "SYMSYSC_MAX_PATHS" 20_000) ()
+  in
+  Format.printf
+    "@.=== Table 1: test results for the original PLIC (%d sources) ===@.@."
+    sources;
+  let reports = Symsysc.Verify.table1 scenario in
+  Symsysc.Tables.print_table1 Format.std_formatter reports;
+  List.iter
+    (fun (r : Symsysc.Report.t) ->
+       List.iter
+         (fun (e : Symex.Error.t) ->
+            Format.printf "%s: %s (%s)@." r.Symsysc.Report.test_name
+              e.Symex.Error.site
+              (Symex.Error.kind_to_string e.Symex.Error.kind))
+         r.Symsysc.Report.engine.Engine.errors)
+    reports;
+  Format.printf
+    "@.=== Table 2: time until each bug/fault is found (%d sources) ===@.@."
+    sources;
+  let tests = List.map fst Symsysc.Tests.all in
+  let detections = Symsysc.Verify.table2 ~tests scenario in
+  Symsysc.Tables.print_table2 Format.std_formatter ~tests detections;
+  Format.printf
+    "@.(rows: tests; columns: original bugs F1-F6 and injected faults IF1-IF6)@."

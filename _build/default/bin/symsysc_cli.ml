@@ -1,0 +1,180 @@
+(* Command-line front end: run the paper's symbolic tests and regenerate
+   its tables at any scale.
+
+     symsysc run T1 --variant original
+     symsysc run T5 --variant fixed --fault IF3 --interrupts 16
+     symsysc table1 --interrupts 51 --t5-len 1000
+     symsysc table2 --interrupts 16
+     symsysc list *)
+
+open Cmdliner
+
+module Engine = Symex.Engine
+module Error = Symex.Error
+module Config = Plic.Config
+module Fault = Plic.Fault
+
+(* ---- shared options ---- *)
+
+let interrupts =
+  let doc = "Number of interrupt sources (FE310: 51)." in
+  Arg.(value & opt int 8 & info [ "interrupts"; "n" ] ~docv:"N" ~doc)
+
+let t5_len =
+  let doc = "Upper bound of T5's symbolic write length (paper: 1000)." in
+  Arg.(value & opt int 16 & info [ "t5-len" ] ~docv:"BYTES" ~doc)
+
+let max_paths =
+  let doc = "Stop exploration after this many paths." in
+  Arg.(value & opt (some int) None & info [ "max-paths" ] ~docv:"N" ~doc)
+
+let max_seconds =
+  let doc = "Stop exploration after this many seconds." in
+  Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"S" ~doc)
+
+let strategy =
+  let parse s =
+    match Symex.Search.strategy_of_string s with
+    | Some st -> Ok st
+    | None -> Error (`Msg (Printf.sprintf "unknown strategy %S" s))
+  in
+  let print ppf st =
+    Format.pp_print_string ppf (Symex.Search.strategy_to_string st)
+  in
+  let strategy_conv = Arg.conv (parse, print) in
+  let doc = "Search strategy: dfs, bfs, random[:seed], cover-new." in
+  Arg.(value & opt strategy_conv Symex.Search.Dfs
+       & info [ "strategy" ] ~docv:"S" ~doc)
+
+let scenario_term =
+  let make interrupts t5_len max_paths max_seconds strategy =
+    Symsysc.Verify.scenario ~num_sources:interrupts ~t5_max_len:t5_len
+      ?max_paths ?max_seconds ~strategy ()
+  in
+  Term.(const make $ interrupts $ t5_len $ max_paths $ max_seconds $ strategy)
+
+(* ---- run ---- *)
+
+let variant =
+  let variant_conv =
+    Arg.enum [ ("original", Config.Original); ("fixed", Config.Fixed) ]
+  in
+  let doc = "PLIC variant: the paper's buggy $(b,original) or $(b,fixed)." in
+  Arg.(value & opt variant_conv Config.Original
+       & info [ "variant" ] ~docv:"V" ~doc)
+
+let faults =
+  let parse s =
+    match Fault.of_string s with
+    | Some f -> Ok f
+    | None -> Error (`Msg (Printf.sprintf "unknown fault %S" s))
+  in
+  let print ppf f = Format.pp_print_string ppf (Fault.to_string f) in
+  let fault_conv = Arg.conv (parse, print) in
+  let doc = "Inject a fault (IF1..IF6); repeatable." in
+  Arg.(value & opt_all fault_conv [] & info [ "fault" ] ~docv:"IFx" ~doc)
+
+let test_name =
+  let doc = "Test to run: T1..T5." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST" ~doc)
+
+let coverage_flag =
+  let doc = "Print branch-site coverage after the run." in
+  Arg.(value & flag & info [ "coverage" ] ~doc)
+
+let run_cmd =
+  let run scenario variant faults coverage name =
+    match Symsysc.Tests.by_name name with
+    | None -> `Error (false, "unknown test " ^ name)
+    | Some test ->
+      let params =
+        Symsysc.Tests.with_faults faults
+          (Symsysc.Tests.with_variant variant scenario.Symsysc.Verify.params)
+      in
+      let report =
+        Engine.run ~config:scenario.Symsysc.Verify.engine_config (test params)
+      in
+      let report = Symsysc.Report.make (String.uppercase_ascii name) report in
+      Format.printf "%a@." Symsysc.Report.pp report;
+      List.iter
+        (fun e ->
+           Format.printf "@.%a@." Error.pp e;
+           match Symsysc.Explain.lookup e with
+           | Some ex -> Format.printf "@[<hov 2>explanation: %a@]@." Symsysc.Explain.pp ex
+           | None -> ())
+        report.Symsysc.Report.engine.Engine.errors;
+      if coverage then begin
+        Format.printf "@.branch coverage:@.";
+        List.iter
+          (fun (site, n) -> Format.printf "  %-32s %d@." site n)
+          report.Symsysc.Report.engine.Engine.branch_coverage
+      end;
+      `Ok ()
+  in
+  let doc = "Run one symbolic test against the PLIC." in
+  Cmd.v
+    (Cmd.info "run" ~doc)
+    Term.(
+      ret (const run $ scenario_term $ variant $ faults $ coverage_flag
+           $ test_name))
+
+(* ---- table1 ---- *)
+
+let table1_cmd =
+  let run scenario =
+    let reports = Symsysc.Verify.table1 scenario in
+    Symsysc.Tables.print_table1 Format.std_formatter reports;
+    List.iter
+      (fun (r : Symsysc.Report.t) ->
+         List.iter
+           (fun (e : Error.t) ->
+              Format.printf "%s: %s (%s)@." r.Symsysc.Report.test_name
+                e.Error.site (Error.kind_to_string e.Error.kind))
+           r.Symsysc.Report.engine.Engine.errors)
+      reports
+  in
+  let doc = "Regenerate Table 1 (test results on the original PLIC)." in
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ scenario_term)
+
+(* ---- table2 ---- *)
+
+let tests_opt =
+  let doc = "Comma-separated tests to include (default: all)." in
+  Arg.(value & opt (list string) [ "T1"; "T2"; "T3"; "T4"; "T5" ]
+       & info [ "tests" ] ~docv:"TESTS" ~doc)
+
+let table2_cmd =
+  let run scenario tests =
+    let tests = List.map String.uppercase_ascii tests in
+    let detections = Symsysc.Verify.table2 ~tests scenario in
+    Symsysc.Tables.print_table2 Format.std_formatter ~tests detections
+  in
+  let doc = "Regenerate Table 2 (time-to-detection matrix)." in
+  Cmd.v (Cmd.info "table2" ~doc) Term.(const run $ scenario_term $ tests_opt)
+
+(* ---- list ---- *)
+
+let list_cmd =
+  let run () =
+    Format.printf "tests:@.";
+    List.iter (fun (n, _) -> Format.printf "  %s@." n) Symsysc.Tests.all;
+    Format.printf "@.original bugs (variant = original):@.";
+    List.iter
+      (fun b -> Format.printf "  %s@." (Symsysc.Verify.bug_to_string b))
+      [ Symsysc.Verify.F1; Symsysc.Verify.F2; Symsysc.Verify.F3;
+        Symsysc.Verify.F4; Symsysc.Verify.F5; Symsysc.Verify.F6 ];
+    Format.printf "@.injectable faults (--fault):@.";
+    List.iter
+      (fun f ->
+         Format.printf "  %s: %s@." (Fault.to_string f) (Fault.description f))
+      Fault.all
+  in
+  let doc = "List the available tests, bugs and faults." in
+  Cmd.v (Cmd.info "list" ~doc) Term.(const run $ const ())
+
+let () =
+  let doc =
+    "Symbolic verification of SystemC TLM peripherals (SymSysC, DAC'22)"
+  in
+  let info = Cmd.info "symsysc" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ run_cmd; table1_cmd; table2_cmd; list_cmd ]))

@@ -1,0 +1,56 @@
+(* Symbolic execution vs random testing on the same testbench.
+
+   The fault is IF6 (threshold compared with >= instead of >), which
+   only manifests when the programmed priority equals the threshold —
+   a 1-in-32 coincidence random testing has to stumble upon, while the
+   symbolic engine derives it from the path constraints.
+
+   The testbench is written "fuzzer-style": raw inputs are reduced into
+   their valid ranges instead of assumed, so both engines explore the
+   same space without rejection sampling.
+
+   Run with:  dune exec examples/symbolic_vs_random.exe *)
+
+module Expr = Smt.Expr
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Config = Plic.Config
+
+let num_sources = 8
+
+let masking_testbench =
+  Symsysc.Tests.masking_harness
+    (Symsysc.Tests.with_faults [ Plic.Fault.IF6 ]
+       (Symsysc.Tests.with_variant Config.Fixed
+          (Symsysc.Tests.scaled_params ~num_sources ~t5_max_len:8)))
+
+let () =
+  Format.printf "== symbolic execution vs random testing (fault: IF6) ==@.@.";
+
+  let config =
+    { Engine.default_config with Engine.stop_after_errors = Some 1 }
+  in
+  let symbolic = Engine.run ~config masking_testbench in
+  (match symbolic.Engine.errors with
+   | e :: _ ->
+     Format.printf
+       "symbolic: found %s after %d paths in %.3fs@."
+       e.Symex.Error.site symbolic.Engine.paths symbolic.Engine.wall_time
+   | [] -> Format.printf "symbolic: nothing found?!@.");
+
+  List.iter
+    (fun seed ->
+       let random = Engine.random_test ~seed ~max_trials:100_000 masking_testbench in
+       match random.Engine.failure with
+       | Some (e, trial) ->
+         Format.printf "random (seed %d): found %s after %d trials in %.3fs@."
+           seed e.Symex.Error.site trial random.Engine.random_wall_time
+       | None ->
+         Format.printf "random (seed %d): nothing in %d trials (%.3fs)@." seed
+           random.Engine.trials random.Engine.random_wall_time)
+    [ 1; 2; 3 ];
+
+  Format.printf
+    "@.the symbolic engine needs no luck: the (prio = threshold) corner@.\
+     is one path constraint away, while random testing waits for the@.\
+     1-in-32 coincidence — the paper's bug-hunting argument in miniature.@."

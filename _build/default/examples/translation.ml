@@ -1,0 +1,72 @@
+(* The thread-to-function translation of Section 4.2 (Fig. 3 / Fig. 4),
+   demonstrated side by side.
+
+   A SystemC thread is a non-preemptive coroutine:
+
+     void run() {                         // Fig. 3
+       while (true) {
+         wait(e_run);
+         scan();
+       }
+     }
+
+   The pre-processing step turns it into a plain function that is
+   called once per activation: the progress lives in a static position
+   label, and every [wait] becomes "record label, return".  The PK can
+   then drive the model without any user-space context switching — the
+   property that makes it digestible for a symbolic executor.
+
+   This example runs the translated form against a hand-written
+   reference trace.
+
+   Run with:  dune exec examples/translation.exe *)
+
+module Process = Pk.Process
+module Scheduler = Pk.Scheduler
+module Sc_time = Pk.Sc_time
+
+type label = Init | Lbl1
+
+let () =
+  Format.printf "== thread-to-function translation (Fig. 4) ==@.@.";
+  let sched = Scheduler.create () in
+  let e_run = Pk.Event.make "e_run" in
+  let trace = ref [] in
+  let record what = trace := (what, Scheduler.now sched) :: !trace in
+
+  (* The translated run process: header = the position dispatch; body =
+     the original loop with the wait turned into suspend/resume. *)
+  let position = Process.Fsm.make ~init:Init in
+  let translated_run () =
+    match Process.Fsm.position position with
+    | Init ->
+      (* first activation: enter the loop and stop at the wait *)
+      Process.Fsm.suspend position ~at:Lbl1 (Process.Wait_event e_run)
+    | Lbl1 ->
+      (* resumed after e_run: the loop body, then back to the wait *)
+      record "scan";
+      Process.Fsm.suspend position ~at:Lbl1 (Process.Wait_event e_run)
+  in
+  Scheduler.spawn sched (Process.make "run" translated_run);
+  Scheduler.run_ready sched;
+
+  (* Drive it like an interrupt source would. *)
+  for i = 1 to 3 do
+    Scheduler.notify_at sched e_run (Sc_time.ns (10 * i));
+    ignore (Scheduler.step sched)
+  done;
+
+  let got = List.rev !trace in
+  List.iter
+    (fun (what, time) ->
+       Format.printf "%8s @ %s@." what (Sc_time.to_string time))
+    got;
+
+  (* The reference semantics of the original thread: one scan per
+     notification, at the notification times. *)
+  let expected =
+    [ ("scan", Sc_time.ns 10); ("scan", Sc_time.ns 30); ("scan", Sc_time.ns 60) ]
+  in
+  assert (got = expected);
+  Format.printf
+    "@.translated process behaves exactly like the SystemC thread: OK@."

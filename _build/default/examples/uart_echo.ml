@@ -1,0 +1,119 @@
+(* A three-component virtual prototype: UART and PLIC behind a TLM
+   router, with the UART's watermark interrupt wired to PLIC source 4
+   and an interrupt-driven software echo loop on top — the "whole
+   SystemC projects with a high number of individual components" of the
+   paper's future work, verified symbolically.
+
+   Property: any two symbolic bytes arriving on the UART's RX wire are
+   echoed back on the TX wire unchanged and in order, with every step
+   driven by the interrupt machinery (UART rxwm -> PLIC -> claim ->
+   driver -> UART TX).
+
+   Run with:  dune exec examples/uart_echo.exe *)
+
+module Expr = Smt.Expr
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Payload = Tlm.Payload
+module Config = Plic.Config
+module Sc_time = Pk.Sc_time
+
+let plic_base = 0x0C00_0000
+let uart_base = 0x1001_3000
+let uart_irq_source = 4
+
+let testbench () =
+  let sched = Pk.Scheduler.create () in
+  let cfg = Config.scaled ~num_sources:8 in
+  let plic = Plic.create ~variant:Config.Fixed cfg sched in
+  let hart = Plic.Hart.create () in
+  Plic.connect_hart plic 0 hart;
+  let uart =
+    Uart.create
+      ~irq:(fun () ->
+          Plic.trigger_interrupt plic (Value.of_int uart_irq_source))
+      sched
+  in
+  let bus = Tlm.Router.create ~name:"bus" () in
+  Tlm.Router.add_target bus ~name:"plic" ~base:plic_base
+    ~size:Config.addr_window (Plic.transport plic);
+  Tlm.Router.add_target bus ~name:"uart" ~base:uart_base
+    ~size:Uart.addr_window (Uart.transport uart);
+  Pk.Scheduler.run_ready sched;
+
+  let bus_write32 addr v =
+    let p = Payload.make_write32 ~addr:(Value.of_int addr) ~value:v in
+    ignore (Tlm.Router.transport bus p Sc_time.zero)
+  in
+  let bus_read32 addr =
+    let p =
+      Payload.make_read ~addr:(Value.of_int addr) ~len:(Value.of_int 4)
+    in
+    ignore (Tlm.Router.transport bus p Sc_time.zero);
+    Payload.data32 p
+  in
+
+  (* Driver initialization: UART TX on, RX watermark 0 (interrupt on
+     any byte), rx interrupt enabled; PLIC source 4 wide open. *)
+  bus_write32 (uart_base + Uart.txctrl_base) Value.one;
+  bus_write32 (uart_base + Uart.rxctrl_base) Value.one;
+  bus_write32 (uart_base + Uart.ie_base) (Value.of_int 2);
+  bus_write32 (plic_base + Config.enable_base) (Value.of_int (-1));
+  bus_write32
+    (plic_base + Config.priority_base + (4 * (uart_irq_source - 1)))
+    Value.one;
+  bus_write32 (plic_base + Config.threshold_base) Value.zero;
+
+  (* Two symbolic bytes arrive on the wire. *)
+  let b1 = Engine.fresh "byte1" 32 and b2 = Engine.fresh "byte2" 32 in
+  Engine.assume (Value.le b1 (Value.of_int 0xFF));
+  Engine.assume (Value.le b2 (Value.of_int 0xFF));
+  Uart.receive_byte uart b1;
+  Uart.receive_byte uart b2;
+  ignore (Pk.Scheduler.step sched);
+
+  (* The interrupt-driven echo service routine. *)
+  let service () =
+    Engine.check ~site:"echo:notified" ~message:"no interrupt for pending RX"
+      (Expr.bool hart.Plic.Hart.was_triggered);
+    let claimed = bus_read32 (plic_base + Config.claim_base) in
+    Engine.check ~site:"echo:cause" ~message:"unexpected interrupt source"
+      (Value.eq claimed (Value.of_int uart_irq_source));
+    (* drain the RX FIFO, echoing every byte *)
+    let continue = ref true in
+    while !continue do
+      let rx = bus_read32 (uart_base + Uart.rxdata_base) in
+      if Engine.branch ~site:"echo:empty" (Value.bit rx 31) then
+        continue := false
+      else bus_write32 (uart_base + Uart.txdata_base) rx
+    done;
+    Plic.Hart.reset_flags hart;
+    bus_write32 (plic_base + Config.claim_base) claimed
+  in
+  service ();
+  (* Let the transmitter shift everything out. *)
+  Pk.Scheduler.run_until sched (Sc_time.us 10);
+  match Uart.transmitted uart with
+  | [ t1; t2 ] ->
+    Engine.check ~site:"echo:first" ~message:"first byte corrupted"
+      (Expr.eq (Expr.zext 32 t1) b1);
+    Engine.check ~site:"echo:second" ~message:"second byte corrupted"
+      (Expr.eq (Expr.zext 32 t2) b2)
+  | sent ->
+    Engine.check ~site:"echo:count"
+      ~message:(Printf.sprintf "echoed %d bytes instead of 2" (List.length sent))
+      Expr.fls
+
+let () =
+  Format.printf "== interrupt-driven UART echo through the PLIC ==@.@.";
+  let report = Engine.run testbench in
+  Format.printf "paths: %d  instructions: %d  time: %.2fs  errors: %d@."
+    report.Engine.paths report.Engine.instructions report.Engine.wall_time
+    (List.length report.Engine.errors);
+  List.iter
+    (fun (e : Symex.Error.t) -> Format.printf "@.%a@." Symex.Error.pp e)
+    report.Engine.errors;
+  if report.Engine.errors = [] then
+    Format.printf
+      "@.verified: every pair of symbolic bytes is echoed unchanged,@.\
+       end to end through UART -> PLIC -> driver -> UART.@."

@@ -1,0 +1,65 @@
+(** The RISC-V Core-Local Interruptor (CLINT), modelled after the
+    riscv-vp / SiFive FE310 CLINT — the paper's future-work target
+    ("evaluate our approach, beyond TLM peripherals, for verification
+    of other SystemC IP components").
+
+    The CLINT provides per-hart software interrupts ([msip]) and timer
+    interrupts ([mtimecmp] against the free-running 64-bit [mtime]
+    counter, one tick per {!Config.t.tick} of simulation time).
+    Memory map (FE310, offsets inside the device window):
+
+    {v
+      0x0000  msip        4 bytes   bit 0 raises the software interrupt
+      0x4000  mtimecmp    8 bytes   timer fires when mtime >= mtimecmp
+      0xBFF8  mtime       8 bytes   read-only free-running counter
+    v}
+
+    Per the privileged specification, the timer interrupt is {e level}
+    triggered: it is asserted while [mtime >= mtimecmp] and writing a
+    new, larger [mtimecmp] retracts it.
+
+    The model is a TLM peripheral in the same style as {!Plic}: a
+    translated thread waits on an internal event scheduled for the
+    moment the comparator matches; reads of [mtime] compute the counter
+    from the simulation clock.  Register dispatch reuses
+    {!Tlm.Register}, so the Original/Fixed policy (bugs F2..F5 of the
+    paper) applies to this peripheral as well. *)
+
+module Config : sig
+  type t = {
+    tick : Pk.Sc_time.t;  (** simulated time per mtime increment *)
+  }
+
+  val fe310 : t
+  (** 10 ns per tick (a 100 MHz mtime, scaled for simulation). *)
+end
+
+(** Interrupt lines towards a hart. *)
+module Port : sig
+  type t = {
+    mutable software_pending : bool;
+    mutable timer_pending : bool;
+    mutable timer_trigger_count : int;
+    mutable last_timer_time : Pk.Sc_time.t;
+  }
+
+  val create : unit -> t
+end
+
+type t
+
+val create :
+  ?policy:Tlm.Register.policy -> Config.t -> Pk.Scheduler.t -> t
+(** Build the CLINT and spawn its timer thread.  Default policy:
+    [Fixed]. *)
+
+val connect : t -> Port.t -> unit
+val transport : t -> Tlm.Payload.t -> Pk.Sc_time.t -> Pk.Sc_time.t
+
+val mtime_now : t -> Smt.Expr.t
+(** Current counter value (64-bit), derived from simulation time. *)
+
+val msip_base : int
+val mtimecmp_base : int
+val mtime_base : int
+val addr_window : int

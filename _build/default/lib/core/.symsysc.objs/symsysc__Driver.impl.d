@@ -1,0 +1,1 @@
+lib/core/driver.ml: Format List Pk Printf Smt Symex Tlm

@@ -1,0 +1,1 @@
+lib/core/explain.ml: Format List Plic Symex Verify

@@ -1,0 +1,1 @@
+lib/core/tables.ml: Float Format List Printf Report Symex Verify

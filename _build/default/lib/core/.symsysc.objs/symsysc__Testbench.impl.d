@@ -1,0 +1,1 @@
+lib/core/testbench.ml: Pk Plic Smt Symex Tlm

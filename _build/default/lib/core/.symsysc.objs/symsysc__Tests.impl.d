@@ -1,0 +1,1 @@
+lib/core/tests.ml: Array List Option Pk Plic Smt String Symex Testbench Tlm

@@ -1,0 +1,1 @@
+lib/core/tests.mli: Pk Plic

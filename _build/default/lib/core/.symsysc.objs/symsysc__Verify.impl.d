@@ -1,0 +1,1 @@
+lib/core/verify.ml: Float List Plic Report String Symex Tests

@@ -1,0 +1,59 @@
+(** Driver programs: software-driven register accesses as data.
+
+    TLM peripherals are exercised by processor software through
+    memory-mapped reads and writes (Section 1 of the paper).  This
+    module gives testbenches a small embedded language for such driver
+    sequences, so an access pattern can be stored, printed, replayed
+    and explored symbolically as one value — the shape firmware
+    bring-up code has:
+
+    {[
+      Driver.run ~bus [
+        write32 (plic 0x2000) ~value:(const 0xFFFFFFFF);   (* enable *)
+        write32 (plic 0x200000) ~value:(sym "threshold");
+        step;
+        read32 (plic 0x200004) ~into:"claimed";
+        check "claimed-valid" (fun env -> Value.le (get env "claimed") (const 51));
+      ]
+    ]}
+
+    Registers read into the environment are available to later
+    instructions by name; symbolic operands work like any other engine
+    value. *)
+
+type operand =
+  | Const of int             (** immediate *)
+  | Sym of string            (** fresh symbolic input, bound on first use *)
+  | Reg of string            (** value read earlier into the environment *)
+
+type env
+(** Values bound by [Read32] and [Sym] operands. *)
+
+type instr =
+  | Write32 of { addr : int; value : operand }
+  | Read32 of { addr : int; into : string }
+  | Assume of string * (env -> Smt.Expr.t)
+      (** named constraint over the environment *)
+  | Check of string * (env -> Smt.Expr.t)
+      (** named property over the environment (engine check site) *)
+  | Step                      (** advance the kernel to the next event *)
+  | Repeat of int * instr list
+
+val get : env -> string -> Symex.Value.t
+(** Raises [Not_found] for unbound names. *)
+
+val run :
+  ?env:env ->
+  sched:Pk.Scheduler.t ->
+  bus:Tlm.Router.transport_fn ->
+  instr list ->
+  env
+(** Execute a driver program against a bus.  Transactions with error
+    responses are reported at site ["driver:response"] (firmware
+    assumes its register map is correct).  Pass [env] to continue with
+    the bindings of an earlier program. *)
+
+val empty_env : unit -> env
+
+val pp_instr : Format.formatter -> instr -> unit
+val pp_program : Format.formatter -> instr list -> unit

@@ -1,0 +1,110 @@
+module Error = Symex.Error
+
+type t = {
+  bug : Verify.bug option;
+  summary : string;
+  fix : string;
+}
+
+let known_sites =
+  [
+    ( "plic:trigger:bounds",
+      {
+        bug = Some Verify.F1;
+        summary =
+          "trigger_interrupt guards the interrupt id with a bare assert; \
+           an invalid id aborts the whole program (and in a release \
+           build would corrupt memory instead)";
+        fix =
+          "validate the id and ignore or report invalid triggers instead \
+           of asserting";
+      } );
+    ( "reg:align",
+      {
+        bug = Some Verify.F2;
+        summary =
+          "the TLM register dispatch asserts 4-byte address alignment";
+        fix =
+          "return TLM_ADDRESS_ERROR_RESPONSE so the initiator can raise a \
+           proper exception";
+      } );
+    ( "reg:mapping",
+      {
+        bug = Some Verify.F3;
+        summary = "no register mapping handles the transaction address";
+        fix = "return TLM_ADDRESS_ERROR_RESPONSE instead of asserting";
+      } );
+    ( "reg:access",
+      {
+        bug = Some Verify.F4;
+        summary =
+          "the target register is not registered for this access type";
+        fix = "return TLM_COMMAND_ERROR_RESPONSE instead of asserting";
+      } );
+    ( "reg:memcpy:read",
+      {
+        bug = Some Verify.F5;
+        summary =
+          "the register range was matched by start address only, so the \
+           transaction length crosses the register boundary and the data \
+           copy reads out of bounds";
+        fix =
+          "match ranges against [addr, addr+len) and answer boundary \
+           crossings with TLM_BURST_ERROR_RESPONSE";
+      } );
+    ( "reg:memcpy:write",
+      {
+        bug = Some Verify.F5;
+        summary =
+          "the register range was matched by start address only, so the \
+           transaction length crosses the register boundary and the data \
+           copy writes out of bounds";
+        fix =
+          "match ranges against [addr, addr+len) and answer boundary \
+           crossings with TLM_BURST_ERROR_RESPONSE";
+      } );
+    ( "plic:claim:eip",
+      {
+        bug = Some Verify.F6;
+        summary =
+          "a completion reached the claim/response register before the \
+           PLIC thread was scheduled (a race the high thread frequency \
+           hides in normal operation), violating an assertion thought to \
+           never fail";
+        fix =
+          "tolerate completions while no notification is in flight \
+           instead of asserting";
+      } );
+    ( "plic:pending-array",
+      {
+        bug = Some (Verify.Injected Plic.Fault.IF1);
+        summary = "the pending-interrupt array was indexed out of bounds";
+        fix = "restore the strict bound check on the interrupt id";
+      } );
+    ( "tlm:response-set",
+      {
+        bug = None;
+        summary = "a target returned without setting a response status";
+        fix = "every transport path must set a definite response";
+      } );
+    ( "tlm:delay-monotonic",
+      {
+        bug = None;
+        summary = "a target decreased the annotated transaction delay";
+        fix = "targets may only add to the delay they receive";
+      } );
+    ( "tlm:read-length",
+      {
+        bug = None;
+        summary = "a successful read returned a wrong number of bytes";
+        fix = "fill exactly the requested length on TLM_OK_RESPONSE";
+      } );
+  ]
+
+let lookup (err : Error.t) = List.assoc_opt err.Error.site known_sites
+
+let pp ppf t =
+  (match t.bug with
+   | Some bug -> Format.fprintf ppf "[%s] " (Verify.bug_to_string bug)
+   | None -> ());
+  Format.fprintf ppf "%s.@ Fix: %s." t.summary t.fix

@@ -1,0 +1,14 @@
+(** Explanations for known error sites — the bug discussion of the
+    paper's Section 5.2 as a queryable knowledge base, used by the CLI
+    to annotate findings. *)
+
+type t = {
+  bug : Verify.bug option;   (** the paper's bug id, when it is one *)
+  summary : string;          (** what went wrong *)
+  fix : string;              (** the paper's recommended fix *)
+}
+
+val lookup : Symex.Error.t -> t option
+(** Explanation for an error, keyed on its detector site. *)
+
+val pp : Format.formatter -> t -> unit

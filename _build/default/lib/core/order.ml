@@ -1,0 +1,19 @@
+module Expr = Smt.Expr
+module Engine = Symex.Engine
+
+(* Selection with a forking choice at every position: a fresh symbolic
+   index constrained below the batch size enumerates all candidates via
+   concretization. *)
+let rec forking_permutation = function
+  | ([] | [ _ ]) as batch -> batch
+  | batch ->
+    let n = List.length batch in
+    let choice = Engine.fresh "sched_choice" 8 in
+    Engine.assume (Expr.ult choice (Expr.int ~width:8 n));
+    let k = Smt.Bv.to_int (Engine.concretize ~site:"sched:order" choice) in
+    let picked = List.nth batch k in
+    let rest = List.filteri (fun i _ -> i <> k) batch in
+    picked :: forking_permutation rest
+
+let explore_schedules sched =
+  Pk.Scheduler.set_batch_hook sched (Some forking_permutation)

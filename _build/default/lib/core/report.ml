@@ -1,0 +1,40 @@
+module Engine = Symex.Engine
+
+type verdict = Pass | Fail of int
+
+type t = {
+  test_name : string;
+  verdict : verdict;
+  engine : Engine.report;
+}
+
+let make test_name (engine : Engine.report) =
+  let verdict =
+    match List.length engine.Engine.errors with
+    | 0 -> Pass
+    | n -> Fail n
+  in
+  { test_name; verdict; engine }
+
+let solver_fraction t =
+  if t.engine.Engine.wall_time <= 0.0 then 0.0
+  else t.engine.Engine.solver_time /. t.engine.Engine.wall_time
+
+let verdict_to_string = function
+  | Pass -> "Pass"
+  | Fail n -> Printf.sprintf "Fail (%d)" n
+
+let pp ppf t =
+  Format.fprintf ppf
+    "%s: %s — %d instr, %.2fs, %d paths, %.2f%% solver%s"
+    t.test_name
+    (verdict_to_string t.verdict)
+    t.engine.Engine.instructions t.engine.Engine.wall_time
+    t.engine.Engine.paths
+    (100.0 *. solver_fraction t)
+    (if t.engine.Engine.exhausted then "" else " (limits hit)")
+
+let pp_errors ppf t =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut Symex.Error.pp)
+    t.engine.Engine.errors

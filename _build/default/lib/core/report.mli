@@ -1,0 +1,25 @@
+(** Per-test verification reports (one row of the paper's Table 1). *)
+
+type verdict = Pass | Fail of int
+
+type t = {
+  test_name : string;
+  verdict : verdict;
+  engine : Symex.Engine.report;
+}
+
+val make : string -> Symex.Engine.report -> t
+(** Derive the verdict from the engine report (Fail with the number of
+    distinct detected failures, as in Table 1). *)
+
+val solver_fraction : t -> float
+(** Fraction of wall-clock time spent in the solver (Table 1's last
+    column). *)
+
+val verdict_to_string : verdict -> string
+
+val pp : Format.formatter -> t -> unit
+(** One-line summary. *)
+
+val pp_errors : Format.formatter -> t -> unit
+(** Detailed error list with counterexamples. *)

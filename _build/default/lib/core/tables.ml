@@ -1,0 +1,49 @@
+module Engine = Symex.Engine
+
+(* The paper rounds detection times up to the next whole minute; at our
+   scale sub-second detections are common, so keep seconds visible
+   below one minute. *)
+let format_duration seconds =
+  if seconds >= 7200.0 then Printf.sprintf "%.0fh" (seconds /. 3600.0)
+  else if seconds >= 60.0 then
+    Printf.sprintf "%.0fm" (Float.of_int (int_of_float (ceil (seconds /. 60.0))))
+  else if seconds >= 1.0 then Printf.sprintf "%.0fs" (ceil seconds)
+  else Printf.sprintf "%.2fs" seconds
+
+let print_table1 ppf reports =
+  Format.fprintf ppf
+    "| Test | Result    | #Exec. Instr. | Time [s] | Paths | Solver  |@.";
+  Format.fprintf ppf
+    "|------|-----------|---------------|----------|-------|---------|@.";
+  List.iter
+    (fun (r : Report.t) ->
+       Format.fprintf ppf "| %-4s | %-9s | %13d | %8.2f | %5d | %6.2f%% |@."
+         r.Report.test_name
+         (Report.verdict_to_string r.Report.verdict)
+         r.Report.engine.Engine.instructions
+         r.Report.engine.Engine.wall_time r.Report.engine.Engine.paths
+         (100.0 *. Report.solver_fraction r))
+    reports
+
+let print_table2 ppf ~tests detections =
+  let bug_names = List.map (fun d -> Verify.bug_to_string d.Verify.bug) detections in
+  Format.fprintf ppf "|      ";
+  List.iter (fun b -> Format.fprintf ppf "| %-6s " b) bug_names;
+  Format.fprintf ppf "|@.";
+  Format.fprintf ppf "|------";
+  List.iter (fun _ -> Format.fprintf ppf "|--------") bug_names;
+  Format.fprintf ppf "|@.";
+  List.iter
+    (fun test ->
+       Format.fprintf ppf "| %-4s " test;
+       List.iter
+         (fun (d : Verify.detection) ->
+            let cell =
+              match List.assoc_opt test d.Verify.per_test with
+              | Some (Some t) -> format_duration t
+              | Some None | None -> "-"
+            in
+            Format.fprintf ppf "| %-6s " cell)
+         detections;
+       Format.fprintf ppf "|@.")
+    tests

@@ -1,0 +1,13 @@
+(** Text rendering of the paper's tables. *)
+
+val print_table1 : Format.formatter -> Report.t list -> unit
+(** Table 1: Test | Result | #Exec. Instr. | Time [s] | Paths | Solver. *)
+
+val print_table2 :
+  Format.formatter -> tests:string list -> Verify.detection list -> unit
+(** Table 2: rows are tests, columns are bugs; cells are the rounded
+    time until first detection ("–" when not found). *)
+
+val format_duration : float -> string
+(** Rounded like the paper: "1m" for anything under a minute boundary,
+    "24h"-style above two hours. *)

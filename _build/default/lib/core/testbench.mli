@@ -1,0 +1,56 @@
+(** Testbench toolkit: the KLEE-style intrinsics plus the TLM and
+    interrupt-line conveniences the paper's symbolic unit tests use
+    (Fig. 6).
+
+    A {!duv} bundles the device under verification with its kernel and
+    mock hart; [setup] builds a fresh instance — testbenches must build
+    the whole system inside the explored thunk so that re-executions
+    start from a clean state. *)
+
+type duv = {
+  sched : Pk.Scheduler.t;
+  dut : Plic.t;
+  hart : Plic.Hart.t;
+}
+
+val setup :
+  ?variant:Plic.Config.variant ->
+  ?faults:Plic.Fault.t list ->
+  Plic.Config.t ->
+  duv
+(** Create scheduler + PLIC + connected mock hart, install the
+    simulation context, and run the initialization delta cycle. *)
+
+(* KLEE-style intrinsics (thin aliases over the engine). *)
+
+val klee_int : string -> Symex.Value.t
+(** A fresh symbolic 32-bit input. *)
+
+val klee_assume : Smt.Expr.t -> unit
+val klee_assert : site:string -> ?message:string -> Smt.Expr.t -> unit
+val pkernel_step : duv -> bool
+(** Advance time to the next event (Fig. 6, line 69). *)
+
+(* TLM conveniences. *)
+
+val transport : duv -> Tlm.Payload.t -> Tlm.Payload.t
+(** Send a payload through the DUV's target socket (zero base delay);
+    returns the same payload with response and data filled in. *)
+
+val read32 : duv -> int -> Symex.Value.t
+(** 4-byte read at a concrete device offset; returns the data word. *)
+
+val write32 : duv -> int -> Symex.Value.t -> unit
+(** 4-byte write at a concrete device offset. *)
+
+val enable_all_interrupts : duv -> unit
+(** Write all-ones to the enable words through TLM. *)
+
+val set_all_priorities : duv -> Symex.Value.t -> unit
+(** Write the same priority to every source through TLM. *)
+
+val claim_interrupt : duv -> Symex.Value.t
+(** The mock hart's claim helper of Fig. 6: read the claim/response
+    register, verify the claimed source's pending bit was cleared
+    (recording the outcome in [hart.was_cleared]), then write the id
+    back to complete the interrupt.  Returns the claimed id word. *)

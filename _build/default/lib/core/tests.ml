@@ -1,0 +1,217 @@
+module Expr = Smt.Expr
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Config = Plic.Config
+module Sc_time = Pk.Sc_time
+open Testbench
+
+type params = {
+  cfg : Config.t;
+  variant : Config.variant;
+  faults : Plic.Fault.t list;
+  t4_max_len : int;
+  t5_max_len : int;
+  latency_budget : Sc_time.t;
+}
+
+let default_params =
+  {
+    cfg = Config.fe310;
+    variant = Config.Original;
+    faults = [];
+    t4_max_len = 4;
+    t5_max_len = 1000;
+    latency_budget = Sc_time.mul_int Config.fe310.Config.clock_cycle 2;
+  }
+
+let scaled_params ~num_sources ~t5_max_len =
+  { default_params with cfg = Config.scaled ~num_sources; t5_max_len }
+
+let with_variant variant p = { p with variant }
+let with_faults faults p = { p with faults }
+
+let setup_duv p = setup ~variant:p.variant ~faults:p.faults p.cfg
+
+let in_range ~n id =
+  Expr.and_ (Value.ge id Value.one) (Value.le id (Value.of_int n))
+
+(* Fired-within-latency observation shared by T1. *)
+let fired_in_time duv ~budget ~since =
+  duv.hart.Plic.Hart.was_triggered
+  && Sc_time.(
+       duv.hart.Plic.Hart.last_trigger_time <= Sc_time.add since budget)
+
+(* T1 — basic interaction test.  The interrupt id is left unconstrained
+   when calling the custom interface function, which is how F1 (the
+   missing graceful handling of invalid ids) is found. *)
+let t1 p () =
+  let duv = setup_duv p in
+  let n = p.cfg.Config.num_sources in
+  enable_all_interrupts duv;
+  set_all_priorities duv Value.one;
+  write32 duv Config.threshold_base Value.zero;
+  let i = klee_int "interrupt" in
+  let t0 = Pk.Scheduler.now duv.sched in
+  Plic.trigger_interrupt duv.dut i;
+  (* Only valid ids are meaningful for the behavioural checks. *)
+  klee_assume (in_range ~n i);
+  ignore (pkernel_step duv);
+  klee_assert ~site:"t1:fired-in-time"
+    ~message:"interrupt not delivered within the latency budget"
+    (Expr.bool (fired_in_time duv ~budget:p.latency_budget ~since:t0));
+  (* Pending bit set and claimable through the TLM interface. *)
+  let ic = Value.to_concrete ~site:"t1:id" i in
+  let word = read32 duv (Config.pending_base + (4 * (ic / 32))) in
+  klee_assert ~site:"t1:pending-set"
+    ~message:"pending bit not set after trigger"
+    (Value.bit word (ic mod 32));
+  let claimed = claim_interrupt duv in
+  klee_assert ~site:"t1:claim-id" ~message:"claimed a different interrupt"
+    (Value.eq claimed i);
+  klee_assert ~site:"t1:cleared"
+    ~message:"interrupt was not cleared after claim"
+    (Expr.bool duv.hart.Plic.Hart.was_cleared)
+
+(* T2 — interrupt sequence test (Fig. 6). *)
+let t2 p () =
+  let duv = setup_duv p in
+  let n = p.cfg.Config.num_sources in
+  enable_all_interrupts duv;
+  write32 duv Config.threshold_base Value.zero;
+  (* Two valid, different symbolic interrupt lines. *)
+  let i = klee_int "i_interrupt" and j = klee_int "j_interrupt" in
+  klee_assume (in_range ~n i);
+  klee_assume (in_range ~n j);
+  klee_assume (Value.ne i j);
+  (* Symbolic, active priorities. *)
+  let prio_i = klee_int "prio_i" and prio_j = klee_int "prio_j" in
+  let maxp = Value.of_int p.cfg.Config.max_priority in
+  klee_assume (Expr.and_ (Value.ge prio_i Value.one) (Value.le prio_i maxp));
+  klee_assume (Expr.and_ (Value.ge prio_j Value.one) (Value.le prio_j maxp));
+  let ic = Value.to_concrete ~site:"t2:i" i in
+  let jc = Value.to_concrete ~site:"t2:j" j in
+  write32 duv (Config.priority_base + (4 * (ic - 1))) prio_i;
+  write32 duv (Config.priority_base + (4 * (jc - 1))) prio_j;
+  (* Trigger both simultaneously in zero simulation time. *)
+  Plic.trigger_interrupt duv.dut i;
+  Plic.trigger_interrupt duv.dut j;
+  ignore (pkernel_step duv);
+  (* PLIC should have triggered an external interrupt. *)
+  klee_assert ~site:"t2:triggered"
+    ~message:"no notification after simultaneous triggers"
+    (Expr.bool duv.hart.Plic.Hart.was_triggered);
+  let first = claim_interrupt duv in
+  (* Highest priority first; ties break to the lowest id. *)
+  let lower_id = Value.select (Value.lt i j) i j in
+  let expected_first =
+    Value.select (Value.gt prio_i prio_j) i
+      (Value.select (Value.gt prio_j prio_i) j lower_id)
+  in
+  klee_assert ~site:"t2:first-priority"
+    ~message:"interrupt with the highest priority was not chosen first"
+    (Value.eq first expected_first);
+  klee_assert ~site:"t2:first-cleared"
+    ~message:"interrupt was not cleared after claim"
+    (Expr.bool duv.hart.Plic.Hart.was_cleared);
+  (* The second, lower-prioritized interrupt must follow. *)
+  Plic.Hart.reset_flags duv.hart;
+  ignore (pkernel_step duv);
+  klee_assert ~site:"t2:second-triggered"
+    ~message:"second pending interrupt was never notified"
+    (Expr.bool duv.hart.Plic.Hart.was_triggered);
+  let second = claim_interrupt duv in
+  let expected_second = Value.select (Value.eq first i) j i in
+  klee_assert ~site:"t2:second-id"
+    ~message:"second claim returned the wrong interrupt"
+    (Value.eq second expected_second);
+  klee_assert ~site:"t2:second-cleared"
+    ~message:"second interrupt was not cleared after claim"
+    (Expr.bool duv.hart.Plic.Hart.was_cleared)
+
+(* T3 — interrupt masking test. *)
+let t3 p () =
+  let duv = setup_duv p in
+  let n = p.cfg.Config.num_sources in
+  enable_all_interrupts duv;
+  let id = klee_int "interrupt" in
+  klee_assume (in_range ~n id);
+  let ic = Value.to_concrete ~site:"t3:id" id in
+  let prio = klee_int "priority" in
+  klee_assume (Value.le prio (Value.of_int p.cfg.Config.max_priority));
+  write32 duv (Config.priority_base + (4 * (ic - 1))) prio;
+  let threshold = klee_int "consider_threshold" in
+  klee_assume (Value.le threshold (Value.of_int p.cfg.Config.max_priority));
+  write32 duv Config.threshold_base threshold;
+  Plic.trigger_interrupt duv.dut id;
+  ignore (pkernel_step duv);
+  (* Fired only if the priority is nonzero and above the threshold. *)
+  if duv.hart.Plic.Hart.was_triggered then
+    klee_assert ~site:"t3:masking"
+      ~message:"interrupt fired although masked by priority/threshold"
+      (Expr.and_ (Value.ne prio Value.zero) (Value.gt prio threshold))
+
+(* T4 — TLM read interface test. *)
+let t4 p () =
+  let duv = setup_duv p in
+  enable_all_interrupts duv;
+  set_all_priorities duv Value.one;
+  Plic.trigger_interrupt duv.dut Value.one;
+  let addr = klee_int "addr" in
+  klee_assume (Value.le addr (Value.of_int Config.addr_window));
+  let len = klee_int "len" in
+  klee_assume (Expr.and_ (Value.ge len Value.one)
+                 (Value.le len (Value.of_int p.t4_max_len)));
+  let payload = Tlm.Payload.make_read ~addr ~len in
+  ignore (transport duv payload);
+  (* The peripheral must answer every well-formed read with a definite
+     response status rather than crashing. *)
+  klee_assert ~site:"t4:responded" ~message:"transaction left incomplete"
+    (Expr.bool (payload.Tlm.Payload.response <> Tlm.Payload.Incomplete))
+
+(* T5 — TLM write interface test. *)
+let t5 p () =
+  let duv = setup_duv p in
+  enable_all_interrupts duv;
+  set_all_priorities duv Value.one;
+  Plic.trigger_interrupt duv.dut Value.one;
+  let addr = klee_int "addr" in
+  klee_assume (Value.le addr (Value.of_int Config.addr_window));
+  let len = klee_int "len" in
+  klee_assume (Expr.and_ (Value.ge len Value.one)
+                 (Value.le len (Value.of_int p.t5_max_len)));
+  let data =
+    Array.init p.t5_max_len (fun _ -> Engine.fresh "data" 8)
+  in
+  let payload = Tlm.Payload.make_write ~addr ~len ~data in
+  ignore (transport duv payload);
+  klee_assert ~site:"t5:responded" ~message:"transaction left incomplete"
+    (Expr.bool (payload.Tlm.Payload.response <> Tlm.Payload.Incomplete))
+
+(* Fuzzer-style masking test: like T3 but with inputs reduced into
+   range instead of assumed, so random testing explores the same space
+   without rejection sampling. *)
+let masking_harness p () =
+  let duv = setup_duv p in
+  let n = p.cfg.Config.num_sources in
+  enable_all_interrupts duv;
+  let reduce raw bound = Value.urem ~site:"harness" raw (Value.of_int bound) in
+  let id = Value.add Value.one (reduce (klee_int "raw_id") n) in
+  let prio = reduce (klee_int "raw_prio") (p.cfg.Config.max_priority + 1) in
+  let threshold =
+    reduce (klee_int "raw_threshold") (p.cfg.Config.max_priority + 1)
+  in
+  let ic = Value.to_concrete ~site:"harness:id" id in
+  write32 duv (Config.priority_base + (4 * (ic - 1))) prio;
+  write32 duv Config.threshold_base threshold;
+  Plic.trigger_interrupt duv.dut id;
+  ignore (pkernel_step duv);
+  if duv.hart.Plic.Hart.was_triggered then
+    klee_assert ~site:"masking"
+      ~message:"interrupt fired although masked by priority/threshold"
+      (Expr.and_ (Value.ne prio Value.zero) (Value.gt prio threshold))
+
+let all = [ ("T1", t1); ("T2", t2); ("T3", t3); ("T4", t4); ("T5", t5) ]
+
+let by_name name =
+  Option.map snd
+    (List.find_opt (fun (n, _) -> String.uppercase_ascii name = n) all)

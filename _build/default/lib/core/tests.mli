@@ -1,0 +1,60 @@
+(** The five symbolic unit tests of Section 5.1.
+
+    Each test is a function of {!params} returning the testbench thunk
+    the engine explores.  The parameters select the PLIC variant
+    (original / fixed), the injected faults, the configuration scale and
+    the transaction-length bounds of the interface tests. *)
+
+type params = {
+  cfg : Plic.Config.t;
+  variant : Plic.Config.variant;
+  faults : Plic.Fault.t list;
+  t4_max_len : int;
+      (** upper bound of T4's symbolic read length (default 4) *)
+  t5_max_len : int;
+      (** upper bound of T5's symbolic write length (paper: 1000) *)
+  latency_budget : Pk.Sc_time.t;
+      (** T1's notification deadline (default: 2 clock cycles) *)
+}
+
+val default_params : params
+(** FE310, original variant, no faults, [t4_max_len = 4],
+    [t5_max_len = 1000]. *)
+
+val scaled_params : num_sources:int -> t5_max_len:int -> params
+(** Reduced configuration for tractable benchmark runs. *)
+
+val with_variant : Plic.Config.variant -> params -> params
+val with_faults : Plic.Fault.t list -> params -> params
+
+val t1 : params -> unit -> unit
+(** Basic interaction test: symbolic interrupt; fired within the
+    latency budget, pending bit set, claimable, cleaned up. *)
+
+val t2 : params -> unit -> unit
+(** Interrupt sequence test (Fig. 6): two different symbolic lines with
+    symbolic priorities triggered simultaneously; higher priority fires
+    first, ties to the lower id; second interrupt follows. *)
+
+val t3 : params -> unit -> unit
+(** Interrupt masking test: fired only if priority is nonzero and above
+    the symbolic threshold. *)
+
+val t4 : params -> unit -> unit
+(** TLM read interface test: symbolic address and length. *)
+
+val t5 : params -> unit -> unit
+(** TLM write interface test: symbolic address, length and up to
+    [t5_max_len] bytes of symbolic data. *)
+
+val masking_harness : params -> unit -> unit
+(** A fuzzer-style variant of {!t3}: raw inputs are reduced into their
+    valid ranges instead of [assume]d, so the same testbench runs under
+    both the symbolic engine and {!Symex.Engine.random_test} without
+    rejection sampling — used by the symbolic-vs-random baseline
+    comparison. *)
+
+val all : (string * (params -> unit -> unit)) list
+(** [("T1", t1); ...] in order. *)
+
+val by_name : string -> (params -> unit -> unit) option

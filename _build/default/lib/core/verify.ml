@@ -1,0 +1,130 @@
+module Engine = Symex.Engine
+module Error = Symex.Error
+module Fault = Plic.Fault
+module Config = Plic.Config
+
+type bug = F1 | F2 | F3 | F4 | F5 | F6 | Injected of Fault.t
+
+let original_bugs = [ F1; F2; F3; F4; F5; F6 ]
+let all_bugs = original_bugs @ List.map (fun f -> Injected f) Fault.all
+
+let bug_to_string = function
+  | F1 -> "F1"
+  | F2 -> "F2"
+  | F3 -> "F3"
+  | F4 -> "F4"
+  | F5 -> "F5"
+  | F6 -> "F6"
+  | Injected f -> Fault.to_string f
+
+let bug_of_string s =
+  let s = String.uppercase_ascii s in
+  List.find_opt (fun b -> bug_to_string b = s) all_bugs
+
+(* Original bugs are identified by the detector site of the error. *)
+let bug_matches bug (err : Error.t) =
+  match bug with
+  | F1 -> err.Error.site = "plic:trigger:bounds"
+  | F2 -> err.Error.site = "reg:align"
+  | F3 -> err.Error.site = "reg:mapping"
+  | F4 -> err.Error.site = "reg:access"
+  | F5 ->
+    err.Error.kind = Error.Out_of_bounds
+    && String.length err.Error.site >= 10
+    && String.sub err.Error.site 0 10 = "reg:memcpy"
+  | F6 -> err.Error.site = "plic:claim:eip"
+  | Injected _ -> true
+
+type scenario = {
+  params : Tests.params;
+  engine_config : Engine.config;
+}
+
+let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?max_paths ?max_seconds
+    ?(strategy = Symex.Search.Dfs) () =
+  {
+    params = Tests.scaled_params ~num_sources ~t5_max_len;
+    engine_config =
+      {
+        Engine.strategy;
+        limits = { Engine.no_limits with max_paths; max_seconds };
+        stop_after_errors = None;
+      };
+  }
+
+let run_named scenario name params =
+  match Tests.by_name name with
+  | None -> invalid_arg ("Verify.run_test: unknown test " ^ name)
+  | Some test ->
+    let report = Engine.run ~config:scenario.engine_config (test params) in
+    Report.make name report
+
+let run_test scenario name = run_named scenario name scenario.params
+
+let table1 scenario =
+  let params = Tests.with_variant Config.Original scenario.params in
+  let params = Tests.with_faults [] params in
+  List.map (fun (name, _) -> run_named scenario name params) Tests.all
+
+type detection = {
+  bug : bug;
+  per_test : (string * float option) list;
+}
+
+let detection_time bug (report : Report.t) =
+  List.filter_map
+    (fun (e : Error.t) ->
+       if bug_matches bug e then Some e.Error.found_after else None)
+    report.Report.engine.Engine.errors
+  |> function
+  | [] -> None
+  | times -> Some (List.fold_left Float.min Float.infinity times)
+
+let table2 ?(tests = List.map fst Tests.all) scenario =
+  (* One run per test on the original PLIC serves all F columns. *)
+  let original_params =
+    Tests.with_faults [] (Tests.with_variant Config.Original scenario.params)
+  in
+  let original_reports =
+    List.map (fun name -> (name, run_named scenario name original_params)) tests
+  in
+  let f_rows =
+    List.map
+      (fun bug ->
+         {
+           bug;
+           per_test =
+             List.map
+               (fun (name, report) -> (name, detection_time bug report))
+               original_reports;
+         })
+      original_bugs
+  in
+  (* Each injected fault runs on the fixed PLIC, one run per test; the
+     engine can stop at the first error since the baseline is clean. *)
+  let if_rows =
+    List.map
+      (fun fault ->
+         let params =
+           Tests.with_faults [ fault ]
+             (Tests.with_variant Config.Fixed scenario.params)
+         in
+         let stop_scenario =
+           {
+             scenario with
+             engine_config =
+               { scenario.engine_config with Engine.stop_after_errors = Some 1 };
+           }
+         in
+         {
+           bug = Injected fault;
+           per_test =
+             List.map
+               (fun name ->
+                  let report = run_named stop_scenario name params in
+                  (name, detection_time (Injected fault) report))
+               tests;
+         })
+      Fault.all
+  in
+  f_rows @ if_rows

@@ -1,0 +1,1 @@
+lib/pk/event.ml: Format List Sc_time

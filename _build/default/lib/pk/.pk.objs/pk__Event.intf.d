@@ -1,0 +1,1 @@
+lib/pk/event.mli: Format Sc_time

@@ -1,0 +1,1 @@
+lib/pk/heap.ml: Array

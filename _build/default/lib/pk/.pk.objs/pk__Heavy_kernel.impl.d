@@ -1,0 +1,1 @@
+lib/pk/heavy_kernel.ml: Bytes Float List

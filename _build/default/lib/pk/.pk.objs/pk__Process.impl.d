@@ -1,0 +1,1 @@
+lib/pk/process.ml: Event Format Sc_time

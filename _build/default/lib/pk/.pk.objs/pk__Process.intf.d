@@ -1,0 +1,1 @@
+lib/pk/process.mli: Event Format Sc_time

@@ -1,0 +1,1 @@
+lib/pk/sc_compat.mli: Event Process Sc_time Scheduler

@@ -1,0 +1,1 @@
+lib/pk/sc_time.ml: Format Int64

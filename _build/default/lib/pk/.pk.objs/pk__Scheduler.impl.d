@@ -1,0 +1,1 @@
+lib/pk/scheduler.ml: Event Hashtbl Heap Int List Option Process Sc_time

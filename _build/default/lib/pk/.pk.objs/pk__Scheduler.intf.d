@@ -1,0 +1,1 @@
+lib/pk/scheduler.mli: Event Process Sc_time

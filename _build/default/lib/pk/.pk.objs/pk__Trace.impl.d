@@ -1,0 +1,1 @@
+lib/pk/trace.ml: Buffer Char Fun Int64 List Printf Sc_time String

@@ -1,0 +1,1 @@
+lib/pk/trace.mli: Sc_time

@@ -1,0 +1,27 @@
+(** SystemC-style events ([sc_event]).
+
+    An event carries the set of processes dynamically waiting on it and
+    at most one pending notification (as in the SystemC LRM: a new
+    notification only overrides a pending one when it is earlier).
+    Events are plain data; scheduling is performed by {!Scheduler}. *)
+
+type pending =
+  | Not_notified
+  | Delta          (** fires in the next delta cycle *)
+  | At of Sc_time.t  (** fires at an absolute simulation time *)
+
+type t = {
+  ev_name : string;
+  ev_id : int;
+  mutable waiters : (int * int) list;
+  (** waiting processes as [(process id, wait epoch)]; the epoch lets the
+      scheduler lazily discard entries that were satisfied by another
+      event of the same multi-event wait *)
+  mutable pending : pending;
+}
+
+val make : string -> t
+(** Allocate a fresh event with a unique id. *)
+
+val name : t -> string
+val pp : Format.formatter -> t -> unit

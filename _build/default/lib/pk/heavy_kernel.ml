@@ -1,0 +1,101 @@
+type wait =
+  | Wait_event of int
+  | Wait_time of float
+  | Terminate
+
+type proc = {
+  name : string;
+  body : unit -> wait;
+  context : Bytes.t;          (* fake quickthreads stack *)
+  mutable waiting_on : wait option;
+}
+
+type t = {
+  context_bytes : int;
+  mutable time : float;
+  mutable procs : proc list;
+  mutable next_event : int;
+  (* Unsorted pending list: (fire time, event id). *)
+  mutable pending : (float * int) list;
+  mutable timed : (float * proc) list;
+  mutable activations_n : int;
+  mutable scratch : Bytes.t;
+}
+
+let create ?(context_bytes = 65536) () =
+  {
+    context_bytes;
+    time = 0.0;
+    procs = [];
+    next_event = 0;
+    pending = [];
+    timed = [];
+    activations_n = 0;
+    scratch = Bytes.create context_bytes;
+  }
+
+let now t = t.time
+let activations t = t.activations_n
+
+(* Emulate a quickthreads context switch: save and restore the stack. *)
+let context_switch t proc =
+  Bytes.blit proc.context 0 t.scratch 0 t.context_bytes;
+  Bytes.blit t.scratch 0 proc.context 0 t.context_bytes
+
+let activate t proc =
+  t.activations_n <- t.activations_n + 1;
+  context_switch t proc;
+  let w = proc.body () in
+  context_switch t proc;
+  match w with
+  | Terminate -> proc.waiting_on <- None
+  | Wait_event _ as w -> proc.waiting_on <- Some w
+  | Wait_time d -> proc.waiting_on <- None; t.timed <- (t.time +. d, proc) :: t.timed
+
+let spawn t name body =
+  let proc =
+    { name; body; context = Bytes.create t.context_bytes; waiting_on = None }
+  in
+  ignore proc.name;
+  t.procs <- proc :: t.procs;
+  activate t proc
+
+let new_event t =
+  let id = t.next_event in
+  t.next_event <- id + 1;
+  id
+
+let notify_after t ev d = t.pending <- (t.time +. d, ev) :: t.pending
+
+let step t =
+  (* Linear scan for the earliest wakeup among notifications and timed
+     process wakes. *)
+  let earliest =
+    List.fold_left
+      (fun acc (at, _) -> match acc with None -> Some at | Some a -> Some (Float.min a at))
+      None
+      (List.map (fun (at, e) -> (at, `E e)) t.pending
+       @ List.map (fun (at, p) -> (at, `P p)) t.timed
+       |> List.map (fun (at, _) -> (at, ())))
+  in
+  match earliest with
+  | None -> false
+  | Some at ->
+    t.time <- at;
+    let fired, rest = List.partition (fun (a, _) -> a = at) t.pending in
+    t.pending <- rest;
+    let woken, still = List.partition (fun (a, _) -> a = at) t.timed in
+    t.timed <- still;
+    List.iter
+      (fun (_, ev) ->
+         List.iter
+           (fun proc ->
+              match proc.waiting_on with
+              | Some (Wait_event e) when e = ev ->
+                proc.waiting_on <- None;
+                activate t proc
+              | Some (Wait_event _ | Wait_time _ | Terminate) | None -> ())
+           t.procs)
+      fired;
+    List.iter (fun (_, proc) -> activate t proc) woken;
+    true

@@ -1,0 +1,40 @@
+(** A deliberately heavyweight kernel emulating the cost profile of the
+    full SystemC kernel under an interpreter, for the ablation
+    benchmark of Section 5.2 (where KLEE crashed on quickthreads and
+    the paper motivates the PK).
+
+    Differences from {!Scheduler} that reproduce the documented
+    bottlenecks:
+    - time is a double-precision float in seconds (the paper notes KLEE
+      concretizes floats, so symbolic propagation through time dies);
+    - every process owns a quickthreads-style stack context that is
+      copied on each activation (context-switch weight);
+    - the pending-notification list is kept unsorted and scanned
+      linearly, as a stand-in for the heavyweight generic kernel
+      structures.
+
+    It is functionally equivalent to the PK on the supported subset, so
+    benches can run the same workload on both kernels. *)
+
+type t
+
+type wait =
+  | Wait_event of int  (** events are integer ids; see {!new_event} *)
+  | Wait_time of float
+  | Terminate
+
+val create : ?context_bytes:int -> unit -> t
+(** [context_bytes] is the size of the per-process fake thread context
+    (default 65536, the typical quickthreads stack size). *)
+
+val now : t -> float
+(** Simulation time in seconds. *)
+
+val spawn : t -> string -> (unit -> wait) -> unit
+val new_event : t -> int
+val notify_after : t -> int -> float -> unit
+
+val step : t -> bool
+(** Advance to the next scheduled wakeup; [false] when starved. *)
+
+val activations : t -> int

@@ -1,0 +1,41 @@
+type wait =
+  | Wait_event of Event.t
+  | Wait_any of Event.t list
+  | Wait_time of Sc_time.t
+  | Wait_delta
+  | Terminate
+
+type status = Ready | Waiting | Terminated
+
+type t = {
+  proc_name : string;
+  proc_id : int;
+  body : unit -> wait;
+  mutable status : status;
+}
+
+let next_id = ref 0
+
+let make proc_name body =
+  let proc_id = !next_id in
+  incr next_id;
+  { proc_name; proc_id; body; status = Ready }
+
+let pp ppf t =
+  let status = function
+    | Ready -> "ready"
+    | Waiting -> "waiting"
+    | Terminated -> "terminated"
+  in
+  Format.fprintf ppf "%s#%d[%s]" t.proc_name t.proc_id (status t.status)
+
+module Fsm = struct
+  type 'label t = { mutable pos : 'label }
+
+  let make ~init = { pos = init }
+  let position t = t.pos
+
+  let suspend t ~at wait =
+    t.pos <- at;
+    wait
+end

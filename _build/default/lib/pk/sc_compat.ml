@@ -1,0 +1,33 @@
+type sc_event = Event.t
+
+let context : Scheduler.t option ref = ref None
+
+let sc_set_context sched = context := Some sched
+
+let sc_get_context () =
+  match !context with
+  | Some sched -> sched
+  | None -> failwith "Sc_compat: no simulation context installed"
+
+let sc_event name = Event.make name
+
+let sc_spawn name body =
+  let p = Process.make name body in
+  Scheduler.spawn (sc_get_context ()) p;
+  p
+
+let notify ?delay ev =
+  let sched = sc_get_context () in
+  match delay with
+  | None -> Scheduler.notify sched ev
+  | Some d when Sc_time.is_zero d -> Scheduler.notify_delta sched ev
+  | Some d -> Scheduler.notify_at sched ev d
+
+let cancel ev = Scheduler.cancel (sc_get_context ()) ev
+let sc_time_stamp () = Scheduler.now (sc_get_context ())
+let sc_zero_time = Sc_time.zero
+let pkernel_step () = Scheduler.step (sc_get_context ())
+
+let sc_start duration =
+  let sched = sc_get_context () in
+  Scheduler.run_until sched (Sc_time.add (Scheduler.now sched) duration)

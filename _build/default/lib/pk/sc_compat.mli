@@ -1,0 +1,37 @@
+(** SystemC-flavoured veneer over the PK (the "SystemC compatible
+    library" box of Fig. 5).
+
+    Translated peripherals link against these names so that their code
+    reads like the original SystemC model: a global simulation context
+    is installed once, and [sc_event]/[notify]/[sc_spawn] then work
+    without threading the scheduler through every call — exactly like
+    the SystemC globals they replace. *)
+
+type sc_event = Event.t
+
+val sc_set_context : Scheduler.t -> unit
+(** Install the simulation context (done by the testbench harness). *)
+
+val sc_get_context : unit -> Scheduler.t
+(** Raises [Failure] when no context is installed. *)
+
+val sc_event : string -> sc_event
+(** Create an event (named, as in [sc_core::sc_event]). *)
+
+val sc_spawn : string -> (unit -> Process.wait) -> Process.t
+(** Register a translated thread with the current context; the analogue
+    of [SC_THREAD] behind [SC_HAS_PROCESS]. *)
+
+val notify : ?delay:Sc_time.t -> sc_event -> unit
+(** [notify e] is an immediate notification; [notify ~delay e] is a
+    timed one ([delay = SC_ZERO_TIME] gives a delta notification). *)
+
+val cancel : sc_event -> unit
+val sc_time_stamp : unit -> Sc_time.t
+val sc_zero_time : Sc_time.t
+
+val pkernel_step : unit -> bool
+(** Advance time to the next event — the paper's testbench primitive. *)
+
+val sc_start : Sc_time.t -> unit
+(** Run the simulation for the given duration. *)

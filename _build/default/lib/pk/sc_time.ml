@@ -1,0 +1,45 @@
+type t = int64 (* picoseconds *)
+
+let zero = 0L
+
+let of_ps v =
+  if v < 0L then invalid_arg "Sc_time.of_ps: negative time" else v
+
+let scale k n =
+  if n < 0 then invalid_arg "Sc_time: negative time"
+  else Int64.mul k (Int64.of_int n)
+
+let ps n = scale 1L n
+let ns n = scale 1_000L n
+let us n = scale 1_000_000L n
+let ms n = scale 1_000_000_000L n
+let sec n = scale 1_000_000_000_000L n
+let to_ps t = t
+let add = Int64.add
+
+let sub a b = if Int64.compare a b <= 0 then 0L else Int64.sub a b
+
+let mul_int t n = scale t n
+let compare = Int64.compare
+let equal = Int64.equal
+let min a b = if Int64.compare a b <= 0 then a else b
+let max a b = if Int64.compare a b >= 0 then a else b
+let is_zero t = t = 0L
+let ( < ) a b = Int64.compare a b < 0
+let ( <= ) a b = Int64.compare a b <= 0
+let ( > ) a b = Int64.compare a b > 0
+let ( >= ) a b = Int64.compare a b >= 0
+
+let pp ppf t =
+  if t = 0L then Format.pp_print_string ppf "0s"
+  else if Int64.rem t 1_000_000_000_000L = 0L then
+    Format.fprintf ppf "%Lds" (Int64.div t 1_000_000_000_000L)
+  else if Int64.rem t 1_000_000_000L = 0L then
+    Format.fprintf ppf "%Ldms" (Int64.div t 1_000_000_000L)
+  else if Int64.rem t 1_000_000L = 0L then
+    Format.fprintf ppf "%Ldus" (Int64.div t 1_000_000L)
+  else if Int64.rem t 1_000L = 0L then
+    Format.fprintf ppf "%Ldns" (Int64.div t 1_000L)
+  else Format.fprintf ppf "%Ldps" t
+
+let to_string t = Format.asprintf "%a" pp t

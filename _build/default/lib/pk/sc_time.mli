@@ -1,0 +1,37 @@
+(** Simulation time.
+
+    The paper's Peripheral Kernel replaces SystemC's floating-point
+    [sc_time] with integer arithmetic "to both speed up the symbolic
+    execution and expand the possibilities for symbolic propagation"
+    (KLEE concretizes floats).  Time is held as a non-negative number of
+    picoseconds in an [int64]. *)
+
+type t
+
+val zero : t
+val ps : int -> t
+val ns : int -> t
+val us : int -> t
+val ms : int -> t
+val sec : int -> t
+
+val of_ps : int64 -> t
+(** Raises [Invalid_argument] on negative input. *)
+
+val to_ps : t -> int64
+val add : t -> t -> t
+val sub : t -> t -> t
+(** Saturating at zero. *)
+
+val mul_int : t -> int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val min : t -> t -> t
+val max : t -> t -> t
+val is_zero : t -> bool
+val ( < ) : t -> t -> bool
+val ( <= ) : t -> t -> bool
+val ( > ) : t -> t -> bool
+val ( >= ) : t -> t -> bool
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

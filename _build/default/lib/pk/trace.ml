@@ -1,0 +1,97 @@
+type signal = {
+  sg_name : string;
+  sg_width : int;
+  sg_code : string;                        (* VCD identifier code *)
+  mutable changes : (int64 * int64) list;  (* (time ps, value), newest first *)
+}
+
+type t = {
+  tr_name : string;
+  timescale : string;
+  mutable signals : signal list;           (* newest first *)
+  mutable next_code : int;
+}
+
+let create ?(timescale = "1ps") ~name () =
+  { tr_name = name; timescale; signals = []; next_code = 0 }
+
+(* Identifier codes use the printable range '!'..'~' in a base-94
+   little-endian encoding, as real VCD writers do. *)
+let code_of_int n =
+  let buf = Buffer.create 2 in
+  let rec go n =
+    Buffer.add_char buf (Char.chr (33 + (n mod 94)));
+    if n >= 94 then go ((n / 94) - 1)
+  in
+  go n;
+  Buffer.contents buf
+
+let signal t ?(width = 1) name =
+  if width < 1 || width > 64 then invalid_arg "Trace.signal: width in 1..64";
+  let s =
+    { sg_name = name; sg_width = width; sg_code = code_of_int t.next_code;
+      changes = [] }
+  in
+  t.next_code <- t.next_code + 1;
+  t.signals <- s :: t.signals;
+  s
+
+let change t s time value =
+  ignore t;
+  let time = Sc_time.to_ps time in
+  match s.changes with
+  | (last_t, last_v) :: _ ->
+    if Int64.compare time last_t < 0 then
+      invalid_arg "Trace.change: time going backwards";
+    if last_v <> value then s.changes <- (time, value) :: s.changes
+  | [] -> s.changes <- (time, value) :: s.changes
+
+let change_bool t s time b = change t s time (if b then 1L else 0L)
+
+let binary_string width v =
+  String.init width (fun i ->
+      let bit = width - 1 - i in
+      if Int64.logand (Int64.shift_right_logical v bit) 1L = 1L then '1'
+      else '0')
+
+let value_string s v =
+  if s.sg_width = 1 then Printf.sprintf "%Ld%s" (Int64.logand v 1L) s.sg_code
+  else Printf.sprintf "b%s %s" (binary_string s.sg_width v) s.sg_code
+
+let to_vcd t =
+  let buf = Buffer.create 1024 in
+  let signals = List.rev t.signals in
+  Buffer.add_string buf (Printf.sprintf "$comment %s $end\n" t.tr_name);
+  Buffer.add_string buf (Printf.sprintf "$timescale %s $end\n" t.timescale);
+  Buffer.add_string buf (Printf.sprintf "$scope module %s $end\n" t.tr_name);
+  List.iter
+    (fun s ->
+       Buffer.add_string buf
+         (Printf.sprintf "$var wire %d %s %s $end\n" s.sg_width s.sg_code
+            s.sg_name))
+    signals;
+  Buffer.add_string buf "$upscope $end\n$enddefinitions $end\n";
+  (* Merge all changes into one time-ordered stream. *)
+  let events =
+    List.concat_map
+      (fun s -> List.rev_map (fun (time, v) -> (time, s, v)) s.changes)
+      signals
+    |> List.stable_sort (fun (a, _, _) (b, _, _) -> Int64.compare a b)
+  in
+  let current = ref Int64.minus_one in
+  List.iter
+    (fun (time, s, v) ->
+       if Int64.compare time !current <> 0 then begin
+         Buffer.add_string buf (Printf.sprintf "#%Ld\n" time);
+         current := time
+       end;
+       Buffer.add_string buf (value_string s v);
+       Buffer.add_char buf '\n')
+    events;
+  Buffer.contents buf
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_vcd t))

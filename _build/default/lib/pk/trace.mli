@@ -1,0 +1,28 @@
+(** VCD (Value Change Dump) waveform tracing.
+
+    The PK analogue of SystemC's [sc_trace]: register signals, record
+    value changes with their simulation time, and render an IEEE-1364
+    VCD document that any waveform viewer (GTKWave etc.) can open.
+    Useful to inspect a counterexample replay as a waveform. *)
+
+type t
+type signal
+
+val create : ?timescale:string -> name:string -> unit -> t
+(** [timescale] defaults to ["1ps"] (the PK time base). *)
+
+val signal : t -> ?width:int -> string -> signal
+(** Register a signal (default width 1).  Signals must be registered
+    before the first [change] is recorded. *)
+
+val change : t -> signal -> Sc_time.t -> int64 -> unit
+(** Record a new value at the given time.  Identical consecutive values
+    are collapsed.  Times must be non-decreasing per signal. *)
+
+val change_bool : t -> signal -> Sc_time.t -> bool -> unit
+
+val to_vcd : t -> string
+(** Render the complete VCD document. *)
+
+val save : t -> string -> unit
+(** Write the document to a file. *)

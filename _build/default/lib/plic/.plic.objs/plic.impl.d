@@ -1,0 +1,1 @@
+lib/plic/plic.ml: Array Config Fault Hart Pk Smt Spec Symex Tlm

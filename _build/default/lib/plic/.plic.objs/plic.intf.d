@@ -1,0 +1,1 @@
+lib/plic/plic.mli: Config Fault Hart Pk Smt Spec Symex Tlm

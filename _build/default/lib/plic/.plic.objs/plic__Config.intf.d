@@ -1,0 +1,1 @@
+lib/plic/config.mli: Pk

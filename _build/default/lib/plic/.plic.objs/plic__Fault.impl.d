@@ -1,0 +1,1 @@
+lib/plic/fault.ml: Config List String

@@ -1,0 +1,1 @@
+lib/plic/fault.mli: Config

@@ -1,0 +1,1 @@
+lib/plic/hart.ml: Pk

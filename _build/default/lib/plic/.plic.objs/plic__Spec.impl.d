@@ -1,0 +1,1 @@
+lib/plic/spec.ml: Int Map

@@ -1,0 +1,1 @@
+lib/plic/spec.mli:

@@ -1,0 +1,28 @@
+type variant = Original | Fixed
+
+type t = {
+  num_harts : int;
+  num_sources : int;
+  max_priority : int;
+  clock_cycle : Pk.Sc_time.t;
+}
+
+let fe310 =
+  {
+    num_harts = 1;
+    num_sources = 51;
+    max_priority = 31;
+    clock_cycle = Pk.Sc_time.ns 10;
+  }
+
+let scaled ~num_sources = { fe310 with num_sources }
+
+let variant_to_string = function Original -> "original" | Fixed -> "fixed"
+
+let priority_base = 0x0000_0004
+let pending_base = 0x0000_1000
+let enable_base = 0x0000_2000
+let threshold_base = 0x0020_0000
+let claim_base = 0x0020_0004
+let smode_claim_base = 0x0020_1004
+let addr_window = 0x0020_2000

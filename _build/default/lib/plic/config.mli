@@ -1,0 +1,57 @@
+(** PLIC configuration (the template parameters of
+    [PLIC<NumberCores, NumberInterrupts, MaxPriority>] in riscv-vp).
+
+    Interrupt sources are numbered [1 .. num_sources]; source 0 is
+    reserved by the RISC-V PLIC specification ("a priority value of 0 is
+    reserved to mean never interrupt"; likewise interrupt ID 0 means "no
+    interrupt" in the claim/response register). *)
+
+type variant =
+  | Original  (** the riscv-vp PLIC as evaluated in the paper, with
+                  bugs F1..F6 present *)
+  | Fixed     (** error handling through TLM responses, as the paper
+                  recommends *)
+
+type t = {
+  num_harts : int;
+  num_sources : int;      (** interrupt sources, ids 1..num_sources *)
+  max_priority : int;     (** highest priority level (FE310: 31) *)
+  clock_cycle : Pk.Sc_time.t;
+      (** delay of the [e_run] notification after a new interrupt *)
+}
+
+val fe310 : t
+(** The SiFive FE310 configuration used in the paper's evaluation:
+    1 hart, 51 interrupt sources, 32 priority levels, 10 ns cycle. *)
+
+val scaled : num_sources:int -> t
+(** FE310 with a reduced number of interrupt sources, for tractable
+    benchmark runs (path counts grow quickly with sources). *)
+
+val variant_to_string : variant -> string
+
+(* Device memory map (byte offsets within the PLIC address window),
+   following the RISC-V PLIC specification / FE310 manual. *)
+
+val priority_base : int
+(** [0x0000_0004]; source [id]'s priority word is at
+    [priority_base + 4*(id-1)]. *)
+
+val pending_base : int
+(** [0x0000_1000]. *)
+
+val enable_base : int
+(** [0x0000_2000]. *)
+
+val threshold_base : int
+(** [0x0020_0000]. *)
+
+val claim_base : int
+(** [0x0020_0004]. *)
+
+val smode_claim_base : int
+(** [0x0020_1004] — S-mode completion port (write-only in this VP
+    revision). *)
+
+val addr_window : int
+(** Size of the whole decoded window (for testbench address ranges). *)

@@ -1,0 +1,29 @@
+type t = IF1 | IF2 | IF3 | IF4 | IF5 | IF6
+
+let all = [ IF1; IF2; IF3; IF4; IF5; IF6 ]
+
+let to_string = function
+  | IF1 -> "IF1"
+  | IF2 -> "IF2"
+  | IF3 -> "IF3"
+  | IF4 -> "IF4"
+  | IF5 -> "IF5"
+  | IF6 -> "IF6"
+
+let of_string s =
+  List.find_opt (fun f -> to_string f = String.uppercase_ascii s) all
+
+let description = function
+  | IF1 -> "off-by-one in trigger bound check (pending array overflow)"
+  | IF2 -> "drops the notification of interrupt id 13"
+  | IF3 -> "skips the re-trigger of simultaneously pending interrupts"
+  | IF4 -> "inflated notification delay for interrupt ids above 32"
+  | IF5 -> "pending-clear routine returns early for interrupt id 7"
+  | IF6 -> "threshold comparison >= instead of >"
+
+let enabled faults f = List.mem f faults
+
+let if2_drop_id (cfg : Config.t) = min 13 cfg.Config.num_sources
+let if4_bound (cfg : Config.t) =
+  min 32 (max 1 (2 * cfg.Config.num_sources / 3))
+let if5_skip_id (cfg : Config.t) = min 7 cfg.Config.num_sources

@@ -1,0 +1,43 @@
+(** The six injectable faults of Section 5.3 (IF1..IF6) — common TLM
+    peripheral bugs planted one at a time to measure how fast each test
+    detects them. *)
+
+type t =
+  | IF1
+      (** off-by-one in the trigger bound check ([<=] instead of [<]),
+          overflowing the pending-interrupt array *)
+  | IF2
+      (** drops the [e_run] notification for interrupt id 13 after the
+          pending bit was correctly written *)
+  | IF3
+      (** skips the re-trigger of other pending interrupts after a
+          claim is completed *)
+  | IF4
+      (** inflates the [e_run] notification delay for interrupt ids
+          above 32 — a timing-model error *)
+  | IF5
+      (** the pending-clear routine returns early for one specific
+          interrupt id (7), leaving its pending bit set after claim *)
+  | IF6
+      (** threshold comparison uses [>=] instead of [>] — a
+          specification misinterpretation *)
+
+val all : t list
+val to_string : t -> string
+val of_string : string -> t option
+val description : t -> string
+val enabled : t list -> t -> bool
+
+(* The magic constants of the injected faults are defined for the FE310
+   (ids 13 and 7, bound 32); on reduced-scale configurations they are
+   scaled down proportionally so every fault stays reachable — see the
+   scale caveat in DESIGN.md. *)
+
+val if2_drop_id : Config.t -> int
+(** The interrupt id whose notification IF2 drops (FE310: 13). *)
+
+val if4_bound : Config.t -> int
+(** Ids above this bound get the inflated IF4 delay (FE310: 32). *)
+
+val if5_skip_id : Config.t -> int
+(** The id whose pending-clear IF5 skips (FE310: 7). *)

@@ -1,0 +1,25 @@
+type t = {
+  hart_name : string;
+  mutable was_triggered : bool;
+  mutable trigger_count : int;
+  mutable last_trigger_time : Pk.Sc_time.t;
+  mutable was_cleared : bool;
+}
+
+let create ?(name = "hart0") () =
+  {
+    hart_name = name;
+    was_triggered = false;
+    trigger_count = 0;
+    last_trigger_time = Pk.Sc_time.zero;
+    was_cleared = false;
+  }
+
+let trigger_external_interrupt t now =
+  t.was_triggered <- true;
+  t.trigger_count <- t.trigger_count + 1;
+  t.last_trigger_time <- now
+
+let reset_flags t =
+  t.was_triggered <- false;
+  t.was_cleared <- false

@@ -1,0 +1,24 @@
+(** Mock HART — the interrupt target the PLIC notifies
+    ([Interrupt_target hart(dut)] in the paper's Fig. 6).
+
+    Records when and how often [trigger_external_interrupt] fired so the
+    testbenches can assert latency and notification behaviour. *)
+
+type t = {
+  hart_name : string;
+  mutable was_triggered : bool;
+  mutable trigger_count : int;
+  mutable last_trigger_time : Pk.Sc_time.t;
+  mutable was_cleared : bool;
+      (** set by the testbench after verifying the claimed interrupt's
+          pending bit was cleared *)
+}
+
+val create : ?name:string -> unit -> t
+
+val trigger_external_interrupt : t -> Pk.Sc_time.t -> unit
+(** Called by the PLIC with the current simulation time. *)
+
+val reset_flags : t -> unit
+(** Clear [was_triggered]/[was_cleared] before the next observation
+    window (does not reset the counters). *)

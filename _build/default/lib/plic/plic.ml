@@ -1,0 +1,289 @@
+module Config = Config
+module Fault = Fault
+module Hart = Hart
+module Spec = Spec
+module Expr = Smt.Expr
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Mem = Symex.Mem
+module Sc_time = Pk.Sc_time
+
+type t = {
+  cfg : Config.t;
+  plic_variant : Config.variant;
+  plic_faults : Fault.t list;
+  sched : Pk.Scheduler.t;
+  regs : Tlm.Register.t;
+  (* Internal pending latch: one byte per source, index = source id.
+     Sized num_sources + 1 so valid ids 1..num_sources fit exactly —
+     the array IF1's off-by-one overflows. *)
+  pending : Mem.t;
+  (* Memory-mapped register backings. *)
+  priorities : Mem.t;
+  pending_mmio : Mem.t;
+  enable : Mem.t;
+  threshold : Mem.t;
+  claim_response : Mem.t;
+  smode_claim : Mem.t;
+  eip : bool array;
+  harts : Hart.t option array;
+  run_event : Pk.Event.t;
+}
+
+let config t = t.cfg
+let variant t = t.plic_variant
+let faults t = t.plic_faults
+let scheduler t = t.sched
+let e_run t = t.run_event
+let hart_eip t h = t.eip.(h)
+
+let fault_on t f = Fault.enabled t.plic_faults f
+
+let enable_words cfg = (cfg.Config.num_sources + 1 + 31) / 32
+
+(* ---- register accessors (concrete offsets) ---- *)
+
+let priority_of t id = Mem.read32 t.priorities (4 * (id - 1))
+let threshold_of t = Mem.read32 t.threshold 0
+
+let enabled_bit t id =
+  let word = Mem.read32 t.enable (4 * (id / 32)) in
+  Value.bit word (id mod 32)
+
+let pending_is_set t id = Expr.ne (Mem.read_byte t.pending id) (Expr.int ~width:8 0)
+
+let set_priority t id v = Mem.write32 t.priorities (4 * (id - 1)) v
+
+let set_enable_all t =
+  for w = 0 to enable_words t.cfg - 1 do
+    Mem.write32 t.enable (4 * w) (Value.of_int (-1))
+  done
+
+let set_threshold t v = Mem.write32 t.threshold 0 v
+
+(* ---- interrupt delivery logic ---- *)
+
+(* Threshold gate: the specification requires strictly greater
+   ("priority 0 is reserved to mean never interrupt"), which the
+   strict comparison subsumes since thresholds are non-negative.
+   IF6 turns it into >=. *)
+let above_threshold t prio =
+  if fault_on t Fault.IF6 then Value.ge prio (threshold_of t)
+  else Value.gt prio (threshold_of t)
+
+let consider t id =
+  Expr.and_ (pending_is_set t id) (enabled_bit t id)
+
+let hart_has_pending_enabled_interrupts t =
+  let n = t.cfg.Config.num_sources in
+  let rec scan id =
+    if id > n then false
+    else if
+      Value.truth ~site:"plic:scan:consider" (consider t id)
+      && Value.truth ~site:"plic:scan:threshold"
+           (above_threshold t (priority_of t id))
+    then true
+    else scan (id + 1)
+  in
+  scan 1
+
+(* The run-thread scan of Fig. 3: notify each hart that does not
+   already have an interrupt in flight.  IF2 drops the hart
+   notification whenever interrupt 13 is among the pending-enabled
+   sources. *)
+let run_scan t =
+  let dropped =
+    fault_on t Fault.IF2
+    && Value.truth ~site:"plic:if2"
+         (consider t (Fault.if2_drop_id t.cfg))
+  in
+  if not dropped then
+    for h = 0 to t.cfg.Config.num_harts - 1 do
+      if not t.eip.(h) then
+        if hart_has_pending_enabled_interrupts t then begin
+          t.eip.(h) <- true;
+          match t.harts.(h) with
+          | Some hart ->
+            Hart.trigger_external_interrupt hart (Pk.Scheduler.now t.sched)
+          | None -> ()
+        end
+    done
+
+let notify_run t ~(id : Value.t) =
+  let cycle = t.cfg.Config.clock_cycle in
+  let delay =
+    if
+      fault_on t Fault.IF4
+      && Value.truth ~site:"plic:if4"
+           (Value.gt id (Value.of_int (Fault.if4_bound t.cfg)))
+    then Sc_time.mul_int cycle 10
+    else cycle
+  in
+  Pk.Scheduler.notify_at t.sched t.run_event delay
+
+let trigger_interrupt t id =
+  let n = t.cfg.Config.num_sources in
+  let bound = if fault_on t Fault.IF1 then n + 1 else n in
+  let valid =
+    Expr.and_ (Value.ge id Value.one) (Value.le id (Value.of_int bound))
+  in
+  let proceed =
+    match t.plic_variant with
+    | Config.Original ->
+      (* F1: a bare assert guards the id — an unhandled abort on
+         invalid input instead of a graceful rejection. *)
+      Engine.fatal_check ~site:"plic:trigger:bounds"
+        ~message:"invalid interrupt id passed to trigger_interrupt" valid;
+      true
+    | Config.Fixed ->
+      (* Gracefully ignore out-of-range ids. *)
+      Value.truth ~site:"plic:trigger:valid" valid
+  in
+  if proceed then begin
+    (* Latch the pending bit.  The engine-checked write is where IF1's
+       overflow is detected. *)
+    Mem.write_bytes ~site:"plic:pending-array" t.pending ~offset:id
+      ~len:Value.one [| Expr.int ~width:8 1 |];
+    notify_run t ~id
+  end
+
+(* ---- claim / complete ---- *)
+
+(* Highest priority wins; ties go to the lowest id (strict comparison
+   while scanning upwards). *)
+let claim t =
+  let n = t.cfg.Config.num_sources in
+  let best = ref 0 in
+  let best_prio = ref Value.zero in
+  for id = 1 to n do
+    if Value.truth ~site:"plic:claim:consider" (consider t id) then
+      let prio = priority_of t id in
+      if Value.truth ~site:"plic:claim:compare" (Value.gt prio !best_prio)
+      then begin
+        best := id;
+        best_prio := prio
+      end
+  done;
+  Mem.write32 t.claim_response 0 (Value.of_int !best);
+  if !best <> 0 then
+    if not (fault_on t Fault.IF5 && !best = Fault.if5_skip_id t.cfg) then
+      (* clear the pending latch of the claimed interrupt *)
+      Mem.write_byte t.pending !best (Expr.int ~width:8 0)
+
+let complete t ~hart:h =
+  (* F6: this assertion "was previously thought never to be false" —
+     a completion is expected only after a notification went out, but a
+     testbench (or misbehaving software) can write the claim/response
+     register between trigger_interrupt and the run-thread scan. *)
+  (match t.plic_variant with
+   | Config.Original ->
+     Engine.fatal_check ~site:"plic:claim:eip"
+       ~message:"completion written while no interrupt is in flight (race)"
+       (Expr.bool t.eip.(h))
+   | Config.Fixed -> ());
+  if t.eip.(h) then begin
+    t.eip.(h) <- false;
+    if not (fault_on t Fault.IF3) then
+      (* Re-trigger the scan so further pending interrupts notify. *)
+      if hart_has_pending_enabled_interrupts t then
+        Pk.Scheduler.notify_at t.sched t.run_event t.cfg.Config.clock_cycle
+  end
+
+(* Pack the pending latch into the memory-mapped pending words (pure
+   term construction, no forking). *)
+let pack_pending t =
+  let n = t.cfg.Config.num_sources in
+  for w = 0 to enable_words t.cfg - 1 do
+    let word = ref Value.zero in
+    for bit = 0 to 31 do
+      let id = (32 * w) + bit in
+      if id >= 1 && id <= n then
+        let b =
+          Expr.ite (pending_is_set t id)
+            (Value.of_int (1 lsl bit))
+            Value.zero
+        in
+        word := Value.bor !word b
+    done;
+    Mem.write32 t.pending_mmio (4 * w) !word
+  done
+
+(* ---- construction ---- *)
+
+let build_memory_map t =
+  let add = Tlm.Register.add_range t.regs in
+  ignore
+    (add ~name:"priority" ~base:Config.priority_base
+       ~access:Tlm.Register.Read_write t.priorities);
+  ignore
+    (add ~name:"pending" ~base:Config.pending_base
+       ~access:Tlm.Register.Read_only
+       ~pre_read:(fun () -> pack_pending t)
+       t.pending_mmio);
+  ignore
+    (add ~name:"enable" ~base:Config.enable_base
+       ~access:Tlm.Register.Read_write t.enable);
+  ignore
+    (add ~name:"threshold" ~base:Config.threshold_base
+       ~access:Tlm.Register.Read_write t.threshold);
+  ignore
+    (add ~name:"claim_response" ~base:Config.claim_base
+       ~access:Tlm.Register.Read_write
+       ~pre_read:(fun () -> claim t)
+       ~post_write:(fun () -> complete t ~hart:0)
+       t.claim_response);
+  (* S-mode completion port: write-only in this VP revision; a read of
+     it trips the access-type assertion (F4). *)
+  ignore
+    (add ~name:"smode_claim" ~base:Config.smode_claim_base
+       ~access:Tlm.Register.Write_only t.smode_claim)
+
+(* The translated run thread (Fig. 4): first activation immediately
+   waits on e_run; every later activation scans and waits again. *)
+type run_label = Init | Lbl1
+
+let spawn_run_thread t =
+  let fsm = Pk.Process.Fsm.make ~init:Init in
+  let body () =
+    match Pk.Process.Fsm.position fsm with
+    | Init ->
+      Pk.Process.Fsm.suspend fsm ~at:Lbl1 (Pk.Process.Wait_event t.run_event)
+    | Lbl1 ->
+      run_scan t;
+      Pk.Process.Fsm.suspend fsm ~at:Lbl1 (Pk.Process.Wait_event t.run_event)
+  in
+  Pk.Scheduler.spawn t.sched (Pk.Process.make "plic:run" body)
+
+let create ?(variant = Config.Original) ?(faults = []) cfg sched =
+  if cfg.Config.num_harts < 1 then invalid_arg "Plic.create: need >= 1 hart";
+  let n = cfg.Config.num_sources in
+  let words = enable_words cfg in
+  let t =
+    {
+      cfg;
+      plic_variant = variant;
+      plic_faults = faults;
+      sched;
+      regs = Tlm.Register.create ~policy:(match variant with
+          | Config.Original -> Tlm.Register.Original
+          | Config.Fixed -> Tlm.Register.Fixed)
+          ~name:"plic" ();
+      pending = Mem.create ~name:"plic-pending" ~size:(n + 1);
+      priorities = Mem.create ~name:"plic-priority" ~size:(4 * n);
+      pending_mmio = Mem.create ~name:"plic-pending-mmio" ~size:(4 * words);
+      enable = Mem.create ~name:"plic-enable" ~size:(4 * words);
+      threshold = Mem.create ~name:"plic-threshold" ~size:4;
+      claim_response = Mem.create ~name:"plic-claim" ~size:4;
+      smode_claim = Mem.create ~name:"plic-smode-claim" ~size:4;
+      eip = Array.make cfg.Config.num_harts false;
+      harts = Array.make cfg.Config.num_harts None;
+      run_event = Pk.Event.make "plic:e_run";
+    }
+  in
+  build_memory_map t;
+  spawn_run_thread t;
+  t
+
+let connect_hart t i hart = t.harts.(i) <- Some hart
+
+let transport t payload delay = Tlm.Register.transport t.regs payload delay

@@ -1,0 +1,97 @@
+module Int_map = Map.Make (Int)
+
+type t = {
+  num_sources : int;
+  max_priority : int;
+  priorities : int Int_map.t;   (* default 0 *)
+  enables : bool Int_map.t;     (* default false *)
+  spec_threshold : int;
+  pendings : bool Int_map.t;    (* default false *)
+  line_raised : bool;           (* notification outstanding *)
+  scan_scheduled : bool;        (* an e_run notification is pending *)
+}
+
+let create ~num_sources ~max_priority =
+  {
+    num_sources;
+    max_priority;
+    priorities = Int_map.empty;
+    enables = Int_map.empty;
+    spec_threshold = 0;
+    pendings = Int_map.empty;
+    line_raised = false;
+    scan_scheduled = false;
+  }
+
+let valid t id = id >= 1 && id <= t.num_sources
+
+let priority t id =
+  match Int_map.find_opt id t.priorities with Some p -> p | None -> 0
+
+let enabled t id =
+  match Int_map.find_opt id t.enables with Some b -> b | None -> false
+
+let pending t id =
+  match Int_map.find_opt id t.pendings with Some b -> b | None -> false
+
+let threshold t = t.spec_threshold
+let raised t = t.line_raised
+
+let set_priority t ~id p =
+  if valid t id then
+    { t with priorities = Int_map.add id (min p t.max_priority) t.priorities }
+  else t
+
+let set_enabled t ~id b =
+  if valid t id then { t with enables = Int_map.add id b t.enables } else t
+
+let set_threshold t th = { t with spec_threshold = min th t.max_priority }
+
+let raise_interrupt t id =
+  if valid t id then
+    (* latches the pending bit and notifies the scan event (e_run) *)
+    { t with pendings = Int_map.add id true t.pendings; scan_scheduled = true }
+  else t
+
+let deliverable t =
+  let rec go id =
+    if id > t.num_sources then false
+    else if pending t id && enabled t id && priority t id > t.spec_threshold
+    then true
+    else go (id + 1)
+  in
+  go 1
+
+(* The run thread executes only when its e_run event was notified — a
+   configuration change alone (enable bits, threshold) does not
+   re-evaluate delivery, exactly as in the TLM model. *)
+let scan t =
+  if not t.scan_scheduled then t
+  else
+    let t = { t with scan_scheduled = false } in
+    if (not t.line_raised) && deliverable t then { t with line_raised = true }
+    else t
+
+(* "Ties between global interrupts of the same priority are broken by
+   the interrupt ID; the lowest ID has the highest effective priority."
+   A priority of 0 means never interrupt. *)
+let best_claimable t =
+  let rec go id best best_prio =
+    if id > t.num_sources then best
+    else if pending t id && enabled t id && priority t id > best_prio then
+      go (id + 1) id (priority t id)
+    else go (id + 1) best best_prio
+  in
+  go 1 0 0
+
+let claim t =
+  let id = best_claimable t in
+  if id = 0 then (t, 0)
+  else ({ t with pendings = Int_map.add id false t.pendings }, id)
+
+let complete t _id =
+  if t.line_raised then
+    let t = { t with line_raised = false } in
+    (* completion re-notifies the scan when more work is deliverable *)
+    if deliverable t then { t with scan_scheduled = true } else t
+  else t

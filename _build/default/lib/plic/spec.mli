@@ -1,0 +1,52 @@
+(** An executable golden model of the PLIC, written directly from the
+    RISC-V PLIC specification as a pure functional state machine —
+    deliberately sharing {e no} code with the TLM model.
+
+    The test suite drives random operation sequences through both this
+    specification and the TLM peripheral and compares every observable
+    (differential / model-based testing).  Divergence means one of the
+    two misreads the specification. *)
+
+type t
+(** Immutable specification state. *)
+
+val create : num_sources:int -> max_priority:int -> t
+
+(* Configuration (mirrors the memory-mapped registers). *)
+
+val set_priority : t -> id:int -> int -> t
+(** Priorities clamp to [max_priority]; id 0 and out-of-range ids are
+    ignored (reserved). *)
+
+val set_enabled : t -> id:int -> bool -> t
+val set_threshold : t -> int -> t
+
+(* Wire / software interface. *)
+
+val raise_interrupt : t -> int -> t
+(** Latch a pending interrupt; invalid ids are ignored. *)
+
+val scan : t -> t
+(** The run-thread behaviour, gated on the [e_run] notification exactly
+    as in the TLM model: if a scan is scheduled (by a raised interrupt
+    or a completion with deliverable work) and no notification is
+    outstanding and some pending enabled source has priority strictly
+    above the threshold, raise the external interrupt line.
+    Configuration changes alone never re-evaluate delivery. *)
+
+val raised : t -> bool
+(** Whether a notification is outstanding (the TLM model's [hart_eip]). *)
+
+val claim : t -> t * int
+(** Claim per specification: the pending {e enabled} interrupt with the
+    highest priority (ties to the lowest id; priority 0 never
+    interrupts); 0 when none.  Clears the claimed source\'s pending
+    bit. *)
+
+val complete : t -> int -> t
+(** Completion releases the outstanding notification. *)
+
+val pending : t -> int -> bool
+val enabled : t -> int -> bool
+val priority : t -> int -> int
+val threshold : t -> int

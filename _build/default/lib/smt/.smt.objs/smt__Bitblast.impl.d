@@ -1,0 +1,1 @@
+lib/smt/bitblast.ml: Array Bv Expr Hashtbl Int64 List Model Sat

@@ -1,0 +1,1 @@
+lib/smt/bv.ml: Format Hashtbl Int Int64 Printf

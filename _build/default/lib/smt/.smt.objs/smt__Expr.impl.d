@@ -1,0 +1,1 @@
+lib/smt/expr.ml: Bv Format Hashtbl Int Int64 List

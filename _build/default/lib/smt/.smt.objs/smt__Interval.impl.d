@@ -1,0 +1,1 @@
+lib/smt/interval.ml: Bv Expr Format Hashtbl Int64 List

@@ -1,0 +1,1 @@
+lib/smt/model.ml: Bv Expr Format Int List Map Option

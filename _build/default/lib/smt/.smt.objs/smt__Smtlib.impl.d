@@ -1,0 +1,1 @@
+lib/smt/smtlib.ml: Buffer Bv Expr Hashtbl Int List Model Printf

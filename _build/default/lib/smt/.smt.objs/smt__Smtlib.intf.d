@@ -1,0 +1,1 @@
+lib/smt/smtlib.mli: Expr Model

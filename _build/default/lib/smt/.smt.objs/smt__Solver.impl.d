@@ -1,0 +1,1 @@
+lib/smt/solver.ml: Bitblast Expr Format Hashtbl Int Interval List Model Sat Unix

@@ -1,0 +1,21 @@
+(** Eager bit-blasting of bitvector terms to CNF (Tseitin encoding).
+
+    Every bitvector term is translated to a vector of SAT literals
+    (LSB first); boolean terms translate to a single literal.
+    Translation is memoized per context, so shared subterms are encoded
+    once — the natural consequence of hash-consed input terms. *)
+
+type ctx
+
+val create : Sat.t -> ctx
+
+val assert_true : ctx -> Expr.t -> unit
+(** Assert a boolean term as a top-level constraint. *)
+
+val var_bits : ctx -> Expr.var -> int array option
+(** SAT literals allocated for a symbolic variable, if it was
+    encountered during translation.  Used for model extraction. *)
+
+val extract_model : ctx -> Expr.var list -> Model.t
+(** Read back a model after the SAT solver answered Sat.  Variables
+    never translated are unconstrained and read as zero. *)

@@ -1,0 +1,50 @@
+(** Unsigned-interval abstract domain used as a fast prescreen before
+    bit-blasting.
+
+    The solver uses this module for two purposes:
+    - proving a constraint set unsatisfiable without touching the SAT
+      solver (e.g. [x < 51 && x > 100]);
+    - producing candidate assignments (interval endpoints) that are then
+      validated by concrete evaluation, yielding a model without SAT
+      solving when they happen to satisfy the query. *)
+
+type t = { lo : int64; hi : int64; w : int }
+(** Unsigned range [lo..hi] (inclusive) of a [w]-bit value, with
+    [0 <= lo <= hi <= 2^w - 1] in the unsigned order. *)
+
+val top : int -> t
+(** Full range of a given width. *)
+
+val singleton : Bv.t -> t
+
+val is_singleton : t -> bool
+
+val mem : Bv.t -> t -> bool
+
+val inter : t -> t -> t option
+(** Intersection; [None] when empty. *)
+
+val pp : Format.formatter -> t -> unit
+
+type env
+(** Mutable refinement environment mapping variables to intervals. *)
+
+val make_env : unit -> env
+
+val env_interval : env -> Expr.var -> t
+(** Current interval of a variable ([top] when unconstrained). *)
+
+val bounds : env -> Expr.t -> t
+(** Forward interval evaluation of a bitvector term. *)
+
+type verdict = Definitely_unsat | Unknown
+
+val propagate : env -> Expr.t list -> verdict
+(** Refine the environment with simple range constraints found in the
+    conjunction, then check every constraint against the refined
+    environment.  [Definitely_unsat] is sound: the conjunction has no
+    model.  [Unknown] means the prescreen cannot decide. *)
+
+val candidates : env -> Expr.var list -> (Expr.var -> Bv.t) list
+(** Candidate assignments built from interval endpoints (all-low,
+    all-high, all-zero), to be validated by evaluation. *)

@@ -1,0 +1,30 @@
+(** Satisfying assignments (counterexamples).
+
+    A model maps symbolic variables to concrete bitvector values.
+    Variables absent from the model are unconstrained and read as zero,
+    matching KLEE's convention for counterexample replay. *)
+
+type t
+
+val empty : t
+val add : Expr.var -> Bv.t -> t -> t
+val find : t -> Expr.var -> Bv.t
+(** Value of a variable; zero of the variable's width when unbound. *)
+
+val find_opt : t -> Expr.var -> Bv.t option
+val bindings : t -> (Expr.var * Bv.t) list
+(** In increasing [var_id] order. *)
+
+val of_fun : Expr.var list -> (Expr.var -> Bv.t) -> t
+
+val eval : t -> Expr.t -> Bv.t
+(** Evaluate a bitvector term under the model. *)
+
+val eval_bool : t -> Expr.t -> bool
+(** Evaluate a boolean term under the model. *)
+
+val satisfies : t -> Expr.t list -> bool
+(** Whether the model satisfies every constraint in the list. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,42 @@
+(** A CDCL SAT solver (conflict-driven clause learning).
+
+    Features: two-watched-literal propagation, first-UIP conflict
+    analysis with clause learning, VSIDS-style variable activities,
+    phase saving, and Luby restarts.  The solver is self-contained and
+    is the backend of {!Solver} after bit-blasting.
+
+    Variables are positive integers allocated with {!new_var}.  Literals
+    use the DIMACS convention: [v] for the positive literal of variable
+    [v] and [-v] for its negation. *)
+
+type t
+
+val create : unit -> t
+
+val new_var : t -> int
+(** Allocate a fresh variable; returns its index (starting at 1). *)
+
+val num_vars : t -> int
+
+val add_clause : t -> int list -> unit
+(** Add a clause given as DIMACS literals.  Tautologies are dropped and
+    duplicate literals removed.  Adding the empty clause (or a clause
+    that is immediately falsified at level 0) makes the instance
+    unsatisfiable. *)
+
+type result = Sat | Unsat
+
+val solve : ?conflict_limit:int -> t -> result
+(** Solve the current clause set.  [conflict_limit] bounds the total
+    number of conflicts (default: unlimited); reaching it raises
+    {!Resource_exhausted}. *)
+
+exception Resource_exhausted
+
+val value : t -> int -> bool
+(** Model value of a variable after [solve] returned [Sat].  Unassigned
+    variables (possible when they occur in no clause) read as [false]. *)
+
+val stats_conflicts : t -> int
+val stats_decisions : t -> int
+val stats_propagations : t -> int

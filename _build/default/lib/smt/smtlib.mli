@@ -1,0 +1,21 @@
+(** SMT-LIB 2 export of queries.
+
+    Renders constraint sets in the [QF_BV] dialect, so any query the
+    engine produces can be dumped and cross-checked against an external
+    solver (Z3, STP, Boolector, ...) or archived with a bug report. *)
+
+val term : Expr.t -> string
+(** A single term as an SMT-LIB s-expression. *)
+
+val declarations : Expr.t list -> string list
+(** [declare-const] lines for every variable in the constraint set, in
+    [var_id] order. *)
+
+val query : ?logic:string -> Expr.t list -> string
+(** The complete document: [set-logic] (default [QF_BV]),
+    declarations, one [assert] per constraint, [check-sat],
+    [get-model]. *)
+
+val model_values : Model.t -> string list
+(** The bindings of a model as [(define-fun ...)] lines — the shape
+    [get-model] answers have. *)

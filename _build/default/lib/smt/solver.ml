@@ -1,0 +1,159 @@
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown of string
+
+module Stats = struct
+  type t = {
+    queries : int;
+    cache_hits : int;
+    cex_hits : int;
+    interval_unsat : int;
+    interval_sat : int;
+    sat_calls : int;
+    time : float;
+  }
+
+  let zero =
+    { queries = 0; cache_hits = 0; cex_hits = 0; interval_unsat = 0;
+      interval_sat = 0; sat_calls = 0; time = 0.0 }
+
+  let current = ref zero
+  let get () = !current
+  let reset () = current := zero
+
+  let pp ppf t =
+    Format.fprintf ppf
+      "queries=%d cache=%d cex=%d itv-unsat=%d itv-sat=%d sat-calls=%d time=%.3fs"
+      t.queries t.cache_hits t.cex_hits t.interval_unsat t.interval_sat
+      t.sat_calls t.time
+end
+
+let caching = ref true
+let set_caching b = caching := b
+
+(* Query cache: canonical key is the sorted list of term ids (terms are
+   hash-consed, so equal sets of constraints share a key). *)
+let query_cache : (int list, outcome) Hashtbl.t = Hashtbl.create 4096
+
+(* Counterexample cache: a bounded list of recently discovered models.
+   A model satisfying a superset query also satisfies this query, so
+   re-evaluating recent models is cheap and hits often. *)
+let recent_models : Model.t list ref = ref []
+let max_recent = 12
+
+let remember_model m =
+  if !caching then begin
+    recent_models := m :: !recent_models;
+    match List.nth_opt !recent_models max_recent with
+    | Some _ ->
+      recent_models :=
+        List.filteri (fun i _ -> i < max_recent) !recent_models
+    | None -> ()
+  end
+
+let clear_caches () =
+  Hashtbl.reset query_cache;
+  recent_models := []
+
+let all_vars constraints =
+  let tbl = Hashtbl.create 32 in
+  List.iter
+    (fun c ->
+       List.iter
+         (fun (v : Expr.var) ->
+            if not (Hashtbl.mem tbl v.Expr.var_id) then
+              Hashtbl.add tbl v.Expr.var_id v)
+         (Expr.vars c))
+    constraints;
+  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
+  |> List.sort (fun (a : Expr.var) b -> Int.compare a.Expr.var_id b.Expr.var_id)
+
+let solve_with_sat ?conflict_limit constraints vars =
+  let sat = Sat.create () in
+  let ctx = Bitblast.create sat in
+  List.iter (Bitblast.assert_true ctx) constraints;
+  match Sat.solve ?conflict_limit sat with
+  | Sat.Unsat -> Unsat
+  | Sat.Sat ->
+    let model = Bitblast.extract_model ctx vars in
+    (* Safety net: a model must satisfy the query by evaluation. *)
+    if not (Model.satisfies model constraints) then
+      failwith "Solver: internal error, SAT model fails evaluation";
+    Sat model
+  | exception Sat.Resource_exhausted -> Unknown "conflict limit reached"
+
+let check_uncached ?conflict_limit constraints =
+  let vars = all_vars constraints in
+  (* Counterexample cache. *)
+  let cex = List.find_opt (fun m -> Model.satisfies m constraints) !recent_models in
+  match cex with
+  | Some m ->
+    Stats.(current := { !current with cex_hits = !current.cex_hits + 1 });
+    Sat m
+  | None ->
+    (* Interval prescreen. *)
+    let env = Interval.make_env () in
+    (match Interval.propagate env constraints with
+     | Interval.Definitely_unsat ->
+       Stats.(current := { !current with interval_unsat = !current.interval_unsat + 1 });
+       Unsat
+     | Interval.Unknown ->
+       let candidate =
+         List.find_map
+           (fun f ->
+              let m = Model.of_fun vars f in
+              if Model.satisfies m constraints then Some m else None)
+           (Interval.candidates env vars)
+       in
+       match candidate with
+       | Some m ->
+         Stats.(current := { !current with interval_sat = !current.interval_sat + 1 });
+         remember_model m;
+         Sat m
+       | None ->
+         Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
+         let r = solve_with_sat ?conflict_limit constraints vars in
+         (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
+         r)
+
+let check ?conflict_limit constraints =
+  let t0 = Unix.gettimeofday () in
+  Stats.(current := { !current with queries = !current.queries + 1 });
+  let finish r =
+    let dt = Unix.gettimeofday () -. t0 in
+    Stats.(current := { !current with time = !current.time +. dt });
+    r
+  in
+  (* Constant short-circuit. *)
+  let constraints = List.filter (fun c -> Expr.to_bool c <> Some true) constraints in
+  if List.exists (fun c -> Expr.to_bool c = Some false) constraints then
+    finish Unsat
+  else if constraints = [] then finish (Sat Model.empty)
+  else begin
+    let key =
+      List.sort_uniq Int.compare (List.map (fun (c : Expr.t) -> c.Expr.id) constraints)
+    in
+    match if !caching then Hashtbl.find_opt query_cache key else None with
+    | Some r ->
+      Stats.(current := { !current with cache_hits = !current.cache_hits + 1 });
+      finish r
+    | None ->
+      let r = check_uncached ?conflict_limit constraints in
+      (match r with
+       | Unknown _ -> ()
+       | Sat _ | Unsat -> if !caching then Hashtbl.replace query_cache key r);
+      finish r
+  end
+
+let is_sat ?conflict_limit constraints =
+  match check ?conflict_limit constraints with
+  | Sat _ -> true
+  | Unsat -> false
+  | Unknown msg -> failwith ("Solver.is_sat: unknown: " ^ msg)
+
+let get_model constraints =
+  match check constraints with
+  | Sat m -> Some m
+  | Unsat -> None
+  | Unknown msg -> failwith ("Solver.get_model: unknown: " ^ msg)

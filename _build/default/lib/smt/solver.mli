@@ -1,0 +1,53 @@
+(** Satisfiability checking for conjunctions of boolean terms.
+
+    The solving pipeline mirrors KLEE + STP:
+    + constant folding (terms are already simplified at construction);
+    + query cache — identical constraint sets answer instantly;
+    + counterexample cache — recently found models are re-evaluated on
+      the new query, often yielding a model with no solving;
+    + unsigned-interval propagation — proves simple range conflicts
+      unsatisfiable and proposes candidate assignments;
+    + eager bit-blasting to CNF + CDCL SAT solving (the STP approach).
+
+    Wall-clock time spent in [check] is accumulated in {!Stats} so the
+    engine can report the solver-time fraction of Table 1. *)
+
+type outcome =
+  | Sat of Model.t
+  | Unsat
+  | Unknown of string  (** resource limit reached *)
+
+val check : ?conflict_limit:int -> Expr.t list -> outcome
+(** Satisfiability of the conjunction of the given boolean terms.
+    On [Sat], the returned model satisfies every constraint (this is
+    verified internally by evaluation). *)
+
+val is_sat : ?conflict_limit:int -> Expr.t list -> bool
+(** [true] on [Sat]; [false] on [Unsat].  Raises [Failure] on
+    [Unknown]. *)
+
+val get_model : Expr.t list -> Model.t option
+(** [Some model] on [Sat], [None] on [Unsat].  Raises on [Unknown]. *)
+
+val clear_caches : unit -> unit
+(** Drop the query and counterexample caches (useful for benchmarks). *)
+
+val set_caching : bool -> unit
+(** Enable or disable both caches (enabled by default); used by the
+    cache-ablation benchmark. *)
+
+module Stats : sig
+  type t = {
+    queries : int;            (** calls to [check] *)
+    cache_hits : int;         (** answered by the query cache *)
+    cex_hits : int;           (** answered by the counterexample cache *)
+    interval_unsat : int;     (** proved unsat by interval propagation *)
+    interval_sat : int;       (** model found from interval candidates *)
+    sat_calls : int;          (** queries that reached the SAT solver *)
+    time : float;             (** total seconds spent inside [check] *)
+  }
+
+  val get : unit -> t
+  val reset : unit -> unit
+  val pp : Format.formatter -> t -> unit
+end

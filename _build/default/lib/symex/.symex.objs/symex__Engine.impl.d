@@ -1,0 +1,1 @@
+lib/symex/engine.ml: Array Error Fun Hashtbl Int64 List Option Printexc Printf Random Search Smt Stdlib Unix

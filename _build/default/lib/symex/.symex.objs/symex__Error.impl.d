@@ -1,0 +1,1 @@
+lib/symex/error.ml: Format Smt

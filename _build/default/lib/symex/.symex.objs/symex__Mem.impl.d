@@ -1,0 +1,1 @@
+lib/symex/mem.ml: Array Engine Error Lazy Printf Smt

@@ -1,0 +1,1 @@
+lib/symex/mem.mli: Smt Value

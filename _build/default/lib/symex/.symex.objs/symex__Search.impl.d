@@ -1,0 +1,1 @@
+lib/symex/search.ml: Hashtbl List Printf Random String

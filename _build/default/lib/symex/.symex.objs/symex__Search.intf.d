@@ -1,0 +1,1 @@
+lib/symex/search.mli:

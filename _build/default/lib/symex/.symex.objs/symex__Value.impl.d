@@ -1,0 +1,1 @@
+lib/symex/value.ml: Engine Error Smt

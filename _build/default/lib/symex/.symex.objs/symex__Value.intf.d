@@ -1,0 +1,1 @@
+lib/symex/value.mli: Format Smt

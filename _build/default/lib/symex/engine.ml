@@ -1,0 +1,604 @@
+module Expr = Smt.Expr
+module Bv = Smt.Bv
+module Solver = Smt.Solver
+module Model = Smt.Model
+
+type limits = {
+  max_paths : int option;
+  max_instructions : int option;
+  max_seconds : float option;
+}
+
+let no_limits = { max_paths = None; max_instructions = None; max_seconds = None }
+
+type config = {
+  strategy : Search.strategy;
+  limits : limits;
+  stop_after_errors : int option;
+}
+
+let default_config =
+  { strategy = Search.Dfs; limits = no_limits; stop_after_errors = None }
+
+type report = {
+  errors : Error.t list;
+  paths : int;
+  paths_completed : int;
+  paths_errored : int;
+  paths_infeasible : int;
+  instructions : int;
+  wall_time : float;
+  solver_time : float;
+  solver_queries : int;
+  exhausted : bool;
+  branch_coverage : (string * int) list;
+}
+
+exception Check_failed of string
+
+(* Path-local termination reasons. *)
+type path_end = End_error | End_infeasible
+
+exception Terminate_path of path_end
+exception Stop_exploration
+exception Replay_stop
+exception Replay_diverged of string
+
+type path_state = {
+  prefix : bool array;            (* prescribed decisions *)
+  mutable pos : int;              (* prescribed decisions consumed *)
+  mutable taken : bool list;      (* all decisions, newest first *)
+  mutable pc : Expr.t list;       (* path condition, newest first *)
+  mutable inputs : (string * Expr.t) list;  (* newest first *)
+  mutable fresh_idx : int;
+  path_id : int;
+}
+
+type explore_state = {
+  cfg : config;
+  frontier : bool array Search.t;
+  mutable pool : (string * int * Expr.t) array;
+  mutable pool_len : int;
+  mutable cur : path_state option;
+  error_table : (string * Error.kind, unit) Hashtbl.t;
+  mutable errors_rev : Error.t list;
+  mutable n_paths : int;
+  mutable n_completed : int;
+  mutable n_errored : int;
+  mutable n_infeasible : int;
+  mutable exhausted : bool;
+  started : float;
+  instr_base : int;
+}
+
+type replay_state = {
+  values : (string * Bv.t) array;
+  mutable idx : int;
+  mutable failure : Error.t option;
+}
+
+type rand_state = {
+  rng : Random.State.t;
+  mutable r_inputs : (string * Bv.t) list; (* newest first *)
+  mutable r_failure : Error.t option;
+}
+
+exception Trial_rejected
+
+type mode =
+  | Off
+  | Explore of explore_state
+  | Replay of replay_state
+  | Rand of rand_state
+
+let mode = ref Off
+
+let in_symbolic_context () =
+  match !mode with Off -> false | Explore _ | Replay _ | Rand _ -> true
+
+let current_path st =
+  match st.cur with
+  | Some ps -> ps
+  | None -> failwith "Engine: no active path (intrinsic called outside run)"
+
+let elapsed st = Unix.gettimeofday () -. st.started
+let instructions_so_far st = Expr.instruction_count () - st.instr_base
+
+let check_limits st =
+  let l = st.cfg.limits in
+  let hit =
+    (match l.max_instructions with
+     | Some n -> instructions_so_far st > n
+     | None -> false)
+    || (match l.max_seconds with Some s -> elapsed st > s | None -> false)
+  in
+  if hit then begin
+    st.exhausted <- false;
+    raise Stop_exploration
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Symbolic inputs                                                     *)
+
+let pool_fresh st ps name width =
+  let k = ps.fresh_idx in
+  ps.fresh_idx <- k + 1;
+  let e =
+    if k < st.pool_len then begin
+      let pname, pwidth, pe = st.pool.(k) in
+      if pname = name && pwidth = width then pe
+      else Expr.fresh_var name width (* divergent suffix: do not pool *)
+    end
+    else begin
+      let e = Expr.fresh_var name width in
+      if k = st.pool_len then begin
+        if st.pool_len = Array.length st.pool then begin
+          let bigger =
+            Array.make (max 16 (2 * st.pool_len)) ("", 0, Expr.tru)
+          in
+          Array.blit st.pool 0 bigger 0 st.pool_len;
+          st.pool <- bigger
+        end;
+        st.pool.(st.pool_len) <- (name, width, e);
+        st.pool_len <- st.pool_len + 1
+      end;
+      e
+    end
+  in
+  ps.inputs <- (name, e) :: ps.inputs;
+  e
+
+let fresh name width =
+  match !mode with
+  | Explore st ->
+    let ps = current_path st in
+    pool_fresh st ps name width
+  | Replay rs ->
+    if rs.idx >= Array.length rs.values then
+      raise (Replay_diverged
+               (Printf.sprintf "input %s requested beyond recorded inputs" name))
+    else begin
+      let _, v = rs.values.(rs.idx) in
+      rs.idx <- rs.idx + 1;
+      if Bv.width v <> width then
+        raise (Replay_diverged
+                 (Printf.sprintf "input %s width mismatch" name));
+      Expr.const v
+    end
+  | Rand rs ->
+    let raw = Random.State.int64 rs.rng Int64.max_int in
+    let v = Bv.make ~width raw in
+    rs.r_inputs <- (name, v) :: rs.r_inputs;
+    Expr.const v
+  | Off -> failwith "Engine.fresh: no symbolic context"
+
+let fresh32 name = fresh name 32
+
+(* ------------------------------------------------------------------ *)
+(* Branching                                                           *)
+
+let terminate_path () = raise (Terminate_path End_infeasible)
+
+let path_condition () =
+  match !mode with
+  | Explore st -> List.rev (current_path st).pc
+  | Replay _ | Rand _ | Off -> []
+
+let take st ps cond d =
+  ignore st;
+  ps.taken <- d :: ps.taken;
+  ps.pc <- (if d then cond else Expr.not_ cond) :: ps.pc;
+  d
+
+let branch ?(site = "branch") cond =
+  Expr.add_instructions 1;
+  match !mode with
+  | Off ->
+    (match Expr.to_bool cond with
+     | Some b -> b
+     | None -> failwith "Engine.branch: symbolic branch outside run")
+  | Replay _ ->
+    (match Expr.to_bool cond with
+     | Some b -> b
+     | None -> raise (Replay_diverged "symbolic branch during replay"))
+  | Rand _ ->
+    (match Expr.to_bool cond with
+     | Some b -> b
+     | None -> raise (Replay_diverged "symbolic branch during random trial"))
+  | Explore st ->
+    check_limits st;
+    let ps = current_path st in
+    Search.record_visit st.frontier site;
+    (match Expr.to_bool cond with
+     | Some b -> b
+     | None ->
+       if ps.pos < Array.length ps.prefix then begin
+         let d = ps.prefix.(ps.pos) in
+         ps.pos <- ps.pos + 1;
+         take st ps cond d
+       end
+       else begin
+         let sat_true = Solver.is_sat (cond :: ps.pc) in
+         let sat_false = Solver.is_sat (Expr.not_ cond :: ps.pc) in
+         match sat_true, sat_false with
+         | true, true ->
+           let alt = Array.of_list (List.rev (false :: ps.taken)) in
+           Search.push st.frontier ~site alt;
+           take st ps cond true
+         | true, false -> take st ps cond true
+         | false, true -> take st ps cond false
+         | false, false ->
+           (* The path condition itself became unsatisfiable — can only
+              happen via solver resource limits; kill the path. *)
+           raise (Terminate_path End_infeasible)
+       end)
+
+let assume cond =
+  Expr.add_instructions 1;
+  match !mode with
+  | Off ->
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false -> failwith "Engine.assume: false assumption"
+     | None -> failwith "Engine.assume: symbolic assumption outside run")
+  | Replay _ ->
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false | None -> raise (Replay_diverged "assumption failed"))
+  | Rand _ ->
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false | None -> raise Trial_rejected)
+  | Explore st ->
+    check_limits st;
+    let ps = current_path st in
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false -> raise (Terminate_path End_infeasible)
+     | None ->
+       if Solver.is_sat (cond :: ps.pc) then ps.pc <- cond :: ps.pc
+       else raise (Terminate_path End_infeasible))
+
+(* ------------------------------------------------------------------ *)
+(* Errors                                                              *)
+
+let counterexample_of_model ps model =
+  List.rev_map
+    (fun (name, e) ->
+       let value =
+         match e.Expr.node with
+         | Expr.Var v -> Model.find model v
+         | Expr.Bv_const v -> v
+         | _ -> Model.eval model e
+       in
+       (name, value))
+    ps.inputs
+
+let record_error st ps kind site message model =
+  let key = (site, kind) in
+  if not (Hashtbl.mem st.error_table key) then begin
+    Hashtbl.add st.error_table key ();
+    let err : Error.t =
+      {
+        Error.kind;
+        site;
+        message;
+        counterexample = counterexample_of_model ps model;
+        path_id = ps.path_id;
+        instructions = instructions_so_far st;
+        found_after = elapsed st;
+      }
+    in
+    st.errors_rev <- err :: st.errors_rev;
+    match st.cfg.stop_after_errors with
+    | Some n when List.length st.errors_rev >= n ->
+      st.exhausted <- false;
+      raise Stop_exploration
+    | Some _ | None -> ()
+  end
+
+let replay_failure rs kind site message =
+  let err : Error.t =
+    {
+      Error.kind;
+      site;
+      message;
+      counterexample = Array.to_list rs.values;
+      path_id = 0;
+      instructions = 0;
+      found_after = 0.0;
+    }
+  in
+  rs.failure <- Some err;
+  raise Replay_stop
+
+let random_failure rs kind site message =
+  let err : Error.t =
+    {
+      Error.kind;
+      site;
+      message;
+      counterexample = List.rev rs.r_inputs;
+      path_id = 0;
+      instructions = 0;
+      found_after = 0.0;
+    }
+  in
+  rs.r_failure <- Some err;
+  raise Replay_stop
+
+let check_kind kind ~site ?(message = "property violated") cond =
+  Expr.add_instructions 1;
+  match !mode with
+  | Off ->
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false -> raise (Check_failed site)
+     | None -> failwith "Engine.check: symbolic check outside run")
+  | Replay rs ->
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false | None -> replay_failure rs kind site message)
+  | Rand rs ->
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false | None -> random_failure rs kind site message)
+  | Explore st ->
+    check_limits st;
+    let ps = current_path st in
+    (match Expr.to_bool cond with
+     | Some true -> ()
+     | Some false ->
+       (match Solver.check ps.pc with
+        | Solver.Sat m ->
+          record_error st ps kind site message m;
+          raise (Terminate_path End_error)
+        | Solver.Unsat -> raise (Terminate_path End_infeasible)
+        | Solver.Unknown msg -> failwith ("Engine.check: solver unknown: " ^ msg))
+     | None ->
+       (match Solver.check (Expr.not_ cond :: ps.pc) with
+        | Solver.Sat m ->
+          record_error st ps kind site message m;
+          (* The failing side terminates; continue on the passing side
+             when it is feasible. *)
+          if Solver.is_sat (cond :: ps.pc) then ps.pc <- cond :: ps.pc
+          else raise (Terminate_path End_error)
+        | Solver.Unsat -> ps.pc <- cond :: ps.pc
+        | Solver.Unknown msg -> failwith ("Engine.check: solver unknown: " ^ msg)))
+
+let check ~site ?message cond = check_kind Error.Assertion_failure ~site ?message cond
+let fatal_check ~site ?message cond = check_kind Error.Abort ~site ?message cond
+
+let report_error kind ~site ~message =
+  match !mode with
+  | Off -> raise (Check_failed site)
+  | Replay rs -> replay_failure rs kind site message
+  | Rand rs -> random_failure rs kind site message
+  | Explore st ->
+    let ps = current_path st in
+    (match Solver.check ps.pc with
+     | Solver.Sat m ->
+       record_error st ps kind site message m;
+       raise (Terminate_path End_error)
+     | Solver.Unsat -> raise (Terminate_path End_infeasible)
+     | Solver.Unknown msg -> failwith ("Engine.report_error: solver unknown: " ^ msg))
+
+(* ------------------------------------------------------------------ *)
+(* Concretization (KLEE-style enumerating fork)                        *)
+
+let rec concretize ?(site = "concretize") e =
+  match Expr.to_bv e with
+  | Some v -> v
+  | None ->
+    (match !mode with
+     | Off -> failwith "Engine.concretize: symbolic value outside run"
+     | Replay _ -> raise (Replay_diverged "symbolic value during replay")
+     | Rand _ -> raise (Replay_diverged "symbolic value during random trial")
+     | Explore st ->
+       let ps = current_path st in
+       (match Solver.check ps.pc with
+        | Solver.Sat m ->
+          let v = Model.eval m e in
+          if branch ~site (Expr.eq e (Expr.const v)) then v
+          else concretize ~site e
+        | Solver.Unsat -> raise (Terminate_path End_infeasible)
+        | Solver.Unknown msg ->
+          failwith ("Engine.concretize: solver unknown: " ^ msg)))
+
+(* ------------------------------------------------------------------ *)
+(* Exploration loop                                                    *)
+
+let run ?(config = default_config) body =
+  (match !mode with
+   | Off -> ()
+   | Explore _ | Replay _ | Rand _ ->
+     failwith "Engine.run: nested runs are not allowed");
+  let solver_stats0 = Solver.Stats.get () in
+  let st =
+    {
+      cfg = config;
+      frontier = Search.create config.strategy;
+      pool = Array.make 16 ("", 0, Expr.tru);
+      pool_len = 0;
+      cur = None;
+      error_table = Hashtbl.create 16;
+      errors_rev = [];
+      n_paths = 0;
+      n_completed = 0;
+      n_errored = 0;
+      n_infeasible = 0;
+      exhausted = true;
+      started = Unix.gettimeofday ();
+      instr_base = Expr.instruction_count ();
+    }
+  in
+  mode := Explore st;
+  Search.push st.frontier ~site:"root" [||];
+  let finish () = mode := Off in
+  Fun.protect ~finally:finish (fun () ->
+      (try
+         let continue = ref true in
+         while !continue do
+           (match config.limits.max_paths with
+            | Some n when st.n_paths >= n ->
+              st.exhausted <- false;
+              raise Stop_exploration
+            | Some _ | None -> ());
+           (* Instruction/time budgets are also enforced between paths,
+              so straight-line testbenches cannot overrun them. *)
+           check_limits st;
+           match Search.pop st.frontier with
+           | None -> continue := false
+           | Some prefix ->
+             let ps =
+               {
+                 prefix;
+                 pos = 0;
+                 taken = [];
+                 pc = [];
+                 inputs = [];
+                 fresh_idx = 0;
+                 path_id = st.n_paths;
+               }
+             in
+             st.cur <- Some ps;
+             st.n_paths <- st.n_paths + 1;
+             (try
+                body ();
+                st.n_completed <- st.n_completed + 1
+              with
+              | Terminate_path End_error -> st.n_errored <- st.n_errored + 1
+              | Terminate_path End_infeasible ->
+                st.n_infeasible <- st.n_infeasible + 1
+              | Stop_exploration as e -> raise e
+              | Check_failed _ as e -> raise e
+              | exn ->
+                (* An OCaml exception escaped the testbench: report it
+                   like KLEE reports an unhandled C++ exception. *)
+                let site = "exception:" ^ Printexc.to_string exn in
+                (match Solver.check ps.pc with
+                 | Solver.Sat m ->
+                   (try
+                      record_error st ps Error.Unhandled_exception site
+                        (Printexc.to_string exn) m
+                    with Stop_exploration as e ->
+                      st.n_errored <- st.n_errored + 1;
+                      raise e);
+                   st.n_errored <- st.n_errored + 1
+                 | Solver.Unsat | Solver.Unknown _ ->
+                   st.n_infeasible <- st.n_infeasible + 1));
+             st.cur <- None
+         done
+       with Stop_exploration -> ());
+      let solver_stats1 = Solver.Stats.get () in
+      {
+        errors = List.rev st.errors_rev;
+        paths = st.n_paths;
+        paths_completed = st.n_completed;
+        paths_errored = st.n_errored;
+        paths_infeasible = st.n_infeasible;
+        instructions = instructions_so_far st;
+        wall_time = elapsed st;
+        solver_time =
+          solver_stats1.Solver.Stats.time -. solver_stats0.Solver.Stats.time;
+        solver_queries =
+          solver_stats1.Solver.Stats.queries - solver_stats0.Solver.Stats.queries;
+        exhausted = st.exhausted;
+        branch_coverage = Search.visit_counts st.frontier;
+      })
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+let replay values body =
+  (match !mode with
+   | Off -> ()
+   | Explore _ | Replay _ | Rand _ ->
+     failwith "Engine.replay: nested runs are not allowed");
+  let rs = { values = Array.of_list values; idx = 0; failure = None } in
+  mode := Replay rs;
+  let finish () = mode := Off in
+  Fun.protect ~finally:finish (fun () ->
+      try
+        body ();
+        None
+      with
+      | Replay_stop ->
+        (match rs.failure with
+         | Some err -> Some (Ok err)
+         | None -> Some (Error "replay stopped without failure"))
+      | Replay_diverged msg -> Some (Error msg)
+      | exn -> Some (Error ("exception during replay: " ^ Printexc.to_string exn)))
+
+(* ------------------------------------------------------------------ *)
+(* Random-testing baseline                                             *)
+
+type random_report = {
+  trials : int;
+  rejected : int;
+  failure : (Error.t * int) option;
+  random_wall_time : float;
+}
+
+let random_test ?(seed = 42) ?(max_trials = 10_000) ?max_seconds body =
+  (match !mode with
+   | Off -> ()
+   | Explore _ | Replay _ | Rand _ ->
+     failwith "Engine.random_test: nested runs are not allowed");
+  let rng = Random.State.make [| seed |] in
+  let started = Unix.gettimeofday () in
+  let trials = ref 0 and rejected = ref 0 in
+  let failure = ref None in
+  let finish () = mode := Off in
+  Fun.protect ~finally:finish (fun () ->
+      let continue = ref true in
+      while
+        !continue && !failure = None && !trials < max_trials
+        && (match max_seconds with
+            | Some s -> Unix.gettimeofday () -. started < s
+            | None -> true)
+      do
+        let rs = { rng; r_inputs = []; r_failure = None } in
+        mode := Rand rs;
+        incr trials;
+        (try body () with
+         | Replay_stop ->
+           failure :=
+             Option.map (fun e -> (e, !trials)) rs.r_failure
+         | Trial_rejected -> incr rejected
+         | Check_failed site ->
+           (* a concrete-mode style failure escaping DUV code *)
+           failure :=
+             Some
+               ( {
+                   Error.kind = Error.Abort;
+                   site;
+                   message = "check failed during random trial";
+                   counterexample = List.rev rs.r_inputs;
+                   path_id = 0;
+                   instructions = 0;
+                   found_after = Unix.gettimeofday () -. started;
+                 },
+                 !trials )
+         | Stdlib.Exit -> continue := false
+         | exn ->
+           failure :=
+             Some
+               ( {
+                   Error.kind = Error.Unhandled_exception;
+                   site = "exception:" ^ Printexc.to_string exn;
+                   message = Printexc.to_string exn;
+                   counterexample = List.rev rs.r_inputs;
+                   path_id = 0;
+                   instructions = 0;
+                   found_after = Unix.gettimeofday () -. started;
+                 },
+                 !trials ));
+        mode := Off
+      done;
+      {
+        trials = !trials;
+        rejected = !rejected;
+        failure = !failure;
+        random_wall_time = Unix.gettimeofday () -. started;
+      })

@@ -1,0 +1,156 @@
+(** The symbolic-execution engine (the KLEE stand-in).
+
+    {1 Exploration model}
+
+    The engine explores a testbench (an OCaml thunk) by {e re-execution
+    with decision prefixes}: every pending path is a vector of branch
+    decisions; executing the testbench under a prefix deterministically
+    replays those decisions, and the first unprescribed symbolic branch
+    consults the solver — if both directions are feasible the path
+    forks, one direction continues and the other is pushed onto the
+    frontier.  This requires the testbench to be deterministic (build
+    the whole device under verification inside the thunk) and yields the
+    same observable exploration as KLEE's state forking.
+
+    Symbolic inputs are pooled positionally across re-executions: the
+    k-th [fresh] call of every execution returns the same term, so path
+    conditions of shared prefixes are physically equal and the solver
+    caches hit across paths.
+
+    {1 Error semantics}
+
+    As in KLEE, a violable [check] records an error with a concrete
+    counterexample and terminates only the failing side; exploration
+    continues until the frontier is exhausted or a limit is reached.
+    Errors are de-duplicated by [(site, kind)]. *)
+
+type limits = {
+  max_paths : int option;
+  max_instructions : int option;
+  max_seconds : float option;
+}
+
+val no_limits : limits
+
+type config = {
+  strategy : Search.strategy;
+  limits : limits;
+  stop_after_errors : int option;
+      (** stop exploration once this many distinct errors are known *)
+}
+
+val default_config : config
+
+type report = {
+  errors : Error.t list;        (** distinct errors, in discovery order *)
+  paths : int;                  (** total executions *)
+  paths_completed : int;        (** ran to the end of the testbench *)
+  paths_errored : int;          (** terminated by an error *)
+  paths_infeasible : int;       (** killed by an unsatisfiable [assume] *)
+  instructions : int;           (** symbolic operations executed *)
+  wall_time : float;            (** seconds *)
+  solver_time : float;          (** seconds spent in the solver *)
+  solver_queries : int;
+  exhausted : bool;             (** the whole state space was explored *)
+  branch_coverage : (string * int) list;
+      (** executed branch sites with execution counts (KLEE-style
+          coverage reporting) *)
+}
+
+val run : ?config:config -> (unit -> unit) -> report
+(** Explore a testbench.  Nested calls are not allowed. *)
+
+(** {1 Testbench / DUV intrinsics}
+
+    These mirror the KLEE interface functions.  They are callable from
+    anywhere inside the thunk passed to [run] (or [replay]); the engine
+    context is ambient, as KLEE's is. *)
+
+val fresh : string -> int -> Smt.Expr.t
+(** [fresh name width] — a new symbolic input ([klee_int] et al.). *)
+
+val fresh32 : string -> Smt.Expr.t
+(** [fresh name 32] — the shape used by all PLIC testbenches. *)
+
+val assume : Smt.Expr.t -> unit
+(** [klee_assume]: constrain the current path; silently terminates the
+    path when the constraint is infeasible. *)
+
+val branch : ?site:string -> Smt.Expr.t -> bool
+(** Branch on a boolean term; forks when both directions are feasible.
+    This is what every [if] in DUV code goes through. *)
+
+val check : site:string -> ?message:string -> Smt.Expr.t -> unit
+(** Assert a property.  If it is violable, record an
+    {!Error.Assertion_failure} with a counterexample; the failing side
+    terminates, the passing side continues. *)
+
+val fatal_check : site:string -> ?message:string -> Smt.Expr.t -> unit
+(** Like [check] but records {!Error.Abort} — models a C [assert] whose
+    failure would abort the whole program (bug F1 of the paper). *)
+
+val check_kind :
+  Error.kind -> site:string -> ?message:string -> Smt.Expr.t -> unit
+(** Generalized [check] used by the memory subsystem (out-of-bounds,
+    division by zero). *)
+
+val report_error : Error.kind -> site:string -> message:string -> unit
+(** Record an unconditional error on the current path and terminate
+    the path. *)
+
+val concretize : ?site:string -> Smt.Expr.t -> Smt.Bv.t
+(** Concretize a term to a feasible value, constraining the path to that
+    value; alternative values are explored on forked paths (KLEE's
+    behaviour at [switch] statements and float operations). *)
+
+val path_condition : unit -> Smt.Expr.t list
+
+val terminate_path : unit -> 'a
+(** Silently kill the current path (infeasible). *)
+
+val in_symbolic_context : unit -> bool
+(** Whether a [run] or [replay] is active. *)
+
+exception Check_failed of string
+(** Raised by [check] in plain concrete execution (outside [run] /
+    [replay]) — the OCaml analogue of an assert aborting a native run. *)
+
+(** {1 Counterexample replay}
+
+    The paper compiles the bytecode to a native executable to replay
+    counterexamples under a debugger; here, [replay] re-runs the
+    testbench concretely, feeding the recorded input values
+    positionally. *)
+
+val replay :
+  (string * Smt.Bv.t) list -> (unit -> unit) -> (Error.t, string) result option
+(** [replay counterexample testbench] returns [Some (Ok error)] when a
+    check fails during concrete re-execution (the expected outcome for
+    a true counterexample), [Some (Error msg)] when replay diverges
+    (e.g. an [assume] fails), and [None] when the run completes without
+    failure. *)
+
+(** {1 Random-testing baseline}
+
+    Concrete random testing over the same testbench API — the classic
+    baseline symbolic execution is compared against.  [fresh] draws
+    uniform random values, [assume] rejects the trial when violated,
+    and a failing [check] ends the campaign with the trial's inputs as
+    the counterexample. *)
+
+type random_report = {
+  trials : int;           (** trials executed (including the failing one) *)
+  rejected : int;         (** trials rejected by an [assume] *)
+  failure : (Error.t * int) option;
+      (** first failure and the 1-based trial index it occurred on *)
+  random_wall_time : float;
+}
+
+val random_test :
+  ?seed:int ->
+  ?max_trials:int ->
+  ?max_seconds:float ->
+  (unit -> unit) ->
+  random_report
+(** Run up to [max_trials] (default 10_000) random trials or until
+    [max_seconds] elapse or a check fails. *)

@@ -1,0 +1,36 @@
+type kind =
+  | Assertion_failure
+  | Abort
+  | Out_of_bounds
+  | Division_by_zero
+  | Unhandled_exception
+
+type t = {
+  kind : kind;
+  site : string;
+  message : string;
+  counterexample : (string * Smt.Bv.t) list;
+  path_id : int;
+  instructions : int;
+  found_after : float;
+}
+
+let kind_to_string = function
+  | Assertion_failure -> "assertion failure"
+  | Abort -> "abort"
+  | Out_of_bounds -> "out-of-bounds access"
+  | Division_by_zero -> "division by zero"
+  | Unhandled_exception -> "unhandled exception"
+
+let pp_counterexample ppf t =
+  let pp_binding ppf (name, v) =
+    Format.fprintf ppf "%s = %a" name Smt.Bv.pp v
+  in
+  Format.fprintf ppf "@[<v 2>counterexample:@,%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut pp_binding)
+    t.counterexample
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>%s at %s: %s (path %d, %.2fs)@,%a@]"
+    (kind_to_string t.kind) t.site t.message t.path_id t.found_after
+    pp_counterexample t

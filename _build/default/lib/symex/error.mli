@@ -1,0 +1,30 @@
+(** Errors discovered during symbolic exploration.
+
+    The engine looks for the same error classes as KLEE: assertion
+    violations, invalid memory accesses, division by zero and unhandled
+    exceptions.  Every error carries a concrete counterexample (a model
+    of the path condition) that reproduces it. *)
+
+type kind =
+  | Assertion_failure   (** a [check]ed property is violable *)
+  | Abort               (** a fatal assert, e.g. C [assert] in release builds *)
+  | Out_of_bounds       (** invalid memory access *)
+  | Division_by_zero
+  | Unhandled_exception (** an OCaml exception escaped the testbench *)
+
+type t = {
+  kind : kind;
+  site : string;
+  (** stable identifier of the program location; errors are
+      de-duplicated by [(site, kind)] *)
+  message : string;
+  counterexample : (string * Smt.Bv.t) list;
+  (** concrete input assignment, in input-creation order *)
+  path_id : int;          (** path on which the error was first found *)
+  instructions : int;     (** instructions executed when first found *)
+  found_after : float;    (** seconds since exploration start *)
+}
+
+val kind_to_string : kind -> string
+val pp : Format.formatter -> t -> unit
+val pp_counterexample : Format.formatter -> t -> unit

@@ -1,0 +1,89 @@
+module Expr = Smt.Expr
+module Bv = Smt.Bv
+
+type t = { mem_name : string; data : Expr.t array }
+
+let byte_zero = lazy (Expr.int ~width:8 0)
+
+let create ~name ~size =
+  { mem_name = name; data = Array.make size (Lazy.force byte_zero) }
+
+let name t = t.mem_name
+let size t = Array.length t.data
+let read_byte t i = t.data.(i)
+let write_byte t i b =
+  if Expr.width b <> 8 then invalid_arg "Mem.write_byte: byte expected";
+  t.data.(i) <- b
+
+let read32 t off =
+  let b i = Expr.zext 32 (read_byte t (off + i)) in
+  Expr.bor (b 0)
+    (Expr.bor
+       (Expr.shl (b 1) (Expr.int ~width:32 8))
+       (Expr.bor
+          (Expr.shl (b 2) (Expr.int ~width:32 16))
+          (Expr.shl (b 3) (Expr.int ~width:32 24))))
+
+let write32 t off v =
+  for i = 0 to 3 do
+    write_byte t (off + i) (Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) v)
+  done
+
+let read64 t off =
+  let rec assemble i acc =
+    if i < 0 then acc
+    else
+      assemble (i - 1)
+        (Expr.bor
+           (Expr.shl (Expr.zext 64 (read_byte t (off + i)))
+              (Expr.int ~width:64 (8 * i)))
+           acc)
+  in
+  assemble 7 (Expr.int ~width:64 0)
+
+let write64 t off v =
+  if Expr.width v <> 64 then invalid_arg "Mem.write64: 64-bit value expected";
+  for i = 0 to 7 do
+    write_byte t (off + i) (Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) v)
+  done
+
+let fill_zero t =
+  Array.fill t.data 0 (Array.length t.data) (Lazy.force byte_zero)
+
+(* offset + len <= size, computed without 32-bit wrap by extending. *)
+let in_bounds t ~offset ~len =
+  let off64 = Expr.zext 64 offset and len64 = Expr.zext 64 len in
+  Expr.ule (Expr.add off64 len64) (Expr.int ~width:64 (size t))
+
+let bounds_check ?site t ~offset ~len ~what =
+  let site =
+    match site with
+    | Some s -> s
+    | None -> Printf.sprintf "mem:%s:%s" t.mem_name what
+  in
+  Engine.check_kind Error.Out_of_bounds ~site
+    ~message:
+      (Printf.sprintf "%s access exceeds %s (%d bytes)" what t.mem_name (size t))
+    (in_bounds t ~offset ~len)
+
+let concretize_range ~offset ~len =
+  let off = Bv.to_int (Engine.concretize offset) in
+  let n = Bv.to_int (Engine.concretize len) in
+  (off, n)
+
+let read_bytes ?site t ~offset ~len =
+  bounds_check ?site t ~offset ~len ~what:"read";
+  let off, n = concretize_range ~offset ~len in
+  Array.init n (fun i -> read_byte t (off + i))
+
+let write_bytes ?site t ~offset ~len data =
+  bounds_check ?site t ~offset ~len ~what:"write";
+  let off, n = concretize_range ~offset ~len in
+  if n > Array.length data then
+    Engine.report_error Error.Out_of_bounds
+      ~site:(Printf.sprintf "mem:%s:source" t.mem_name)
+      ~message:"write source buffer shorter than length"
+  else
+    for i = 0 to n - 1 do
+      write_byte t (off + i) data.(i)
+    done

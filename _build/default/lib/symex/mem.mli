@@ -1,0 +1,51 @@
+(** Bounds-checked symbolic byte memory.
+
+    Register backing stores are byte arrays whose cells are 8-bit
+    symbolic terms.  Every access through the symbolic-offset API is
+    bounds-checked by the engine, which is how the paper's F5 (a memcpy
+    whose source exceeds the register boundary) and IF1 (a pending-array
+    overflow) are detected: the {e detector} lives here, while the
+    {e missing check} is the device's bug. *)
+
+type t
+
+val create : name:string -> size:int -> t
+(** Zero-initialized memory of [size] bytes. *)
+
+val name : t -> string
+val size : t -> int
+
+(* Concrete-offset accessors (no checks beyond array bounds, which are
+   programming errors, not modeled bugs). *)
+
+val read_byte : t -> int -> Smt.Expr.t
+val write_byte : t -> int -> Smt.Expr.t -> unit
+
+val read32 : t -> int -> Value.t
+(** Little-endian 32-bit read at a concrete byte offset. *)
+
+val write32 : t -> int -> Value.t -> unit
+
+val read64 : t -> int -> Smt.Expr.t
+(** Little-endian 64-bit read (e.g. CLINT's [mtime]). *)
+
+val write64 : t -> int -> Smt.Expr.t -> unit
+
+(* Symbolic-offset accessors: the engine checks bounds and reports
+   {!Error.Out_of_bounds} when violable; the access then proceeds on
+   the in-bounds side with the offset/length concretized (forking). *)
+
+val read_bytes :
+  ?site:string -> t -> offset:Value.t -> len:Value.t -> Smt.Expr.t array
+(** [read_bytes m ~offset ~len] returns [len] bytes starting at
+    [offset] (both may be symbolic).  [site] overrides the error-report
+    site (several memories can share one detector site, so an error
+    class is counted once). *)
+
+val write_bytes :
+  ?site:string -> t -> offset:Value.t -> len:Value.t -> Smt.Expr.t array -> unit
+(** [write_bytes m ~offset ~len data] copies the first [len] bytes of
+    [data] to [offset].  Reading past the end of [data] is itself
+    reported as out-of-bounds (the initiator's buffer is too short). *)
+
+val fill_zero : t -> unit

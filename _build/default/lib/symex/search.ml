@@ -1,0 +1,96 @@
+type strategy =
+  | Dfs
+  | Bfs
+  | Random_path of int
+  | Cover_new
+
+let strategy_to_string = function
+  | Dfs -> "dfs"
+  | Bfs -> "bfs"
+  | Random_path seed -> Printf.sprintf "random:%d" seed
+  | Cover_new -> "cover-new"
+
+let strategy_of_string = function
+  | "dfs" -> Some Dfs
+  | "bfs" -> Some Bfs
+  | "cover-new" -> Some Cover_new
+  | s ->
+    (match String.index_opt s ':' with
+     | Some i when String.sub s 0 i = "random" ->
+       (try Some (Random_path (int_of_string (String.sub s (i + 1) (String.length s - i - 1))))
+        with Failure _ -> None)
+     | _ -> if s = "random" then Some (Random_path 42) else None)
+
+let all_strategies = [ Dfs; Bfs; Random_path 42; Cover_new ]
+
+type 'a entry = { site : string; item : 'a }
+
+type 'a t = {
+  strategy : strategy;
+  mutable entries : 'a entry list;      (* newest first *)
+  visits : (string, int) Hashtbl.t;
+  rng : Random.State.t;
+}
+
+let create strategy =
+  let seed = match strategy with Random_path s -> s | Dfs | Bfs | Cover_new -> 0 in
+  {
+    strategy;
+    entries = [];
+    visits = Hashtbl.create 64;
+    rng = Random.State.make [| seed |];
+  }
+
+let length t = List.length t.entries
+let is_empty t = t.entries = []
+let push t ~site item = t.entries <- { site; item } :: t.entries
+
+let record_visit t site =
+  let n = match Hashtbl.find_opt t.visits site with Some n -> n | None -> 0 in
+  Hashtbl.replace t.visits site (n + 1)
+
+let visit_counts t =
+  Hashtbl.fold (fun site n acc -> (site, n) :: acc) t.visits []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let visits t site =
+  match Hashtbl.find_opt t.visits site with Some n -> n | None -> 0
+
+let take_nth t n =
+  (* Remove and return the n-th entry (0 = newest). *)
+  let rec go i acc = function
+    | [] -> None
+    | e :: rest ->
+      if i = n then begin
+        t.entries <- List.rev_append acc rest;
+        Some e.item
+      end
+      else go (i + 1) (e :: acc) rest
+  in
+  go 0 [] t.entries
+
+let pop t =
+  match t.entries with
+  | [] -> None
+  | newest :: rest ->
+    (match t.strategy with
+     | Dfs ->
+       t.entries <- rest;
+       Some newest.item
+     | Bfs ->
+       let n = List.length t.entries in
+       take_nth t (n - 1)
+     | Random_path _ ->
+       let n = List.length t.entries in
+       take_nth t (Random.State.int t.rng n)
+     | Cover_new ->
+       let best = ref 0 and best_v = ref max_int in
+       List.iteri
+         (fun i e ->
+            let v = visits t e.site in
+            if v < !best_v then begin
+              best := i;
+              best_v := v
+            end)
+         t.entries;
+       take_nth t !best)

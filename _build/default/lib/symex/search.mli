@@ -1,0 +1,36 @@
+(** Path-selection strategies.
+
+    KLEE interleaves several searchers; we provide the standard ones and
+    let the engine pick per run.  The frontier holds pending path
+    prefixes; the strategy decides which to execute next. *)
+
+type strategy =
+  | Dfs           (** depth-first: newest prefix first *)
+  | Bfs           (** breadth-first: oldest prefix first *)
+  | Random_path of int  (** uniform random choice, seeded *)
+  | Cover_new
+      (** prefer prefixes forked at the branch site executed least often
+          — an approximation of KLEE's coverage-guided searcher *)
+
+val strategy_to_string : strategy -> string
+val strategy_of_string : string -> strategy option
+val all_strategies : strategy list
+
+type 'a t
+
+val create : strategy -> 'a t
+val length : 'a t -> int
+val is_empty : 'a t -> bool
+
+val push : 'a t -> site:string -> 'a -> unit
+(** [site] is the branch site at which the prefix was forked (used by
+    [Cover_new]). *)
+
+val pop : 'a t -> 'a option
+
+val record_visit : 'a t -> string -> unit
+(** Tell the coverage-guided strategy that a branch site executed. *)
+
+val visit_counts : 'a t -> (string * int) list
+(** Executed branch sites with their execution counts, sorted by site
+    name — the engine reports these as branch coverage. *)

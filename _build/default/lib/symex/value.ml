@@ -1,0 +1,45 @@
+module Expr = Smt.Expr
+
+type t = Expr.t
+
+let width = 32
+let of_int n = Expr.int ~width n
+let zero = of_int 0
+let one = of_int 1
+let symbolic name = Engine.fresh name width
+let add = Expr.add
+let sub = Expr.sub
+let mul = Expr.mul
+let band = Expr.band
+let bor = Expr.bor
+let bxor = Expr.bxor
+let bnot = Expr.bnot
+let shl = Expr.shl
+let lshr = Expr.lshr
+
+let udiv ~site a b =
+  Engine.check_kind Error.Division_by_zero ~site
+    ~message:"division by zero" (Expr.ne b zero);
+  Expr.udiv a b
+
+let urem ~site a b =
+  Engine.check_kind Error.Division_by_zero ~site
+    ~message:"remainder by zero" (Expr.ne b zero);
+  Expr.urem a b
+
+let eq = Expr.eq
+let ne = Expr.ne
+let lt = Expr.ult
+let le = Expr.ule
+let gt = Expr.ugt
+let ge = Expr.uge
+let is_zero v = Expr.eq v zero
+let nonzero v = Expr.ne v zero
+let truth ?site cond = Engine.branch ?site cond
+let select = Expr.ite
+let bit v i = Expr.eq (Expr.extract ~hi:i ~lo:i v) (Expr.int ~width:1 1)
+
+let to_concrete ?site v = Smt.Bv.to_int (Engine.concretize ?site v)
+
+let to_bv_opt = Expr.to_bv
+let pp = Expr.pp

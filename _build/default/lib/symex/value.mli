@@ -1,0 +1,62 @@
+(** 32-bit word values as manipulated by TLM peripheral models.
+
+    A thin veneer over {!Smt.Expr} fixed at width 32 (the register width
+    of the PLIC and of TLM-2.0 word accesses), so that device models
+    read close to their C++ originals.  Control flow on symbolic words
+    goes through {!truth}, which forks via the engine. *)
+
+type t = Smt.Expr.t
+
+val width : int
+(** 32. *)
+
+val of_int : int -> t
+val zero : t
+val one : t
+val symbolic : string -> t
+(** A fresh 32-bit symbolic input (engine context required). *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val band : t -> t -> t
+val bor : t -> t -> t
+val bxor : t -> t -> t
+val bnot : t -> t
+val shl : t -> t -> t
+val lshr : t -> t -> t
+
+val udiv : site:string -> t -> t -> t
+(** Unsigned division with a division-by-zero check reported to the
+    engine at [site]. *)
+
+val urem : site:string -> t -> t -> t
+
+(* Predicates (boolean terms; use {!truth} to branch). *)
+
+val eq : t -> t -> Smt.Expr.t
+val ne : t -> t -> Smt.Expr.t
+
+val lt : t -> t -> Smt.Expr.t
+(** Unsigned comparison, as are [le], [gt] and [ge]. *)
+
+val le : t -> t -> Smt.Expr.t
+val gt : t -> t -> Smt.Expr.t
+val ge : t -> t -> Smt.Expr.t
+val is_zero : t -> Smt.Expr.t
+val nonzero : t -> Smt.Expr.t
+
+val truth : ?site:string -> Smt.Expr.t -> bool
+(** Branch on a boolean term ({!Engine.branch}). *)
+
+val select : Smt.Expr.t -> t -> t -> t
+(** [select c a b] is the term-level if-then-else (no fork). *)
+
+val bit : t -> int -> Smt.Expr.t
+(** [bit v i] — whether bit [i] is set. *)
+
+val to_concrete : ?site:string -> t -> int
+(** Concretize to an [int] (forks over feasible values). *)
+
+val to_bv_opt : t -> Smt.Bv.t option
+val pp : Format.formatter -> t -> unit

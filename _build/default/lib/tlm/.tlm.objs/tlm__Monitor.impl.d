@@ -1,0 +1,1 @@
+lib/tlm/monitor.ml: Array Payload Pk Router Smt Symex

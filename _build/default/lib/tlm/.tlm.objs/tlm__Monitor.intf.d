@@ -1,0 +1,1 @@
+lib/tlm/monitor.mli: Router

@@ -1,0 +1,1 @@
+lib/tlm/payload.ml: Array Format Smt Symex

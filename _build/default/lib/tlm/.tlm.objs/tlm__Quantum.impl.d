@@ -1,0 +1,1 @@
+lib/tlm/quantum.ml: Pk

@@ -1,0 +1,1 @@
+lib/tlm/register.ml: List Option Payload Pk Printf Smt Symex

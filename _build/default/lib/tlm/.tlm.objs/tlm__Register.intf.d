@@ -1,0 +1,1 @@
+lib/tlm/register.mli: Payload Pk Symex

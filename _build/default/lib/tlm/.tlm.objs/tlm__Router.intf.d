@@ -1,0 +1,1 @@
+lib/tlm/router.mli: Payload Pk

@@ -1,0 +1,43 @@
+module Expr = Smt.Expr
+module Engine = Symex.Engine
+
+type t = {
+  mon_name : string;
+  fn : Router.transport_fn;
+  mutable n_transactions : int;
+  mutable n_reads : int;
+  mutable n_writes : int;
+}
+
+let create ~name fn =
+  { mon_name = name; fn; n_transactions = 0; n_reads = 0; n_writes = 0 }
+
+let transactions t = t.n_transactions
+let reads t = t.n_reads
+let writes t = t.n_writes
+
+let transport t (p : Payload.t) delay =
+  t.n_transactions <- t.n_transactions + 1;
+  (match p.Payload.cmd with
+   | Payload.Read -> t.n_reads <- t.n_reads + 1
+   | Payload.Write -> t.n_writes <- t.n_writes + 1);
+  let delay' = t.fn p delay in
+  Engine.check ~site:"tlm:response-set"
+    ~message:(t.mon_name ^ ": target left the response status incomplete")
+    (Expr.bool (p.Payload.response <> Payload.Incomplete));
+  Engine.check ~site:"tlm:delay-monotonic"
+    ~message:(t.mon_name ^ ": annotated delay decreased")
+    (Expr.bool Pk.Sc_time.(delay <= delay'));
+  (match p.Payload.cmd, p.Payload.response with
+   | Payload.Read, Payload.Ok_response ->
+     (* A completed read concretized its length; the data buffer must
+        hold exactly that many bytes. *)
+     Engine.check ~site:"tlm:read-length"
+       ~message:(t.mon_name ^ ": read returned a wrong number of bytes")
+       (Expr.eq (Expr.zext 64 p.Payload.len)
+          (Expr.int ~width:64 (Array.length p.Payload.data)))
+   | (Payload.Read | Payload.Write),
+     ( Payload.Ok_response | Payload.Incomplete | Payload.Address_error
+     | Payload.Command_error | Payload.Burst_error | Payload.Generic_error ) ->
+     ());
+  delay'

@@ -1,0 +1,29 @@
+(** TLM protocol monitor.
+
+    Wraps any blocking-transport endpoint and checks the TLM-2.0 base
+    protocol obligations on every transaction, reporting violations
+    through the engine like any other property:
+
+    - the target must set a definite response status
+      (site ["tlm:response-set"]);
+    - the returned annotated delay must never decrease
+      (site ["tlm:delay-monotonic"]);
+    - a successful read must deliver exactly the requested number of
+      data bytes (site ["tlm:read-length"]).
+
+    Interpose it between an initiator and a target (or around a whole
+    router) to get protocol checking for free in every testbench. *)
+
+type t
+
+val create : name:string -> Router.transport_fn -> t
+(** Wrap a transport endpoint. *)
+
+val transport : t -> Router.transport_fn
+(** The checked transport. *)
+
+val transactions : t -> int
+(** Number of transactions observed. *)
+
+val reads : t -> int
+val writes : t -> int

@@ -1,0 +1,42 @@
+(** TLM-2.0 generic payload (the subset peripherals use).
+
+    A transaction carries a command, an address, a data buffer of 8-bit
+    symbolic terms, a length and a response status.  Address and length
+    may be symbolic — that is exactly what the paper's T4/T5 interface
+    tests feed through the transport. *)
+
+type command = Read | Write
+
+type response =
+  | Incomplete       (** initial state: target never touched it *)
+  | Ok_response
+  | Address_error    (** no register mapping / misaligned *)
+  | Command_error    (** access type not allowed *)
+  | Burst_error      (** length crosses the register boundary *)
+  | Generic_error
+
+type t = {
+  cmd : command;
+  addr : Symex.Value.t;
+  mutable data : Smt.Expr.t array;   (** bytes; filled by the target on reads *)
+  len : Symex.Value.t;
+  mutable response : response;
+}
+
+val make_read : addr:Symex.Value.t -> len:Symex.Value.t -> t
+(** Read transaction with an empty data buffer (the target allocates). *)
+
+val make_write :
+  addr:Symex.Value.t -> len:Symex.Value.t -> data:Smt.Expr.t array -> t
+
+val make_write32 : addr:Symex.Value.t -> value:Symex.Value.t -> t
+(** 4-byte little-endian write of a 32-bit word. *)
+
+val data32 : t -> Symex.Value.t
+(** First four data bytes as a little-endian word (reads of length 4).
+    Raises [Invalid_argument] when fewer than 4 bytes are present. *)
+
+val is_ok : t -> bool
+val command_to_string : command -> string
+val response_to_string : response -> string
+val pp : Format.formatter -> t -> unit

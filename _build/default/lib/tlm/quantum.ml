@@ -1,0 +1,26 @@
+module Sc_time = Pk.Sc_time
+
+type t = {
+  sched : Pk.Scheduler.t;
+  max_quantum : Sc_time.t;
+  mutable local : Sc_time.t;
+  mutable syncs_n : int;
+}
+
+let create ?(max_quantum = Sc_time.us 1) sched =
+  { sched; max_quantum; local = Sc_time.zero; syncs_n = 0 }
+
+let local_time t = t.local
+let add t d = t.local <- Sc_time.add t.local d
+let need_sync t = Sc_time.(t.local >= t.max_quantum)
+
+let sync t =
+  if not (Sc_time.is_zero t.local) then begin
+    t.syncs_n <- t.syncs_n + 1;
+    let target = Sc_time.add (Pk.Scheduler.now t.sched) t.local in
+    Pk.Scheduler.run_until t.sched target;
+    t.local <- Sc_time.zero
+  end
+
+let sync_if_needed t = if need_sync t then sync t
+let syncs t = t.syncs_n

@@ -1,0 +1,29 @@
+(** The TLM global quantum (temporal decoupling).
+
+    Transactions accumulate delay as they pass through models; the
+    quantum keeper tracks how far a initiator has run ahead of the
+    simulated time and forces a global synchronization when the
+    difference exceeds the configured maximum — the speed/accuracy
+    trade-off described in Section 3.1 of the paper. *)
+
+type t
+
+val create : ?max_quantum:Pk.Sc_time.t -> Pk.Scheduler.t -> t
+(** Default maximum quantum: 1 us. *)
+
+val local_time : t -> Pk.Sc_time.t
+(** Current local time offset (how far ahead of the kernel we are). *)
+
+val add : t -> Pk.Sc_time.t -> unit
+(** Account delay returned by a transport call. *)
+
+val need_sync : t -> bool
+
+val sync : t -> unit
+(** Run the kernel up to the decoupled time and reset the local
+    offset. *)
+
+val sync_if_needed : t -> unit
+
+val syncs : t -> int
+(** Number of global synchronizations performed. *)

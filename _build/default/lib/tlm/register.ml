@@ -1,0 +1,176 @@
+module Expr = Smt.Expr
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Mem = Symex.Mem
+
+type policy = Original | Fixed
+
+type access = Read_only | Write_only | Read_write
+
+type range = {
+  rg_name : string;
+  base : int;
+  rg_size : int;
+  access : access;
+  backing : Mem.t;
+  pre_read : (unit -> unit) option;
+  post_write : (unit -> unit) option;
+}
+
+type t = {
+  rf_name : string;
+  rf_policy : policy;
+  mutable rev_ranges : range list;
+}
+
+let create ?(policy = Original) ~name () =
+  { rf_name = name; rf_policy = policy; rev_ranges = [] }
+
+let policy t = t.rf_policy
+let name t = t.rf_name
+let ranges t = List.rev t.rev_ranges
+
+let overlaps a b =
+  a.base < b.base + b.rg_size && b.base < a.base + a.rg_size
+
+let add_range t ~name ~base ~access ?pre_read ?post_write backing =
+  let range =
+    {
+      rg_name = name;
+      base;
+      rg_size = Mem.size backing;
+      access;
+      backing;
+      pre_read;
+      post_write;
+    }
+  in
+  (match List.find_opt (overlaps range) t.rev_ranges with
+   | Some other ->
+     invalid_arg
+       (Printf.sprintf "Register.add_range: %s overlaps %s" name other.rg_name)
+   | None -> ());
+  t.rev_ranges <- range :: t.rev_ranges;
+  range
+
+let find_range t name =
+  match List.find_opt (fun r -> r.rg_name = name) t.rev_ranges with
+  | Some r -> r
+  | None -> raise Not_found
+
+let access_latency = Pk.Sc_time.ns 10
+
+exception Done
+
+(* Range-match predicate.  The original implementation matches on the
+   start address only — the root cause of F5; the fixed one requires the
+   whole [addr, addr+len) window to fit.  Computed in 64 bits to avoid
+   32-bit wrap-around on [addr + len]. *)
+let range_match policy r ~addr ~len =
+  let addr64 = Expr.zext 64 addr in
+  let base64 = Expr.int ~width:64 r.base in
+  let end64 = Expr.int ~width:64 (r.base + r.rg_size) in
+  let starts_inside =
+    Expr.and_ (Expr.ule base64 addr64) (Expr.ult addr64 end64)
+  in
+  match policy with
+  | Original -> starts_inside
+  | Fixed ->
+    let upper = Expr.add addr64 (Expr.zext 64 len) in
+    Expr.and_ (Expr.ule base64 addr64) (Expr.ule upper end64)
+
+let allowed cmd access =
+  match cmd, access with
+  | Payload.Read, (Read_only | Read_write) -> true
+  | Payload.Write, (Write_only | Read_write) -> true
+  | Payload.Read, Write_only | Payload.Write, Read_only -> false
+
+let serve t (p : Payload.t) r =
+  (* F4: access-type check. *)
+  (match t.rf_policy with
+   | Original ->
+     Engine.fatal_check ~site:"reg:access"
+       ~message:
+         (Printf.sprintf "%s of %s not registered for this access type"
+            (Payload.command_to_string p.Payload.cmd) r.rg_name)
+       (Expr.bool (allowed p.Payload.cmd r.access))
+   | Fixed ->
+     if not (allowed p.Payload.cmd r.access) then begin
+       p.Payload.response <- Payload.Command_error;
+       raise Done
+     end);
+  let offset = Value.sub p.Payload.addr (Value.of_int r.base) in
+  match p.Payload.cmd with
+  | Payload.Read ->
+    Option.iter (fun f -> f ()) r.pre_read;
+    (* F5 detection point: under the Original policy the length was
+       never checked against the range, so this copy can run out of
+       bounds — the engine's checked memory reports it. *)
+    let bytes =
+      Mem.read_bytes ~site:"reg:memcpy:read" r.backing ~offset
+        ~len:p.Payload.len
+    in
+    p.Payload.data <- bytes;
+    p.Payload.response <- Payload.Ok_response
+  | Payload.Write ->
+    Mem.write_bytes ~site:"reg:memcpy:write" r.backing ~offset
+      ~len:p.Payload.len p.Payload.data;
+    Option.iter (fun f -> f ()) r.post_write;
+    p.Payload.response <- Payload.Ok_response
+
+let transport t (p : Payload.t) delay =
+  (try
+     (* F2: alignment.  The original read path asserts word alignment;
+        the write path stores byte lanes and never checks (which is why
+        the paper's write test does not encounter F2). *)
+     let aligned =
+       Expr.eq (Value.band p.Payload.addr (Value.of_int 3)) Value.zero
+     in
+     (match p.Payload.cmd, t.rf_policy with
+      | Payload.Read, Original ->
+        Engine.fatal_check ~site:"reg:align"
+          ~message:"unaligned register read" aligned
+      | Payload.Read, Fixed ->
+        if Value.truth ~site:"reg:align-check" (Expr.not_ aligned) then begin
+          p.Payload.response <- Payload.Address_error;
+          raise Done
+        end
+      | Payload.Write, (Original | Fixed) -> ());
+     (* Range lookup, forking over which register the (symbolic)
+        address hits. *)
+     let rec dispatch = function
+       | [] ->
+         (* F3: no register mapping handles the address. *)
+         (match t.rf_policy with
+          | Original ->
+            Engine.fatal_check ~site:"reg:mapping"
+              ~message:"no register mapping for address" Expr.fls;
+            (* fatal_check on a violated constant kills the path; keep
+               the type checker happy *)
+            raise Done
+          | Fixed ->
+            p.Payload.response <- Payload.Address_error;
+            raise Done)
+       | r :: rest ->
+         let matches = range_match t.rf_policy r ~addr:p.Payload.addr ~len:p.Payload.len in
+         if Value.truth ~site:("reg:match:" ^ r.rg_name) matches then serve t p r
+         else begin
+           (* Under the fixed policy, distinguish a boundary crossing
+              (burst error) from a plain unmapped address. *)
+           (match t.rf_policy with
+            | Fixed ->
+              let starts_inside =
+                range_match Original r ~addr:p.Payload.addr ~len:p.Payload.len
+              in
+              if Value.truth ~site:("reg:burst:" ^ r.rg_name) starts_inside
+              then begin
+                p.Payload.response <- Payload.Burst_error;
+                raise Done
+              end
+            | Original -> ());
+           dispatch rest
+         end
+     in
+     dispatch (ranges t)
+   with Done -> ());
+  Pk.Sc_time.add delay access_latency

@@ -1,0 +1,60 @@
+module Expr = Smt.Expr
+module Value = Symex.Value
+
+type transport_fn = Payload.t -> Pk.Sc_time.t -> Pk.Sc_time.t
+
+type target = { tg_name : string; base : int; size : int; fn : transport_fn }
+
+type t = {
+  rt_name : string;
+  latency : Pk.Sc_time.t;
+  mutable rev_targets : target list;
+}
+
+let create ?(latency = Pk.Sc_time.ns 5) ~name () =
+  { rt_name = name; latency; rev_targets = [] }
+
+let overlaps a b = a.base < b.base + b.size && b.base < a.base + a.size
+
+let add_target t ~name ~base ~size fn =
+  let target = { tg_name = name; base; size; fn } in
+  (match List.find_opt (overlaps target) t.rev_targets with
+   | Some other ->
+     invalid_arg
+       (Printf.sprintf "Router.add_target: %s overlaps %s (router %s)" name
+          other.tg_name t.rt_name)
+   | None -> ());
+  t.rev_targets <- target :: t.rev_targets
+
+let targets t =
+  List.rev_map (fun tg -> (tg.tg_name, tg.base, tg.size)) t.rev_targets
+
+let hits tg addr =
+  let addr64 = Expr.zext 64 addr in
+  Expr.and_
+    (Expr.ule (Expr.int ~width:64 tg.base) addr64)
+    (Expr.ult addr64 (Expr.int ~width:64 (tg.base + tg.size)))
+
+let transport t (p : Payload.t) delay =
+  let delay = Pk.Sc_time.add delay t.latency in
+  let rec route = function
+    | [] ->
+      p.Payload.response <- Payload.Address_error;
+      delay
+    | tg :: rest ->
+      if Value.truth ~site:("router:" ^ tg.tg_name) (hits tg p.Payload.addr)
+      then begin
+        let local =
+          {
+            p with
+            Payload.addr = Value.sub p.Payload.addr (Value.of_int tg.base);
+          }
+        in
+        let delay = tg.fn local delay in
+        p.Payload.data <- local.Payload.data;
+        p.Payload.response <- local.Payload.response;
+        delay
+      end
+      else route rest
+  in
+  route (List.rev t.rev_targets)

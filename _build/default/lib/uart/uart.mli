@@ -1,0 +1,65 @@
+(** The SiFive FE310 UART as modelled in riscv-vp — a third TLM
+    peripheral for the paper's future-work direction of verifying
+    "whole SystemC projects with a high number of individual
+    components".
+
+    Memory map (FE310 manual):
+
+    {v
+      0x00  txdata   write: enqueue byte; read: bit 31 = TX FIFO full
+      0x04  rxdata   read: bit 31 = empty, bits 7:0 = dequeued byte
+      0x08  txctrl   bit 0 = txen, bits 18:16 = TX watermark
+      0x0C  rxctrl   bit 0 = rxen, bits 18:16 = RX watermark
+      0x10  ie       bit 0 = txwm enable, bit 1 = rxwm enable
+      0x14  ip       bit 0 = txwm pending, bit 1 = rxwm pending (RO)
+      0x18  div      baud divider
+    v}
+
+    Watermark semantics (FE310 manual): the TX watermark interrupt is
+    pending while the TX FIFO holds {e strictly fewer} entries than the
+    watermark; the RX interrupt while the RX FIFO holds {e strictly
+    more} entries than the watermark.  When the interrupt condition is
+    asserted and enabled in [ie], the UART raises its global interrupt
+    line (a callback, typically wired to a PLIC source).
+
+    A translated transmitter thread drains the TX FIFO at the
+    configured baud rate; received bytes are injected through
+    {!receive_byte} (the custom interface function of the testbenches,
+    like the PLIC's [trigger_interrupt]). *)
+
+val fifo_depth : int
+(** 8 entries, as on the FE310. *)
+
+val txdata_base : int
+val rxdata_base : int
+val txctrl_base : int
+val rxctrl_base : int
+val ie_base : int
+val ip_base : int
+val div_base : int
+val addr_window : int
+
+type t
+
+val create :
+  ?policy:Tlm.Register.policy ->
+  ?clock:Pk.Sc_time.t ->
+  ?irq:(unit -> unit) ->
+  Pk.Scheduler.t ->
+  t
+(** [clock] is the time per divider tick (default 10 ns); [irq] fires
+    on a rising edge of the interrupt line. *)
+
+val transport : t -> Tlm.Payload.t -> Pk.Sc_time.t -> Pk.Sc_time.t
+
+val receive_byte : t -> Symex.Value.t -> unit
+(** A byte arrives on the wire.  Overflow beyond the FIFO depth drops
+    the byte, as real hardware does. *)
+
+val transmitted : t -> Smt.Expr.t list
+(** Bytes the transmitter has put on the wire, oldest first. *)
+
+val tx_level : t -> int
+val rx_level : t -> int
+val interrupt_line : t -> bool
+(** Current level of the interrupt output. *)

@@ -1,0 +1,1 @@
+test/test_clint.ml: Alcotest Array Clint Int64 List Option Pk Smt Symex Tlm

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Format Lazy List Pk Plic Printf Smt String Symex Symsysc Tlm

@@ -1,0 +1,1 @@
+test/test_differential.ml: Alcotest Format Int64 List Pk Plic Printf Random Smt String Symex Tlm

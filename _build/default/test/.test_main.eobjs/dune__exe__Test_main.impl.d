@@ -1,0 +1,1 @@
+test/test_main.ml: Alcotest Test_clint Test_core Test_differential Test_pk Test_plic Test_smt Test_symex Test_tlm Test_uart

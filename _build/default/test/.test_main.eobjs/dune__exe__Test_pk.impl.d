@@ -1,0 +1,1 @@
+test/test_pk.ml: Alcotest Int List Pk QCheck QCheck_alcotest String

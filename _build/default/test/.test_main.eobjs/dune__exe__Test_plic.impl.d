@@ -1,0 +1,1 @@
+test/test_plic.ml: Alcotest Int64 Pk Plic Smt Symex Tlm

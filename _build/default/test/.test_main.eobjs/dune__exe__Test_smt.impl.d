@@ -1,0 +1,1 @@
+test/test_smt.ml: Alcotest Array Format Int64 List Printf QCheck QCheck_alcotest Random Smt String

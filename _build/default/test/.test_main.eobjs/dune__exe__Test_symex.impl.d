@@ -1,0 +1,1 @@
+test/test_symex.ml: Alcotest Int64 List Smt Symex

@@ -1,0 +1,1 @@
+test/test_tlm.ml: Alcotest Array List Pk Smt Symex Tlm

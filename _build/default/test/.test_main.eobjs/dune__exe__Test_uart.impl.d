@@ -1,0 +1,1 @@
+test/test_uart.ml: Alcotest Int64 List Pk Smt Symex Tlm Uart

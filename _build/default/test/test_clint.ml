@@ -1,0 +1,186 @@
+(* Tests for the CLINT core-local interruptor: software interrupts,
+   the level-triggered timer against the free-running mtime counter,
+   and a symbolic end-to-end property over the comparator. *)
+
+module Expr = Smt.Expr
+module Bv = Smt.Bv
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Payload = Tlm.Payload
+module Sc_time = Pk.Sc_time
+
+let tick = Clint.Config.fe310.Clint.Config.tick
+
+type rig = {
+  sched : Pk.Scheduler.t;
+  clint : Clint.t;
+  port : Clint.Port.t;
+}
+
+let make_rig ?policy () =
+  let sched = Pk.Scheduler.create () in
+  let clint = Clint.create ?policy Clint.Config.fe310 sched in
+  let port = Clint.Port.create () in
+  Clint.connect clint port;
+  Pk.Scheduler.run_ready sched;
+  { sched; clint; port }
+
+let write32 rig offset value =
+  let p =
+    Payload.make_write32 ~addr:(Value.of_int offset) ~value:(Value.of_int value)
+  in
+  ignore (Clint.transport rig.clint p Sc_time.zero)
+
+let write64 rig offset value =
+  let v = Expr.const (Bv.make ~width:64 value) in
+  let data = Array.init 8 (fun i -> Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) v) in
+  let p =
+    Payload.make_write ~addr:(Value.of_int offset) ~len:(Value.of_int 8) ~data
+  in
+  ignore (Clint.transport rig.clint p Sc_time.zero)
+
+let read64 rig offset =
+  let p =
+    Payload.make_read ~addr:(Value.of_int offset) ~len:(Value.of_int 8)
+  in
+  ignore (Clint.transport rig.clint p Sc_time.zero);
+  let byte i =
+    match Expr.to_bv p.Payload.data.(i) with
+    | Some v -> Bv.to_int64 v
+    | None -> Alcotest.fail "expected concrete byte"
+  in
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (Int64.logor (Int64.shift_left (byte i) (8 * i)) acc)
+  in
+  go 7 0L
+
+let test_quiet_at_boot () =
+  let rig = make_rig () in
+  Alcotest.(check bool) "no software irq" false rig.port.Clint.Port.software_pending;
+  Alcotest.(check bool) "no timer irq" false rig.port.Clint.Port.timer_pending
+
+let test_msip_level () =
+  let rig = make_rig () in
+  write32 rig Clint.msip_base 1;
+  Alcotest.(check bool) "raised" true rig.port.Clint.Port.software_pending;
+  write32 rig Clint.msip_base 0;
+  Alcotest.(check bool) "cleared" false rig.port.Clint.Port.software_pending
+
+let test_mtime_follows_clock () =
+  let rig = make_rig () in
+  Alcotest.(check int64) "zero at boot" 0L (read64 rig Clint.mtime_base);
+  (* Advance 100 ticks of simulated time via a dummy event. *)
+  let ev = Pk.Event.make "pace" in
+  Pk.Scheduler.notify_at rig.sched ev (Sc_time.mul_int tick 100);
+  Pk.Scheduler.run_until rig.sched (Sc_time.mul_int tick 100);
+  Alcotest.(check int64) "100 ticks later" 100L (read64 rig Clint.mtime_base)
+
+let test_timer_fires_at_match () =
+  let rig = make_rig () in
+  write64 rig Clint.mtimecmp_base 5L;
+  Alcotest.(check bool) "not before" false rig.port.Clint.Port.timer_pending;
+  Pk.Scheduler.run_until rig.sched (Sc_time.mul_int tick 10);
+  Alcotest.(check bool) "fired" true rig.port.Clint.Port.timer_pending;
+  Alcotest.(check int64) "exactly at the match instant"
+    (Sc_time.to_ps (Sc_time.mul_int tick 5))
+    (Sc_time.to_ps rig.port.Clint.Port.last_timer_time)
+
+let test_timer_immediate_when_past () =
+  let rig = make_rig () in
+  write64 rig Clint.mtimecmp_base 0L;
+  Alcotest.(check bool) "level asserted immediately" true
+    rig.port.Clint.Port.timer_pending
+
+let test_timer_retracts () =
+  let rig = make_rig () in
+  write64 rig Clint.mtimecmp_base 0L;
+  Alcotest.(check bool) "asserted" true rig.port.Clint.Port.timer_pending;
+  write64 rig Clint.mtimecmp_base 1_000L;
+  Alcotest.(check bool) "retracted by a future comparator" false
+    rig.port.Clint.Port.timer_pending
+
+let test_far_comparator_not_scheduled () =
+  let rig = make_rig () in
+  write64 rig Clint.mtimecmp_base Int64.max_int;
+  Alcotest.(check bool) "beyond horizon: nothing pending" false
+    rig.port.Clint.Port.timer_pending;
+  (* and the scheduler must not have an (astronomically far) wakeup *)
+  Alcotest.(check (option int64)) "no wakeup armed" None
+    (Option.map Sc_time.to_ps (Pk.Scheduler.next_wake_time rig.sched))
+
+let test_mtime_read_only () =
+  let rig = make_rig () in
+  let p =
+    Payload.make_write32 ~addr:(Value.of_int Clint.mtime_base)
+      ~value:(Value.of_int 7)
+  in
+  ignore (Clint.transport rig.clint p Sc_time.zero);
+  Alcotest.(check bool) "write rejected" true
+    (p.Payload.response = Payload.Command_error)
+
+let test_original_policy_applies () =
+  (* The register-dispatch bug family of the paper applies to any
+     peripheral built on the same machinery. *)
+  let rig = make_rig ~policy:Tlm.Register.Original () in
+  let p =
+    Payload.make_read ~addr:(Value.of_int 0x2) ~len:(Value.of_int 4)
+  in
+  Alcotest.check_raises "misaligned read aborts"
+    (Engine.Check_failed "reg:align") (fun () ->
+        ignore (Clint.transport rig.clint p Sc_time.zero))
+
+(* Symbolic end-to-end property: for every comparator value in 1..5 the
+   timer fires exactly at the comparator instant, never earlier. *)
+let test_symbolic_comparator () =
+  let report =
+    Engine.run (fun () ->
+        let sched = Pk.Scheduler.create () in
+        let clint = Clint.create Clint.Config.fe310 sched in
+        let port = Clint.Port.create () in
+        Clint.connect clint port;
+        Pk.Scheduler.run_ready sched;
+        let cmp = Engine.fresh "mtimecmp" 64 in
+        Engine.assume
+          (Expr.and_
+             (Expr.uge cmp (Expr.int ~width:64 1))
+             (Expr.ule cmp (Expr.int ~width:64 5)));
+        let data =
+          Array.init 8 (fun i -> Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) cmp)
+        in
+        let p =
+          Payload.make_write ~addr:(Value.of_int Clint.mtimecmp_base)
+            ~len:(Value.of_int 8) ~data
+        in
+        ignore (Clint.transport clint p Sc_time.zero);
+        Engine.check ~site:"clint:not-early" ~message:"timer fired early"
+          (Expr.bool (not port.Clint.Port.timer_pending));
+        Pk.Scheduler.run_until sched (Sc_time.mul_int tick 10);
+        Engine.check ~site:"clint:fired" ~message:"timer never fired"
+          (Expr.bool port.Clint.Port.timer_pending);
+        let fired_tick =
+          Int64.div
+            (Sc_time.to_ps port.Clint.Port.last_timer_time)
+            (Sc_time.to_ps tick)
+        in
+        Engine.check ~site:"clint:exact" ~message:"timer fired at a wrong tick"
+          (Expr.eq (Expr.const (Bv.make ~width:64 fired_tick)) cmp))
+  in
+  Alcotest.(check int) "no property violations" 0
+    (List.length report.Engine.errors);
+  Alcotest.(check int) "one path per comparator value" 5
+    report.Engine.paths_completed
+
+let suite =
+  [
+    ("quiet at boot", `Quick, test_quiet_at_boot);
+    ("msip is level triggered", `Quick, test_msip_level);
+    ("mtime follows the clock", `Quick, test_mtime_follows_clock);
+    ("timer fires at the match instant", `Quick, test_timer_fires_at_match);
+    ("timer immediate on past comparator", `Quick, test_timer_immediate_when_past);
+    ("timer retracts on future comparator", `Quick, test_timer_retracts);
+    ("far comparator is not scheduled", `Quick, test_far_comparator_not_scheduled);
+    ("mtime is read-only", `Quick, test_mtime_read_only);
+    ("original register policy applies", `Quick, test_original_policy_applies);
+    ("symbolic comparator property", `Quick, test_symbolic_comparator);
+  ]

@@ -1,0 +1,15 @@
+(* Single alcotest entry point aggregating every library's suite. *)
+
+let () =
+  Alcotest.run "symsysc"
+    [
+      ("smt", Test_smt.suite);
+      ("pk", Test_pk.suite);
+      ("symex", Test_symex.suite);
+      ("tlm", Test_tlm.suite);
+      ("plic", Test_plic.suite);
+      ("clint", Test_clint.suite);
+      ("uart", Test_uart.suite);
+      ("differential", Test_differential.suite);
+      ("integration", Test_core.suite);
+    ]

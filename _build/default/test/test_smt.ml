@@ -1,0 +1,575 @@
+(* Unit and property tests for the SMT substrate: bitvectors, terms,
+   intervals, the SAT solver and the solver pipeline. *)
+
+module Bv = Smt.Bv
+module Expr = Smt.Expr
+module Interval = Smt.Interval
+module Sat = Smt.Sat
+module Solver = Smt.Solver
+module Model = Smt.Model
+
+let bv w v = Bv.make ~width:w v
+let check_bv msg expected actual =
+  Alcotest.(check string) msg (Bv.to_string expected) (Bv.to_string actual)
+
+(* ------------------------------------------------------------------ *)
+(* Bv unit tests                                                       *)
+
+let test_bv_make_masks () =
+  check_bv "truncated to width" (bv 8 0x34L) (bv 8 0x1234L);
+  Alcotest.(check int) "width" 8 (Bv.width (bv 8 0xFFL));
+  Alcotest.(check int64) "value" 0xFFL (Bv.to_int64 (Bv.ones 8))
+
+let test_bv_signed () =
+  Alcotest.(check int64) "sign extend" (-1L) (Bv.to_signed_int64 (Bv.ones 8));
+  Alcotest.(check int64) "positive" 0x7FL (Bv.to_signed_int64 (bv 8 0x7FL));
+  Alcotest.(check int64) "64-bit identity" (-1L) (Bv.to_signed_int64 (Bv.ones 64))
+
+let test_bv_wrap_arithmetic () =
+  check_bv "add wraps" (bv 8 1L) (Bv.add (bv 8 0xFFL) (bv 8 2L));
+  check_bv "sub wraps" (bv 8 0xFFL) (Bv.sub (bv 8 1L) (bv 8 2L));
+  check_bv "mul wraps" (bv 8 0xB5L) (Bv.mul (bv 8 0x15L) (bv 8 0x21L));
+  check_bv "neg" (bv 8 0xFFL) (Bv.neg (bv 8 1L))
+
+let test_bv_div_conventions () =
+  (* SMT-LIB: x udiv 0 = ones, x urem 0 = x. *)
+  check_bv "udiv by zero" (Bv.ones 8) (Bv.udiv (bv 8 7L) (Bv.zero 8));
+  check_bv "urem by zero" (bv 8 7L) (Bv.urem (bv 8 7L) (Bv.zero 8));
+  check_bv "udiv" (bv 8 3L) (Bv.udiv (bv 8 13L) (bv 8 4L));
+  check_bv "urem" (bv 8 1L) (Bv.urem (bv 8 13L) (bv 8 4L));
+  (* Signed: -7 / 2 = -3 (truncating), -7 rem 2 = -1. *)
+  check_bv "sdiv trunc" (bv 8 0xFDL) (Bv.sdiv (bv 8 0xF9L) (bv 8 2L));
+  check_bv "srem sign" (bv 8 0xFFL) (Bv.srem (bv 8 0xF9L) (bv 8 2L));
+  (* min_int / -1 wraps to min_int; rem 0. *)
+  check_bv "sdiv overflow" (bv 8 0x80L) (Bv.sdiv (bv 8 0x80L) (bv 8 0xFFL));
+  check_bv "srem overflow" (Bv.zero 8) (Bv.srem (bv 8 0x80L) (bv 8 0xFFL));
+  check_bv "sdiv by zero, positive" (Bv.ones 8) (Bv.sdiv (bv 8 7L) (Bv.zero 8));
+  check_bv "sdiv by zero, negative" (Bv.one 8) (Bv.sdiv (bv 8 0xF9L) (Bv.zero 8))
+
+let test_bv_shifts () =
+  check_bv "shl" (bv 8 0xF0L) (Bv.shl (bv 8 0x0FL) (bv 8 4L));
+  check_bv "shl overflow" (Bv.zero 8) (Bv.shl (bv 8 0xFFL) (bv 8 8L));
+  check_bv "lshr" (bv 8 0x0FL) (Bv.lshr (bv 8 0xF0L) (bv 8 4L));
+  check_bv "ashr negative" (Bv.ones 8) (Bv.ashr (bv 8 0x80L) (bv 8 7L));
+  check_bv "ashr saturates" (Bv.ones 8) (Bv.ashr (bv 8 0x80L) (bv 8 100L));
+  check_bv "lshr saturates" (Bv.zero 8) (Bv.lshr (bv 8 0xFFL) (bv 8 100L))
+
+let test_bv_structure () =
+  check_bv "extract" (bv 4 0xAL) (Bv.extract ~hi:7 ~lo:4 (bv 8 0xA5L));
+  check_bv "concat" (bv 16 0xA5B6L) (Bv.concat (bv 8 0xA5L) (bv 8 0xB6L));
+  check_bv "zext" (bv 16 0xFFL) (Bv.zext 8 (Bv.ones 8));
+  check_bv "sext" (bv 16 0xFFFFL) (Bv.sext 8 (Bv.ones 8));
+  Alcotest.(check bool) "bit set" true (Bv.bit (bv 8 0x10L) 4);
+  Alcotest.(check bool) "bit clear" false (Bv.bit (bv 8 0x10L) 3)
+
+let test_bv_compare () =
+  Alcotest.(check bool) "ult unsigned" true (Bv.ult (bv 8 1L) (bv 8 0xFFL));
+  Alcotest.(check bool) "slt signed" true (Bv.slt (bv 8 0xFFL) (bv 8 1L));
+  Alcotest.(check bool) "ule refl" true (Bv.ule (bv 8 9L) (bv 8 9L));
+  Alcotest.(check bool) "sle" true (Bv.sle (bv 8 0x80L) (bv 8 0x7FL))
+
+let test_bv_invalid () =
+  Alcotest.check_raises "width 0" (Invalid_argument "Bv: width must be in 1..64")
+    (fun () -> ignore (Bv.zero 0));
+  Alcotest.check_raises "width 65" (Invalid_argument "Bv: width must be in 1..64")
+    (fun () -> ignore (Bv.zero 65));
+  Alcotest.check_raises "mismatch"
+    (Invalid_argument "Bv.add: width mismatch (8 vs 16)") (fun () ->
+        ignore (Bv.add (Bv.zero 8) (Bv.zero 16)))
+
+(* ------------------------------------------------------------------ *)
+(* Bv properties                                                       *)
+
+let arb_bv w =
+  QCheck.map
+    (fun v -> Bv.make ~width:w (Int64.of_int v))
+    QCheck.(int_bound 0xFFFF)
+
+let prop name ?(count = 300) arb f =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name arb f)
+
+let bv_props =
+  let w = 13 in
+  [
+    prop "add commutative" (QCheck.pair (arb_bv w) (arb_bv w)) (fun (a, b) ->
+        Bv.equal (Bv.add a b) (Bv.add b a));
+    prop "add associative"
+      (QCheck.triple (arb_bv w) (arb_bv w) (arb_bv w))
+      (fun (a, b, c) ->
+         Bv.equal (Bv.add (Bv.add a b) c) (Bv.add a (Bv.add b c)));
+    prop "sub is add neg" (QCheck.pair (arb_bv w) (arb_bv w)) (fun (a, b) ->
+        Bv.equal (Bv.sub a b) (Bv.add a (Bv.neg b)));
+    prop "udiv/urem reconstruct" (QCheck.pair (arb_bv w) (arb_bv w))
+      (fun (a, b) ->
+         QCheck.assume (not (Bv.is_zero b));
+         Bv.equal a (Bv.add (Bv.mul (Bv.udiv a b) b) (Bv.urem a b)));
+    prop "concat/extract roundtrip" (QCheck.pair (arb_bv w) (arb_bv w))
+      (fun (a, b) ->
+         let c = Bv.concat a b in
+         Bv.equal a (Bv.extract ~hi:(2 * w - 1) ~lo:w c)
+         && Bv.equal b (Bv.extract ~hi:(w - 1) ~lo:0 c));
+    prop "lognot involutive" (arb_bv w) (fun a ->
+        Bv.equal a (Bv.lognot (Bv.lognot a)));
+    prop "de morgan" (QCheck.pair (arb_bv w) (arb_bv w)) (fun (a, b) ->
+        Bv.equal
+          (Bv.lognot (Bv.logand a b))
+          (Bv.logor (Bv.lognot a) (Bv.lognot b)));
+    prop "ult total" (QCheck.pair (arb_bv w) (arb_bv w)) (fun (a, b) ->
+        Bv.ult a b || Bv.ult b a || Bv.equal a b);
+    prop "sext preserves signed value" (arb_bv w) (fun a ->
+        Int64.equal (Bv.to_signed_int64 a) (Bv.to_signed_int64 (Bv.sext 7 a)));
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Expr: smart constructors and evaluation                             *)
+
+let e_int v = Expr.int ~width:32 v
+
+let test_expr_hash_consing () =
+  let x = Expr.fresh_var "x" 32 in
+  let a = Expr.add x (e_int 5) in
+  let b = Expr.add x (e_int 5) in
+  Alcotest.(check bool) "physically equal" true (Expr.equal a b);
+  let c = Expr.add (e_int 5) x in
+  Alcotest.(check bool) "commuted shares" true (Expr.equal a c)
+
+let test_expr_folding () =
+  Alcotest.(check bool) "const add" true
+    (Expr.equal (Expr.add (e_int 2) (e_int 3)) (e_int 5));
+  let x = Expr.fresh_var "x" 32 in
+  Alcotest.(check bool) "x+0 = x" true (Expr.equal (Expr.add x (e_int 0)) x);
+  Alcotest.(check bool) "x*1 = x" true (Expr.equal (Expr.mul x (e_int 1)) x);
+  Alcotest.(check bool) "x*0 = 0" true
+    (Expr.equal (Expr.mul x (e_int 0)) (e_int 0));
+  Alcotest.(check bool) "x-x = 0" true
+    (Expr.equal (Expr.sub x x) (e_int 0));
+  Alcotest.(check bool) "x&x = x" true (Expr.equal (Expr.band x x) x);
+  Alcotest.(check bool) "x^x = 0" true
+    (Expr.equal (Expr.bxor x x) (e_int 0));
+  Alcotest.(check bool) "eq refl" true (Expr.equal (Expr.eq x x) Expr.tru);
+  Alcotest.(check bool) "x < x false" true (Expr.equal (Expr.ult x x) Expr.fls);
+  Alcotest.(check bool) "x <= ones" true
+    (Expr.equal (Expr.ule x (e_int (-1))) Expr.tru);
+  Alcotest.(check bool) "not not" true (Expr.equal (Expr.not_ (Expr.not_ (Expr.eq x (e_int 1)))) (Expr.eq x (e_int 1)));
+  Alcotest.(check bool) "ite same" true (Expr.equal (Expr.ite (Expr.eq x x) x x) x);
+  Alcotest.(check bool) "zext id" true (Expr.equal (Expr.zext 32 x) x)
+
+let test_expr_extract_rewrites () =
+  let x = Expr.fresh_var "x" 32 in
+  let ext = Expr.extract ~hi:15 ~lo:8 (Expr.extract ~hi:23 ~lo:0 x) in
+  Alcotest.(check bool) "nested extract" true
+    (Expr.equal ext (Expr.extract ~hi:15 ~lo:8 x));
+  let z = Expr.zext 64 x in
+  Alcotest.(check bool) "extract of zext low part" true
+    (Expr.equal (Expr.extract ~hi:7 ~lo:0 z) (Expr.extract ~hi:7 ~lo:0 x));
+  Alcotest.(check bool) "extract of zext high part is zero" true
+    (Expr.equal (Expr.extract ~hi:63 ~lo:32 z) (Expr.int ~width:32 0))
+
+let test_expr_vars () =
+  let x = Expr.fresh_var "x" 8 and y = Expr.fresh_var "y" 8 in
+  let e = Expr.add (Expr.mul x y) x in
+  let names = List.map (fun (v : Expr.var) -> v.Expr.var_name) (Expr.vars e) in
+  Alcotest.(check (list string)) "distinct vars in order" [ "x"; "y" ] names
+
+let test_expr_eval () =
+  let x = Expr.fresh_var "x" 8 in
+  let lookup _ = Bv.make ~width:8 10L in
+  let e = Expr.add (Expr.mul x x) (Expr.int ~width:8 1) in
+  check_bv "eval 10*10+1 mod 256" (bv 8 101L) (Expr.eval lookup e);
+  Alcotest.(check bool) "eval_bool" true
+    (Expr.eval_bool lookup (Expr.ult x (Expr.int ~width:8 11)))
+
+(* Random expression ASTs: build both a semantic closure and a term, and
+   compare under random assignments — the simplifier must be sound. *)
+type ast =
+  | Leaf of int (* var index *)
+  | Const of int64
+  | Node of int * ast * ast
+
+let rec gen_ast depth st =
+  if depth = 0 || Random.State.int st 3 = 0 then
+    if Random.State.bool st then Leaf (Random.State.int st 3)
+    else Const (Random.State.int64 st 256L)
+  else
+    Node
+      ( Random.State.int st 9,
+        gen_ast (depth - 1) st,
+        gen_ast (depth - 1) st )
+
+let ops =
+  [|
+    (Expr.add, Bv.add); (Expr.sub, Bv.sub); (Expr.mul, Bv.mul);
+    (Expr.band, Bv.logand); (Expr.bor, Bv.logor); (Expr.bxor, Bv.logxor);
+    (Expr.shl, Bv.shl); (Expr.lshr, Bv.lshr); (Expr.ashr, Bv.ashr);
+  |]
+
+let rec ast_to_expr vars = function
+  | Leaf i -> vars.(i)
+  | Const v -> Expr.const (Bv.make ~width:8 v)
+  | Node (op, a, b) ->
+    (fst ops.(op)) (ast_to_expr vars a) (ast_to_expr vars b)
+
+let rec ast_eval env = function
+  | Leaf i -> env.(i)
+  | Const v -> Bv.make ~width:8 v
+  | Node (op, a, b) -> (snd ops.(op)) (ast_eval env a) (ast_eval env b)
+
+let test_simplifier_soundness () =
+  let st = Random.State.make [| 7 |] in
+  let vars = Array.init 3 (fun i -> Expr.fresh_var (Printf.sprintf "v%d" i) 8) in
+  for _ = 1 to 500 do
+    let ast = gen_ast 4 st in
+    let term = ast_to_expr vars ast in
+    let env = Array.init 3 (fun _ -> Bv.make ~width:8 (Random.State.int64 st 256L)) in
+    let lookup (v : Expr.var) =
+      (* var names are v0..v2 *)
+      env.(int_of_string (String.sub v.Expr.var_name 1 1))
+    in
+    let expected = ast_eval env ast in
+    let actual = Expr.eval lookup term in
+    if not (Bv.equal expected actual) then
+      Alcotest.failf "simplifier unsound on %s: %s <> %s"
+        (Expr.to_string term) (Bv.to_string expected) (Bv.to_string actual)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Interval                                                            *)
+
+let test_interval_unsat () =
+  let x = Expr.fresh_var "x" 32 in
+  let env = Interval.make_env () in
+  let verdict =
+    Interval.propagate env
+      [ Expr.ult x (e_int 51); Expr.ugt x (e_int 100) ]
+  in
+  Alcotest.(check bool) "range conflict" true
+    (verdict = Interval.Definitely_unsat)
+
+let test_interval_refine () =
+  let x = Expr.fresh_var "x" 32 in
+  let env = Interval.make_env () in
+  let verdict =
+    Interval.propagate env [ Expr.ult x (e_int 10); Expr.ugt x (e_int 2) ]
+  in
+  Alcotest.(check bool) "feasible" true (verdict = Interval.Unknown);
+  (match Expr.vars (Expr.add x (e_int 0)) with
+   | [ v ] ->
+     let itv = Interval.env_interval env v in
+     Alcotest.(check int64) "lo" 3L itv.Interval.lo;
+     Alcotest.(check int64) "hi" 9L itv.Interval.hi
+   | _ -> Alcotest.fail "expected one var")
+
+let test_interval_bounds_sound () =
+  let st = Random.State.make [| 11 |] in
+  let x = Expr.fresh_var "bx" 8 and y = Expr.fresh_var "by" 8 in
+  for _ = 1 to 300 do
+    let ast = gen_ast 3 st in
+    let term = ast_to_expr [| x; y; x |] ast in
+    let vx = Bv.make ~width:8 (Random.State.int64 st 256L) in
+    let vy = Bv.make ~width:8 (Random.State.int64 st 256L) in
+    let lookup (v : Expr.var) = if v.Expr.var_name = "bx" then vx else vy in
+    let value = Expr.eval lookup term in
+    let env = Interval.make_env () in
+    let itv = Interval.bounds env term in
+    if not (Interval.mem value itv) then
+      Alcotest.failf "interval unsound: %s not in %s for %s"
+        (Bv.to_string value)
+        (Format.asprintf "%a" Interval.pp itv)
+        (Expr.to_string term)
+  done
+
+(* ------------------------------------------------------------------ *)
+(* SAT solver                                                          *)
+
+let test_sat_simple () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Sat.add_clause s [ -a; b ];
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "b true" true (Sat.value s b)
+
+let test_sat_unsat () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Sat.add_clause s [ a; -b ];
+  Sat.add_clause s [ -a; b ];
+  Sat.add_clause s [ -a; -b ];
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_empty_clause () =
+  let s = Sat.create () in
+  ignore (Sat.new_var s);
+  Sat.add_clause s [];
+  Alcotest.(check bool) "unsat" true (Sat.solve s = Sat.Unsat)
+
+let test_sat_tautology_dropped () =
+  let s = Sat.create () in
+  let a = Sat.new_var s in
+  Sat.add_clause s [ a; -a ];
+  Alcotest.(check bool) "sat" true (Sat.solve s = Sat.Sat)
+
+(* Random 3-SAT cross-checked against brute force. *)
+let brute_force_sat nvars clauses =
+  let rec go assignment v =
+    if v > nvars then
+      List.for_all
+        (fun clause ->
+           List.exists
+             (fun l ->
+                let value = List.nth assignment (abs l - 1) in
+                if l > 0 then value else not value)
+             clause)
+        clauses
+    else go (assignment @ [ true ]) (v + 1) || go (assignment @ [ false ]) (v + 1)
+  in
+  go [] 1
+
+let test_sat_random_vs_brute () =
+  let st = Random.State.make [| 3 |] in
+  for _ = 1 to 150 do
+    let nvars = 2 + Random.State.int st 8 in
+    let nclauses = 1 + Random.State.int st 30 in
+    let clauses =
+      List.init nclauses (fun _ ->
+          List.init 3 (fun _ ->
+              let v = 1 + Random.State.int st nvars in
+              if Random.State.bool st then v else -v))
+    in
+    let s = Sat.create () in
+    for _ = 1 to nvars do
+      ignore (Sat.new_var s)
+    done;
+    List.iter (Sat.add_clause s) clauses;
+    let got = Sat.solve s = Sat.Sat in
+    let expected = brute_force_sat nvars clauses in
+    if got <> expected then
+      Alcotest.failf "sat mismatch on %d vars, %d clauses: got %b want %b"
+        nvars nclauses got expected;
+    (* When SAT, the model must satisfy every clause. *)
+    if got then
+      List.iter
+        (fun clause ->
+           let ok =
+             List.exists
+               (fun l ->
+                  let value = Sat.value s (abs l) in
+                  if l > 0 then value else not value)
+               clause
+           in
+           if not ok then Alcotest.fail "model does not satisfy clause")
+        clauses
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Solver pipeline                                                     *)
+
+let test_solver_basic () =
+  let x = Expr.fresh_var "sx" 32 and y = Expr.fresh_var "sy" 32 in
+  let constraints =
+    [
+      Expr.ult x (e_int 51);
+      Expr.ugt x (e_int 0);
+      Expr.eq (Expr.add x y) (e_int 100);
+    ]
+  in
+  (match Solver.check constraints with
+   | Solver.Sat m ->
+     Alcotest.(check bool) "model satisfies" true (Model.satisfies m constraints)
+   | Solver.Unsat | Solver.Unknown _ -> Alcotest.fail "expected sat");
+  Alcotest.(check bool) "unsat" false
+    (Solver.is_sat [ Expr.ult x (e_int 5); Expr.ugt x (e_int 10) ])
+
+let test_solver_empty_and_const () =
+  Alcotest.(check bool) "empty is sat" true (Solver.is_sat []);
+  Alcotest.(check bool) "true is sat" true (Solver.is_sat [ Expr.tru ]);
+  Alcotest.(check bool) "false is unsat" false (Solver.is_sat [ Expr.fls ])
+
+let test_solver_nonlinear () =
+  let x = Expr.fresh_var "nx" 32 in
+  (* x * x == 225 has solutions (15, ...); check via multiplication. *)
+  match Solver.check [ Expr.eq (Expr.mul x x) (e_int 225) ] with
+  | Solver.Sat m ->
+    let v = Model.eval m x in
+    let sq = Bv.mul v v in
+    check_bv "model squares to 225" (Bv.of_int ~width:32 225) sq
+  | Solver.Unsat | Solver.Unknown _ -> Alcotest.fail "expected sat"
+
+(* Small-width random queries against brute-force enumeration. *)
+let test_solver_random_vs_brute () =
+  let st = Random.State.make [| 23 |] in
+  let width = 4 in
+  for _ = 1 to 60 do
+    let x = Expr.fresh_var "rx" width and y = Expr.fresh_var "ry" width in
+    let rand_const () = Expr.const (Bv.make ~width (Random.State.int64 st 16L)) in
+    let rand_term () =
+      match Random.State.int st 4 with
+      | 0 -> x
+      | 1 -> y
+      | 2 -> Expr.add x y
+      | _ -> Expr.band x (rand_const ())
+    in
+    let rand_cmp () =
+      let a = rand_term () and b = rand_const () in
+      match Random.State.int st 3 with
+      | 0 -> Expr.eq a b
+      | 1 -> Expr.ult a b
+      | _ -> Expr.ugt a b
+    in
+    let constraints = List.init (1 + Random.State.int st 3) (fun _ -> rand_cmp ()) in
+    let expected =
+      let found = ref false in
+      for vx = 0 to 15 do
+        for vy = 0 to 15 do
+          let lookup (v : Expr.var) =
+            if v.Expr.var_name = "rx" then Bv.of_int ~width vx
+            else Bv.of_int ~width vy
+          in
+          if List.for_all (Expr.eval_bool lookup) constraints then found := true
+        done
+      done;
+      !found
+    in
+    let got =
+      match Solver.check constraints with
+      | Solver.Sat m ->
+        Alcotest.(check bool) "model valid" true (Model.satisfies m constraints);
+        true
+      | Solver.Unsat -> false
+      | Solver.Unknown msg -> Alcotest.failf "unknown: %s" msg
+    in
+    if got <> expected then
+      Alcotest.failf "solver mismatch (got %b, want %b) on %s" got expected
+        (String.concat " & " (List.map Expr.to_string constraints))
+  done
+
+let test_solver_cache () =
+  Solver.clear_caches ();
+  Solver.Stats.reset ();
+  let x = Expr.fresh_var "cx" 32 in
+  let q = [ Expr.ugt x (e_int 5); Expr.ult x (e_int 9) ] in
+  ignore (Solver.check q);
+  ignore (Solver.check q);
+  let stats = Solver.Stats.get () in
+  Alcotest.(check bool) "second query cached" true
+    (stats.Solver.Stats.cache_hits >= 1)
+
+let test_solver_shifts_and_division () =
+  let x = Expr.fresh_var "dx" 32 in
+  (match Solver.check [ Expr.eq (Expr.shl (e_int 1) x) (e_int 1024) ] with
+   | Solver.Sat m -> check_bv "1 << x = 1024" (Bv.of_int ~width:32 10) (Model.eval m x)
+   | Solver.Unsat | Solver.Unknown _ -> Alcotest.fail "expected sat");
+  (match Solver.check [ Expr.eq (Expr.udiv (e_int 100) x) (e_int 25) ] with
+   | Solver.Sat m ->
+     check_bv "100 / x = 25" (Bv.of_int ~width:32 4) (Model.eval m x)
+   | Solver.Unsat | Solver.Unknown _ -> Alcotest.fail "expected sat");
+  (* division by zero convention is solver-visible: x udiv 0 = ones *)
+  Alcotest.(check bool) "udiv by zero = ones" true
+    (Solver.is_sat [ Expr.eq (Expr.udiv x (e_int 0)) (e_int (-1)) ])
+
+(* ------------------------------------------------------------------ *)
+(* SMT-LIB export                                                      *)
+
+let test_smtlib_terms () =
+  let x = Expr.fresh_var "q" 8 in
+  let xname = Printf.sprintf "|q!%d|" (List.hd (Expr.vars x)).Expr.var_id in
+  Alcotest.(check string) "bv literal" "(_ bv10 8)"
+    (Smt.Smtlib.term (Expr.int ~width:8 10));
+  (* commutative operands are canonicalized with the constant first *)
+  Alcotest.(check string) "add"
+    (Printf.sprintf "(bvadd (_ bv1 8) %s)" xname)
+    (Smt.Smtlib.term (Expr.add x (Expr.int ~width:8 1)));
+  Alcotest.(check string) "ult"
+    (Printf.sprintf "(bvult %s (_ bv5 8))" xname)
+    (Smt.Smtlib.term (Expr.ult x (Expr.int ~width:8 5)));
+  Alcotest.(check string) "extract"
+    (Printf.sprintf "((_ extract 3 0) %s)" xname)
+    (Smt.Smtlib.term (Expr.extract ~hi:3 ~lo:0 x));
+  Alcotest.(check string) "zext"
+    (Printf.sprintf "((_ zero_extend 8) %s)" xname)
+    (Smt.Smtlib.term (Expr.zext 16 x))
+
+let test_smtlib_query_well_formed () =
+  let x = Expr.fresh_var "qq" 32 and y = Expr.fresh_var "qr" 32 in
+  let q =
+    Smt.Smtlib.query
+      [ Expr.ult x y; Expr.eq (Expr.add x y) (e_int 99) ]
+  in
+  (* balanced parentheses and the expected skeleton *)
+  let depth = ref 0 and min_depth = ref 0 in
+  String.iter
+    (fun c ->
+       if c = '(' then incr depth else if c = ')' then decr depth;
+       if !depth < !min_depth then min_depth := !depth)
+    q;
+  Alcotest.(check int) "balanced" 0 !depth;
+  Alcotest.(check int) "never negative" 0 !min_depth;
+  let has s =
+    let n = String.length s and m = String.length q in
+    let rec go i = i + n <= m && (String.sub q i n = s || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "logic" true (has "(set-logic QF_BV)");
+  Alcotest.(check bool) "declares x" true (has "(declare-const |qq!");
+  Alcotest.(check bool) "declares y" true (has "(declare-const |qr!");
+  Alcotest.(check bool) "asserts" true (has "(assert (bvult ");
+  Alcotest.(check bool) "check-sat" true (has "(check-sat)")
+
+let test_smtlib_model_values () =
+  let x = Expr.fresh_var "qm" 16 in
+  match Expr.vars x with
+  | [ v ] ->
+    let m = Model.add v (Bv.of_int ~width:16 300) Model.empty in
+    (match Smt.Smtlib.model_values m with
+     | [ line ] ->
+       Alcotest.(check string) "define-fun"
+         (Printf.sprintf "(define-fun |qm!%d| () (_ BitVec 16) (_ bv300 16))"
+            v.Expr.var_id)
+         line
+     | _ -> Alcotest.fail "expected one binding")
+  | _ -> Alcotest.fail "expected one var"
+
+let test_model_defaults () =
+  let x = Expr.fresh_var "mx" 16 in
+  match Expr.vars x with
+  | [ v ] ->
+    check_bv "unbound var reads zero" (Bv.zero 16) (Model.find Model.empty v)
+  | _ -> Alcotest.fail "expected one var"
+
+let suite =
+  [
+    ("bv: make masks", `Quick, test_bv_make_masks);
+    ("bv: signed view", `Quick, test_bv_signed);
+    ("bv: wrapping arithmetic", `Quick, test_bv_wrap_arithmetic);
+    ("bv: division conventions", `Quick, test_bv_div_conventions);
+    ("bv: shifts", `Quick, test_bv_shifts);
+    ("bv: extract/concat/extend", `Quick, test_bv_structure);
+    ("bv: comparisons", `Quick, test_bv_compare);
+    ("bv: invalid arguments", `Quick, test_bv_invalid);
+    ("expr: hash consing", `Quick, test_expr_hash_consing);
+    ("expr: constant folding", `Quick, test_expr_folding);
+    ("expr: extract rewrites", `Quick, test_expr_extract_rewrites);
+    ("expr: vars", `Quick, test_expr_vars);
+    ("expr: eval", `Quick, test_expr_eval);
+    ("expr: simplifier soundness (random)", `Quick, test_simplifier_soundness);
+    ("interval: unsat detection", `Quick, test_interval_unsat);
+    ("interval: refinement", `Quick, test_interval_refine);
+    ("interval: bounds soundness (random)", `Quick, test_interval_bounds_sound);
+    ("sat: simple", `Quick, test_sat_simple);
+    ("sat: unsat", `Quick, test_sat_unsat);
+    ("sat: empty clause", `Quick, test_sat_empty_clause);
+    ("sat: tautology", `Quick, test_sat_tautology_dropped);
+    ("sat: random vs brute force", `Quick, test_sat_random_vs_brute);
+    ("solver: basic", `Quick, test_solver_basic);
+    ("solver: empty and const", `Quick, test_solver_empty_and_const);
+    ("solver: nonlinear", `Quick, test_solver_nonlinear);
+    ("solver: random vs brute force", `Quick, test_solver_random_vs_brute);
+    ("solver: query cache", `Quick, test_solver_cache);
+    ("solver: shifts and division", `Quick, test_solver_shifts_and_division);
+    ("model: defaults", `Quick, test_model_defaults);
+    ("smtlib: terms", `Quick, test_smtlib_terms);
+    ("smtlib: query well-formed", `Quick, test_smtlib_query_well_formed);
+    ("smtlib: model values", `Quick, test_smtlib_model_values);
+  ]
+  @ bv_props

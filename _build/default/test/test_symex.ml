@@ -1,0 +1,481 @@
+(* Tests for the symbolic-execution engine: forking, assumptions,
+   checks, error semantics, limits, search strategies, concretization,
+   checked memory and counterexample replay. *)
+
+module Expr = Smt.Expr
+module Bv = Smt.Bv
+module Engine = Symex.Engine
+module Error = Symex.Error
+module Search = Symex.Search
+module Value = Symex.Value
+module Mem = Symex.Mem
+
+let e_int v = Expr.int ~width:32 v
+
+let run ?config body = Engine.run ?config body
+
+(* ------------------------------------------------------------------ *)
+(* Exploration basics                                                  *)
+
+let test_no_branch_single_path () =
+  let r = run (fun () -> ()) in
+  Alcotest.(check int) "one path" 1 r.Engine.paths;
+  Alcotest.(check int) "completed" 1 r.Engine.paths_completed;
+  Alcotest.(check bool) "exhausted" true r.Engine.exhausted
+
+let test_fork_covers_both_sides () =
+  let seen = ref [] in
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        if Engine.branch (Expr.ult x (e_int 10)) then seen := `Lo :: !seen
+        else seen := `Hi :: !seen)
+  in
+  Alcotest.(check int) "two paths" 2 r.Engine.paths;
+  Alcotest.(check bool) "both outcomes" true
+    (List.mem `Lo !seen && List.mem `Hi !seen)
+
+let test_nested_forks () =
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        ignore (Engine.branch (Expr.ult x (e_int 10)));
+        ignore (Engine.branch (Expr.eq (Expr.band x (e_int 1)) (e_int 0))))
+  in
+  Alcotest.(check int) "four paths" 4 r.Engine.paths
+
+let test_infeasible_branch_not_forked () =
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        Engine.assume (Expr.ult x (e_int 10));
+        (* x < 100 is implied: no fork *)
+        if Engine.branch (Expr.ult x (e_int 100)) then () else Alcotest.fail "unreachable")
+  in
+  Alcotest.(check int) "one path" 1 r.Engine.paths
+
+let test_assume_kills_path () =
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        Engine.assume (Expr.ult x (e_int 10));
+        Engine.assume (Expr.ugt x (e_int 20));
+        Alcotest.fail "unreachable")
+  in
+  Alcotest.(check int) "infeasible" 1 r.Engine.paths_infeasible;
+  Alcotest.(check int) "no errors" 0 (List.length r.Engine.errors)
+
+(* ------------------------------------------------------------------ *)
+(* Checks and errors                                                   *)
+
+let test_check_records_and_continues () =
+  let passed = ref 0 in
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        Engine.assume (Expr.ult x (e_int 10));
+        Engine.check ~site:"x-not-7" (Expr.ne x (e_int 7));
+        (* passing side continues with x != 7 *)
+        incr passed)
+  in
+  Alcotest.(check int) "one error" 1 (List.length r.Engine.errors);
+  Alcotest.(check int) "pass side continued" 1 !passed;
+  match r.Engine.errors with
+  | [ e ] ->
+    Alcotest.(check string) "site" "x-not-7" e.Error.site;
+    Alcotest.(check bool) "kind" true (e.Error.kind = Error.Assertion_failure);
+    (match e.Error.counterexample with
+     | [ ("x", v) ] ->
+       Alcotest.(check int64) "counterexample is 7" 7L (Bv.to_int64 v)
+     | _ -> Alcotest.fail "expected one input")
+  | _ -> Alcotest.fail "expected one error"
+
+let test_error_dedup () =
+  (* The same failing site on many paths is reported once. *)
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        ignore (Engine.branch (Expr.ult x (e_int 100)));
+        Engine.check ~site:"always" Expr.fls)
+  in
+  Alcotest.(check int) "deduplicated" 1 (List.length r.Engine.errors);
+  Alcotest.(check int) "both paths errored" 2 r.Engine.paths_errored
+
+let test_fatal_check_kind () =
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        Engine.fatal_check ~site:"guard" (Expr.ult x (e_int 10)))
+  in
+  match r.Engine.errors with
+  | [ e ] -> Alcotest.(check bool) "abort kind" true (e.Error.kind = Error.Abort)
+  | _ -> Alcotest.fail "expected one error"
+
+let test_unhandled_exception () =
+  let r = run (fun () -> failwith "device blew up") in
+  match r.Engine.errors with
+  | [ e ] ->
+    Alcotest.(check bool) "kind" true (e.Error.kind = Error.Unhandled_exception)
+  | _ -> Alcotest.fail "expected one error"
+
+let test_division_by_zero_detector () =
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        ignore (Value.udiv ~site:"div" (e_int 100) x))
+  in
+  match r.Engine.errors with
+  | [ e ] ->
+    Alcotest.(check bool) "kind" true (e.Error.kind = Error.Division_by_zero)
+  | _ -> Alcotest.fail "expected one division error"
+
+let test_stop_after_errors () =
+  let config =
+    { Engine.default_config with Engine.stop_after_errors = Some 1 }
+  in
+  let r =
+    run ~config (fun () ->
+        let x = Engine.fresh32 "x" in
+        if Engine.branch (Expr.ult x (e_int 10)) then
+          Engine.check ~site:"first" Expr.fls
+        else Engine.check ~site:"second" Expr.fls)
+  in
+  Alcotest.(check int) "stopped at one" 1 (List.length r.Engine.errors);
+  Alcotest.(check bool) "not exhausted" false r.Engine.exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Limits                                                              *)
+
+let test_max_paths () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.limits = { Engine.no_limits with Engine.max_paths = Some 3 };
+    }
+  in
+  let r =
+    run ~config (fun () ->
+        let x = Engine.fresh32 "x" in
+        (* 16 feasible paths *)
+        ignore (Engine.branch (Expr.ult x (e_int 2)));
+        ignore (Engine.branch (Expr.ult x (e_int 4)));
+        ignore (Engine.branch (Expr.ult x (e_int 8)));
+        ignore (Engine.branch (Expr.ult x (e_int 16))))
+  in
+  Alcotest.(check int) "capped" 3 r.Engine.paths;
+  Alcotest.(check bool) "not exhausted" false r.Engine.exhausted
+
+let test_max_instructions () =
+  let config =
+    {
+      Engine.default_config with
+      Engine.limits = { Engine.no_limits with Engine.max_instructions = Some 50 };
+    }
+  in
+  let r =
+    run ~config (fun () ->
+        let x = Engine.fresh32 "x" in
+        let acc = ref x in
+        for _ = 1 to 10_000 do
+          acc := Expr.add !acc x
+        done)
+  in
+  Alcotest.(check bool) "not exhausted" false r.Engine.exhausted
+
+(* ------------------------------------------------------------------ *)
+(* Search strategies                                                   *)
+
+let explore_order strategy =
+  let order = ref [] in
+  let config = { Engine.default_config with Engine.strategy } in
+  let r =
+    run ~config (fun () ->
+        let x = Engine.fresh32 "x" in
+        let b1 = Engine.branch ~site:"b1" (Expr.ult x (e_int 100)) in
+        let b2 = Engine.branch ~site:"b2" (Expr.ult x (e_int 200)) in
+        order := (b1, b2) :: !order)
+  in
+  (r, List.rev !order)
+
+let test_strategies_cover_same_paths () =
+  List.iter
+    (fun strategy ->
+       let r, order = explore_order strategy in
+       Alcotest.(check int)
+         (Search.strategy_to_string strategy ^ " paths")
+         3 r.Engine.paths;
+       (* x<100 → x<200 implied: 3 feasible outcomes *)
+       let sorted = List.sort_uniq compare order in
+       Alcotest.(check int)
+         (Search.strategy_to_string strategy ^ " outcomes")
+         3 (List.length sorted))
+    Search.all_strategies
+
+let test_dfs_explores_depth_first () =
+  let r, order = explore_order Search.Dfs in
+  Alcotest.(check bool) "exhausted" true r.Engine.exhausted;
+  (* DFS continues the true side first, then pops the most recent fork. *)
+  match order with
+  | (true, true) :: _ -> ()
+  | _ -> Alcotest.fail "DFS should finish the all-true path first"
+
+(* ------------------------------------------------------------------ *)
+(* Concretization                                                      *)
+
+let test_concretize_enumerates () =
+  let seen = ref [] in
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        Engine.assume
+          (Expr.and_ (Expr.uge x (e_int 5)) (Expr.ule x (e_int 8)));
+        let v = Engine.concretize x in
+        seen := Bv.to_int64 v :: !seen)
+  in
+  Alcotest.(check int) "four paths" 4 r.Engine.paths;
+  Alcotest.(check (list int64)) "all values"
+    [ 5L; 6L; 7L; 8L ]
+    (List.sort Int64.compare !seen)
+
+let test_concretize_concrete_is_free () =
+  let r =
+    run (fun () ->
+        let v = Engine.concretize (e_int 42) in
+        Alcotest.(check int64) "value" 42L (Bv.to_int64 v))
+  in
+  Alcotest.(check int) "one path" 1 r.Engine.paths
+
+(* ------------------------------------------------------------------ *)
+(* Checked memory                                                      *)
+
+let test_mem_concrete_rw () =
+  let m = Mem.create ~name:"m" ~size:8 in
+  Mem.write32 m 0 (e_int 0xDEADBEEF);
+  (match Expr.to_bv (Mem.read32 m 0) with
+   | Some v -> Alcotest.(check int64) "roundtrip" 0xDEADBEEFL (Bv.to_int64 v)
+   | None -> Alcotest.fail "expected concrete");
+  (* little endian *)
+  match Expr.to_bv (Mem.read_byte m 0) with
+  | Some v -> Alcotest.(check int64) "LSB first" 0xEFL (Bv.to_int64 v)
+  | None -> Alcotest.fail "expected concrete"
+
+let test_mem_oob_detected () =
+  let r =
+    run (fun () ->
+        let m = Mem.create ~name:"buf" ~size:4 in
+        let len = Engine.fresh32 "len" in
+        Engine.assume
+          (Expr.and_ (Expr.uge len (e_int 1)) (Expr.ule len (e_int 8)));
+        ignore (Mem.read_bytes m ~offset:(e_int 0) ~len))
+  in
+  let oob =
+    List.filter (fun (e : Error.t) -> e.Error.kind = Error.Out_of_bounds)
+      r.Engine.errors
+  in
+  Alcotest.(check int) "one OOB error" 1 (List.length oob);
+  (* the in-bounds side continues and enumerates len in 1..4 *)
+  Alcotest.(check bool) "paths continued" true (r.Engine.paths_completed >= 4)
+
+let test_mem_oob_wraparound () =
+  (* offset + len wrapping 32 bits must not bypass the check *)
+  let r =
+    run (fun () ->
+        let m = Mem.create ~name:"buf" ~size:4 in
+        ignore (Mem.read_bytes m ~offset:(e_int 0xFFFFFFFF) ~len:(e_int 2)))
+  in
+  let oob =
+    List.filter (fun (e : Error.t) -> e.Error.kind = Error.Out_of_bounds)
+      r.Engine.errors
+  in
+  Alcotest.(check int) "wrap caught" 1 (List.length oob)
+
+let test_mem_symbolic_data () =
+  let r =
+    run (fun () ->
+        let m = Mem.create ~name:"m" ~size:4 in
+        let x = Engine.fresh32 "x" in
+        Mem.write32 m 0 x;
+        let back = Mem.read32 m 0 in
+        Engine.check ~site:"roundtrip" (Expr.eq back x))
+  in
+  Alcotest.(check int) "no errors" 0 (List.length r.Engine.errors)
+
+(* ------------------------------------------------------------------ *)
+(* Replay                                                              *)
+
+let toy_testbench () =
+  let x = Engine.fresh32 "x" in
+  Engine.assume (Expr.ult x (e_int 100));
+  if Engine.branch (Expr.ugt x (e_int 50)) then
+    Engine.check ~site:"toy" (Expr.ne x (e_int 77))
+
+let test_replay_reproduces () =
+  let r = run toy_testbench in
+  match r.Engine.errors with
+  | [ err ] ->
+    (match Engine.replay err.Error.counterexample toy_testbench with
+     | Some (Ok replayed) ->
+       Alcotest.(check string) "same site" "toy" replayed.Error.site
+     | Some (Error msg) -> Alcotest.failf "diverged: %s" msg
+     | None -> Alcotest.fail "no failure on replay")
+  | _ -> Alcotest.fail "expected exactly one error"
+
+let test_replay_clean_input () =
+  match
+    Engine.replay [ ("x", Bv.of_int ~width:32 10) ] toy_testbench
+  with
+  | None -> ()
+  | Some _ -> Alcotest.fail "x=10 should not fail"
+
+let test_replay_divergence_detected () =
+  (* An assumption-violating input is flagged, not silently accepted. *)
+  match
+    Engine.replay [ ("x", Bv.of_int ~width:32 1000) ] toy_testbench
+  with
+  | Some (Error _) -> ()
+  | Some (Ok _) | None -> Alcotest.fail "expected divergence"
+
+(* ------------------------------------------------------------------ *)
+(* Engine misc                                                         *)
+
+let test_instructions_counted () =
+  let r =
+    run (fun () ->
+        let x = Engine.fresh32 "x" in
+        ignore (Expr.add x x))
+  in
+  Alcotest.(check bool) "instructions > 0" true (r.Engine.instructions > 0)
+
+let test_concrete_mode_check_raises () =
+  Alcotest.check_raises "Check_failed" (Engine.Check_failed "here") (fun () ->
+      Engine.check ~site:"here" Expr.fls)
+
+let test_nested_run_rejected () =
+  let r =
+    run (fun () ->
+        match run (fun () -> ()) with
+        | _ -> Alcotest.fail "nested run must be rejected")
+  in
+  (* the Failure surfaces as an unhandled-exception error *)
+  Alcotest.(check int) "error recorded" 1 (List.length r.Engine.errors)
+
+let test_error_counterexample_order () =
+  let r =
+    run (fun () ->
+        let a = Engine.fresh32 "a" in
+        let b = Engine.fresh32 "b" in
+        Engine.assume (Expr.eq a (e_int 1));
+        Engine.assume (Expr.eq b (e_int 2));
+        Engine.check ~site:"boom" Expr.fls)
+  in
+  match r.Engine.errors with
+  | [ e ] ->
+    Alcotest.(check (list string)) "inputs in creation order" [ "a"; "b" ]
+      (List.map fst e.Error.counterexample)
+  | _ -> Alcotest.fail "expected one error"
+
+(* ------------------------------------------------------------------ *)
+(* Random-testing baseline                                             *)
+
+let random_body () =
+  (* fails iff x mod 8 = 3: random testing needs ~8 trials *)
+  let x = Engine.fresh32 "x" in
+  let m = Expr.urem x (e_int 8) in
+  Engine.check ~site:"mod8" (Expr.ne m (e_int 3))
+
+let test_random_finds_bug () =
+  let r = Engine.random_test ~seed:1 random_body in
+  match r.Engine.failure with
+  | Some (err, trial) ->
+    Alcotest.(check string) "site" "mod8" err.Error.site;
+    Alcotest.(check bool) "found within a few trials" true (trial <= 64);
+    (* the recorded inputs reproduce the failure *)
+    (match err.Error.counterexample with
+     | [ ("x", v) ] ->
+       Alcotest.(check int64) "counterexample mod 8 = 3" 3L
+         (Int64.rem (Bv.to_int64 v) 8L)
+     | _ -> Alcotest.fail "expected one input")
+  | None -> Alcotest.fail "random testing should find the bug"
+
+let test_random_deterministic_seed () =
+  let a = Engine.random_test ~seed:7 random_body in
+  let b = Engine.random_test ~seed:7 random_body in
+  Alcotest.(check bool) "same trial count" true
+    (match a.Engine.failure, b.Engine.failure with
+     | Some (_, ta), Some (_, tb) -> ta = tb
+     | None, None -> true
+     | _ -> false)
+
+let test_random_rejection () =
+  let r =
+    Engine.random_test ~seed:3 ~max_trials:50 (fun () ->
+        let x = Engine.fresh32 "x" in
+        (* essentially always rejected *)
+        Engine.assume (Expr.ult x (e_int 4)))
+  in
+  Alcotest.(check int) "all trials ran" 50 r.Engine.trials;
+  Alcotest.(check bool) "most rejected" true (r.Engine.rejected >= 45);
+  Alcotest.(check bool) "no failure" true (r.Engine.failure = None)
+
+let test_random_trial_limit () =
+  let r = Engine.random_test ~seed:5 ~max_trials:10 (fun () -> ()) in
+  Alcotest.(check int) "stops at limit" 10 r.Engine.trials
+
+let suite =
+  [
+    ("engine: straight-line is one path", `Quick, test_no_branch_single_path);
+    ("engine: fork covers both sides", `Quick, test_fork_covers_both_sides);
+    ("engine: nested forks", `Quick, test_nested_forks);
+    ("engine: implied branch does not fork", `Quick,
+     test_infeasible_branch_not_forked);
+    ("engine: infeasible assume kills path", `Quick, test_assume_kills_path);
+    ("engine: check records and continues", `Quick,
+     test_check_records_and_continues);
+    ("engine: errors deduplicated by site", `Quick, test_error_dedup);
+    ("engine: fatal check is an abort", `Quick, test_fatal_check_kind);
+    ("engine: unhandled exception reported", `Quick, test_unhandled_exception);
+    ("engine: division by zero detector", `Quick,
+     test_division_by_zero_detector);
+    ("engine: stop after N errors", `Quick, test_stop_after_errors);
+    ("engine: max paths limit", `Quick, test_max_paths);
+    ("engine: max instructions limit", `Quick, test_max_instructions);
+    ("search: all strategies cover the space", `Quick,
+     test_strategies_cover_same_paths);
+    ("search: dfs order", `Quick, test_dfs_explores_depth_first);
+    ("concretize: enumerates feasible values", `Quick,
+     test_concretize_enumerates);
+    ("concretize: concrete value is free", `Quick,
+     test_concretize_concrete_is_free);
+    ("mem: concrete read/write", `Quick, test_mem_concrete_rw);
+    ("mem: out-of-bounds detected", `Quick, test_mem_oob_detected);
+    ("mem: 32-bit wrap cannot bypass bounds", `Quick, test_mem_oob_wraparound);
+    ("mem: symbolic data roundtrip", `Quick, test_mem_symbolic_data);
+    ("replay: reproduces the failure", `Quick, test_replay_reproduces);
+    ("replay: clean input passes", `Quick, test_replay_clean_input);
+    ("replay: divergence detected", `Quick, test_replay_divergence_detected);
+    ("engine: instruction accounting", `Quick, test_instructions_counted);
+    ("engine: concrete-mode check raises", `Quick,
+     test_concrete_mode_check_raises);
+    ("engine: nested run rejected", `Quick, test_nested_run_rejected);
+    ("engine: counterexample input order", `Quick,
+     test_error_counterexample_order);
+    ("random baseline: finds a planted bug", `Quick, test_random_finds_bug);
+    ("random baseline: deterministic seed", `Quick,
+     test_random_deterministic_seed);
+    ("random baseline: rejection sampling", `Quick, test_random_rejection);
+    ("random baseline: trial limit", `Quick, test_random_trial_limit);
+    ("engine: branch coverage reported", `Quick, fun () ->
+        let r =
+          run (fun () ->
+              let x = Engine.fresh32 "x" in
+              ignore (Engine.branch ~site:"site-a" (Expr.ult x (e_int 5)));
+              ignore (Engine.branch ~site:"site-b" (Expr.ult x (e_int 9))))
+        in
+        let count site =
+          match List.assoc_opt site r.Engine.branch_coverage with
+          | Some n -> n
+          | None -> 0
+        in
+        Alcotest.(check bool) "site-a covered" true (count "site-a" >= 2);
+        Alcotest.(check bool) "site-b covered" true (count "site-b" >= 2));
+  ]

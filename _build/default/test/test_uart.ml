@@ -1,0 +1,240 @@
+(* Tests for the FE310 UART model: FIFOs, transmitter timing, watermark
+   interrupts, and symbolic data flow through the receive path. *)
+
+module Expr = Smt.Expr
+module Bv = Smt.Bv
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Payload = Tlm.Payload
+module Sc_time = Pk.Sc_time
+
+type rig = {
+  sched : Pk.Scheduler.t;
+  uart : Uart.t;
+  irqs : int ref;
+}
+
+let make_rig ?policy () =
+  let sched = Pk.Scheduler.create () in
+  let irqs = ref 0 in
+  let uart = Uart.create ?policy ~irq:(fun () -> incr irqs) sched in
+  Pk.Scheduler.run_ready sched;
+  { sched; uart; irqs }
+
+let write32 rig offset value =
+  let p =
+    Payload.make_write32 ~addr:(Value.of_int offset) ~value:(Value.of_int value)
+  in
+  ignore (Uart.transport rig.uart p Sc_time.zero)
+
+let read32 rig offset =
+  let p =
+    Payload.make_read ~addr:(Value.of_int offset) ~len:(Value.of_int 4)
+  in
+  ignore (Uart.transport rig.uart p Sc_time.zero);
+  match Expr.to_bv (Payload.data32 p) with
+  | Some v -> Int64.to_int (Bv.to_int64 v)
+  | None -> Alcotest.fail "expected concrete read"
+
+let run_for rig time = Pk.Scheduler.run_until rig.sched time
+
+(* one 8N1 frame at div = d takes (d+1)*10 clock ticks of 10 ns *)
+let frame_ns div = (div + 1) * 10 * 10
+
+let test_tx_transmits_in_order () =
+  let rig = make_rig () in
+  write32 rig Uart.div_base 0;
+  write32 rig Uart.txctrl_base 1;
+  write32 rig Uart.txdata_base 0x41;
+  write32 rig Uart.txdata_base 0x42;
+  write32 rig Uart.txdata_base 0x43;
+  run_for rig (Sc_time.us 10);
+  let sent =
+    List.map
+      (fun b ->
+         match Expr.to_bv b with
+         | Some v -> Int64.to_int (Bv.to_int64 v)
+         | None -> Alcotest.fail "expected concrete byte")
+      (Uart.transmitted rig.uart)
+  in
+  Alcotest.(check (list int)) "in order" [ 0x41; 0x42; 0x43 ] sent;
+  Alcotest.(check int) "fifo drained" 0 (Uart.tx_level rig.uart)
+
+let test_tx_respects_baud () =
+  let rig = make_rig () in
+  write32 rig Uart.div_base 3;
+  write32 rig Uart.txctrl_base 1;
+  write32 rig Uart.txdata_base 0x55;
+  (* just before one frame time: not yet out *)
+  run_for rig (Sc_time.ns (frame_ns 3 - 10));
+  Alcotest.(check int) "still shifting" 0
+    (List.length (Uart.transmitted rig.uart));
+  run_for rig (Sc_time.ns (frame_ns 3));
+  Alcotest.(check int) "one frame later" 1
+    (List.length (Uart.transmitted rig.uart))
+
+let test_tx_disabled_holds () =
+  let rig = make_rig () in
+  write32 rig Uart.txdata_base 0x11;
+  run_for rig (Sc_time.us 10);
+  Alcotest.(check int) "txen off: nothing sent" 0
+    (List.length (Uart.transmitted rig.uart));
+  Alcotest.(check int) "byte still queued" 1 (Uart.tx_level rig.uart);
+  write32 rig Uart.txctrl_base 1;
+  run_for rig (Sc_time.us 20);
+  Alcotest.(check int) "drains after enable" 1
+    (List.length (Uart.transmitted rig.uart))
+
+let test_tx_fifo_full_drops () =
+  let rig = make_rig () in
+  for i = 1 to Uart.fifo_depth + 2 do
+    write32 rig Uart.txdata_base i
+  done;
+  Alcotest.(check int) "capped at depth" Uart.fifo_depth
+    (Uart.tx_level rig.uart);
+  Alcotest.(check bool) "full flag set" true
+    (read32 rig Uart.txdata_base land 0x8000_0000 <> 0)
+
+let test_rx_read_dequeues () =
+  let rig = make_rig () in
+  Uart.receive_byte rig.uart (Value.of_int 0x7A);
+  Alcotest.(check int) "level 1" 1 (Uart.rx_level rig.uart);
+  Alcotest.(check int) "byte delivered" 0x7A (read32 rig Uart.rxdata_base);
+  Alcotest.(check int) "empty flag afterwards" 0x8000_0000
+    (read32 rig Uart.rxdata_base)
+
+let test_rx_overflow_drops () =
+  let rig = make_rig () in
+  for i = 1 to Uart.fifo_depth + 3 do
+    Uart.receive_byte rig.uart (Value.of_int i)
+  done;
+  Alcotest.(check int) "capped" Uart.fifo_depth (Uart.rx_level rig.uart);
+  Alcotest.(check int) "oldest byte survives" 1 (read32 rig Uart.rxdata_base)
+
+let test_rx_watermark_interrupt () =
+  let rig = make_rig () in
+  (* rxwm = 1, rx interrupt enabled: pending while level > 1 *)
+  write32 rig Uart.rxctrl_base ((1 lsl 16) lor 1);
+  write32 rig Uart.ie_base 2;
+  Uart.receive_byte rig.uart (Value.of_int 0xAA);
+  Alcotest.(check bool) "level 1: below watermark" false
+    (Uart.interrupt_line rig.uart);
+  Uart.receive_byte rig.uart (Value.of_int 0xBB);
+  Alcotest.(check bool) "level 2: above watermark" true
+    (Uart.interrupt_line rig.uart);
+  Alcotest.(check int) "one rising edge" 1 !(rig.irqs);
+  (* draining below the watermark clears the level *)
+  ignore (read32 rig Uart.rxdata_base);
+  Alcotest.(check bool) "cleared" false (Uart.interrupt_line rig.uart)
+
+let test_tx_watermark_interrupt () =
+  let rig = make_rig () in
+  (* txwm = 2: pending while TX level < 2 (i.e. room to refill) *)
+  write32 rig Uart.txctrl_base ((2 lsl 16) lor 1);
+  write32 rig Uart.ie_base 1;
+  Alcotest.(check bool) "empty fifo is below watermark" true
+    (Uart.interrupt_line rig.uart);
+  write32 rig Uart.txdata_base 1;
+  write32 rig Uart.txdata_base 2;
+  write32 rig Uart.txdata_base 3;
+  Alcotest.(check bool) "filled above watermark" false
+    (Uart.interrupt_line rig.uart);
+  run_for rig (Sc_time.us 10);
+  Alcotest.(check bool) "re-asserted after drain" true
+    (Uart.interrupt_line rig.uart);
+  Alcotest.(check bool) "two rising edges" true (!(rig.irqs) >= 2)
+
+let test_ip_register () =
+  let rig = make_rig () in
+  write32 rig Uart.rxctrl_base 1; (* rxwm = 0: pending when level > 0 *)
+  Uart.receive_byte rig.uart (Value.of_int 1);
+  let ip = read32 rig Uart.ip_base in
+  Alcotest.(check int) "rxwm pending bit" 2 (ip land 2);
+  (* txwm = 0 means TX is never below its watermark *)
+  Alcotest.(check int) "txwm not pending" 0 (ip land 1)
+
+let test_ip_read_only () =
+  let rig = make_rig () in
+  let p =
+    Payload.make_write32 ~addr:(Value.of_int Uart.ip_base)
+      ~value:(Value.of_int 3)
+  in
+  ignore (Uart.transport rig.uart p Sc_time.zero);
+  Alcotest.(check bool) "rejected" true
+    (p.Payload.response = Payload.Command_error)
+
+let test_symbolic_loopback () =
+  (* Whatever symbolic byte arrives must be read back identically. *)
+  let report =
+    Engine.run (fun () ->
+        let sched = Pk.Scheduler.create () in
+        let uart = Uart.create sched in
+        Pk.Scheduler.run_ready sched;
+        let data = Engine.fresh "rx_byte" 32 in
+        Engine.assume (Value.le data (Value.of_int 0xFF));
+        Uart.receive_byte uart data;
+        let p =
+          Payload.make_read
+            ~addr:(Value.of_int Uart.rxdata_base)
+            ~len:(Value.of_int 4)
+        in
+        ignore (Uart.transport uart p Sc_time.zero);
+        Engine.check ~site:"uart:loopback" ~message:"byte corrupted"
+          (Value.eq (Payload.data32 p) data))
+  in
+  Alcotest.(check int) "no corruption" 0 (List.length report.Engine.errors)
+
+let test_symbolic_watermark_property () =
+  (* For every watermark, the rx interrupt is pending iff level > wm. *)
+  let report =
+    Engine.run (fun () ->
+        let sched = Pk.Scheduler.create () in
+        let uart = Uart.create sched in
+        Pk.Scheduler.run_ready sched;
+        let wm = Engine.fresh "rxwm" 32 in
+        Engine.assume (Value.le wm (Value.of_int 7));
+        let ctrl = Value.bor (Value.shl wm (Value.of_int 16)) Value.one in
+        let p =
+          Payload.make_write32 ~addr:(Value.of_int Uart.rxctrl_base)
+            ~value:ctrl
+        in
+        ignore (Uart.transport uart p Sc_time.zero);
+        let pie =
+          Payload.make_write32 ~addr:(Value.of_int Uart.ie_base)
+            ~value:(Value.of_int 2)
+        in
+        ignore (Uart.transport uart pie Sc_time.zero);
+        for i = 1 to 3 do
+          Uart.receive_byte uart (Value.of_int i)
+        done;
+        let expected = Engine.branch (Value.lt wm (Value.of_int 3)) in
+        Engine.check ~site:"uart:wm-property"
+          ~message:"interrupt line disagrees with the watermark rule"
+          (Expr.bool (Uart.interrupt_line uart = expected)))
+  in
+  Alcotest.(check int) "property holds for all watermarks" 0
+    (List.length report.Engine.errors)
+
+let test_original_policy_applies () =
+  let rig = make_rig ~policy:Tlm.Register.Original () in
+  let p = Payload.make_read ~addr:(Value.of_int 0x2) ~len:(Value.of_int 4) in
+  Alcotest.check_raises "misaligned read aborts"
+    (Engine.Check_failed "reg:align") (fun () ->
+        ignore (Uart.transport rig.uart p Sc_time.zero))
+
+let suite =
+  [
+    ("tx: transmits in order", `Quick, test_tx_transmits_in_order);
+    ("tx: respects the baud divider", `Quick, test_tx_respects_baud);
+    ("tx: disabled transmitter holds", `Quick, test_tx_disabled_holds);
+    ("tx: full fifo drops writes", `Quick, test_tx_fifo_full_drops);
+    ("rx: read dequeues", `Quick, test_rx_read_dequeues);
+    ("rx: overflow drops", `Quick, test_rx_overflow_drops);
+    ("irq: rx watermark", `Quick, test_rx_watermark_interrupt);
+    ("irq: tx watermark", `Quick, test_tx_watermark_interrupt);
+    ("ip: reflects pendings", `Quick, test_ip_register);
+    ("ip: read-only", `Quick, test_ip_read_only);
+    ("symbolic: loopback integrity", `Quick, test_symbolic_loopback);
+    ("symbolic: watermark property", `Quick, test_symbolic_watermark_property);
+    ("original register policy applies", `Quick, test_original_policy_applies);
+  ]
