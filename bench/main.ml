@@ -234,6 +234,11 @@ let clint_tests =
 (* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
+let bench_run_limit = 50
+
+(* (group, test, mean ms/run) rows accumulated for BENCH_1.json. *)
+let json_rows : (string * string * float option) list ref = ref []
+
 let benchmark_group name tests =
   let grouped = Test.make_grouped ~name ~fmt:"%s/%s" tests in
   let ols =
@@ -241,7 +246,8 @@ let benchmark_group name tests =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:50 ~quota:(Time.second 2.0) ~stabilize:false ()
+    Benchmark.cfg ~limit:bench_run_limit ~quota:(Time.second 2.0)
+      ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -249,11 +255,64 @@ let benchmark_group name tests =
   let rows = List.sort (fun (a, _) (b, _) -> String.compare a b) rows in
   List.iter
     (fun (test_name, ols_result) ->
-       match Analyze.OLS.estimates ols_result with
-       | Some [ ns ] ->
-         Format.printf "  %-40s %12.3f ms/run@." test_name (ns /. 1e6)
-       | Some _ | None -> Format.printf "  %-40s (no estimate)@." test_name)
+       let estimate =
+         match Analyze.OLS.estimates ols_result with
+         | Some [ ns ] -> Some (ns /. 1e6)
+         | Some _ | None -> None
+       in
+       json_rows := (name, test_name, estimate) :: !json_rows;
+       match estimate with
+       | Some ms -> Format.printf "  %-40s %12.3f ms/run@." test_name ms
+       | None -> Format.printf "  %-40s (no estimate)@." test_name)
     rows
+
+(* Machine-readable results, one file per bench invocation, so the perf
+   trajectory of the repo is diffable across PRs. *)
+let write_bench_json path =
+  let buf = Buffer.create 4096 in
+  let groups =
+    List.fold_left
+      (fun acc (g, _, _) -> if List.mem g acc then acc else g :: acc)
+      []
+      (List.rev !json_rows)
+    |> List.rev
+  in
+  Buffer.add_string buf "{\"schema\":\"symsysc-bench-v1\",";
+  Printf.bprintf buf "\"runs\":%d,\"quota_seconds\":2.0,\"groups\":["
+    bench_run_limit;
+  List.iteri
+    (fun gi g ->
+       if gi > 0 then Buffer.add_char buf ',';
+       let tests =
+         List.filter (fun (g', _, _) -> g' = g) (List.rev !json_rows)
+       in
+       let means = List.filter_map (fun (_, _, m) -> m) tests in
+       let group_mean =
+         match means with
+         | [] -> 0.0
+         | _ ->
+           List.fold_left ( +. ) 0.0 means /. float_of_int (List.length means)
+       in
+       Printf.bprintf buf "{\"name\":\"%s\",\"mean_ms\":%.6f,\"tests\":["
+         (Obs.Export.escape_json g) group_mean;
+       List.iteri
+         (fun ti (_, t, m) ->
+            if ti > 0 then Buffer.add_char buf ',';
+            match m with
+            | Some ms ->
+              Printf.bprintf buf "{\"name\":\"%s\",\"mean_ms\":%.6f}"
+                (Obs.Export.escape_json t) ms
+            | None ->
+              Printf.bprintf buf "{\"name\":\"%s\",\"mean_ms\":null}"
+                (Obs.Export.escape_json t))
+         tests;
+       Buffer.add_string buf "]}")
+    groups;
+  Buffer.add_string buf "]}\n";
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
 
 let getenv_int name default =
   match Sys.getenv_opt name with
@@ -279,6 +338,8 @@ let () =
   benchmark_group "baseline" baseline_tests;
   Format.printf "@.-- Second peripheral: CLINT timer property --@.";
   benchmark_group "clint" clint_tests;
+  write_bench_json "BENCH_1.json";
+  Format.printf "@.(machine-readable results written to BENCH_1.json)@.";
 
   (* ---- the actual table reproductions ---- *)
   let sources = getenv_int "SYMSYSC_SOURCES" 8 in
@@ -292,6 +353,8 @@ let () =
     sources;
   let reports = Symsysc.Verify.table1 scenario in
   Symsysc.Tables.print_table1 Format.std_formatter reports;
+  Format.printf "@.where the solver time goes:@.";
+  Symsysc.Tables.print_solver_breakdown Format.std_formatter reports;
   List.iter
     (fun (r : Symsysc.Report.t) ->
        List.iter

@@ -53,6 +53,112 @@ let scenario_term =
   in
   Term.(const make $ interrupts $ t5_len $ max_paths $ max_seconds $ strategy)
 
+(* ---- observability options ---- *)
+
+let trace_out =
+  let doc =
+    "Write a Chrome trace-event JSON file of the run (open it in \
+     Perfetto or about://tracing)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "trace-out" ] ~docv:"FILE" ~doc)
+
+let events_out =
+  let doc = "Write the raw telemetry event stream as JSONL." in
+  Arg.(value & opt (some string) None
+       & info [ "events-out" ] ~docv:"FILE" ~doc)
+
+let metrics_out =
+  let doc =
+    "Write a Prometheus-style text dump of the metrics registry after \
+     the run."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "metrics-out" ] ~docv:"FILE" ~doc)
+
+let stats_interval =
+  let doc =
+    "Print a live stats line (paths/s, instr/s, frontier, solver and \
+     cache rates) to stderr every $(docv) finished paths."
+  in
+  let pos_int =
+    let parse s =
+      match int_of_string_opt s with
+      | Some n when n >= 1 -> Ok n
+      | _ -> Error (`Msg (Printf.sprintf "invalid interval %S, expected a positive path count" s))
+    in
+    Arg.conv (parse, Format.pp_print_int)
+  in
+  Arg.(value & opt (some pos_int) None
+       & info [ "stats-interval" ] ~docv:"N" ~doc)
+
+type obs_opts = {
+  trace_out : string option;
+  events_out : string option;
+  metrics_out : string option;
+  stats_interval : int option;
+}
+
+let obs_term =
+  let make trace_out events_out metrics_out stats_interval =
+    { trace_out; events_out; metrics_out; stats_interval }
+  in
+  Term.(const make $ trace_out $ events_out $ metrics_out $ stats_interval)
+
+(* Run [f] with the requested telemetry consumers installed; write the
+   output files afterwards.  [record] lets the caller publish final
+   metrics (e.g. the run report) before the registry is dumped. *)
+let with_obs (o : obs_opts) ?(record = fun _ -> ()) f =
+  let recorder =
+    if o.trace_out <> None || o.events_out <> None then
+      Some (Obs.Export.recorder ())
+    else None
+  in
+  let bridge =
+    if o.metrics_out <> None then Some (Obs.Export.metrics_bridge ())
+    else None
+  in
+  (match o.stats_interval with
+   | Some n -> Obs.Progress.configure ~interval:n ()
+   | None -> ());
+  let finish () =
+    Obs.Progress.disable ();
+    Option.iter Obs.Export.stop recorder;
+    Option.iter Obs.Sink.unsubscribe bridge
+  in
+  let result = Fun.protect ~finally:finish f in
+  (match recorder with
+   | Some r ->
+     let events = Obs.Export.events r in
+     if Obs.Export.dropped r > 0 then
+       Format.eprintf "[obs] warning: %d events dropped (buffer limit)@."
+         (Obs.Export.dropped r);
+     let save what path write =
+       try
+         write path;
+         Format.eprintf "[obs] %s (%d events) -> %s@." what
+           (List.length events) path
+       with Sys_error msg ->
+         Format.eprintf "symsysc: cannot write %s: %s@." what msg
+     in
+     Option.iter
+       (fun path -> save "chrome trace" path (Obs.Export.save_chrome events))
+       o.trace_out;
+     Option.iter
+       (fun path -> save "event log" path (Obs.Export.save_jsonl events))
+       o.events_out
+   | None -> ());
+  record result;
+  Option.iter
+    (fun path ->
+       try
+         Obs.Metrics.save path;
+         Format.eprintf "[obs] metrics -> %s@." path
+       with Sys_error msg ->
+         Format.eprintf "symsysc: cannot write metrics: %s@." msg)
+    o.metrics_out;
+  result
+
 (* ---- run ---- *)
 
 let variant =
@@ -82,8 +188,12 @@ let coverage_flag =
   let doc = "Print branch-site coverage after the run." in
   Arg.(value & flag & info [ "coverage" ] ~doc)
 
+let solver_stats_flag =
+  let doc = "Print the per-stage solver breakdown after the run." in
+  Arg.(value & flag & info [ "solver-stats" ] ~doc)
+
 let run_cmd =
-  let run scenario variant faults coverage name =
+  let run scenario variant faults coverage solver_stats obs name =
     match Symsysc.Tests.by_name name with
     | None -> `Error (false, "unknown test " ^ name)
     | Some test ->
@@ -92,10 +202,16 @@ let run_cmd =
           (Symsysc.Tests.with_variant variant scenario.Symsysc.Verify.params)
       in
       let report =
-        Engine.run ~config:scenario.Symsysc.Verify.engine_config (test params)
+        with_obs obs ~record:Symsysc.Report.record_metrics (fun () ->
+            let report =
+              Engine.run ~config:scenario.Symsysc.Verify.engine_config
+                (test params)
+            in
+            Symsysc.Report.make (String.uppercase_ascii name) report)
       in
-      let report = Symsysc.Report.make (String.uppercase_ascii name) report in
       Format.printf "%a@." Symsysc.Report.pp report;
+      if solver_stats then
+        Format.printf "@.%a@." Symsysc.Report.pp_solver_breakdown report;
       List.iter
         (fun e ->
            Format.printf "@.%a@." Error.pp e;
@@ -116,14 +232,20 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       ret (const run $ scenario_term $ variant $ faults $ coverage_flag
-           $ test_name))
+           $ solver_stats_flag $ obs_term $ test_name))
 
 (* ---- table1 ---- *)
 
 let table1_cmd =
-  let run scenario =
-    let reports = Symsysc.Verify.table1 scenario in
+  let run scenario obs =
+    let reports =
+      with_obs obs
+        ~record:(List.iter Symsysc.Report.record_metrics)
+        (fun () -> Symsysc.Verify.table1 scenario)
+    in
     Symsysc.Tables.print_table1 Format.std_formatter reports;
+    Format.printf "@.where the solver time goes:@.";
+    Symsysc.Tables.print_solver_breakdown Format.std_formatter reports;
     List.iter
       (fun (r : Symsysc.Report.t) ->
          List.iter
@@ -134,7 +256,7 @@ let table1_cmd =
       reports
   in
   let doc = "Regenerate Table 1 (test results on the original PLIC)." in
-  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ scenario_term)
+  Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ scenario_term $ obs_term)
 
 (* ---- table2 ---- *)
 

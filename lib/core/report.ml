@@ -20,19 +20,74 @@ let solver_fraction t =
   if t.engine.Engine.wall_time <= 0.0 then 0.0
   else t.engine.Engine.solver_time /. t.engine.Engine.wall_time
 
+let cache_hit_rate t =
+  Smt.Solver.Stats.cache_hit_rate t.engine.Engine.solver_stats
+
 let verdict_to_string = function
   | Pass -> "Pass"
   | Fail n -> Printf.sprintf "Fail (%d)" n
 
 let pp ppf t =
   Format.fprintf ppf
-    "%s: %s — %d instr, %.2fs, %d paths, %.2f%% solver%s"
+    "%s: %s — %d instr, %.2fs, %d paths, %.2f%% solver, %d queries, \
+     %.1f%% cache%s"
     t.test_name
     (verdict_to_string t.verdict)
     t.engine.Engine.instructions t.engine.Engine.wall_time
     t.engine.Engine.paths
     (100.0 *. solver_fraction t)
+    t.engine.Engine.solver_queries
+    (100.0 *. cache_hit_rate t)
     (if t.engine.Engine.exhausted then "" else " (limits hit)")
+
+let pp_solver_breakdown ppf t =
+  let s = t.engine.Engine.solver_stats in
+  let pct part =
+    if s.Smt.Solver.Stats.time <= 0.0 then 0.0
+    else 100.0 *. part /. s.Smt.Solver.Stats.time
+  in
+  Format.fprintf ppf
+    "@[<v>solver breakdown for %s:@,\
+     \  queries      %6d (%d query-cache, %d cex-cache hits)@,\
+     \  interval     %6.3fs (%4.1f%%) — %d unsat, %d sat@,\
+     \  bit-blast    %6.3fs (%4.1f%%)@,\
+     \  sat          %6.3fs (%4.1f%%) — %d calls, %d conflicts, %d decisions, \
+     %d propagations@,\
+     \  total        %6.3fs@]"
+    t.test_name
+    s.Smt.Solver.Stats.queries s.Smt.Solver.Stats.cache_hits
+    s.Smt.Solver.Stats.cex_hits
+    s.Smt.Solver.Stats.interval_time (pct s.Smt.Solver.Stats.interval_time)
+    s.Smt.Solver.Stats.interval_unsat s.Smt.Solver.Stats.interval_sat
+    s.Smt.Solver.Stats.bitblast_time (pct s.Smt.Solver.Stats.bitblast_time)
+    s.Smt.Solver.Stats.sat_time (pct s.Smt.Solver.Stats.sat_time)
+    s.Smt.Solver.Stats.sat_calls s.Smt.Solver.Stats.sat_conflicts
+    s.Smt.Solver.Stats.sat_decisions s.Smt.Solver.Stats.sat_propagations
+    s.Smt.Solver.Stats.time
+
+(* Mirror the report into the Obs.Metrics registry so a --metrics-out
+   dump carries the run totals next to the event-derived counters. *)
+let record_metrics t =
+  let e = t.engine in
+  let s = e.Engine.solver_stats in
+  let g name v = Obs.Metrics.set (Obs.Metrics.gauge name) v in
+  let gi name v = g name (float_of_int v) in
+  gi "symsysc_engine_paths" e.Engine.paths;
+  gi "symsysc_engine_paths_completed" e.Engine.paths_completed;
+  gi "symsysc_engine_paths_errored" e.Engine.paths_errored;
+  gi "symsysc_engine_paths_infeasible" e.Engine.paths_infeasible;
+  gi "symsysc_engine_instructions" e.Engine.instructions;
+  gi "symsysc_engine_errors" (List.length e.Engine.errors);
+  g "symsysc_engine_wall_seconds" e.Engine.wall_time;
+  g "symsysc_solver_seconds" e.Engine.solver_time;
+  gi "symsysc_solver_queries" e.Engine.solver_queries;
+  g "symsysc_solver_cache_hit_rate" (Smt.Solver.Stats.cache_hit_rate s);
+  g "symsysc_solver_interval_seconds" s.Smt.Solver.Stats.interval_time;
+  g "symsysc_solver_bitblast_seconds" s.Smt.Solver.Stats.bitblast_time;
+  g "symsysc_solver_sat_seconds" s.Smt.Solver.Stats.sat_time;
+  gi "symsysc_solver_sat_conflicts" s.Smt.Solver.Stats.sat_conflicts;
+  gi "symsysc_solver_sat_decisions" s.Smt.Solver.Stats.sat_decisions;
+  gi "symsysc_solver_sat_propagations" s.Smt.Solver.Stats.sat_propagations
 
 let pp_errors ppf t =
   Format.fprintf ppf "@[<v>%a@]"

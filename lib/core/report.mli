@@ -16,10 +16,24 @@ val solver_fraction : t -> float
 (** Fraction of wall-clock time spent in the solver (Table 1's last
     column). *)
 
+val cache_hit_rate : t -> float
+(** Fraction of this run's solver queries answered by either solver
+    cache, in [0, 1]. *)
+
 val verdict_to_string : verdict -> string
 
 val pp : Format.formatter -> t -> unit
-(** One-line summary. *)
+(** One-line summary, including query count and cache hit rate. *)
+
+val pp_solver_breakdown : Format.formatter -> t -> unit
+(** Multi-line per-stage solver breakdown (interval prescreen,
+    bit-blasting, SAT search, cache hits, CDCL counters) — where the
+    solver fraction of Table 1 actually goes. *)
+
+val record_metrics : t -> unit
+(** Set [symsysc_*] gauges in {!Obs.Metrics} from this report (run
+    totals plus the per-stage solver breakdown), for the CLI's
+    [--metrics-out] dump. *)
 
 val pp_errors : Format.formatter -> t -> unit
 (** Detailed error list with counterexamples. *)

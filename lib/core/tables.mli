@@ -3,6 +3,10 @@
 val print_table1 : Format.formatter -> Report.t list -> unit
 (** Table 1: Test | Result | #Exec. Instr. | Time [s] | Paths | Solver. *)
 
+val print_solver_breakdown : Format.formatter -> Report.t list -> unit
+(** Companion to Table 1: per-test solver-stage breakdown (queries,
+    cache hit rate, interval/bit-blast/SAT seconds, CDCL conflicts). *)
+
 val print_table2 :
   Format.formatter -> tests:string list -> Verify.detection list -> unit
 (** Table 2: rows are tests, columns are bugs; cells are the rounded

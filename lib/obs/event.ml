@@ -1,0 +1,43 @@
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type kind =
+  | Instant
+  | Counter
+  | Span_begin
+  | Span_end
+  | Complete of float
+
+type t = {
+  ts : float;
+  cat : string;
+  name : string;
+  kind : kind;
+  args : (string * arg) list;
+}
+
+let kind_to_string = function
+  | Instant -> "i"
+  | Counter -> "C"
+  | Span_begin -> "B"
+  | Span_end -> "E"
+  | Complete _ -> "X"
+
+let pp_arg ppf = function
+  | Int n -> Format.pp_print_int ppf n
+  | Float f -> Format.fprintf ppf "%g" f
+  | Str s -> Format.fprintf ppf "%S" s
+  | Bool b -> Format.pp_print_bool ppf b
+
+let pp ppf e =
+  Format.fprintf ppf "[%.1fus] %s/%s %s" e.ts e.cat e.name
+    (kind_to_string e.kind);
+  (match e.kind with
+   | Complete dur -> Format.fprintf ppf " dur=%.1fus" dur
+   | Instant | Counter | Span_begin | Span_end -> ());
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_arg v)
+    e.args

@@ -1,0 +1,39 @@
+(** Structured telemetry events.
+
+    An event is a timestamped, categorized record with a small typed
+    argument list — deliberately shaped like one entry of the Chrome
+    trace-event format so every exporter is a plain serialization.
+
+    Categories used by the instrumented layers:
+    - ["engine"]  — {!Symex.Engine}: path lifecycle, forks, run totals;
+    - ["solver"]  — {!Smt.Solver}: query spans, cache hits, stage spans;
+    - ["kernel"]  — {!Pk.Scheduler}: delta cycles, event fires,
+      process resumptions, time advances;
+    - ["tlm"]     — {!Tlm.Router}: transaction routing spans. *)
+
+type arg =
+  | Int of int
+  | Float of float
+  | Str of string
+  | Bool of bool
+
+type kind =
+  | Instant            (** point-in-time marker (Chrome ph ["i"]) *)
+  | Counter            (** sampled counter values (Chrome ph ["C"]) *)
+  | Span_begin         (** opens a nested duration span (ph ["B"]) *)
+  | Span_end           (** closes the innermost open span (ph ["E"]) *)
+  | Complete of float  (** self-contained span with its duration in
+                           microseconds (ph ["X"]) *)
+
+type t = {
+  ts : float;                  (** microseconds since the sink epoch *)
+  cat : string;                (** subsystem category *)
+  name : string;
+  kind : kind;
+  args : (string * arg) list;
+}
+
+val kind_to_string : kind -> string
+(** The Chrome trace-event phase letter. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,166 @@
+type recorder = {
+  mutable rev_events : Event.t list;
+  mutable count : int;
+  limit : int;
+  mutable dropped : int;
+  mutable sub : int;
+}
+
+let recorder ?(limit = 2_000_000) () =
+  let r = { rev_events = []; count = 0; limit; dropped = 0; sub = -1 } in
+  r.sub <-
+    Sink.subscribe (fun e ->
+        if r.count >= r.limit then r.dropped <- r.dropped + 1
+        else begin
+          r.rev_events <- e :: r.rev_events;
+          r.count <- r.count + 1
+        end);
+  r
+
+let stop r = Sink.unsubscribe r.sub
+let events r = List.rev r.rev_events
+let dropped r = r.dropped
+
+(* ---- JSON helpers (hand-rolled: no JSON dependency in the tree) ---- *)
+
+let escape_json s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.3f" f
+
+let json_arg = function
+  | Event.Int n -> string_of_int n
+  | Event.Float f -> json_float f
+  | Event.Str s -> Printf.sprintf "\"%s\"" (escape_json s)
+  | Event.Bool b -> if b then "true" else "false"
+
+let json_args buf args =
+  Buffer.add_char buf '{';
+  List.iteri
+    (fun i (k, v) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Printf.bprintf buf "\"%s\":%s" (escape_json k) (json_arg v))
+    args;
+  Buffer.add_char buf '}'
+
+(* ---- Chrome trace-event JSON ---- *)
+
+(* One synthetic thread per category keeps Perfetto tracks readable:
+   engine spans do not nest inside solver spans and vice versa. *)
+let tid_table cats =
+  let tbl = Hashtbl.create 8 in
+  let next = ref 1 in
+  List.iter
+    (fun c ->
+       if not (Hashtbl.mem tbl c) then begin
+         Hashtbl.add tbl c !next;
+         incr next
+       end)
+    cats;
+  tbl
+
+let chrome_event buf ~pid ~tid (e : Event.t) =
+  Printf.bprintf buf
+    "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%s,\"pid\":%d,\"tid\":%d"
+    (escape_json e.Event.name) (escape_json e.Event.cat)
+    (Event.kind_to_string e.Event.kind)
+    (json_float e.Event.ts) pid tid;
+  (match e.Event.kind with
+   | Event.Complete dur -> Printf.bprintf buf ",\"dur\":%s" (json_float dur)
+   | Event.Instant -> Buffer.add_string buf ",\"s\":\"t\""
+   | Event.Counter | Event.Span_begin | Event.Span_end -> ());
+  if e.Event.args <> [] then begin
+    Buffer.add_string buf ",\"args\":";
+    json_args buf e.Event.args
+  end;
+  Buffer.add_char buf '}'
+
+let to_chrome ?(pid = 1) events =
+  let tids = tid_table (List.map (fun (e : Event.t) -> e.Event.cat) events) in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () =
+    if !first then first := false else Buffer.add_string buf ",\n"
+  in
+  (* Thread-name metadata so Perfetto labels each category track. *)
+  Hashtbl.fold (fun cat tid acc -> (cat, tid) :: acc) tids []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
+  |> List.iter (fun (cat, tid) ->
+      sep ();
+      Printf.bprintf buf
+        "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+        pid tid (escape_json cat));
+  List.iter
+    (fun (e : Event.t) ->
+       sep ();
+       chrome_event buf ~pid ~tid:(Hashtbl.find tids e.Event.cat) e)
+    events;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+(* ---- JSONL ---- *)
+
+let jsonl_event buf (e : Event.t) =
+  Printf.bprintf buf "{\"ts\":%s,\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"%s\""
+    (json_float e.Event.ts) (escape_json e.Event.cat)
+    (escape_json e.Event.name)
+    (Event.kind_to_string e.Event.kind);
+  (match e.Event.kind with
+   | Event.Complete dur -> Printf.bprintf buf ",\"dur\":%s" (json_float dur)
+   | Event.Instant | Event.Counter | Event.Span_begin | Event.Span_end -> ());
+  Buffer.add_string buf ",\"args\":";
+  json_args buf e.Event.args;
+  Buffer.add_string buf "}\n"
+
+let to_jsonl events =
+  let buf = Buffer.create 4096 in
+  List.iter (jsonl_event buf) events;
+  Buffer.contents buf
+
+let save_string path s =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc s)
+
+let save_chrome ?pid events path = save_string path (to_chrome ?pid events)
+let save_jsonl events path = save_string path (to_jsonl events)
+
+(* ---- event -> metrics bridge ---- *)
+
+let sanitize name =
+  String.map
+    (fun c ->
+       match c with
+       | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+       | _ -> '_')
+    name
+
+let metrics_bridge () =
+  Sink.subscribe (fun (e : Event.t) ->
+      let base = sanitize (e.Event.cat ^ "_" ^ e.Event.name) in
+      (match e.Event.kind with
+       | Event.Instant | Event.Complete _ | Event.Span_begin ->
+         Metrics.inc (Metrics.counter (base ^ "_total"))
+       | Event.Span_end | Event.Counter -> ());
+      match e.Event.kind with
+      | Event.Complete dur ->
+        Metrics.observe (Metrics.histogram (base ^ "_seconds")) (dur *. 1e-6)
+      | Event.Instant | Event.Counter | Event.Span_begin | Event.Span_end ->
+        ())

@@ -1,0 +1,43 @@
+(** Event consumers: in-memory recording and serialization to the
+    Chrome trace-event format, JSONL, and the {!Metrics} registry.
+
+    All serializers are hand-rolled (the tree carries no JSON
+    dependency) and deterministic. *)
+
+type recorder
+
+val recorder : ?limit:int -> unit -> recorder
+(** Subscribe a bounded in-memory event buffer to the {!Sink} (default
+    limit: 2M events; later events are counted as dropped). *)
+
+val stop : recorder -> unit
+(** Unsubscribe; recorded events stay readable. *)
+
+val events : recorder -> Event.t list
+(** Recorded events in emission order. *)
+
+val dropped : recorder -> int
+
+val to_chrome : ?pid:int -> Event.t list -> string
+(** A complete Chrome trace-event JSON document
+    ([{"traceEvents":[...]}]), loadable in Perfetto /
+    [about://tracing].  Each category is mapped to its own synthetic
+    thread (with [thread_name] metadata) so subsystem spans render as
+    separate tracks. *)
+
+val to_jsonl : Event.t list -> string
+(** One JSON object per line: [ts], [cat], [name], [ph], optional
+    [dur], and [args]. *)
+
+val save_chrome : ?pid:int -> Event.t list -> string -> unit
+val save_jsonl : Event.t list -> string -> unit
+
+val metrics_bridge : unit -> int
+(** Subscribe a folder that mirrors the event stream into {!Metrics}:
+    every instant/complete/span-begin event [cat/name] increments
+    counter [<cat>_<name>_total], and every complete span observes its
+    duration (in seconds) into histogram [<cat>_<name>_seconds].
+    Returns the subscription id (for {!Sink.unsubscribe}). *)
+
+val escape_json : string -> string
+(** JSON string-body escaping (exposed for the exporter tests). *)

@@ -1,0 +1,137 @@
+type counter = { c_name : string; c_help : string; mutable c_value : int }
+
+type gauge = { g_name : string; g_help : string; mutable g_value : float }
+
+type histogram = {
+  h_name : string;
+  h_help : string;
+  h_buckets : float array;            (* upper bounds, ascending *)
+  h_counts : int array;               (* per-bucket, same length *)
+  mutable h_inf : int;                (* observations above the last bound *)
+  mutable h_sum : float;
+}
+
+type metric = C of counter | G of gauge | H of histogram
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let find_or_add name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+    let m = make () in
+    Hashtbl.add registry name m;
+    m
+
+let invalid_reuse name =
+  invalid_arg
+    (Printf.sprintf "Obs.Metrics: %s already registered with another type" name)
+
+let counter ?(help = "") name =
+  match
+    find_or_add name (fun () -> C { c_name = name; c_help = help; c_value = 0 })
+  with
+  | C c -> c
+  | G _ | H _ -> invalid_reuse name
+
+let gauge ?(help = "") name =
+  match
+    find_or_add name (fun () ->
+        G { g_name = name; g_help = help; g_value = 0.0 })
+  with
+  | G g -> g
+  | C _ | H _ -> invalid_reuse name
+
+let default_buckets =
+  [| 1e-5; 1e-4; 1e-3; 5e-3; 0.01; 0.05; 0.1; 0.5; 1.0; 5.0 |]
+
+let histogram ?(help = "") ?(buckets = default_buckets) name =
+  match
+    find_or_add name (fun () ->
+        let buckets = Array.copy buckets in
+        Array.sort Float.compare buckets;
+        H
+          {
+            h_name = name;
+            h_help = help;
+            h_buckets = buckets;
+            h_counts = Array.make (Array.length buckets) 0;
+            h_inf = 0;
+            h_sum = 0.0;
+          })
+  with
+  | H h -> h
+  | C _ | G _ -> invalid_reuse name
+
+let inc ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+
+let set g v = g.g_value <- v
+let gauge_value g = g.g_value
+
+let observe h v =
+  h.h_sum <- h.h_sum +. v;
+  let n = Array.length h.h_buckets in
+  let rec place i =
+    if i >= n then h.h_inf <- h.h_inf + 1
+    else if v <= h.h_buckets.(i) then h.h_counts.(i) <- h.h_counts.(i) + 1
+    else place (i + 1)
+  in
+  place 0
+
+let histogram_count h = Array.fold_left ( + ) h.h_inf h.h_counts
+let histogram_sum h = h.h_sum
+
+let reset () = Hashtbl.reset registry
+
+(* Prometheus float formatting: integers print bare, everything else in
+   shortest-roundtrip style. *)
+let pr_float f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%g" f
+
+let render_metric buf = function
+  | C c ->
+    if c.c_help <> "" then
+      Printf.bprintf buf "# HELP %s %s\n" c.c_name c.c_help;
+    Printf.bprintf buf "# TYPE %s counter\n" c.c_name;
+    Printf.bprintf buf "%s %d\n" c.c_name c.c_value
+  | G g ->
+    if g.g_help <> "" then
+      Printf.bprintf buf "# HELP %s %s\n" g.g_name g.g_help;
+    Printf.bprintf buf "# TYPE %s gauge\n" g.g_name;
+    Printf.bprintf buf "%s %s\n" g.g_name (pr_float g.g_value)
+  | H h ->
+    if h.h_help <> "" then
+      Printf.bprintf buf "# HELP %s %s\n" h.h_name h.h_help;
+    Printf.bprintf buf "# TYPE %s histogram\n" h.h_name;
+    let cum = ref 0 in
+    Array.iteri
+      (fun i le ->
+         cum := !cum + h.h_counts.(i);
+         Printf.bprintf buf "%s_bucket{le=\"%s\"} %d\n" h.h_name
+           (pr_float le) !cum)
+      h.h_buckets;
+    Printf.bprintf buf "%s_bucket{le=\"+Inf\"} %d\n" h.h_name
+      (!cum + h.h_inf);
+    Printf.bprintf buf "%s_sum %s\n" h.h_name (pr_float h.h_sum);
+    Printf.bprintf buf "%s_count %d\n" h.h_name (histogram_count h)
+
+let metric_name = function
+  | C c -> c.c_name
+  | G g -> g.g_name
+  | H h -> h.h_name
+
+let render () =
+  let buf = Buffer.create 1024 in
+  Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+  |> List.sort (fun a b -> String.compare (metric_name a) (metric_name b))
+  |> List.iter (render_metric buf);
+  Buffer.contents buf
+
+let save path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (render ()))

@@ -1,0 +1,41 @@
+(** A process-global counter/gauge/histogram registry with a
+    Prometheus text-exposition dump.
+
+    Metrics are registered by name; registering the same name twice
+    with the same type returns the existing instance (so independent
+    subsystems can share a metric), while a type clash raises
+    [Invalid_argument].  Rendering is deterministic: metrics are
+    emitted sorted by name. *)
+
+type counter
+type gauge
+type histogram
+
+val counter : ?help:string -> string -> counter
+val inc : ?by:int -> counter -> unit
+val counter_value : counter -> int
+
+val gauge : ?help:string -> string -> gauge
+val set : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val default_buckets : float array
+(** Seconds-scale latency buckets: 10us .. 5s. *)
+
+val histogram : ?help:string -> ?buckets:float array -> string -> histogram
+(** [buckets] are upper bounds; they are sorted internally and an
+    implicit [+Inf] bucket is always appended. *)
+
+val observe : histogram -> float -> unit
+val histogram_count : histogram -> int
+val histogram_sum : histogram -> float
+
+val render : unit -> string
+(** Prometheus text format: [# HELP]/[# TYPE] headers, cumulative
+    [_bucket{le="..."}] lines, [_sum]/[_count] per histogram. *)
+
+val save : string -> unit
+(** Write [render ()] to a file. *)
+
+val reset : unit -> unit
+(** Drop every registered metric (tests, fresh CLI runs). *)

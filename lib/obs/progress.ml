@@ -1,0 +1,68 @@
+type snapshot = {
+  paths : int;
+  instructions : int;
+  frontier : int;
+  errors : int;
+  solver_time : float;
+  solver_queries : int;
+  cache_hits : int;
+  wall : float;
+}
+
+type state = {
+  st_interval : int;
+  out : Format.formatter;
+  mutable last : snapshot option;
+  mutable lines : int;
+}
+
+let state : state option ref = ref None
+
+let configure ?(out = Format.err_formatter) ~interval () =
+  if interval <= 0 then invalid_arg "Obs.Progress.configure: interval < 1";
+  state := Some { st_interval = interval; out; last = None; lines = 0 }
+
+let disable () = state := None
+
+let interval () =
+  match !state with None -> None | Some s -> Some s.st_interval
+
+let due ~paths =
+  match !state with
+  | None -> false
+  | Some s -> paths > 0 && paths mod s.st_interval = 0
+
+let rate num den = if den <= 0.0 then 0.0 else num /. den
+
+let tick snap =
+  match !state with
+  | None -> ()
+  | Some s ->
+    (* Rates are computed over the window since the previous line, so a
+       stall is visible immediately rather than averaged away. *)
+    let prev =
+      match s.last with
+      | Some p -> p
+      | None ->
+        { paths = 0; instructions = 0; frontier = 0; errors = 0;
+          solver_time = 0.0; solver_queries = 0; cache_hits = 0; wall = 0.0 }
+    in
+    let dt = snap.wall -. prev.wall in
+    let pps = rate (float_of_int (snap.paths - prev.paths)) dt in
+    let ips = rate (float_of_int (snap.instructions - prev.instructions)) dt in
+    let solver_frac = 100.0 *. rate snap.solver_time snap.wall in
+    let cache_frac =
+      100.0 *. rate (float_of_int snap.cache_hits)
+        (float_of_int snap.solver_queries)
+    in
+    if s.lines mod 20 = 0 then
+      Format.fprintf s.out
+        "[obs] %8s %9s %10s %11s %8s %8s %7s %7s@."
+        "paths" "paths/s" "instr" "instr/s" "frontier" "solver%" "cache%"
+        "errors";
+    Format.fprintf s.out
+      "[obs] %8d %9.1f %10d %11.1f %8d %7.1f%% %6.1f%% %7d@."
+      snap.paths pps snap.instructions ips snap.frontier solver_frac
+      cache_frac snap.errors;
+    s.lines <- s.lines + 1;
+    s.last <- Some snap

@@ -1,0 +1,35 @@
+(** Live exploration statistics — the [klee-stats
+    --stats-write-interval] analogue.
+
+    The engine calls {!due} after every finished path (one ref read
+    plus a [mod] when configured, one ref read when not) and, when it
+    returns true, assembles a {!snapshot} and calls {!tick}, which
+    appends one stats line to the configured formatter.  Rates
+    (paths/s, instructions/s) are computed over the window since the
+    previous line; solver fraction and cache hit rate are cumulative. *)
+
+type snapshot = {
+  paths : int;
+  instructions : int;
+  frontier : int;          (** pending path prefixes *)
+  errors : int;            (** distinct errors so far *)
+  solver_time : float;     (** cumulative seconds in the solver *)
+  solver_queries : int;    (** cumulative solver queries *)
+  cache_hits : int;        (** query-cache + counterexample-cache hits *)
+  wall : float;            (** seconds since the run started *)
+}
+
+val configure : ?out:Format.formatter -> interval:int -> unit -> unit
+(** Print a stats line every [interval] finished paths (default
+    destination: stderr).  Raises [Invalid_argument] when
+    [interval < 1]. *)
+
+val disable : unit -> unit
+
+val interval : unit -> int option
+
+val due : paths:int -> bool
+(** True when a line should be printed after path number [paths]. *)
+
+val tick : snapshot -> unit
+(** Print one stats line (no-op when not configured). *)

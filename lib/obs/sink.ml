@@ -1,0 +1,69 @@
+(* The global event sink.  [enabled] mirrors "at least one subscriber
+   is installed" so instrumentation sites pay a single ref read on the
+   fast path; everything heavier (timestamping, arg construction,
+   dispatch) only happens behind that check. *)
+
+let enabled = ref false
+
+let subscribers : (int * (Event.t -> unit)) list ref = ref []
+let next_id = ref 0
+
+let epoch = ref nan
+
+let refresh_enabled () = enabled := !subscribers <> []
+
+let on () = !enabled
+
+let now_us () =
+  let t = Unix.gettimeofday () in
+  if Float.is_nan !epoch then epoch := t;
+  (t -. !epoch) *. 1e6
+
+let subscribe f =
+  if Float.is_nan !epoch then epoch := Unix.gettimeofday ();
+  let id = !next_id in
+  incr next_id;
+  subscribers := (id, f) :: !subscribers;
+  refresh_enabled ();
+  id
+
+let unsubscribe id =
+  subscribers := List.filter (fun (i, _) -> i <> id) !subscribers;
+  refresh_enabled ()
+
+let reset () =
+  subscribers := [];
+  epoch := nan;
+  refresh_enabled ()
+
+let dispatch e = List.iter (fun (_, f) -> f e) !subscribers
+
+let emit ?(args = []) ~cat ~name kind =
+  if !enabled then
+    dispatch { Event.ts = now_us (); cat; name; kind; args }
+
+let instant ?args ~cat name = emit ?args ~cat ~name Event.Instant
+let counter ?args ~cat name = emit ?args ~cat ~name Event.Counter
+let span_begin ?args ~cat name = emit ?args ~cat ~name Event.Span_begin
+let span_end ?args ~cat name = emit ?args ~cat ~name Event.Span_end
+
+let complete ?(args = []) ~cat ~dur_us name =
+  (* Chrome "X" events are stamped at span start; the caller measured
+     the duration itself, so backdate the emission timestamp. *)
+  if !enabled then
+    dispatch
+      { Event.ts = Float.max 0.0 (now_us () -. dur_us); cat; name;
+        kind = Event.Complete dur_us; args }
+
+let with_span ?args ~cat name f =
+  if not !enabled then f ()
+  else begin
+    let t0 = now_us () in
+    let finish () =
+      let t1 = now_us () in
+      dispatch
+        { Event.ts = t0; cat; name; kind = Event.Complete (t1 -. t0);
+          args = (match args with Some a -> a | None -> []) }
+    in
+    Fun.protect ~finally:finish f
+  end

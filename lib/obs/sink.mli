@@ -1,0 +1,59 @@
+(** The global event sink.
+
+    Instrumentation sites across the engine, solver, kernel and TLM
+    layers emit {!Event.t} values here; consumers ({!Export.recorder},
+    {!Export.metrics_bridge}, ad-hoc subscribers) register callbacks.
+
+    {b Cost discipline}: [enabled] is true exactly while at least one
+    subscriber is installed.  Instrumentation sites must guard any
+    argument construction with [if !Sink.enabled then ...] (or call
+    [emit], which performs the same check before timestamping), so a
+    run without subscribers pays one ref read per site. *)
+
+val enabled : bool ref
+(** Read-only mirror of "has subscribers" — read it inline on hot
+    paths; do not write it (subscribe/unsubscribe maintain it). *)
+
+val on : unit -> bool
+
+val subscribe : (Event.t -> unit) -> int
+(** Install a callback; returns a subscription id.  The first
+    subscription pins the timestamp epoch. *)
+
+val unsubscribe : int -> unit
+
+val reset : unit -> unit
+(** Drop all subscribers and the epoch (tests). *)
+
+val now_us : unit -> float
+(** Microseconds since the sink epoch (pinned on first use). *)
+
+val emit :
+  ?args:(string * Event.arg) list ->
+  cat:string -> name:string -> Event.kind -> unit
+(** Timestamp and dispatch an event; no-op when disabled. *)
+
+val instant :
+  ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val counter :
+  ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val span_begin :
+  ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val span_end :
+  ?args:(string * Event.arg) list -> cat:string -> string -> unit
+
+val complete :
+  ?args:(string * Event.arg) list ->
+  cat:string -> dur_us:float -> string -> unit
+(** A self-contained [Complete] span whose duration the caller already
+    measured; the event timestamp is backdated by [dur_us] so the span
+    renders at its start. *)
+
+val with_span :
+  ?args:(string * Event.arg) list ->
+  cat:string -> string -> (unit -> 'a) -> 'a
+(** Time [f] and emit a [Complete] span stamped at its start; when the
+    sink is disabled this is exactly [f ()]. *)

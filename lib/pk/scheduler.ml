@@ -74,6 +74,12 @@ let enqueue_ready t pid = t.ready <- pid :: t.ready
    (whose epoch moved on) are dropped. *)
 let fire_event t (ev : Event.t) =
   t.events_fired <- t.events_fired + 1;
+  if !Obs.Sink.enabled then
+    Obs.Sink.instant ~cat:"kernel" "event:fired"
+      ~args:
+        [ ("event", Obs.Event.Str ev.Event.ev_name);
+          ("waiters", Obs.Event.Int (List.length ev.Event.waiters));
+          ("sim_ps", Obs.Event.Int (Int64.to_int (Sc_time.to_ps t.time))) ];
   ev.Event.pending <- Event.Not_notified;
   let waiters = List.rev ev.Event.waiters in
   ev.Event.waiters <- [];
@@ -162,6 +168,13 @@ let run_evaluation t guard =
            incr guard;
            t.activations <- t.activations + 1;
            if !guard > 1_000_000 then raise Activation_limit_exceeded;
+           if !Obs.Sink.enabled then
+             Obs.Sink.instant ~cat:"kernel" "resume"
+               ~args:
+                 [ ("process", Obs.Event.Str p.Process.proc_name);
+                   ("pid", Obs.Event.Int pid);
+                   ("sim_ps",
+                    Obs.Event.Int (Int64.to_int (Sc_time.to_ps t.time))) ];
            p.Process.status <- Process.Ready;
            let w = p.Process.body () in
            register_wait t p w
@@ -174,6 +187,13 @@ let run_delta t =
   if t.delta_events = [] && t.delta_procs = [] then false
   else begin
     t.delta_cycles <- t.delta_cycles + 1;
+    if !Obs.Sink.enabled then
+      Obs.Sink.instant ~cat:"kernel" "delta-cycle"
+        ~args:
+          [ ("cycle", Obs.Event.Int t.delta_cycles);
+            ("events", Obs.Event.Int (List.length t.delta_events));
+            ("processes", Obs.Event.Int (List.length t.delta_procs));
+            ("sim_ps", Obs.Event.Int (Int64.to_int (Sc_time.to_ps t.time))) ];
     let evs = List.rev t.delta_events in
     t.delta_events <- [];
     let procs = List.rev t.delta_procs in
@@ -233,6 +253,10 @@ let step t =
   | Some first ->
     t.time <- first.at;
     t.time_advances <- t.time_advances + 1;
+    if !Obs.Sink.enabled then
+      Obs.Sink.instant ~cat:"kernel" "time-advance"
+        ~args:
+          [ ("sim_ps", Obs.Event.Int (Int64.to_int (Sc_time.to_ps t.time))) ];
     (* Fire every live entry scheduled for this timestamp. *)
     let continue = ref true in
     while !continue do

@@ -11,22 +11,54 @@ module Stats = struct
     interval_unsat : int;
     interval_sat : int;
     sat_calls : int;
+    sat_conflicts : int;
+    sat_decisions : int;
+    sat_propagations : int;
     time : float;
+    interval_time : float;
+    bitblast_time : float;
+    sat_time : float;
   }
 
   let zero =
     { queries = 0; cache_hits = 0; cex_hits = 0; interval_unsat = 0;
-      interval_sat = 0; sat_calls = 0; time = 0.0 }
+      interval_sat = 0; sat_calls = 0; sat_conflicts = 0; sat_decisions = 0;
+      sat_propagations = 0; time = 0.0; interval_time = 0.0;
+      bitblast_time = 0.0; sat_time = 0.0 }
 
   let current = ref zero
   let get () = !current
   let reset () = current := zero
 
+  let sub a b =
+    {
+      queries = a.queries - b.queries;
+      cache_hits = a.cache_hits - b.cache_hits;
+      cex_hits = a.cex_hits - b.cex_hits;
+      interval_unsat = a.interval_unsat - b.interval_unsat;
+      interval_sat = a.interval_sat - b.interval_sat;
+      sat_calls = a.sat_calls - b.sat_calls;
+      sat_conflicts = a.sat_conflicts - b.sat_conflicts;
+      sat_decisions = a.sat_decisions - b.sat_decisions;
+      sat_propagations = a.sat_propagations - b.sat_propagations;
+      time = a.time -. b.time;
+      interval_time = a.interval_time -. b.interval_time;
+      bitblast_time = a.bitblast_time -. b.bitblast_time;
+      sat_time = a.sat_time -. b.sat_time;
+    }
+
+  let cache_hit_rate t =
+    if t.queries = 0 then 0.0
+    else float_of_int (t.cache_hits + t.cex_hits) /. float_of_int t.queries
+
   let pp ppf t =
     Format.fprintf ppf
-      "queries=%d cache=%d cex=%d itv-unsat=%d itv-sat=%d sat-calls=%d time=%.3fs"
+      "queries=%d cache=%d cex=%d itv-unsat=%d itv-sat=%d sat-calls=%d \
+       conflicts=%d decisions=%d propagations=%d time=%.3fs \
+       (itv=%.3fs blast=%.3fs sat=%.3fs)"
       t.queries t.cache_hits t.cex_hits t.interval_unsat t.interval_sat
-      t.sat_calls t.time
+      t.sat_calls t.sat_conflicts t.sat_decisions t.sat_propagations t.time
+      t.interval_time t.bitblast_time t.sat_time
 end
 
 let caching = ref true
@@ -69,19 +101,67 @@ let all_vars constraints =
   Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
   |> List.sort (fun (a : Expr.var) b -> Int.compare a.Expr.var_id b.Expr.var_id)
 
+let outcome_to_string = function
+  | Sat _ -> "sat"
+  | Unsat -> "unsat"
+  | Unknown _ -> "unknown"
+
+(* Per-stage wall time is accumulated unconditionally (two clock reads
+   per stage, dwarfed by the stage itself) so the solver breakdown is
+   available in every report, not only under tracing. *)
+let stage name timef record f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  Stats.(current := timef !current dt);
+  if !Obs.Sink.enabled then
+    Obs.Sink.complete ~cat:"solver" ~dur_us:(dt *. 1e6)
+      ~args:(record r) name;
+  r
+
 let solve_with_sat ?conflict_limit constraints vars =
   let sat = Sat.create () in
-  let ctx = Bitblast.create sat in
-  List.iter (Bitblast.assert_true ctx) constraints;
-  match Sat.solve ?conflict_limit sat with
-  | Sat.Unsat -> Unsat
-  | Sat.Sat ->
+  let ctx =
+    stage "bitblast"
+      (fun s dt -> { s with Stats.bitblast_time = s.Stats.bitblast_time +. dt })
+      (fun _ -> [ ("vars", Obs.Event.Int (Sat.num_vars sat)) ])
+      (fun () ->
+         let ctx = Bitblast.create sat in
+         List.iter (Bitblast.assert_true ctx) constraints;
+         ctx)
+  in
+  let result =
+    stage "sat"
+      (fun s dt -> { s with Stats.sat_time = s.Stats.sat_time +. dt })
+      (fun r ->
+         [ ("result",
+            Obs.Event.Str
+              (match r with
+               | Ok Sat.Sat -> "sat"
+               | Ok Sat.Unsat -> "unsat"
+               | Error () -> "resource-exhausted"));
+           ("conflicts", Obs.Event.Int (Sat.stats_conflicts sat)) ])
+      (fun () ->
+         match Sat.solve ?conflict_limit sat with
+         | r -> Ok r
+         | exception Sat.Resource_exhausted -> Error ())
+  in
+  Stats.(
+    current :=
+      { !current with
+        sat_conflicts = !current.sat_conflicts + Sat.stats_conflicts sat;
+        sat_decisions = !current.sat_decisions + Sat.stats_decisions sat;
+        sat_propagations =
+          !current.sat_propagations + Sat.stats_propagations sat });
+  match result with
+  | Error () -> Unknown "conflict limit reached"
+  | Ok Sat.Unsat -> Unsat
+  | Ok Sat.Sat ->
     let model = Bitblast.extract_model ctx vars in
     (* Safety net: a model must satisfy the query by evaluation. *)
     if not (Model.satisfies model constraints) then
       failwith "Solver: internal error, SAT model fails evaluation";
     Sat model
-  | exception Sat.Resource_exhausted -> Unknown "conflict limit reached"
 
 let check_uncached ?conflict_limit constraints =
   let vars = all_vars constraints in
@@ -90,46 +170,69 @@ let check_uncached ?conflict_limit constraints =
   match cex with
   | Some m ->
     Stats.(current := { !current with cex_hits = !current.cex_hits + 1 });
+    if !Obs.Sink.enabled then Obs.Sink.instant ~cat:"solver" "cex-hit";
     Sat m
   | None ->
-    (* Interval prescreen. *)
-    let env = Interval.make_env () in
-    (match Interval.propagate env constraints with
-     | Interval.Definitely_unsat ->
+    (* Interval prescreen (range propagation plus candidate probing). *)
+    let prescreen =
+      stage "interval"
+        (fun s dt ->
+           { s with Stats.interval_time = s.Stats.interval_time +. dt })
+        (fun r ->
+           [ ("result",
+              Obs.Event.Str
+                (match r with
+                 | `Unsat -> "unsat"
+                 | `Model _ -> "model"
+                 | `Inconclusive -> "inconclusive")) ])
+        (fun () ->
+           let env = Interval.make_env () in
+           match Interval.propagate env constraints with
+           | Interval.Definitely_unsat -> `Unsat
+           | Interval.Unknown ->
+             (match
+                List.find_map
+                  (fun f ->
+                     let m = Model.of_fun vars f in
+                     if Model.satisfies m constraints then Some m else None)
+                  (Interval.candidates env vars)
+              with
+              | Some m -> `Model m
+              | None -> `Inconclusive))
+    in
+    (match prescreen with
+     | `Unsat ->
        Stats.(current := { !current with interval_unsat = !current.interval_unsat + 1 });
        Unsat
-     | Interval.Unknown ->
-       let candidate =
-         List.find_map
-           (fun f ->
-              let m = Model.of_fun vars f in
-              if Model.satisfies m constraints then Some m else None)
-           (Interval.candidates env vars)
-       in
-       match candidate with
-       | Some m ->
-         Stats.(current := { !current with interval_sat = !current.interval_sat + 1 });
-         remember_model m;
-         Sat m
-       | None ->
-         Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
-         let r = solve_with_sat ?conflict_limit constraints vars in
-         (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
-         r)
+     | `Model m ->
+       Stats.(current := { !current with interval_sat = !current.interval_sat + 1 });
+       remember_model m;
+       Sat m
+     | `Inconclusive ->
+       Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
+       let r = solve_with_sat ?conflict_limit constraints vars in
+       (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
+       r)
 
 let check ?conflict_limit constraints =
   let t0 = Unix.gettimeofday () in
   Stats.(current := { !current with queries = !current.queries + 1 });
-  let finish r =
+  let finish ~via r =
     let dt = Unix.gettimeofday () -. t0 in
     Stats.(current := { !current with time = !current.time +. dt });
+    if !Obs.Sink.enabled then
+      Obs.Sink.complete ~cat:"solver" ~dur_us:(dt *. 1e6)
+        ~args:
+          [ ("outcome", Obs.Event.Str (outcome_to_string r));
+            ("via", Obs.Event.Str via) ]
+        "query";
     r
   in
   (* Constant short-circuit. *)
   let constraints = List.filter (fun c -> Expr.to_bool c <> Some true) constraints in
   if List.exists (fun c -> Expr.to_bool c = Some false) constraints then
-    finish Unsat
-  else if constraints = [] then finish (Sat Model.empty)
+    finish ~via:"const" Unsat
+  else if constraints = [] then finish ~via:"const" (Sat Model.empty)
   else begin
     let key =
       List.sort_uniq Int.compare (List.map (fun (c : Expr.t) -> c.Expr.id) constraints)
@@ -137,13 +240,13 @@ let check ?conflict_limit constraints =
     match if !caching then Hashtbl.find_opt query_cache key else None with
     | Some r ->
       Stats.(current := { !current with cache_hits = !current.cache_hits + 1 });
-      finish r
+      finish ~via:"cache" r
     | None ->
       let r = check_uncached ?conflict_limit constraints in
       (match r with
        | Unknown _ -> ()
        | Sat _ | Unsat -> if !caching then Hashtbl.replace query_cache key r);
-      finish r
+      finish ~via:"pipeline" r
   end
 
 let is_sat ?conflict_limit constraints =

@@ -9,8 +9,12 @@
       unsatisfiable and proposes candidate assignments;
     + eager bit-blasting to CNF + CDCL SAT solving (the STP approach).
 
-    Wall-clock time spent in [check] is accumulated in {!Stats} so the
-    engine can report the solver-time fraction of Table 1. *)
+    Wall-clock time spent in [check] is accumulated in {!Stats} — both
+    the total and a per-stage breakdown (interval prescreen,
+    bit-blasting, SAT search) — so the engine can report the
+    solver-time fraction of Table 1 and where inside the solver it
+    goes.  When the {!Obs.Sink} is enabled, every query emits a
+    [solver/query] span plus per-stage spans. *)
 
 type outcome =
   | Sat of Model.t
@@ -36,6 +40,9 @@ val set_caching : bool -> unit
 (** Enable or disable both caches (enabled by default); used by the
     cache-ablation benchmark. *)
 
+val outcome_to_string : outcome -> string
+(** ["sat"], ["unsat"] or ["unknown"]. *)
+
 module Stats : sig
   type t = {
     queries : int;            (** calls to [check] *)
@@ -44,10 +51,24 @@ module Stats : sig
     interval_unsat : int;     (** proved unsat by interval propagation *)
     interval_sat : int;       (** model found from interval candidates *)
     sat_calls : int;          (** queries that reached the SAT solver *)
+    sat_conflicts : int;      (** CDCL conflicts, summed over queries *)
+    sat_decisions : int;      (** CDCL decisions, summed over queries *)
+    sat_propagations : int;   (** unit propagations, summed over queries *)
     time : float;             (** total seconds spent inside [check] *)
+    interval_time : float;    (** seconds in the interval prescreen *)
+    bitblast_time : float;    (** seconds bit-blasting to CNF *)
+    sat_time : float;         (** seconds in the CDCL search *)
   }
 
   val get : unit -> t
   val reset : unit -> unit
+
+  val sub : t -> t -> t
+  (** Component-wise difference — [sub after before] is the activity of
+      one exploration run. *)
+
+  val cache_hit_rate : t -> float
+  (** Fraction of queries answered by either cache, in [0, 1]. *)
+
   val pp : Format.formatter -> t -> unit
 end

@@ -30,6 +30,7 @@ type report = {
   wall_time : float;
   solver_time : float;
   solver_queries : int;
+  solver_stats : Solver.Stats.t;
   exhausted : bool;
   branch_coverage : (string * int) list;
 }
@@ -224,6 +225,12 @@ let branch ?(site = "branch") cond =
          | true, true ->
            let alt = Array.of_list (List.rev (false :: ps.taken)) in
            Search.push st.frontier ~site alt;
+           if !Obs.Sink.enabled then
+             Obs.Sink.instant ~cat:"engine" "fork"
+               ~args:
+                 [ ("site", Obs.Event.Str site);
+                   ("path", Obs.Event.Int ps.path_id);
+                   ("frontier", Obs.Event.Int (Search.length st.frontier)) ];
            take st ps cond true
          | true, false -> take st ps cond true
          | false, true -> take st ps cond false
@@ -290,6 +297,12 @@ let record_error st ps kind site message model =
       }
     in
     st.errors_rev <- err :: st.errors_rev;
+    if !Obs.Sink.enabled then
+      Obs.Sink.instant ~cat:"engine" "error"
+        ~args:
+          [ ("site", Obs.Event.Str site);
+            ("kind", Obs.Event.Str (Error.kind_to_string kind));
+            ("path", Obs.Event.Int ps.path_id) ];
     match st.cfg.stop_after_errors with
     | Some n when List.length st.errors_rev >= n ->
       st.exhausted <- false;
@@ -434,6 +447,11 @@ let run ?(config = default_config) body =
   in
   mode := Explore st;
   Search.push st.frontier ~site:"root" [||];
+  if !Obs.Sink.enabled then
+    Obs.Sink.instant ~cat:"engine" "run:start"
+      ~args:
+        [ ("strategy",
+           Obs.Event.Str (Search.strategy_to_string config.strategy)) ];
   let finish () = mode := Off in
   Fun.protect ~finally:finish (fun () ->
       (try
@@ -463,34 +481,89 @@ let run ?(config = default_config) body =
              in
              st.cur <- Some ps;
              st.n_paths <- st.n_paths + 1;
+             if !Obs.Sink.enabled then
+               Obs.Sink.span_begin ~cat:"engine" "path"
+                 ~args:
+                   [ ("path", Obs.Event.Int ps.path_id);
+                     ("prefix", Obs.Event.Int (Array.length prefix)) ];
+             let ended = ref false in
+             let end_path outcome =
+               if (not !ended) && !Obs.Sink.enabled then begin
+                 ended := true;
+                 Obs.Sink.span_end ~cat:"engine" "path"
+                   ~args:
+                     [ ("path", Obs.Event.Int ps.path_id);
+                       ("outcome", Obs.Event.Str outcome);
+                       ("frontier",
+                        Obs.Event.Int (Search.length st.frontier)) ]
+               end
+             in
              (try
-                body ();
-                st.n_completed <- st.n_completed + 1
-              with
-              | Terminate_path End_error -> st.n_errored <- st.n_errored + 1
-              | Terminate_path End_infeasible ->
-                st.n_infeasible <- st.n_infeasible + 1
-              | Stop_exploration as e -> raise e
-              | Check_failed _ as e -> raise e
-              | exn ->
-                (* An OCaml exception escaped the testbench: report it
-                   like KLEE reports an unhandled C++ exception. *)
-                let site = "exception:" ^ Printexc.to_string exn in
-                (match Solver.check ps.pc with
-                 | Solver.Sat m ->
-                   (try
-                      record_error st ps Error.Unhandled_exception site
-                        (Printexc.to_string exn) m
-                    with Stop_exploration as e ->
+                (try
+                   body ();
+                   st.n_completed <- st.n_completed + 1;
+                   end_path "completed"
+                 with
+                 | Terminate_path End_error ->
+                   st.n_errored <- st.n_errored + 1;
+                   end_path "error"
+                 | Terminate_path End_infeasible ->
+                   st.n_infeasible <- st.n_infeasible + 1;
+                   end_path "infeasible"
+                 | Stop_exploration as e -> raise e
+                 | Check_failed _ as e -> raise e
+                 | exn ->
+                   (* An OCaml exception escaped the testbench: report it
+                      like KLEE reports an unhandled C++ exception. *)
+                   let site = "exception:" ^ Printexc.to_string exn in
+                   (match Solver.check ps.pc with
+                    | Solver.Sat m ->
+                      (try
+                         record_error st ps Error.Unhandled_exception site
+                           (Printexc.to_string exn) m
+                       with Stop_exploration as e ->
+                         st.n_errored <- st.n_errored + 1;
+                         end_path "error";
+                         raise e);
                       st.n_errored <- st.n_errored + 1;
-                      raise e);
-                   st.n_errored <- st.n_errored + 1
-                 | Solver.Unsat | Solver.Unknown _ ->
-                   st.n_infeasible <- st.n_infeasible + 1));
-             st.cur <- None
+                      end_path "error"
+                    | Solver.Unsat | Solver.Unknown _ ->
+                      st.n_infeasible <- st.n_infeasible + 1;
+                      end_path "infeasible"))
+              with Stop_exploration as e ->
+                end_path "stopped";
+                st.cur <- None;
+                raise e);
+             st.cur <- None;
+             if Obs.Progress.due ~paths:st.n_paths then begin
+               let s = Solver.Stats.sub (Solver.Stats.get ()) solver_stats0 in
+               Obs.Progress.tick
+                 {
+                   Obs.Progress.paths = st.n_paths;
+                   instructions = instructions_so_far st;
+                   frontier = Search.length st.frontier;
+                   errors = List.length st.errors_rev;
+                   solver_time = s.Solver.Stats.time;
+                   solver_queries = s.Solver.Stats.queries;
+                   cache_hits =
+                     s.Solver.Stats.cache_hits + s.Solver.Stats.cex_hits;
+                   wall = elapsed st;
+                 }
+             end
          done
        with Stop_exploration -> ());
-      let solver_stats1 = Solver.Stats.get () in
+      let solver_stats =
+        Solver.Stats.sub (Solver.Stats.get ()) solver_stats0
+      in
+      if !Obs.Sink.enabled then
+        Obs.Sink.instant ~cat:"engine" "run:end"
+          ~args:
+            [ ("paths", Obs.Event.Int st.n_paths);
+              ("completed", Obs.Event.Int st.n_completed);
+              ("errored", Obs.Event.Int st.n_errored);
+              ("infeasible", Obs.Event.Int st.n_infeasible);
+              ("instructions", Obs.Event.Int (instructions_so_far st));
+              ("exhausted", Obs.Event.Bool st.exhausted) ];
       {
         errors = List.rev st.errors_rev;
         paths = st.n_paths;
@@ -499,10 +572,9 @@ let run ?(config = default_config) body =
         paths_infeasible = st.n_infeasible;
         instructions = instructions_so_far st;
         wall_time = elapsed st;
-        solver_time =
-          solver_stats1.Solver.Stats.time -. solver_stats0.Solver.Stats.time;
-        solver_queries =
-          solver_stats1.Solver.Stats.queries - solver_stats0.Solver.Stats.queries;
+        solver_time = solver_stats.Solver.Stats.time;
+        solver_queries = solver_stats.Solver.Stats.queries;
+        solver_stats;
         exhausted = st.exhausted;
         branch_coverage = Search.visit_counts st.frontier;
       })

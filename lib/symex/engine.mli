@@ -51,6 +51,10 @@ type report = {
   wall_time : float;            (** seconds *)
   solver_time : float;          (** seconds spent in the solver *)
   solver_queries : int;
+  solver_stats : Smt.Solver.Stats.t;
+      (** full solver activity of this run (per-stage times, cache
+          hits, SAT counters) — the difference of {!Smt.Solver.Stats}
+          snapshots taken around the run *)
   exhausted : bool;             (** the whole state space was explored *)
   branch_coverage : (string * int) list;
       (** executed branch sites with execution counts (KLEE-style

@@ -37,6 +37,7 @@ let hits tg addr =
 
 let transport t (p : Payload.t) delay =
   let delay = Pk.Sc_time.add delay t.latency in
+  let matched = ref "<unmapped>" in
   let rec route = function
     | [] ->
       p.Payload.response <- Payload.Address_error;
@@ -44,6 +45,7 @@ let transport t (p : Payload.t) delay =
     | tg :: rest ->
       if Value.truth ~site:("router:" ^ tg.tg_name) (hits tg p.Payload.addr)
       then begin
+        matched := tg.tg_name;
         let local =
           {
             p with
@@ -57,4 +59,21 @@ let transport t (p : Payload.t) delay =
       end
       else route rest
   in
-  route (List.rev t.rev_targets)
+  if not !Obs.Sink.enabled then route (List.rev t.rev_targets)
+  else begin
+    Obs.Sink.span_begin ~cat:"tlm" "txn"
+      ~args:
+        [ ("router", Obs.Event.Str t.rt_name);
+          ("cmd", Obs.Event.Str (Payload.command_to_string p.Payload.cmd)) ];
+    (* The span is closed even when routing forks a path and the engine
+       unwinds this frame with an exception. *)
+    Fun.protect
+      ~finally:(fun () ->
+          Obs.Sink.span_end ~cat:"tlm" "txn"
+            ~args:
+              [ ("target", Obs.Event.Str !matched);
+                ("response",
+                 Obs.Event.Str
+                   (Payload.response_to_string p.Payload.response)) ])
+      (fun () -> route (List.rev t.rev_targets))
+  end

@@ -5,6 +5,8 @@ let () =
     [
       ("smt", Test_smt.suite);
       ("pk", Test_pk.suite);
+      ("pk-trace", Test_trace.suite);
+      ("obs", Test_obs.suite);
       ("symex", Test_symex.suite);
       ("tlm", Test_tlm.suite);
       ("plic", Test_plic.suite);

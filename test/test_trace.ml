@@ -1,0 +1,117 @@
+(* Pk.Trace — the VCD waveform writer: identical-value collapsing,
+   multi-width signals, non-decreasing-time enforcement and a
+   golden-file check of the emitted VCD text. *)
+
+module Trace = Pk.Trace
+module Sc_time = Pk.Sc_time
+
+let test_identical_value_collapsing () =
+  let tr = Trace.create ~name:"collapse" () in
+  let s = Trace.signal tr "sig" in
+  Trace.change tr s (Sc_time.ns 1) 1L;
+  Trace.change tr s (Sc_time.ns 2) 1L;   (* same value: collapsed *)
+  Trace.change tr s (Sc_time.ns 3) 1L;   (* same value: collapsed *)
+  Trace.change tr s (Sc_time.ns 4) 0L;
+  Trace.change tr s (Sc_time.ns 5) 0L;   (* same value: collapsed *)
+  let vcd = Trace.to_vcd tr in
+  let value_lines =
+    String.split_on_char '\n' vcd
+    |> List.filter (fun l ->
+        String.length l > 0 && (l.[0] = '0' || l.[0] = '1'))
+  in
+  Alcotest.(check int) "only two value changes survive" 2
+    (List.length value_lines)
+
+let test_multi_width_signals () =
+  let tr = Trace.create ~name:"widths" () in
+  let bit = Trace.signal tr "bit" in
+  let bus = Trace.signal tr ~width:8 "bus" in
+  let wide = Trace.signal tr ~width:64 "wide" in
+  Trace.change_bool tr bit Sc_time.zero true;
+  Trace.change tr bus Sc_time.zero 0xA5L;
+  Trace.change tr wide Sc_time.zero Int64.min_int;
+  let vcd = Trace.to_vcd tr in
+  let lines = String.split_on_char '\n' vcd in
+  let has l = Alcotest.(check bool) l true (List.mem l lines) in
+  has "$var wire 1 ! bit $end";
+  has "$var wire 8 \" bus $end";
+  has "$var wire 64 # wide $end";
+  has "1!";
+  has "b10100101 \"";
+  has ("b1" ^ String.make 63 '0' ^ " #");
+  (* Widths outside 1..64 are rejected at declaration. *)
+  Alcotest.check_raises "width 0 rejected"
+    (Invalid_argument "Trace.signal: width in 1..64") (fun () ->
+        ignore (Trace.signal tr ~width:0 "bad"));
+  Alcotest.check_raises "width 65 rejected"
+    (Invalid_argument "Trace.signal: width in 1..64") (fun () ->
+        ignore (Trace.signal tr ~width:65 "bad"))
+
+let test_time_monotonicity () =
+  let tr = Trace.create ~name:"mono" () in
+  let s = Trace.signal tr "sig" in
+  Trace.change tr s (Sc_time.ns 10) 1L;
+  (* Equal time is allowed (delta-cycle updates)... *)
+  Trace.change tr s (Sc_time.ns 10) 0L;
+  (* ...but going backwards is not. *)
+  Alcotest.check_raises "backwards time rejected"
+    (Invalid_argument "Trace.change: time going backwards") (fun () ->
+        Trace.change tr s (Sc_time.ns 9) 1L);
+  (* The failed change must not have been recorded. *)
+  let vcd = Trace.to_vcd tr in
+  Alcotest.(check bool) "no #9000 section" false
+    (List.mem "#9000" (String.split_on_char '\n' vcd))
+
+let test_golden_vcd () =
+  let tr = Trace.create ~timescale:"1ps" ~name:"golden" () in
+  let clk = Trace.signal tr "clk" in
+  let data = Trace.signal tr ~width:4 "data" in
+  Trace.change tr clk Sc_time.zero 0L;
+  Trace.change tr data Sc_time.zero 3L;
+  Trace.change tr clk (Sc_time.ns 1) 1L;
+  Trace.change tr data (Sc_time.ns 1) 3L;   (* collapsed *)
+  Trace.change tr clk (Sc_time.ns 2) 0L;
+  Trace.change tr data (Sc_time.ns 2) 12L;
+  let expected =
+    "$comment golden $end\n\
+     $timescale 1ps $end\n\
+     $scope module golden $end\n\
+     $var wire 1 ! clk $end\n\
+     $var wire 4 \" data $end\n\
+     $upscope $end\n\
+     $enddefinitions $end\n\
+     #0\n\
+     0!\n\
+     b0011 \"\n\
+     #1000\n\
+     1!\n\
+     #2000\n\
+     0!\n\
+     b1100 \"\n"
+  in
+  Alcotest.(check string) "golden VCD" expected (Trace.to_vcd tr)
+
+let test_save_roundtrip () =
+  let tr = Trace.create ~name:"saved" () in
+  let s = Trace.signal tr "sig" in
+  Trace.change tr s Sc_time.zero 1L;
+  let path = Filename.temp_file "symsysc_trace" ".vcd" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+       Trace.save tr path;
+       let ic = open_in path in
+       let len = in_channel_length ic in
+       let contents = really_input_string ic len in
+       close_in ic;
+       Alcotest.(check string) "file matches to_vcd" (Trace.to_vcd tr)
+         contents)
+
+let suite =
+  [
+    ("collapsing: identical values", `Quick, test_identical_value_collapsing);
+    ("multi-width signals", `Quick, test_multi_width_signals);
+    ("time monotonicity", `Quick, test_time_monotonicity);
+    ("golden to_vcd", `Quick, test_golden_vcd);
+    ("save round-trip", `Quick, test_save_roundtrip);
+  ]
