@@ -21,6 +21,20 @@ module Engine = Symex.Engine
 module Config = Plic.Config
 module Fault = Plic.Fault
 
+let getenv_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> (try int_of_string v with Failure _ -> default)
+  | None -> default
+
+(* SYMSYSC_BENCH_SMOKE=1 runs every group once with a tiny quota and a
+   scaled-down table reproduction — enough for CI to prove that the
+   harness and both BENCH_*.json files stay generatable without paying
+   the full measurement cost. *)
+let smoke =
+  match Sys.getenv_opt "SYMSYSC_BENCH_SMOKE" with
+  | Some "" | Some "0" | None -> false
+  | Some _ -> true
+
 let bench_sources = 4
 let bench_limits =
   { Engine.no_limits with Engine.max_paths = Some 400 }
@@ -162,6 +176,31 @@ let solver_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Independence-slicing ablation: the whole Table 1 workload with the
+   solver's constraint-independence layer on vs off                    *)
+
+let table1_workload () =
+  let original = params Config.Original [] in
+  List.iter
+    (fun (_, test) -> ignore (Engine.run ~config:bench_config (test original)))
+    Symsysc.Tests.all
+
+let independence_tests =
+  [
+    Test.make ~name:"independence-on"
+      (Staged.stage (fun () ->
+           Smt.Solver.set_independence true;
+           Smt.Solver.clear_caches ();
+           table1_workload ()));
+    Test.make ~name:"independence-off"
+      (Staged.stage (fun () ->
+           Smt.Solver.set_independence false;
+           Smt.Solver.clear_caches ();
+           table1_workload ();
+           Smt.Solver.set_independence true));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* First-error vs exhaustive exploration (Section 5.3's observation)   *)
 
 let exploration_tests =
@@ -234,7 +273,8 @@ let clint_tests =
 (* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
-let bench_run_limit = 50
+let bench_run_limit = if smoke then 1 else 50
+let bench_quota_seconds = if smoke then 0.25 else 2.0
 
 (* (group, test, mean ms/run) rows accumulated for BENCH_1.json. *)
 let json_rows : (string * string * float option) list ref = ref []
@@ -246,8 +286,8 @@ let benchmark_group name tests =
   in
   let instances = Instance.[ monotonic_clock ] in
   let cfg =
-    Benchmark.cfg ~limit:bench_run_limit ~quota:(Time.second 2.0)
-      ~stabilize:false ()
+    Benchmark.cfg ~limit:bench_run_limit
+      ~quota:(Time.second bench_quota_seconds) ~stabilize:false ()
   in
   let raw = Benchmark.all cfg instances grouped in
   let results = Analyze.all ols Instance.monotonic_clock raw in
@@ -278,8 +318,8 @@ let write_bench_json path =
     |> List.rev
   in
   Buffer.add_string buf "{\"schema\":\"symsysc-bench-v1\",";
-  Printf.bprintf buf "\"runs\":%d,\"quota_seconds\":2.0,\"groups\":["
-    bench_run_limit;
+  Printf.bprintf buf "\"runs\":%d,\"quota_seconds\":%.2f,\"groups\":["
+    bench_run_limit bench_quota_seconds;
   List.iteri
     (fun gi g ->
        if gi > 0 then Buffer.add_char buf ',';
@@ -314,10 +354,148 @@ let write_bench_json path =
     ~finally:(fun () -> close_out oc)
     (fun () -> Buffer.output_buffer oc buf)
 
-let getenv_int name default =
-  match Sys.getenv_opt name with
-  | Some v -> (try int_of_string v with Failure _ -> default)
-  | None -> default
+(* ------------------------------------------------------------------ *)
+(* BENCH_2.json: instrumented independence on/off comparison.  One
+   cold-cache exploration per test per mode, recording solver activity
+   and the found error sites, so the sat-call/cache-hit effect of the
+   slicing layer (and the bug-set equivalence of the two modes) is
+   machine-checkable across PRs. *)
+
+type mode_row = {
+  m_test : string;
+  m_stats : Smt.Solver.Stats.t;
+  m_wall_ms : float;
+  m_sites : string list;
+}
+
+(* The slicing payoff grows with the number of independent interrupt
+   sources, so measure at the paper's reduced scale (8 sources) rather
+   than the 4-source micro-bench scale — except under smoke, where
+   only generatability matters. *)
+let independence_sources = if smoke then bench_sources else 8
+
+let instrumented_mode independence =
+  Smt.Solver.set_independence independence;
+  let original =
+    Symsysc.Tests.with_faults []
+      (Symsysc.Tests.with_variant Config.Original
+         (Symsysc.Tests.scaled_params ~num_sources:independence_sources
+            ~t5_max_len:(if smoke then 8 else 16)))
+  in
+  List.map
+    (fun (name, test) ->
+       Smt.Solver.clear_caches ();
+       let config =
+         if smoke then bench_config
+         else
+           { Engine.default_config with
+             Engine.limits =
+               { Engine.no_limits with Engine.max_paths = Some 20_000 } }
+       in
+       let before = Smt.Solver.Stats.get () in
+       let report = Engine.run ~config (test original) in
+       let stats = Smt.Solver.Stats.sub (Smt.Solver.Stats.get ()) before in
+       {
+         m_test = name;
+         m_stats = stats;
+         m_wall_ms = report.Engine.wall_time *. 1000.0;
+         m_sites =
+           List.sort String.compare
+             (List.map
+                (fun (e : Symex.Error.t) -> e.Symex.Error.site)
+                report.Engine.errors);
+       })
+    Symsysc.Tests.all
+
+let write_independence_json path =
+  let on_rows = instrumented_mode true in
+  let off_rows = instrumented_mode false in
+  Smt.Solver.set_independence true;
+  Smt.Solver.clear_caches ();
+  let total f rows =
+    List.fold_left (fun acc r -> acc + f r.m_stats) 0 rows
+  in
+  let sat_on = total (fun s -> s.Smt.Solver.Stats.sat_calls) on_rows in
+  let sat_off = total (fun s -> s.Smt.Solver.Stats.sat_calls) off_rows in
+  let hit_rate rows =
+    let slices = total (fun s -> s.Smt.Solver.Stats.slices) rows in
+    let hits = total (fun s -> s.Smt.Solver.Stats.slice_hits) rows in
+    if slices = 0 then 0.0 else float_of_int hits /. float_of_int slices
+  in
+  let buf = Buffer.create 4096 in
+  let row_json r =
+    let s = r.m_stats in
+    Printf.bprintf buf
+      "{\"test\":\"%s\",\"queries\":%d,\"slices\":%d,\"slice_hits\":%d,\
+       \"cache_hits\":%d,\"cex_hits\":%d,\"sat_calls\":%d,\
+       \"sat_conflicts\":%d,\"wall_ms\":%.3f,\"error_sites\":["
+      (Obs.Export.escape_json r.m_test)
+      s.Smt.Solver.Stats.queries s.Smt.Solver.Stats.slices
+      s.Smt.Solver.Stats.slice_hits s.Smt.Solver.Stats.cache_hits
+      s.Smt.Solver.Stats.cex_hits s.Smt.Solver.Stats.sat_calls
+      s.Smt.Solver.Stats.sat_conflicts r.m_wall_ms;
+    List.iteri
+      (fun i site ->
+         if i > 0 then Buffer.add_char buf ',';
+         Printf.bprintf buf "\"%s\"" (Obs.Export.escape_json site))
+      r.m_sites;
+    Buffer.add_string buf "]}"
+  in
+  let mode_json name rows =
+    Printf.bprintf buf "\"%s\":[" name;
+    List.iteri
+      (fun i r ->
+         if i > 0 then Buffer.add_char buf ',';
+         row_json r)
+      rows;
+    Buffer.add_char buf ']'
+  in
+  Buffer.add_string buf "{\"schema\":\"symsysc-bench-independence-v1\",";
+  Printf.bprintf buf "\"sources\":%d," independence_sources;
+  mode_json "independence_on" on_rows;
+  Buffer.add_char buf ',';
+  mode_json "independence_off" off_rows;
+  (* The aggregate hit rate is dominated by T5 (high in both modes);
+     the per-test gain is what shows the slicing payoff, so report the
+     best one explicitly (T2's path prefixes stay cached when fresh
+     interrupt-source variables are appended). *)
+  let per_test_rate r =
+    let s = r.m_stats in
+    if s.Smt.Solver.Stats.slices = 0 then 0.0
+    else
+      float_of_int s.Smt.Solver.Stats.slice_hits
+      /. float_of_int s.Smt.Solver.Stats.slices
+  in
+  let best_test, best_gain =
+    List.fold_left2
+      (fun (bt, bg) on off ->
+         let r_on = per_test_rate on and r_off = per_test_rate off in
+         let gain = if r_off = 0.0 then 0.0 else (r_on -. r_off) /. r_off in
+         if gain > bg then (on.m_test, gain) else (bt, bg))
+      ("", 0.0) on_rows off_rows
+  in
+  let conflicts rows =
+    total (fun s -> s.Smt.Solver.Stats.sat_conflicts) rows
+  in
+  Printf.bprintf buf
+    ",\"summary\":{\"sat_calls_on\":%d,\"sat_calls_off\":%d,\
+     \"sat_call_reduction\":%.4f,\"sat_conflicts_on\":%d,\
+     \"sat_conflicts_off\":%d,\"hit_rate_on\":%.4f,\"hit_rate_off\":%.4f,\
+     \"best_hit_rate_gain\":{\"test\":\"%s\",\"relative_gain\":%.4f},\
+     \"same_error_sites\":%b}}\n"
+    sat_on sat_off
+    (if sat_off = 0 then 0.0
+     else 1.0 -. (float_of_int sat_on /. float_of_int sat_off))
+    (conflicts on_rows) (conflicts off_rows)
+    (hit_rate on_rows) (hit_rate off_rows)
+    (Obs.Export.escape_json best_test) best_gain
+    (List.for_all2
+       (fun a b -> a.m_test = b.m_test && a.m_sites = b.m_sites)
+       on_rows off_rows);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
 
 let () =
   Format.printf "=== SymSysC benchmark harness ===@.@.";
@@ -332,6 +510,9 @@ let () =
   benchmark_group "sc_time" time_tests;
   Format.printf "@.-- Ablation: solver caches (24 queries) --@.";
   benchmark_group "solver" solver_tests;
+  Format.printf
+    "@.-- Ablation: constraint-independence slicing (Table 1 workload) --@.";
+  benchmark_group "independence" independence_tests;
   Format.printf "@.-- Ablation: first error vs exhaustive exploration (T1) --@.";
   benchmark_group "exploration" exploration_tests;
   Format.printf "@.-- Baseline: symbolic vs random testing (fault IF6) --@.";
@@ -340,13 +521,17 @@ let () =
   benchmark_group "clint" clint_tests;
   write_bench_json "BENCH_1.json";
   Format.printf "@.(machine-readable results written to BENCH_1.json)@.";
+  write_independence_json "BENCH_2.json";
+  Format.printf "(independence on/off comparison written to BENCH_2.json)@.";
 
   (* ---- the actual table reproductions ---- *)
-  let sources = getenv_int "SYMSYSC_SOURCES" 8 in
-  let t5_len = getenv_int "SYMSYSC_T5_LEN" 16 in
+  let sources = getenv_int "SYMSYSC_SOURCES" (if smoke then 4 else 8) in
+  let t5_len = getenv_int "SYMSYSC_T5_LEN" (if smoke then 8 else 16) in
   let scenario =
     Symsysc.Verify.scenario ~num_sources:sources ~t5_max_len:t5_len
-      ~max_paths:(getenv_int "SYMSYSC_MAX_PATHS" 20_000) ()
+      ~max_paths:
+        (getenv_int "SYMSYSC_MAX_PATHS" (if smoke then 500 else 20_000))
+      ()
   in
   Format.printf
     "@.=== Table 1: test results for the original PLIC (%d sources) ===@.@."

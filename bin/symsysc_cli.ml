@@ -32,6 +32,21 @@ let max_seconds =
   let doc = "Stop exploration after this many seconds." in
   Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"S" ~doc)
 
+let max_solver_conflicts =
+  let doc =
+    "Per-query SAT conflict budget; a query exceeding it kills only the \
+     current path (reported as non-exhaustive)."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "max-solver-conflicts" ] ~docv:"N" ~doc)
+
+let no_independence =
+  let doc =
+    "Disable constraint-independence slicing in the solver (solve every \
+     query as one monolithic constraint set)."
+  in
+  Arg.(value & flag & info [ "no-independence" ] ~doc)
+
 let strategy =
   let parse s =
     match Symex.Search.strategy_of_string s with
@@ -47,11 +62,15 @@ let strategy =
        & info [ "strategy" ] ~docv:"S" ~doc)
 
 let scenario_term =
-  let make interrupts t5_len max_paths max_seconds strategy =
+  let make interrupts t5_len max_paths max_seconds max_solver_conflicts
+      no_independence strategy =
+    Smt.Solver.set_independence (not no_independence);
     Symsysc.Verify.scenario ~num_sources:interrupts ~t5_max_len:t5_len
-      ?max_paths ?max_seconds ~strategy ()
+      ?max_paths ?max_seconds ?max_solver_conflicts ~strategy ()
   in
-  Term.(const make $ interrupts $ t5_len $ max_paths $ max_seconds $ strategy)
+  Term.(
+    const make $ interrupts $ t5_len $ max_paths $ max_seconds
+    $ max_solver_conflicts $ no_independence $ strategy)
 
 (* ---- observability options ---- *)
 

@@ -48,15 +48,16 @@ let pp_solver_breakdown ppf t =
   in
   Format.fprintf ppf
     "@[<v>solver breakdown for %s:@,\
-     \  queries      %6d (%d query-cache, %d cex-cache hits)@,\
+     \  queries      %6d@,\
+     \  slices       %6d (%d query-cache, %d cex-cache hits)@,\
      \  interval     %6.3fs (%4.1f%%) — %d unsat, %d sat@,\
      \  bit-blast    %6.3fs (%4.1f%%)@,\
      \  sat          %6.3fs (%4.1f%%) — %d calls, %d conflicts, %d decisions, \
      %d propagations@,\
      \  total        %6.3fs@]"
     t.test_name
-    s.Smt.Solver.Stats.queries s.Smt.Solver.Stats.cache_hits
-    s.Smt.Solver.Stats.cex_hits
+    s.Smt.Solver.Stats.queries s.Smt.Solver.Stats.slices
+    s.Smt.Solver.Stats.cache_hits s.Smt.Solver.Stats.cex_hits
     s.Smt.Solver.Stats.interval_time (pct s.Smt.Solver.Stats.interval_time)
     s.Smt.Solver.Stats.interval_unsat s.Smt.Solver.Stats.interval_sat
     s.Smt.Solver.Stats.bitblast_time (pct s.Smt.Solver.Stats.bitblast_time)
@@ -76,11 +77,14 @@ let record_metrics t =
   gi "symsysc_engine_paths_completed" e.Engine.paths_completed;
   gi "symsysc_engine_paths_errored" e.Engine.paths_errored;
   gi "symsysc_engine_paths_infeasible" e.Engine.paths_infeasible;
+  gi "symsysc_engine_paths_unknown" e.Engine.paths_unknown;
   gi "symsysc_engine_instructions" e.Engine.instructions;
   gi "symsysc_engine_errors" (List.length e.Engine.errors);
   g "symsysc_engine_wall_seconds" e.Engine.wall_time;
   g "symsysc_solver_seconds" e.Engine.solver_time;
   gi "symsysc_solver_queries" e.Engine.solver_queries;
+  gi "symsysc_solver_slices" s.Smt.Solver.Stats.slices;
+  gi "symsysc_solver_slice_hits" s.Smt.Solver.Stats.slice_hits;
   g "symsysc_solver_cache_hit_rate" (Smt.Solver.Stats.cache_hit_rate s);
   g "symsysc_solver_interval_seconds" s.Smt.Solver.Stats.interval_time;
   g "symsysc_solver_bitblast_seconds" s.Smt.Solver.Stats.bitblast_time;

@@ -26,19 +26,23 @@ let print_table1 ppf reports =
     reports
 
 (* Companion to Table 1: where the solver fraction actually goes.
-   Times are per exploration run; Cache is the fraction of queries the
-   two solver caches answered. *)
+   Times are per exploration run; Slices counts the independent
+   constraint slices examined and Cache the fraction of them the two
+   solver caches answered. *)
 let print_solver_breakdown ppf reports =
   Format.fprintf ppf
-    "| Test | Queries | Cache  | Itv [s] | Blast [s] | SAT [s] | Conflicts |@.";
+    "| Test | Queries | Slices  | Cache  | Itv [s] | Blast [s] | SAT [s] | \
+     Conflicts |@.";
   Format.fprintf ppf
-    "|------|---------|--------|---------|-----------|---------|-----------|@.";
+    "|------|---------|---------|--------|---------|-----------|---------|\
+     -----------|@.";
   List.iter
     (fun (r : Report.t) ->
        let s = r.Report.engine.Engine.solver_stats in
        Format.fprintf ppf
-         "| %-4s | %7d | %5.1f%% | %7.3f | %9.3f | %7.3f | %9d |@."
+         "| %-4s | %7d | %7d | %5.1f%% | %7.3f | %9.3f | %7.3f | %9d |@."
          r.Report.test_name s.Smt.Solver.Stats.queries
+         s.Smt.Solver.Stats.slices
          (100.0 *. Smt.Solver.Stats.cache_hit_rate s)
          s.Smt.Solver.Stats.interval_time s.Smt.Solver.Stats.bitblast_time
          s.Smt.Solver.Stats.sat_time s.Smt.Solver.Stats.sat_conflicts)

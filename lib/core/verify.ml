@@ -41,13 +41,14 @@ type scenario = {
 }
 
 let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?max_paths ?max_seconds
-    ?(strategy = Symex.Search.Dfs) () =
+    ?max_solver_conflicts ?(strategy = Symex.Search.Dfs) () =
   {
     params = Tests.scaled_params ~num_sources ~t5_max_len;
     engine_config =
       {
         Engine.strategy;
-        limits = { Engine.no_limits with max_paths; max_seconds };
+        limits =
+          { Engine.no_limits with max_paths; max_seconds; max_solver_conflicts };
         stop_after_errors = None;
       };
   }

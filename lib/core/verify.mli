@@ -31,12 +31,13 @@ val scenario :
   ?t5_max_len:int ->
   ?max_paths:int ->
   ?max_seconds:float ->
+  ?max_solver_conflicts:int ->
   ?strategy:Symex.Search.strategy ->
   unit ->
   scenario
 (** Build a scenario; defaults: FE310 scale reduced to [num_sources]
-    (default 8) and [t5_max_len] (default 16), no path/time limits
-    except those given. *)
+    (default 8) and [t5_max_len] (default 16), no path/time/solver
+    limits except those given. *)
 
 val run_test : scenario -> string -> Report.t
 (** Run one test (by name, "T1".."T5") on the scenario's variant and

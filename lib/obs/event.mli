@@ -5,8 +5,11 @@
     trace-event format so every exporter is a plain serialization.
 
     Categories used by the instrumented layers:
-    - ["engine"]  — {!Symex.Engine}: path lifecycle, forks, run totals;
-    - ["solver"]  — {!Smt.Solver}: query spans, cache hits, stage spans;
+    - ["engine"]  — {!Symex.Engine}: path lifecycle, forks,
+      solver-unknown path kills, run totals;
+    - ["solver"]  — {!Smt.Solver}: query spans, per-independence-slice
+      [slice] spans (outcome, via cache/cex/pipeline, constraint
+      count), stage spans;
     - ["kernel"]  — {!Pk.Scheduler}: delta cycles, event fires,
       process resumptions, time advances;
     - ["tlm"]     — {!Tlm.Router}: transaction routing spans. *)

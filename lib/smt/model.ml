@@ -18,6 +18,8 @@ let bindings t = List.map snd (Int_map.bindings t)
 let of_fun vars f =
   List.fold_left (fun m v -> add v (f v) m) empty vars
 
+let union a b = Int_map.union (fun _ binding _ -> Some binding) a b
+
 let eval t e = Expr.eval (find t) e
 let eval_bool t e = Expr.eval_bool (find t) e
 let satisfies t constraints = List.for_all (eval_bool t) constraints

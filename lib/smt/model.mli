@@ -17,6 +17,12 @@ val bindings : t -> (Expr.var * Bv.t) list
 
 val of_fun : Expr.var list -> (Expr.var -> Bv.t) -> t
 
+val union : t -> t -> t
+(** [union a b] merges two models; on a variable bound by both, [a]
+    wins.  Used by {!Solver} to combine the models of independent
+    constraint slices (whose variable sets are disjoint, so the choice
+    of winner never matters there). *)
+
 val eval : t -> Expr.t -> Bv.t
 (** Evaluate a bitvector term under the model. *)
 

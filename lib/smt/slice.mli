@@ -1,0 +1,28 @@
+(** Constraint-independence partitioning (KLEE's IndependentSolver).
+
+    A constraint set rarely needs to be solved as a whole: constraints
+    over disjoint variable sets cannot influence each other, so the set
+    splits into {e independent slices} — the connected components of
+    the graph whose nodes are constraints and whose edges are shared
+    variables.  {!Solver.check} solves each slice separately, keys its
+    caches per slice, and merges the per-slice models; an unchanged
+    path-condition prefix then stays cached when exploration appends a
+    constraint over fresh variables, which is the common case. *)
+
+val partition : Expr.t list -> Expr.t list list
+(** Partition a constraint list into independent slices.  Two
+    constraints land in the same slice iff they transitively share a
+    variable.  The result is deterministic: constraints keep their
+    input order within a slice, and slices are ordered by the position
+    of their first constraint.  Variable-free constraints (which only
+    arise for callers that bypass the simplifier's constant folding)
+    are grouped into one trailing slice of their own.
+
+    The union of the slices is exactly the input, so solving every
+    slice is equisatisfiable with solving the input, and — because the
+    variable sets are pairwise disjoint — the union of per-slice models
+    satisfies the whole set. *)
+
+val vars : Expr.t list -> Expr.var list
+(** All distinct variables of a constraint list, in increasing
+    [var_id] order. *)

@@ -6,6 +6,8 @@ type outcome =
 module Stats = struct
   type t = {
     queries : int;
+    slices : int;
+    slice_hits : int;
     cache_hits : int;
     cex_hits : int;
     interval_unsat : int;
@@ -21,9 +23,9 @@ module Stats = struct
   }
 
   let zero =
-    { queries = 0; cache_hits = 0; cex_hits = 0; interval_unsat = 0;
-      interval_sat = 0; sat_calls = 0; sat_conflicts = 0; sat_decisions = 0;
-      sat_propagations = 0; time = 0.0; interval_time = 0.0;
+    { queries = 0; slices = 0; slice_hits = 0; cache_hits = 0; cex_hits = 0;
+      interval_unsat = 0; interval_sat = 0; sat_calls = 0; sat_conflicts = 0;
+      sat_decisions = 0; sat_propagations = 0; time = 0.0; interval_time = 0.0;
       bitblast_time = 0.0; sat_time = 0.0 }
 
   let current = ref zero
@@ -33,6 +35,8 @@ module Stats = struct
   let sub a b =
     {
       queries = a.queries - b.queries;
+      slices = a.slices - b.slices;
+      slice_hits = a.slice_hits - b.slice_hits;
       cache_hits = a.cache_hits - b.cache_hits;
       cex_hits = a.cex_hits - b.cex_hits;
       interval_unsat = a.interval_unsat - b.interval_unsat;
@@ -48,58 +52,84 @@ module Stats = struct
     }
 
   let cache_hit_rate t =
-    if t.queries = 0 then 0.0
-    else float_of_int (t.cache_hits + t.cex_hits) /. float_of_int t.queries
+    if t.slices > 0 then float_of_int t.slice_hits /. float_of_int t.slices
+    else if t.queries > 0 then
+      float_of_int (t.cache_hits + t.cex_hits) /. float_of_int t.queries
+    else 0.0
 
   let pp ppf t =
     Format.fprintf ppf
-      "queries=%d cache=%d cex=%d itv-unsat=%d itv-sat=%d sat-calls=%d \
-       conflicts=%d decisions=%d propagations=%d time=%.3fs \
-       (itv=%.3fs blast=%.3fs sat=%.3fs)"
-      t.queries t.cache_hits t.cex_hits t.interval_unsat t.interval_sat
-      t.sat_calls t.sat_conflicts t.sat_decisions t.sat_propagations t.time
-      t.interval_time t.bitblast_time t.sat_time
+      "queries=%d slices=%d slice-hits=%d cache=%d cex=%d itv-unsat=%d \
+       itv-sat=%d sat-calls=%d conflicts=%d decisions=%d propagations=%d \
+       time=%.3fs (itv=%.3fs blast=%.3fs sat=%.3fs)"
+      t.queries t.slices t.slice_hits t.cache_hits t.cex_hits t.interval_unsat
+      t.interval_sat t.sat_calls t.sat_conflicts t.sat_decisions
+      t.sat_propagations t.time t.interval_time t.bitblast_time t.sat_time
 end
 
 let caching = ref true
 let set_caching b = caching := b
 
-(* Query cache: canonical key is the sorted list of term ids (terms are
-   hash-consed, so equal sets of constraints share a key). *)
+let independence = ref true
+let set_independence b = independence := b
+
+(* Per-slice query cache: the canonical key is the sorted list of term
+   ids of one independent slice (terms are hash-consed, so equal
+   constraint sets share a key).  With independence disabled the whole
+   constraint set is one slice, recovering the old whole-query cache. *)
 let query_cache : (int list, outcome) Hashtbl.t = Hashtbl.create 4096
 
-(* Counterexample cache: a bounded list of recently discovered models.
-   A model satisfying a superset query also satisfies this query, so
-   re-evaluating recent models is cheap and hits often. *)
-let recent_models : Model.t list ref = ref []
-let max_recent = 12
+(* Variable-indexed counterexample cache.  A model satisfying a
+   superset query also satisfies this query, so re-evaluating recent
+   models is cheap and hits often — but only models that actually bind
+   a slice's variables can satisfy it non-trivially, so models are
+   indexed by the variables they bind and lookups evaluate only models
+   that cover the slice. *)
+let cex_per_var = 8
+let cex_index : (int, Model.t list ref) Hashtbl.t = Hashtbl.create 512
 
 let remember_model m =
-  if !caching then begin
-    recent_models := m :: !recent_models;
-    match List.nth_opt !recent_models max_recent with
-    | Some _ ->
-      recent_models :=
-        List.filteri (fun i _ -> i < max_recent) !recent_models
-    | None -> ()
-  end
+  if !caching then
+    List.iter
+      (fun ((v : Expr.var), _) ->
+         let slot =
+           match Hashtbl.find_opt cex_index v.Expr.var_id with
+           | Some slot -> slot
+           | None ->
+             let slot = ref [] in
+             Hashtbl.add cex_index v.Expr.var_id slot;
+             slot
+         in
+         slot := m :: List.filteri (fun i _ -> i < cex_per_var - 1) !slot)
+      (Model.bindings m)
+
+(* Candidate models are those indexed under the slice's first variable
+   and binding every other slice variable; only those are evaluated.
+   A hit is projected onto the slice's own variables: the cached model
+   may come from a larger query and bind variables of other slices,
+   and those extra bindings must not leak into the merged answer. *)
+let cex_lookup vars constraints =
+  if not !caching then None
+  else
+    match vars with
+    | [] -> None
+    | (v0 : Expr.var) :: rest ->
+      (match Hashtbl.find_opt cex_index v0.Expr.var_id with
+       | None -> None
+       | Some slot ->
+         Option.map
+           (fun m -> Model.of_fun vars (Model.find m))
+           (List.find_opt
+              (fun m ->
+                 List.for_all
+                   (fun (v : Expr.var) -> Model.find_opt m v <> None)
+                   rest
+                 && Model.satisfies m constraints)
+              !slot))
 
 let clear_caches () =
   Hashtbl.reset query_cache;
-  recent_models := []
-
-let all_vars constraints =
-  let tbl = Hashtbl.create 32 in
-  List.iter
-    (fun c ->
-       List.iter
-         (fun (v : Expr.var) ->
-            if not (Hashtbl.mem tbl v.Expr.var_id) then
-              Hashtbl.add tbl v.Expr.var_id v)
-         (Expr.vars c))
-    constraints;
-  Hashtbl.fold (fun _ v acc -> v :: acc) tbl []
-  |> List.sort (fun (a : Expr.var) b -> Int.compare a.Expr.var_id b.Expr.var_id)
+  Hashtbl.reset cex_index
 
 let outcome_to_string = function
   | Sat _ -> "sat"
@@ -163,56 +193,100 @@ let solve_with_sat ?conflict_limit constraints vars =
       failwith "Solver: internal error, SAT model fails evaluation";
     Sat model
 
-let check_uncached ?conflict_limit constraints =
-  let vars = all_vars constraints in
-  (* Counterexample cache. *)
-  let cex = List.find_opt (fun m -> Model.satisfies m constraints) !recent_models in
-  match cex with
-  | Some m ->
-    Stats.(current := { !current with cex_hits = !current.cex_hits + 1 });
-    if !Obs.Sink.enabled then Obs.Sink.instant ~cat:"solver" "cex-hit";
+(* The uncached tail of the per-slice pipeline: interval prescreen
+   (range propagation plus candidate probing), then bit-blast + SAT. *)
+let solve_slice ?conflict_limit constraints vars =
+  let prescreen =
+    stage "interval"
+      (fun s dt ->
+         { s with Stats.interval_time = s.Stats.interval_time +. dt })
+      (fun r ->
+         [ ("result",
+            Obs.Event.Str
+              (match r with
+               | `Unsat -> "unsat"
+               | `Model _ -> "model"
+               | `Inconclusive -> "inconclusive")) ])
+      (fun () ->
+         let env = Interval.make_env () in
+         match Interval.propagate env constraints with
+         | Interval.Definitely_unsat -> `Unsat
+         | Interval.Unknown ->
+           (match
+              List.find_map
+                (fun f ->
+                   let m = Model.of_fun vars f in
+                   if Model.satisfies m constraints then Some m else None)
+                (Interval.candidates env vars)
+            with
+            | Some m -> `Model m
+            | None -> `Inconclusive))
+  in
+  match prescreen with
+  | `Unsat ->
+    Stats.(current := { !current with interval_unsat = !current.interval_unsat + 1 });
+    Unsat
+  | `Model m ->
+    Stats.(current := { !current with interval_sat = !current.interval_sat + 1 });
+    remember_model m;
     Sat m
+  | `Inconclusive ->
+    Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
+    let r = solve_with_sat ?conflict_limit constraints vars in
+    (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
+    r
+
+(* One independent slice: per-slice query cache, then the variable-
+   indexed counterexample cache, then the solving pipeline.  Emits a
+   [solver/slice] span per slice when the sink is enabled. *)
+let check_slice ?conflict_limit constraints =
+  let t0 = if !Obs.Sink.enabled then Unix.gettimeofday () else 0.0 in
+  Stats.(current := { !current with slices = !current.slices + 1 });
+  let finish ~via r =
+    if !Obs.Sink.enabled then
+      Obs.Sink.complete ~cat:"solver"
+        ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6)
+        ~args:
+          [ ("outcome", Obs.Event.Str (outcome_to_string r));
+            ("via", Obs.Event.Str via);
+            ("constraints", Obs.Event.Int (List.length constraints)) ]
+        "slice";
+    r
+  in
+  let key =
+    List.sort_uniq Int.compare
+      (List.map (fun (c : Expr.t) -> c.Expr.id) constraints)
+  in
+  match if !caching then Hashtbl.find_opt query_cache key else None with
+  | Some r ->
+    Stats.(
+      current :=
+        { !current with
+          cache_hits = !current.cache_hits + 1;
+          slice_hits = !current.slice_hits + 1 });
+    finish ~via:"cache" r
   | None ->
-    (* Interval prescreen (range propagation plus candidate probing). *)
-    let prescreen =
-      stage "interval"
-        (fun s dt ->
-           { s with Stats.interval_time = s.Stats.interval_time +. dt })
-        (fun r ->
-           [ ("result",
-              Obs.Event.Str
-                (match r with
-                 | `Unsat -> "unsat"
-                 | `Model _ -> "model"
-                 | `Inconclusive -> "inconclusive")) ])
-        (fun () ->
-           let env = Interval.make_env () in
-           match Interval.propagate env constraints with
-           | Interval.Definitely_unsat -> `Unsat
-           | Interval.Unknown ->
-             (match
-                List.find_map
-                  (fun f ->
-                     let m = Model.of_fun vars f in
-                     if Model.satisfies m constraints then Some m else None)
-                  (Interval.candidates env vars)
-              with
-              | Some m -> `Model m
-              | None -> `Inconclusive))
-    in
-    (match prescreen with
-     | `Unsat ->
-       Stats.(current := { !current with interval_unsat = !current.interval_unsat + 1 });
-       Unsat
-     | `Model m ->
-       Stats.(current := { !current with interval_sat = !current.interval_sat + 1 });
-       remember_model m;
-       Sat m
-     | `Inconclusive ->
-       Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
-       let r = solve_with_sat ?conflict_limit constraints vars in
-       (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
-       r)
+    let vars = Slice.vars constraints in
+    (match cex_lookup vars constraints with
+     | Some m ->
+       Stats.(
+         current :=
+           { !current with
+             cex_hits = !current.cex_hits + 1;
+             slice_hits = !current.slice_hits + 1 });
+       (* Promote the hit into the query cache: the engine replays paths
+          by decision prefix and re-issues the same queries, and the
+          branch conditions it rebuilds embed model values — so a slice,
+          once answered, must keep answering with the same model even as
+          the counterexample index churns. *)
+       if !caching then Hashtbl.replace query_cache key (Sat m);
+       finish ~via:"cex" (Sat m)
+     | None ->
+       let r = solve_slice ?conflict_limit constraints vars in
+       (match r with
+        | Unknown _ -> ()
+        | Sat _ | Unsat -> if !caching then Hashtbl.replace query_cache key r);
+       finish ~via:"pipeline" r)
 
 let check ?conflict_limit constraints =
   let t0 = Unix.gettimeofday () in
@@ -234,19 +308,32 @@ let check ?conflict_limit constraints =
     finish ~via:"const" Unsat
   else if constraints = [] then finish ~via:"const" (Sat Model.empty)
   else begin
-    let key =
-      List.sort_uniq Int.compare (List.map (fun (c : Expr.t) -> c.Expr.id) constraints)
+    let slices =
+      if !independence then Slice.partition constraints else [ constraints ]
     in
-    match if !caching then Hashtbl.find_opt query_cache key else None with
-    | Some r ->
-      Stats.(current := { !current with cache_hits = !current.cache_hits + 1 });
-      finish ~via:"cache" r
-    | None ->
-      let r = check_uncached ?conflict_limit constraints in
-      (match r with
-       | Unknown _ -> ()
-       | Sat _ | Unsat -> if !caching then Hashtbl.replace query_cache key r);
-      finish ~via:"pipeline" r
+    (* An unsat slice settles the conjunction immediately; a slice at
+       its resource limit is remembered but the remaining slices are
+       still examined, since any of them may still prove Unsat. *)
+    let rec solve_all model unknown = function
+      | [] ->
+        (match unknown with
+         | Some msg -> Unknown msg
+         | None ->
+           (* Safety net: the merged model must satisfy the whole set
+              by evaluation (slices bind disjoint variables, so this
+              can only fail if the partition itself is wrong). *)
+           if not (Model.satisfies model constraints) then
+             failwith "Solver: internal error, merged model fails evaluation";
+           Sat model)
+      | s :: rest ->
+        (match check_slice ?conflict_limit s with
+         | Unsat -> Unsat
+         | Unknown msg ->
+           solve_all model (Some (match unknown with Some m -> m | None -> msg)) rest
+         | Sat m -> solve_all (Model.union model m) unknown rest)
+    in
+    let via = match slices with [ _ ] -> "pipeline" | _ -> "slices" in
+    finish ~via (solve_all Model.empty None slices)
   end
 
 let is_sat ?conflict_limit constraints =

@@ -2,9 +2,16 @@
 
     The solving pipeline mirrors KLEE + STP:
     + constant folding (terms are already simplified at construction);
-    + query cache — identical constraint sets answer instantly;
-    + counterexample cache — recently found models are re-evaluated on
-      the new query, often yielding a model with no solving;
+    + independence slicing ({!Slice.partition}) — the constraint set is
+      split into slices over disjoint variables and each slice is
+      solved separately (KLEE's IndependentSolver); per-slice models
+      are merged into the answer;
+    + per-slice query cache — identical slices answer instantly, so an
+      unchanged path-condition prefix stays cached when exploration
+      appends constraints over other variables;
+    + per-slice counterexample cache — recently found models, indexed
+      by the variables they bind, are re-evaluated on the new slice,
+      often yielding a model with no solving;
     + unsigned-interval propagation — proves simple range conflicts
       unsatisfiable and proposes candidate assignments;
     + eager bit-blasting to CNF + CDCL SAT solving (the STP approach).
@@ -14,7 +21,8 @@
     bit-blasting, SAT search) — so the engine can report the
     solver-time fraction of Table 1 and where inside the solver it
     goes.  When the {!Obs.Sink} is enabled, every query emits a
-    [solver/query] span plus per-stage spans. *)
+    [solver/query] span, every slice a [solver/slice] span, plus
+    per-stage spans. *)
 
 type outcome =
   | Sat of Model.t
@@ -24,7 +32,9 @@ type outcome =
 val check : ?conflict_limit:int -> Expr.t list -> outcome
 (** Satisfiability of the conjunction of the given boolean terms.
     On [Sat], the returned model satisfies every constraint (this is
-    verified internally by evaluation). *)
+    verified internally by evaluation).  [Unknown] is returned when any
+    slice hits [conflict_limit]; an [Unsat] slice still settles the
+    query as [Unsat] even if another slice was cut short. *)
 
 val is_sat : ?conflict_limit:int -> Expr.t list -> bool
 (** [true] on [Sat]; [false] on [Unsat].  Raises [Failure] on
@@ -40,17 +50,25 @@ val set_caching : bool -> unit
 (** Enable or disable both caches (enabled by default); used by the
     cache-ablation benchmark. *)
 
+val set_independence : bool -> unit
+(** Enable or disable independence slicing (enabled by default).  When
+    disabled the whole constraint set is solved as a single slice, as
+    before; results are identical either way, only cost differs.  Used
+    by [--no-independence] and the independence-ablation benchmark. *)
+
 val outcome_to_string : outcome -> string
 (** ["sat"], ["unsat"] or ["unknown"]. *)
 
 module Stats : sig
   type t = {
     queries : int;            (** calls to [check] *)
-    cache_hits : int;         (** answered by the query cache *)
-    cex_hits : int;           (** answered by the counterexample cache *)
+    slices : int;             (** independent slices examined *)
+    slice_hits : int;         (** slices answered by either cache *)
+    cache_hits : int;         (** slices answered by the query cache *)
+    cex_hits : int;           (** slices answered by the cex cache *)
     interval_unsat : int;     (** proved unsat by interval propagation *)
     interval_sat : int;       (** model found from interval candidates *)
-    sat_calls : int;          (** queries that reached the SAT solver *)
+    sat_calls : int;          (** slices that reached the SAT solver *)
     sat_conflicts : int;      (** CDCL conflicts, summed over queries *)
     sat_decisions : int;      (** CDCL decisions, summed over queries *)
     sat_propagations : int;   (** unit propagations, summed over queries *)
@@ -68,7 +86,7 @@ module Stats : sig
       one exploration run. *)
 
   val cache_hit_rate : t -> float
-  (** Fraction of queries answered by either cache, in [0, 1]. *)
+  (** Fraction of slices answered by either cache, in [0, 1]. *)
 
   val pp : Format.formatter -> t -> unit
 end

@@ -7,9 +7,16 @@ type limits = {
   max_paths : int option;
   max_instructions : int option;
   max_seconds : float option;
+  max_solver_conflicts : int option;
 }
 
-let no_limits = { max_paths = None; max_instructions = None; max_seconds = None }
+let no_limits =
+  {
+    max_paths = None;
+    max_instructions = None;
+    max_seconds = None;
+    max_solver_conflicts = None;
+  }
 
 type config = {
   strategy : Search.strategy;
@@ -26,6 +33,7 @@ type report = {
   paths_completed : int;
   paths_errored : int;
   paths_infeasible : int;
+  paths_unknown : int;
   instructions : int;
   wall_time : float;
   solver_time : float;
@@ -38,7 +46,7 @@ type report = {
 exception Check_failed of string
 
 (* Path-local termination reasons. *)
-type path_end = End_error | End_infeasible
+type path_end = End_error | End_infeasible | End_unknown
 
 exception Terminate_path of path_end
 exception Stop_exploration
@@ -67,6 +75,7 @@ type explore_state = {
   mutable n_completed : int;
   mutable n_errored : int;
   mutable n_infeasible : int;
+  mutable n_unknown : int;
   mutable exhausted : bool;
   started : float;
   instr_base : int;
@@ -185,6 +194,27 @@ let path_condition () =
   | Explore st -> List.rev (current_path st).pc
   | Replay _ | Rand _ | Off -> []
 
+(* A solver [Unknown] (conflict limit hit) in the middle of a path
+   terminates only that path, KLEE-style, instead of aborting the whole
+   exploration: the remaining frontier is still explored and the run is
+   reported as non-exhaustive, so [--max-solver-conflicts] composes
+   with the other [--max-*] limits. *)
+let solver_unknown st msg =
+  st.exhausted <- false;
+  if !Obs.Sink.enabled then
+    Obs.Sink.instant ~cat:"engine" "solver-unknown"
+      ~args:[ ("reason", Obs.Event.Str msg) ];
+  raise (Terminate_path End_unknown)
+
+let path_check st constraints =
+  Solver.check ?conflict_limit:st.cfg.limits.max_solver_conflicts constraints
+
+let feasible st constraints =
+  match path_check st constraints with
+  | Solver.Sat _ -> true
+  | Solver.Unsat -> false
+  | Solver.Unknown msg -> solver_unknown st msg
+
 let take st ps cond d =
   ignore st;
   ps.taken <- d :: ps.taken;
@@ -219,8 +249,8 @@ let branch ?(site = "branch") cond =
          take st ps cond d
        end
        else begin
-         let sat_true = Solver.is_sat (cond :: ps.pc) in
-         let sat_false = Solver.is_sat (Expr.not_ cond :: ps.pc) in
+         let sat_true = feasible st (cond :: ps.pc) in
+         let sat_false = feasible st (Expr.not_ cond :: ps.pc) in
          match sat_true, sat_false with
          | true, true ->
            let alt = Array.of_list (List.rev (false :: ps.taken)) in
@@ -263,7 +293,7 @@ let assume cond =
      | Some true -> ()
      | Some false -> raise (Terminate_path End_infeasible)
      | None ->
-       if Solver.is_sat (cond :: ps.pc) then ps.pc <- cond :: ps.pc
+       if feasible st (cond :: ps.pc) then ps.pc <- cond :: ps.pc
        else raise (Terminate_path End_infeasible))
 
 (* ------------------------------------------------------------------ *)
@@ -362,22 +392,22 @@ let check_kind kind ~site ?(message = "property violated") cond =
     (match Expr.to_bool cond with
      | Some true -> ()
      | Some false ->
-       (match Solver.check ps.pc with
+       (match path_check st ps.pc with
         | Solver.Sat m ->
           record_error st ps kind site message m;
           raise (Terminate_path End_error)
         | Solver.Unsat -> raise (Terminate_path End_infeasible)
-        | Solver.Unknown msg -> failwith ("Engine.check: solver unknown: " ^ msg))
+        | Solver.Unknown msg -> solver_unknown st msg)
      | None ->
-       (match Solver.check (Expr.not_ cond :: ps.pc) with
+       (match path_check st (Expr.not_ cond :: ps.pc) with
         | Solver.Sat m ->
           record_error st ps kind site message m;
           (* The failing side terminates; continue on the passing side
              when it is feasible. *)
-          if Solver.is_sat (cond :: ps.pc) then ps.pc <- cond :: ps.pc
+          if feasible st (cond :: ps.pc) then ps.pc <- cond :: ps.pc
           else raise (Terminate_path End_error)
         | Solver.Unsat -> ps.pc <- cond :: ps.pc
-        | Solver.Unknown msg -> failwith ("Engine.check: solver unknown: " ^ msg)))
+        | Solver.Unknown msg -> solver_unknown st msg))
 
 let check ~site ?message cond = check_kind Error.Assertion_failure ~site ?message cond
 let fatal_check ~site ?message cond = check_kind Error.Abort ~site ?message cond
@@ -389,12 +419,12 @@ let report_error kind ~site ~message =
   | Rand rs -> random_failure rs kind site message
   | Explore st ->
     let ps = current_path st in
-    (match Solver.check ps.pc with
+    (match path_check st ps.pc with
      | Solver.Sat m ->
        record_error st ps kind site message m;
        raise (Terminate_path End_error)
      | Solver.Unsat -> raise (Terminate_path End_infeasible)
-     | Solver.Unknown msg -> failwith ("Engine.report_error: solver unknown: " ^ msg))
+     | Solver.Unknown msg -> solver_unknown st msg)
 
 (* ------------------------------------------------------------------ *)
 (* Concretization (KLEE-style enumerating fork)                        *)
@@ -409,14 +439,13 @@ let rec concretize ?(site = "concretize") e =
      | Rand _ -> raise (Replay_diverged "symbolic value during random trial")
      | Explore st ->
        let ps = current_path st in
-       (match Solver.check ps.pc with
+       (match path_check st ps.pc with
         | Solver.Sat m ->
           let v = Model.eval m e in
           if branch ~site (Expr.eq e (Expr.const v)) then v
           else concretize ~site e
         | Solver.Unsat -> raise (Terminate_path End_infeasible)
-        | Solver.Unknown msg ->
-          failwith ("Engine.concretize: solver unknown: " ^ msg)))
+        | Solver.Unknown msg -> solver_unknown st msg))
 
 (* ------------------------------------------------------------------ *)
 (* Exploration loop                                                    *)
@@ -440,6 +469,7 @@ let run ?(config = default_config) body =
       n_completed = 0;
       n_errored = 0;
       n_infeasible = 0;
+      n_unknown = 0;
       exhausted = true;
       started = Unix.gettimeofday ();
       instr_base = Expr.instruction_count ();
@@ -510,6 +540,9 @@ let run ?(config = default_config) body =
                  | Terminate_path End_infeasible ->
                    st.n_infeasible <- st.n_infeasible + 1;
                    end_path "infeasible"
+                 | Terminate_path End_unknown ->
+                   st.n_unknown <- st.n_unknown + 1;
+                   end_path "unknown"
                  | Stop_exploration as e -> raise e
                  | Check_failed _ as e -> raise e
                  | exn ->
@@ -527,9 +560,13 @@ let run ?(config = default_config) body =
                          raise e);
                       st.n_errored <- st.n_errored + 1;
                       end_path "error"
-                    | Solver.Unsat | Solver.Unknown _ ->
+                    | Solver.Unsat ->
                       st.n_infeasible <- st.n_infeasible + 1;
-                      end_path "infeasible"))
+                      end_path "infeasible"
+                    | Solver.Unknown _ ->
+                      st.exhausted <- false;
+                      st.n_unknown <- st.n_unknown + 1;
+                      end_path "unknown"))
               with Stop_exploration as e ->
                 end_path "stopped";
                 st.cur <- None;
@@ -562,6 +599,7 @@ let run ?(config = default_config) body =
               ("completed", Obs.Event.Int st.n_completed);
               ("errored", Obs.Event.Int st.n_errored);
               ("infeasible", Obs.Event.Int st.n_infeasible);
+              ("unknown", Obs.Event.Int st.n_unknown);
               ("instructions", Obs.Event.Int (instructions_so_far st));
               ("exhausted", Obs.Event.Bool st.exhausted) ];
       {
@@ -570,6 +608,7 @@ let run ?(config = default_config) body =
         paths_completed = st.n_completed;
         paths_errored = st.n_errored;
         paths_infeasible = st.n_infeasible;
+        paths_unknown = st.n_unknown;
         instructions = instructions_so_far st;
         wall_time = elapsed st;
         solver_time = solver_stats.Solver.Stats.time;

@@ -28,6 +28,10 @@ type limits = {
   max_paths : int option;
   max_instructions : int option;
   max_seconds : float option;
+  max_solver_conflicts : int option;
+      (** per-query CDCL conflict budget; a query that exceeds it
+          terminates only the current path (counted in
+          [paths_unknown]) and marks the run non-exhaustive *)
 }
 
 val no_limits : limits
@@ -47,6 +51,7 @@ type report = {
   paths_completed : int;        (** ran to the end of the testbench *)
   paths_errored : int;          (** terminated by an error *)
   paths_infeasible : int;       (** killed by an unsatisfiable [assume] *)
+  paths_unknown : int;          (** killed by a solver resource limit *)
   instructions : int;           (** symbolic operations executed *)
   wall_time : float;            (** seconds *)
   solver_time : float;          (** seconds spent in the solver *)

@@ -17,14 +17,19 @@ let write_byte t i b =
 
 let read32 t off =
   let b i = Expr.zext 32 (read_byte t (off + i)) in
-  Expr.bor (b 0)
-    (Expr.bor
-       (Expr.shl (b 1) (Expr.int ~width:32 8))
-       (Expr.bor
-          (Expr.shl (b 2) (Expr.int ~width:32 16))
-          (Expr.shl (b 3) (Expr.int ~width:32 24))))
+  let w =
+    Expr.bor (b 0)
+      (Expr.bor
+         (Expr.shl (b 1) (Expr.int ~width:32 8))
+         (Expr.bor
+            (Expr.shl (b 2) (Expr.int ~width:32 16))
+            (Expr.shl (b 3) (Expr.int ~width:32 24))))
+  in
+  assert (Expr.width w = 32);
+  w
 
 let write32 t off v =
+  if Expr.width v <> 32 then invalid_arg "Mem.write32: 32-bit value expected";
   for i = 0 to 3 do
     write_byte t (off + i) (Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) v)
   done

@@ -25,6 +25,8 @@ val read32 : t -> int -> Value.t
 (** Little-endian 32-bit read at a concrete byte offset. *)
 
 val write32 : t -> int -> Value.t -> unit
+(** Raises [Invalid_argument] unless the value is 32 bits wide, like
+    {!write64} does for 64. *)
 
 val read64 : t -> int -> Smt.Expr.t
 (** Little-endian 64-bit read (e.g. CLINT's [mtime]). *)

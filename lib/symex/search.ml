@@ -25,9 +25,18 @@ let all_strategies = [ Dfs; Bfs; Random_path 42; Cover_new ]
 
 type 'a entry = { site : string; item : 'a }
 
+(* The frontier is a deque over a circular-free array slice: live
+   entries occupy [head, tail), oldest at [head], newest at [tail - 1].
+   Dfs and Bfs pop at the ends in O(1); Random_path and Cover_new
+   remove in the middle by shifting the shorter side, preserving
+   exactly the order-sensitive semantics of the old list
+   implementation (which paid a full [List.length] plus traversal on
+   every pop). *)
 type 'a t = {
   strategy : strategy;
-  mutable entries : 'a entry list;      (* newest first *)
+  mutable buf : 'a entry option array;
+  mutable head : int;  (* first live slot *)
+  mutable tail : int;  (* one past the last live slot *)
   visits : (string, int) Hashtbl.t;
   rng : Random.State.t;
 }
@@ -36,14 +45,34 @@ let create strategy =
   let seed = match strategy with Random_path s -> s | Dfs | Bfs | Cover_new -> 0 in
   {
     strategy;
-    entries = [];
+    buf = Array.make 16 None;
+    head = 0;
+    tail = 0;
     visits = Hashtbl.create 64;
     rng = Random.State.make [| seed |];
   }
 
-let length t = List.length t.entries
-let is_empty t = t.entries = []
-let push t ~site item = t.entries <- { site; item } :: t.entries
+let length t = t.tail - t.head
+let is_empty t = t.tail = t.head
+
+let push t ~site item =
+  if t.tail = Array.length t.buf then begin
+    let live = length t in
+    if 2 * live <= Array.length t.buf then begin
+      (* Plenty of dead space at the front: compact in place. *)
+      Array.blit t.buf t.head t.buf 0 live;
+      Array.fill t.buf live (Array.length t.buf - live) None
+    end
+    else begin
+      let bigger = Array.make (max 16 (2 * live)) None in
+      Array.blit t.buf t.head bigger 0 live;
+      t.buf <- bigger
+    end;
+    t.head <- 0;
+    t.tail <- live
+  end;
+  t.buf.(t.tail) <- Some { site; item };
+  t.tail <- t.tail + 1
 
 let record_visit t site =
   let n = match Hashtbl.find_opt t.visits site with Some n -> n | None -> 0 in
@@ -56,41 +85,46 @@ let visit_counts t =
 let visits t site =
   match Hashtbl.find_opt t.visits site with Some n -> n | None -> 0
 
-let take_nth t n =
-  (* Remove and return the n-th entry (0 = newest). *)
-  let rec go i acc = function
-    | [] -> None
-    | e :: rest ->
-      if i = n then begin
-        t.entries <- List.rev_append acc rest;
-        Some e.item
-      end
-      else go (i + 1) (e :: acc) rest
-  in
-  go 0 [] t.entries
+let get t p =
+  match t.buf.(p) with
+  | Some e -> e
+  | None -> assert false (* slots in [head, tail) are always live *)
+
+(* Remove the entry at physical index [p], shifting whichever side of
+   it is shorter so a pop near either end stays O(1). *)
+let remove_at t p =
+  let e = get t p in
+  if p - t.head <= t.tail - 1 - p then begin
+    Array.blit t.buf t.head t.buf (t.head + 1) (p - t.head);
+    t.buf.(t.head) <- None;
+    t.head <- t.head + 1
+  end
+  else begin
+    Array.blit t.buf (p + 1) t.buf p (t.tail - 1 - p);
+    t.buf.(t.tail - 1) <- None;
+    t.tail <- t.tail - 1
+  end;
+  e.item
 
 let pop t =
-  match t.entries with
-  | [] -> None
-  | newest :: rest ->
-    (match t.strategy with
-     | Dfs ->
-       t.entries <- rest;
-       Some newest.item
-     | Bfs ->
-       let n = List.length t.entries in
-       take_nth t (n - 1)
-     | Random_path _ ->
-       let n = List.length t.entries in
-       take_nth t (Random.State.int t.rng n)
-     | Cover_new ->
-       let best = ref 0 and best_v = ref max_int in
-       List.iteri
-         (fun i e ->
-            let v = visits t e.site in
-            if v < !best_v then begin
-              best := i;
-              best_v := v
-            end)
-         t.entries;
-       take_nth t !best)
+  if is_empty t then None
+  else
+    match t.strategy with
+    | Dfs -> Some (remove_at t (t.tail - 1))
+    | Bfs -> Some (remove_at t t.head)
+    | Random_path _ ->
+      (* The old implementation drew the i-th newest entry. *)
+      let i = Random.State.int t.rng (length t) in
+      Some (remove_at t (t.tail - 1 - i))
+    | Cover_new ->
+      (* First minimum in newest-first order (strict [<] on a
+         newest-to-oldest scan), as before. *)
+      let best = ref (t.tail - 1) and best_v = ref max_int in
+      for p = t.tail - 1 downto t.head do
+        let v = visits t (get t p).site in
+        if v < !best_v then begin
+          best := p;
+          best_v := v
+        end
+      done;
+      Some (remove_at t !best)

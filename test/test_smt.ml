@@ -469,6 +469,151 @@ let test_solver_shifts_and_division () =
     (Solver.is_sat [ Expr.eq (Expr.udiv x (e_int 0)) (e_int (-1)) ])
 
 (* ------------------------------------------------------------------ *)
+(* Constraint-independence slicing                                     *)
+
+let test_slice_partition () =
+  let x = Expr.fresh_var "px" 32
+  and y = Expr.fresh_var "py" 32
+  and z = Expr.fresh_var "pz" 32 in
+  let a = Expr.ult x (e_int 10)
+  and b = Expr.ugt y (e_int 3)
+  and c = Expr.eq (Expr.add x z) (e_int 7)
+  and d = Expr.ult y (e_int 9) in
+  (* a and c share x (transitively pulling in z); b and d share y. *)
+  (match Smt.Slice.partition [ a; b; c; d ] with
+   | [ s1; s2 ] ->
+     Alcotest.(check (list string)) "slice of x,z keeps input order"
+       (List.map Expr.to_string [ a; c ])
+       (List.map Expr.to_string s1);
+     Alcotest.(check (list string)) "slice of y keeps input order"
+       (List.map Expr.to_string [ b; d ])
+       (List.map Expr.to_string s2)
+   | slices -> Alcotest.failf "expected 2 slices, got %d" (List.length slices));
+  (* Transitive chaining: x~y and y~z must merge into one slice. *)
+  let chain =
+    [ Expr.ult x y; Expr.ult y z; Expr.ugt (Expr.fresh_var "pw" 32) (e_int 1) ]
+  in
+  Alcotest.(check (list int)) "chained sharing merges"
+    [ 2; 1 ]
+    (List.map List.length (Smt.Slice.partition chain))
+
+let test_slice_partition_is_a_partition () =
+  (* Random constraint sets: the slices must be a permutation-free
+     partition (concatenation preserves multiset; variable sets of
+     distinct slices are disjoint). *)
+  let st = Random.State.make [| 31 |] in
+  let vars = Array.init 6 (fun i -> Expr.fresh_var (Printf.sprintf "pp%d" i) 8) in
+  for _ = 1 to 100 do
+    let n = 1 + Random.State.int st 8 in
+    let constraints =
+      List.init n (fun _ ->
+          let v = vars.(Random.State.int st 6) in
+          let w = vars.(Random.State.int st 6) in
+          Expr.ult (Expr.add v w)
+            (Expr.const (Bv.make ~width:8 (Int64.of_int (1 + Random.State.int st 255)))))
+    in
+    let slices = Smt.Slice.partition constraints in
+    let flat = List.concat slices in
+    Alcotest.(check int) "no constraint lost or duplicated"
+      (List.length constraints) (List.length flat);
+    List.iter
+      (fun c ->
+         Alcotest.(check bool) "every constraint present" true
+           (List.exists (Expr.equal c) flat))
+      constraints;
+    let var_sets = List.map (fun s -> Smt.Slice.vars s) slices in
+    let rec disjoint = function
+      | [] -> true
+      | vs :: rest ->
+        List.for_all
+          (fun vs' ->
+             not
+               (List.exists
+                  (fun (v : Expr.var) ->
+                     List.exists (fun (v' : Expr.var) -> v.Expr.var_id = v'.Expr.var_id) vs')
+                  vs))
+          rest
+        && disjoint rest
+    in
+    Alcotest.(check bool) "slice variable sets disjoint" true (disjoint var_sets)
+  done
+
+let test_solver_merge_soundness () =
+  (* Many mutually independent slices: the merged model must satisfy the
+     whole set, not just each slice in isolation. *)
+  let constraints =
+    List.concat_map
+      (fun i ->
+         let v = Expr.fresh_var (Printf.sprintf "mg%d" i) 32 in
+         [ Expr.ugt v (e_int i); Expr.ult v (e_int (i + 10)) ])
+      [ 1; 20; 300; 4000 ]
+  in
+  match Solver.check constraints with
+  | Solver.Sat m ->
+    Alcotest.(check bool) "merged model satisfies every slice" true
+      (Model.satisfies m constraints)
+  | Solver.Unsat | Solver.Unknown _ -> Alcotest.fail "expected sat"
+
+let test_solver_slice_cache_accounting () =
+  (* Appending a constraint over fresh variables must not invalidate
+     the cached slices of the unchanged prefix. *)
+  Solver.clear_caches ();
+  Solver.Stats.reset ();
+  let x = Expr.fresh_var "ha" 32 in
+  let y = Expr.fresh_var "hb" 32 in
+  let z = Expr.fresh_var "hc" 32 in
+  let a = Expr.ult x (e_int 10) and b = Expr.ugt y (e_int 5) in
+  ignore (Solver.check [ a; b ]);
+  ignore (Solver.check [ a; b; Expr.eq z (e_int 3) ]);
+  let stats = Solver.Stats.get () in
+  Alcotest.(check bool)
+    (Printf.sprintf "prefix slices hit the cache (%d hits)"
+       stats.Solver.Stats.cache_hits)
+    true
+    (stats.Solver.Stats.cache_hits >= 2);
+  Alcotest.(check bool) "slices were counted" true
+    (stats.Solver.Stats.slices >= 5)
+
+let test_independence_on_off_equivalent () =
+  (* The slicing layer is an optimization: verdicts must be identical
+     with and without it on random multi-variable queries. *)
+  let st = Random.State.make [| 47 |] in
+  let width = 4 in
+  Fun.protect
+    ~finally:(fun () ->
+        Solver.set_independence true;
+        Solver.clear_caches ())
+    (fun () ->
+       for _ = 1 to 40 do
+         let x = Expr.fresh_var "ia" width in
+         let y = Expr.fresh_var "ib" width in
+         let rand_const () =
+           Expr.const (Bv.make ~width (Random.State.int64 st 16L))
+         in
+         let rand_cmp v =
+           match Random.State.int st 3 with
+           | 0 -> Expr.eq v (rand_const ())
+           | 1 -> Expr.ult v (rand_const ())
+           | _ -> Expr.ugt v (rand_const ())
+         in
+         let constraints =
+           List.init
+             (1 + Random.State.int st 4)
+             (fun _ -> rand_cmp (if Random.State.bool st then x else y))
+         in
+         Solver.set_independence true;
+         Solver.clear_caches ();
+         let on = Solver.is_sat constraints in
+         Solver.set_independence false;
+         Solver.clear_caches ();
+         let off = Solver.is_sat constraints in
+         if on <> off then
+           Alcotest.failf "independence changed verdict (%b vs %b) on %s" on
+             off
+             (String.concat " & " (List.map Expr.to_string constraints))
+       done)
+
+(* ------------------------------------------------------------------ *)
 (* SMT-LIB export                                                      *)
 
 let test_smtlib_terms () =
@@ -566,6 +711,14 @@ let suite =
     ("solver: nonlinear", `Quick, test_solver_nonlinear);
     ("solver: random vs brute force", `Quick, test_solver_random_vs_brute);
     ("solver: query cache", `Quick, test_solver_cache);
+    ("slice: partition crafted sets", `Quick, test_slice_partition);
+    ("slice: partition is a partition (random)", `Quick,
+     test_slice_partition_is_a_partition);
+    ("solver: merged model soundness", `Quick, test_solver_merge_soundness);
+    ("solver: per-slice cache accounting", `Quick,
+     test_solver_slice_cache_accounting);
+    ("solver: independence on/off equivalence", `Quick,
+     test_independence_on_off_equivalent);
     ("solver: shifts and division", `Quick, test_solver_shifts_and_division);
     ("model: defaults", `Quick, test_model_defaults);
     ("smtlib: terms", `Quick, test_smtlib_terms);

@@ -300,6 +300,120 @@ let test_mem_symbolic_data () =
   in
   Alcotest.(check int) "no errors" 0 (List.length r.Engine.errors)
 
+let test_mem_write32_width_checked () =
+  (* write64 has always rejected mis-sized values; write32 must too. *)
+  let m = Mem.create ~name:"m" ~size:8 in
+  Alcotest.check_raises "narrow value rejected"
+    (Invalid_argument "Mem.write32: 32-bit value expected") (fun () ->
+        Mem.write32 m 0 (Expr.int ~width:16 7));
+  Alcotest.check_raises "wide value rejected"
+    (Invalid_argument "Mem.write32: 32-bit value expected") (fun () ->
+        Mem.write32 m 0 (Expr.int ~width:64 7))
+
+(* ------------------------------------------------------------------ *)
+(* Solver resource limits                                              *)
+
+let test_solver_unknown_kills_path_only () =
+  (* A query blowing the conflict budget must kill only the current
+     path (KLEE-style), not the whole exploration. *)
+  Smt.Solver.clear_caches ();
+  let config =
+    {
+      Engine.default_config with
+      Engine.limits =
+        { Engine.no_limits with Engine.max_solver_conflicts = Some 0 };
+    }
+  in
+  let easy_paths = ref 0 in
+  let r =
+    run ~config (fun () ->
+        let x = Engine.fresh32 "ux" in
+        (* With x < 16 the interval prescreen answers x*x = 225 by
+           candidate evaluation (x = 15); with x >= 16 it needs real
+           SAT search, so conflict budget 0 kills that path only. *)
+        ignore (Engine.branch ~site:"easy" (Expr.ult x (e_int 16)));
+        ignore (Engine.branch ~site:"hard" (Expr.eq (Expr.mul x x) (e_int 225)));
+        incr easy_paths)
+  in
+  Alcotest.(check bool) "some path killed as unknown" true
+    (r.Engine.paths_unknown >= 1);
+  Alcotest.(check bool) "other paths still completed" true (!easy_paths >= 1);
+  Alcotest.(check bool) "run not reported exhausted" false r.Engine.exhausted;
+  Smt.Solver.clear_caches ()
+
+let test_solver_conflict_limit_composes () =
+  (* --max-paths and --max-solver-conflicts together: the path budget
+     still caps the run even when every query stays cheap. *)
+  Smt.Solver.clear_caches ();
+  let config =
+    {
+      Engine.default_config with
+      Engine.limits =
+        {
+          Engine.no_limits with
+          Engine.max_paths = Some 2;
+          Engine.max_solver_conflicts = Some 10_000;
+        };
+    }
+  in
+  let r =
+    run ~config (fun () ->
+        let x = Engine.fresh32 "cx" in
+        ignore (Engine.branch (Expr.ult x (e_int 2)));
+        ignore (Engine.branch (Expr.ult x (e_int 4))))
+  in
+  Alcotest.(check int) "path cap respected" 2 r.Engine.paths;
+  Alcotest.(check int) "no unknowns at this budget" 0 r.Engine.paths_unknown;
+  Smt.Solver.clear_caches ()
+
+(* ------------------------------------------------------------------ *)
+(* Search pop-order golden tests                                       *)
+
+(* The frontier backing store was swapped from a list to an array
+   deque; these orders pin the externally observable pop sequence of
+   every strategy on a 3-branch testbench (8 paths). *)
+let golden_order strategy =
+  let acc = ref [] in
+  let config = { Engine.default_config with Engine.strategy } in
+  let _ =
+    run ~config (fun () ->
+        let x = Engine.fresh32 "gx" in
+        let b1 = Engine.branch ~site:"b1" (Expr.ult x (e_int 64)) in
+        let b2 =
+          Engine.branch ~site:"b2" (Expr.eq (Expr.band x (e_int 1)) (e_int 0))
+        in
+        let b3 =
+          Engine.branch ~site:"b3" (Expr.eq (Expr.band x (e_int 2)) (e_int 0))
+        in
+        acc := (b1, b2, b3) :: !acc)
+  in
+  List.rev_map
+    (fun (a, b, c) ->
+       let t v = if v then "T" else "F" in
+       t a ^ t b ^ t c)
+    !acc
+
+let check_golden name strategy expected =
+  Alcotest.(check (list string)) name expected (golden_order strategy)
+
+let test_search_order_dfs () =
+  check_golden "dfs order" Search.Dfs
+    [ "TTT"; "TTF"; "TFT"; "TFF"; "FTT"; "FTF"; "FFT"; "FFF" ]
+
+let test_search_order_bfs () =
+  check_golden "bfs order" Search.Bfs
+    [ "TTT"; "FTT"; "TFT"; "TTF"; "FFT"; "FTF"; "TFF"; "FFF" ]
+
+let test_search_order_random () =
+  check_golden "random:42 order" (Search.Random_path 42)
+    [ "TTT"; "TFT"; "TTF"; "TFF"; "FTT"; "FTF"; "FFT"; "FFF" ];
+  check_golden "random:7 order" (Search.Random_path 7)
+    [ "TTT"; "TTF"; "TFT"; "FTT"; "FFT"; "FTF"; "TFF"; "FFF" ]
+
+let test_search_order_cover_new () =
+  check_golden "cover-new order" Search.Cover_new
+    [ "TTT"; "TTF"; "TFT"; "TFF"; "FTT"; "FTF"; "FFT"; "FFF" ]
+
 (* ------------------------------------------------------------------ *)
 (* Replay                                                              *)
 
@@ -450,6 +564,16 @@ let suite =
     ("mem: out-of-bounds detected", `Quick, test_mem_oob_detected);
     ("mem: 32-bit wrap cannot bypass bounds", `Quick, test_mem_oob_wraparound);
     ("mem: symbolic data roundtrip", `Quick, test_mem_symbolic_data);
+    ("mem: write32 width checked", `Quick, test_mem_write32_width_checked);
+    ("engine: solver unknown kills one path", `Quick,
+     test_solver_unknown_kills_path_only);
+    ("engine: conflict limit composes with max-paths", `Quick,
+     test_solver_conflict_limit_composes);
+    ("search: golden pop order, dfs", `Quick, test_search_order_dfs);
+    ("search: golden pop order, bfs", `Quick, test_search_order_bfs);
+    ("search: golden pop order, random", `Quick, test_search_order_random);
+    ("search: golden pop order, cover-new", `Quick,
+     test_search_order_cover_new);
     ("replay: reproduces the failure", `Quick, test_replay_reproduces);
     ("replay: clean input passes", `Quick, test_replay_clean_input);
     ("replay: divergence detected", `Quick, test_replay_divergence_detected);
