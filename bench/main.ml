@@ -271,6 +271,61 @@ let clint_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Resilience: checkpoint serialization and checkpointed exploration   *)
+
+let resilience_tests =
+  let original = params Config.Original [] in
+  let t4 =
+    match Symsysc.Tests.by_name "t4" with
+    | Some t -> t
+    | None -> assert false
+  in
+  (* A representative checkpoint: T4 truncated after a few paths (T4
+     explores ~50 paths at bench scale, so the frontier is non-empty
+     and the resume bench does real work). *)
+  let sample_checkpoint =
+    let saved = ref None in
+    let config =
+      { bench_config with
+        Engine.limits = { bench_limits with Engine.max_paths = Some 5 } }
+    in
+    ignore
+      (Engine.run ~config ~label:"t4"
+         ~checkpoint:
+           { Engine.write = (fun ck -> saved := Some ck);
+             every_s = infinity }
+         (t4 original));
+    match !saved with Some ck -> ck | None -> assert false
+  in
+  let sample_json = Obs.Json.to_string (Symex.Checkpoint.to_json sample_checkpoint) in
+  [
+    Test.make ~name:"checkpoint-roundtrip"
+      (Staged.stage (fun () ->
+           match Obs.Json.of_string sample_json with
+           | Error e -> failwith e
+           | Ok j ->
+             (match Symex.Checkpoint.of_json j with
+              | Ok _ -> ()
+              | Error e -> failwith e)));
+    (* Exploration with a snapshot between every two paths — the upper
+       bound of checkpointing overhead (the CLI default is every 30s). *)
+    Test.make ~name:"checkpointed-exploration"
+      (Staged.stage (fun () ->
+           let sink = ref None in
+           ignore
+             (Engine.run ~config:bench_config ~label:"t4"
+                ~checkpoint:
+                  { Engine.write = (fun ck -> sink := Some ck);
+                    every_s = 0.0 }
+                (t4 original))));
+    Test.make ~name:"resume-from-checkpoint"
+      (Staged.stage (fun () ->
+           ignore
+             (Engine.run ~config:bench_config ~label:"t4"
+                ~resume:sample_checkpoint (t4 original))));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel driver                                                     *)
 
 let bench_run_limit = if smoke then 1 else 50
@@ -519,6 +574,8 @@ let () =
   benchmark_group "baseline" baseline_tests;
   Format.printf "@.-- Second peripheral: CLINT timer property --@.";
   benchmark_group "clint" clint_tests;
+  Format.printf "@.-- Resilience: checkpoint cost (T4 workload) --@.";
+  benchmark_group "resilience" resilience_tests;
   write_bench_json "BENCH_1.json";
   Format.printf "@.(machine-readable results written to BENCH_1.json)@.";
   write_independence_json "BENCH_2.json";

@@ -29,8 +29,12 @@ let max_paths =
   Arg.(value & opt (some int) None & info [ "max-paths" ] ~docv:"N" ~doc)
 
 let max_seconds =
-  let doc = "Stop exploration after this many seconds." in
-  Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"S" ~doc)
+  let doc =
+    "Wall-clock deadline for exploration in seconds; on expiry the run \
+     stops gracefully (partial report, final checkpoint)."
+  in
+  Arg.(value & opt (some float) None
+       & info [ "deadline-s"; "max-seconds" ] ~docv:"S" ~doc)
 
 let max_solver_conflicts =
   let doc =
@@ -39,6 +43,37 @@ let max_solver_conflicts =
   in
   Arg.(value & opt (some int) None
        & info [ "max-solver-conflicts" ] ~docv:"N" ~doc)
+
+let solver_timeout_ms =
+  let doc =
+    "Per-query solver deadline in milliseconds, polled inside the CDCL \
+     loop; an over-deadline query kills only the current path."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "solver-timeout-ms" ] ~docv:"MS" ~doc)
+
+let max_memory_mb =
+  let doc =
+    "Stop exploration gracefully when the OCaml heap exceeds this many \
+     megabytes."
+  in
+  Arg.(value & opt (some int) None & info [ "max-memory-mb" ] ~docv:"MB" ~doc)
+
+let seed =
+  let doc =
+    "Seed for the random search strategy (equivalent to \
+     --strategy random:$(docv); recorded in the report so campaigns \
+     are reproducible)."
+  in
+  Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
+let solver_cache_cap =
+  let doc =
+    "Capacity of the solver's LRU query cache in entries (0 = unbounded; \
+     default 65536).  Evictions are counted in the solver stats."
+  in
+  Arg.(value & opt (some int) None
+       & info [ "solver-cache-cap" ] ~docv:"N" ~doc)
 
 let no_independence =
   let doc =
@@ -63,14 +98,28 @@ let strategy =
 
 let scenario_term =
   let make interrupts t5_len max_paths max_seconds max_solver_conflicts
-      no_independence strategy =
+      solver_timeout_ms max_memory_mb seed solver_cache_cap no_independence
+      strategy =
     Smt.Solver.set_independence (not no_independence);
+    Option.iter (fun cap -> Smt.Solver.set_cache_capacity ~query:cap ())
+      solver_cache_cap;
+    (* Budget stops are delivered through the interrupt flag's siblings;
+       make SIGINT/SIGTERM graceful for every command. *)
+    Symex.Budget.install_signal_handlers ();
+    Symex.Budget.clear_interrupt ();
+    let strategy =
+      match seed with
+      | Some s -> Symex.Search.Random_path s
+      | None -> strategy
+    in
     Symsysc.Verify.scenario ~num_sources:interrupts ~t5_max_len:t5_len
-      ?max_paths ?max_seconds ?max_solver_conflicts ~strategy ()
+      ?max_paths ?max_seconds ?max_solver_conflicts ?solver_timeout_ms
+      ?max_memory_mb ~strategy ()
   in
   Term.(
     const make $ interrupts $ t5_len $ max_paths $ max_seconds
-    $ max_solver_conflicts $ no_independence $ strategy)
+    $ max_solver_conflicts $ solver_timeout_ms $ max_memory_mb $ seed
+    $ solver_cache_cap $ no_independence $ strategy)
 
 (* ---- observability options ---- *)
 
@@ -211,23 +260,91 @@ let solver_stats_flag =
   let doc = "Print the per-stage solver breakdown after the run." in
   Arg.(value & flag & info [ "solver-stats" ] ~doc)
 
+(* ---- resilience options ---- *)
+
+let checkpoint_out =
+  let doc =
+    "Write a resumable exploration checkpoint to $(docv): periodically, \
+     on budget exhaustion and on SIGINT/SIGTERM (atomically, so the \
+     file is never torn)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "checkpoint-out" ] ~docv:"FILE" ~doc)
+
+let checkpoint_every_s =
+  let doc = "Seconds between periodic checkpoints (with --checkpoint-out)." in
+  Arg.(value & opt float 30.0 & info [ "checkpoint-every-s" ] ~docv:"S" ~doc)
+
+let resume_from =
+  let doc =
+    "Resume exploration from a checkpoint written by --checkpoint-out. \
+     The test and --strategy must match the checkpointed run; the \
+     resumed run reaches the same verdict, path totals and bug sites \
+     as an uninterrupted one."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "resume-from" ] ~docv:"FILE" ~doc)
+
+let report_out =
+  let doc =
+    "Write the final report as JSON to $(docv) (error sites sorted, so \
+     reports of equivalent runs diff cleanly)."
+  in
+  Arg.(value & opt (some string) None
+       & info [ "report-out" ] ~docv:"FILE" ~doc)
+
 let run_cmd =
-  let run scenario variant faults coverage solver_stats obs name =
+  let run scenario variant faults coverage solver_stats obs checkpoint_out
+      checkpoint_every_s resume_from report_out name =
     match Symsysc.Tests.by_name name with
     | None -> `Error (false, "unknown test " ^ name)
     | Some test ->
+      let label = String.uppercase_ascii name in
       let params =
         Symsysc.Tests.with_faults faults
           (Symsysc.Tests.with_variant variant scenario.Symsysc.Verify.params)
+      in
+      let resume =
+        Option.map
+          (fun path ->
+             match Symex.Checkpoint.load path with
+             | Ok ck -> ck
+             | Error msg ->
+               Format.eprintf "symsysc: cannot resume from %s: %s@." path msg;
+               exit 2)
+          resume_from
+      in
+      let checkpoint =
+        Option.map
+          (fun path ->
+             { Engine.write = Symex.Checkpoint.save path;
+               every_s = checkpoint_every_s })
+          checkpoint_out
       in
       let report =
         with_obs obs ~record:Symsysc.Report.record_metrics (fun () ->
             let report =
               Engine.run ~config:scenario.Symsysc.Verify.engine_config
-                (test params)
+                ~label ?resume ?checkpoint (test params)
             in
-            Symsysc.Report.make (String.uppercase_ascii name) report)
+            Symsysc.Report.make label report)
       in
+      (match report.Symsysc.Report.engine.Engine.stop_reason with
+       | Some reason ->
+         Format.eprintf "symsysc: exploration stopped early (%s)%s@."
+           (Symex.Budget.reason_to_string reason)
+           (match checkpoint_out with
+            | Some path -> Printf.sprintf "; resume with --resume-from %s" path
+            | None -> "")
+       | None -> ());
+      Option.iter
+        (fun path ->
+           try
+             Symsysc.Report.save_json path report;
+             Format.eprintf "[report] -> %s@." path
+           with Sys_error msg ->
+             Format.eprintf "symsysc: cannot write report: %s@." msg)
+        report_out;
       Format.printf "%a@." Symsysc.Report.pp report;
       if solver_stats then
         Format.printf "@.%a@." Symsysc.Report.pp_solver_breakdown report;
@@ -251,7 +368,8 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       ret (const run $ scenario_term $ variant $ faults $ coverage_flag
-           $ solver_stats_flag $ obs_term $ test_name))
+           $ solver_stats_flag $ obs_term $ checkpoint_out
+           $ checkpoint_every_s $ resume_from $ report_out $ test_name))
 
 (* ---- table1 ---- *)
 

@@ -38,7 +38,10 @@ let pp ppf t =
     (100.0 *. solver_fraction t)
     t.engine.Engine.solver_queries
     (100.0 *. cache_hit_rate t)
-    (if t.engine.Engine.exhausted then "" else " (limits hit)")
+    (match t.engine.Engine.stop_reason with
+     | Some r ->
+       Printf.sprintf " (stopped: %s)" (Symex.Budget.reason_to_string r)
+     | None -> if t.engine.Engine.exhausted then "" else " (degraded)")
 
 let pp_solver_breakdown ppf t =
   let s = t.engine.Engine.solver_stats in
@@ -91,9 +94,66 @@ let record_metrics t =
   g "symsysc_solver_sat_seconds" s.Smt.Solver.Stats.sat_time;
   gi "symsysc_solver_sat_conflicts" s.Smt.Solver.Stats.sat_conflicts;
   gi "symsysc_solver_sat_decisions" s.Smt.Solver.Stats.sat_decisions;
-  gi "symsysc_solver_sat_propagations" s.Smt.Solver.Stats.sat_propagations
+  gi "symsysc_solver_sat_propagations" s.Smt.Solver.Stats.sat_propagations;
+  gi "symsysc_solver_sat_timeouts" s.Smt.Solver.Stats.sat_timeouts;
+  gi "symsysc_solver_query_evictions" s.Smt.Solver.Stats.query_evictions;
+  gi "symsysc_solver_cex_evictions" s.Smt.Solver.Stats.cex_evictions;
+  gi "symsysc_engine_exhausted" (if e.Engine.exhausted then 1 else 0);
+  (* One-hot stop-reason gauges so alerting can key on a specific
+     budget without string labels. *)
+  List.iter
+    (fun r ->
+       gi
+         ("symsysc_engine_stop_" ^ Symex.Budget.reason_to_string r)
+         (if e.Engine.stop_reason = Some r then 1 else 0))
+    Symex.Budget.
+      [ Paths; Instructions; Deadline; Memory; Errors; Interrupt ]
 
 let pp_errors ppf t =
   Format.fprintf ppf "@[<v>%a@]"
     (Format.pp_print_list ~pp_sep:Format.pp_print_cut Symex.Error.pp)
     t.engine.Engine.errors
+
+(* Machine-readable report, for --report-out and the CI resume-
+   equivalence check.  Error sites are sorted (by site, then kind) so
+   two runs that found the same bugs in different orders — e.g. an
+   interrupted-and-resumed run vs a straight-through one under a
+   non-DFS strategy — serialize identically.  Wall-clock fields are
+   deliberately excluded from [errors] ordering but kept in the body;
+   CI diffs should compare the deterministic fields. *)
+let to_json t =
+  let open Obs.Json in
+  let e = t.engine in
+  let errors =
+    List.sort
+      (fun (a : Symex.Error.t) (b : Symex.Error.t) ->
+         match String.compare a.Symex.Error.site b.Symex.Error.site with
+         | 0 ->
+           String.compare
+             (Symex.Error.kind_to_string a.Symex.Error.kind)
+             (Symex.Error.kind_to_string b.Symex.Error.kind)
+         | c -> c)
+      e.Engine.errors
+  in
+  Obj
+    [ ("test", Str t.test_name);
+      ("verdict", Str (verdict_to_string t.verdict));
+      ("strategy", Str (Symex.Search.strategy_to_string e.Engine.strategy));
+      ("exhausted", Bool e.Engine.exhausted);
+      ("stop_reason",
+       match e.Engine.stop_reason with
+       | None -> Null
+       | Some r -> Str (Symex.Budget.reason_to_string r));
+      ("paths", Int e.Engine.paths);
+      ("paths_completed", Int e.Engine.paths_completed);
+      ("paths_errored", Int e.Engine.paths_errored);
+      ("paths_infeasible", Int e.Engine.paths_infeasible);
+      ("paths_unknown", Int e.Engine.paths_unknown);
+      ("instructions", Int e.Engine.instructions);
+      ("wall_time", Float e.Engine.wall_time);
+      ("solver_time", Float e.Engine.solver_time);
+      ("solver_queries", Int e.Engine.solver_queries);
+      ("solver", Smt.Solver.Stats.to_json e.Engine.solver_stats);
+      ("errors", List (List.map Symex.Error.to_json errors)) ]
+
+let save_json path t = Obs.Json.save path (to_json t)

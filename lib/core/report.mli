@@ -37,3 +37,12 @@ val record_metrics : t -> unit
 
 val pp_errors : Format.formatter -> t -> unit
 (** Detailed error list with counterexamples. *)
+
+val to_json : t -> Obs.Json.t
+(** Machine-readable report.  Errors are sorted by (site, kind), so
+    reports from runs that discovered the same bugs in different
+    orders — e.g. interrupted-and-resumed vs straight-through —
+    serialize their deterministic fields identically. *)
+
+val save_json : string -> t -> unit
+(** Atomically write {!to_json} to a file ([--report-out]). *)

@@ -10,19 +10,31 @@ let format_duration seconds =
   else if seconds >= 1.0 then Printf.sprintf "%.0fs" (ceil seconds)
   else Printf.sprintf "%.2fs" seconds
 
+(* "full" when the run exhausted the state space; otherwise which
+   budget stopped it ("deadline", "paths", ...) or "degraded" when a
+   solver limit silently lost paths. *)
+let coverage_note (r : Report.t) =
+  match r.Report.engine.Engine.stop_reason with
+  | Some reason -> Symex.Budget.reason_to_string reason
+  | None -> if r.Report.engine.Engine.exhausted then "full" else "degraded"
+
 let print_table1 ppf reports =
   Format.fprintf ppf
-    "| Test | Result    | #Exec. Instr. | Time [s] | Paths | Solver  |@.";
+    "| Test | Result    | #Exec. Instr. | Time [s] | Paths | Solver  | \
+     Coverage |@.";
   Format.fprintf ppf
-    "|------|-----------|---------------|----------|-------|---------|@.";
+    "|------|-----------|---------------|----------|-------|---------|\
+     ----------|@.";
   List.iter
     (fun (r : Report.t) ->
-       Format.fprintf ppf "| %-4s | %-9s | %13d | %8.2f | %5d | %6.2f%% |@."
+       Format.fprintf ppf
+         "| %-4s | %-9s | %13d | %8.2f | %5d | %6.2f%% | %-8s |@."
          r.Report.test_name
          (Report.verdict_to_string r.Report.verdict)
          r.Report.engine.Engine.instructions
          r.Report.engine.Engine.wall_time r.Report.engine.Engine.paths
-         (100.0 *. Report.solver_fraction r))
+         (100.0 *. Report.solver_fraction r)
+         (coverage_note r))
     reports
 
 (* Companion to Table 1: where the solver fraction actually goes.

@@ -1,7 +1,11 @@
 (** Text rendering of the paper's tables. *)
 
 val print_table1 : Format.formatter -> Report.t list -> unit
-(** Table 1: Test | Result | #Exec. Instr. | Time [s] | Paths | Solver. *)
+(** Table 1: Test | Result | #Exec. Instr. | Time [s] | Paths | Solver
+    | Coverage ("full", a stop reason, or "degraded"). *)
+
+val coverage_note : Report.t -> string
+(** The Coverage cell of Table 1 for one report. *)
 
 val print_solver_breakdown : Format.formatter -> Report.t list -> unit
 (** Companion to Table 1: per-test solver-stage breakdown (queries,

@@ -41,26 +41,36 @@ type scenario = {
 }
 
 let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?max_paths ?max_seconds
-    ?max_solver_conflicts ?(strategy = Symex.Search.Dfs) () =
+    ?max_solver_conflicts ?solver_timeout_ms ?max_memory_mb
+    ?(strategy = Symex.Search.Dfs) () =
   {
     params = Tests.scaled_params ~num_sources ~t5_max_len;
     engine_config =
       {
         Engine.strategy;
         limits =
-          { Engine.no_limits with max_paths; max_seconds; max_solver_conflicts };
+          { Engine.no_limits with
+            max_paths;
+            max_seconds;
+            max_solver_conflicts;
+            solver_timeout_ms;
+            max_memory_mb };
         stop_after_errors = None;
       };
   }
 
-let run_named scenario name params =
+let run_named ?resume ?checkpoint scenario name params =
   match Tests.by_name name with
   | None -> invalid_arg ("Verify.run_test: unknown test " ^ name)
   | Some test ->
-    let report = Engine.run ~config:scenario.engine_config (test params) in
+    let report =
+      Engine.run ~config:scenario.engine_config ~label:name ?resume
+        ?checkpoint (test params)
+    in
     Report.make name report
 
-let run_test scenario name = run_named scenario name scenario.params
+let run_test ?resume ?checkpoint scenario name =
+  run_named ?resume ?checkpoint scenario name scenario.params
 
 let table1 scenario =
   let params = Tests.with_variant Config.Original scenario.params in
@@ -129,3 +139,43 @@ let table2 ?(tests = List.map fst Tests.all) scenario =
       Fault.all
   in
   f_rows @ if_rows
+
+(* The IF1–IF6 detection matrix with path-count latency: for every
+   injected fault, on the fixed PLIC with exactly that fault planted,
+   which tests detect it and how many paths the engine explored before
+   the first detection (the error's [path_id]).  This is the
+   regression-testable core of the paper's Section 5.3 campaign. *)
+type matrix_cell = { detected : bool; first_path : int option }
+
+let detection_matrix ?(tests = List.map fst Tests.all) scenario =
+  List.map
+    (fun fault ->
+       let params =
+         Tests.with_faults [ fault ]
+           (Tests.with_variant Config.Fixed scenario.params)
+       in
+       let stop_scenario =
+         {
+           scenario with
+           engine_config =
+             { scenario.engine_config with Engine.stop_after_errors = Some 1 };
+         }
+       in
+       ( fault,
+         List.map
+           (fun name ->
+              let report = run_named stop_scenario name params in
+              let first_path =
+                List.filter_map
+                  (fun (e : Error.t) ->
+                     if bug_matches (Injected fault) e then
+                       Some e.Error.path_id
+                     else None)
+                  report.Report.engine.Engine.errors
+                |> function
+                | [] -> None
+                | ps -> Some (List.fold_left min max_int ps)
+              in
+              (name, { detected = first_path <> None; first_path }))
+           tests ))
+    Fault.all

@@ -32,16 +32,25 @@ val scenario :
   ?max_paths:int ->
   ?max_seconds:float ->
   ?max_solver_conflicts:int ->
+  ?solver_timeout_ms:int ->
+  ?max_memory_mb:int ->
   ?strategy:Symex.Search.strategy ->
   unit ->
   scenario
 (** Build a scenario; defaults: FE310 scale reduced to [num_sources]
-    (default 8) and [t5_max_len] (default 16), no path/time/solver
-    limits except those given. *)
+    (default 8) and [t5_max_len] (default 16), no path/time/solver/
+    memory budgets except those given. *)
 
-val run_test : scenario -> string -> Report.t
+val run_test :
+  ?resume:Symex.Checkpoint.t ->
+  ?checkpoint:Symex.Engine.checkpoint_policy ->
+  scenario ->
+  string ->
+  Report.t
 (** Run one test (by name, "T1".."T5") on the scenario's variant and
-    faults.  Raises [Invalid_argument] on unknown names. *)
+    faults.  Raises [Invalid_argument] on unknown names.  [resume]
+    continues from a checkpoint (its label must be the test name);
+    [checkpoint] snapshots the frontier periodically and at stop. *)
 
 val table1 : scenario -> Report.t list
 (** All five tests against the {e original} PLIC — the paper's
@@ -58,3 +67,18 @@ val table2 : ?tests:string list -> scenario -> detection list
     are measured on the original PLIC (one run per test, several bugs
     may surface in one run, as in the paper); each injected fault is
     measured on the fixed PLIC with exactly that fault planted. *)
+
+type matrix_cell = {
+  detected : bool;
+  first_path : int option;
+      (** paths explored before the first detection (the detecting
+          error's [path_id]); a deterministic latency measure, unlike
+          wall-clock seconds *)
+}
+
+val detection_matrix :
+  ?tests:string list -> scenario -> (Plic.Fault.t * (string * matrix_cell) list) list
+(** The Section 5.3 fault-injection campaign as data: every injected
+    fault on the fixed PLIC against every test (default T1..T5), with
+    path-count detection latency.  Deterministic for a fixed scenario,
+    so tests can pin the full matrix. *)

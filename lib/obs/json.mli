@@ -1,0 +1,39 @@
+(** A minimal JSON value type with a printer and a parser.
+
+    The tree deliberately has no external JSON dependency; this module
+    is the shared carrier for everything that round-trips structured
+    data through files — checkpoints, machine-readable reports.  The
+    printer is compact (single line); the parser accepts any JSON
+    produced by it plus ordinary whitespace. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+
+val save : string -> t -> unit
+(** Write atomically: the value is written to a temporary file in the
+    same directory and renamed over the target, so readers never see a
+    torn checkpoint. *)
+
+val of_string : string -> (t, string) result
+val load : string -> (t, string) result
+
+(** {1 Accessors} — total lookups for decoding. *)
+
+val member : string -> t -> t option
+(** Field of an [Obj]; [None] on absent field or non-object. *)
+
+val to_int_opt : t -> int option
+val to_float_opt : t -> float option
+(** Accepts both [Int] and [Float]. *)
+
+val to_string_opt : t -> string option
+val to_bool_opt : t -> bool option
+val to_list_opt : t -> t list option

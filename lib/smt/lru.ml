@@ -1,0 +1,86 @@
+type ('k, 'v) node = {
+  key : 'k;
+  mutable value : 'v;
+  mutable prev : ('k, 'v) node option;  (* towards most-recent *)
+  mutable next : ('k, 'v) node option;  (* towards least-recent *)
+}
+
+type ('k, 'v) t = {
+  tbl : ('k, ('k, 'v) node) Hashtbl.t;
+  mutable head : ('k, 'v) node option;  (* most-recently used *)
+  mutable tail : ('k, 'v) node option;  (* least-recently used *)
+  mutable cap : int;
+  mutable evicted : int;
+}
+
+let create ~cap () =
+  { tbl = Hashtbl.create 256; head = None; tail = None; cap; evicted = 0 }
+
+let length t = Hashtbl.length t.tbl
+let capacity t = t.cap
+let evictions t = t.evicted
+
+let unlink t node =
+  (match node.prev with
+   | Some p -> p.next <- node.next
+   | None -> t.head <- node.next);
+  (match node.next with
+   | Some nx -> nx.prev <- node.prev
+   | None -> t.tail <- node.prev);
+  node.prev <- None;
+  node.next <- None
+
+let push_front t node =
+  node.next <- t.head;
+  node.prev <- None;
+  (match t.head with
+   | Some h -> h.prev <- Some node
+   | None -> t.tail <- Some node);
+  t.head <- Some node
+
+let touch t node =
+  match t.head with
+  | Some h when h == node -> ()
+  | _ ->
+    unlink t node;
+    push_front t node
+
+let find t k =
+  match Hashtbl.find_opt t.tbl k with
+  | None -> None
+  | Some node ->
+    touch t node;
+    Some node.value
+
+let evict_over_cap t =
+  if t.cap > 0 then
+    while Hashtbl.length t.tbl > t.cap do
+      match t.tail with
+      | None -> assert false (* length > 0 implies a tail *)
+      | Some lru ->
+        unlink t lru;
+        Hashtbl.remove t.tbl lru.key;
+        t.evicted <- t.evicted + 1
+    done
+
+let put t k v =
+  (match Hashtbl.find_opt t.tbl k with
+   | Some node ->
+     node.value <- v;
+     touch t node
+   | None ->
+     let node = { key = k; value = v; prev = None; next = None } in
+     Hashtbl.add t.tbl k node;
+     push_front t node);
+  evict_over_cap t
+
+let set_capacity t cap =
+  t.cap <- cap;
+  evict_over_cap t
+
+let clear t =
+  Hashtbl.reset t.tbl;
+  t.head <- None;
+  t.tail <- None
+
+let iter f t = Hashtbl.iter (fun k node -> f k node.value) t.tbl

@@ -1,0 +1,36 @@
+(** A bounded map with least-recently-used eviction.
+
+    Backs the solver's query and counterexample caches so week-long
+    campaigns cannot grow memory without limit: every [find] hit and
+    every [put] marks the entry most-recently used, and a [put] that
+    pushes the map past its capacity silently drops the least-recently
+    used entry (counted in {!evictions}).
+
+    Operations are O(1): a hash table maps keys to nodes of an
+    intrusive doubly-linked recency list. *)
+
+type ('k, 'v) t
+
+val create : cap:int -> unit -> ('k, 'v) t
+(** [cap <= 0] means unbounded. *)
+
+val find : ('k, 'v) t -> 'k -> 'v option
+(** Lookup; a hit becomes the most-recently-used entry. *)
+
+val put : ('k, 'v) t -> 'k -> 'v -> unit
+(** Insert or replace; evicts the LRU entry when over capacity. *)
+
+val length : ('k, 'v) t -> int
+
+val capacity : ('k, 'v) t -> int
+
+val set_capacity : ('k, 'v) t -> int -> unit
+(** Shrink (evicting immediately) or grow the bound; [<= 0] unbounds. *)
+
+val evictions : ('k, 'v) t -> int
+(** Total entries evicted over the map's lifetime (monotone). *)
+
+val clear : ('k, 'v) t -> unit
+(** Drop every entry.  Does not count as eviction. *)
+
+val iter : ('k -> 'v -> unit) -> ('k, 'v) t -> unit

@@ -3,6 +3,8 @@
    variable or by internal literal. *)
 
 exception Resource_exhausted
+exception Timeout
+exception Interrupted
 
 type result = Sat | Unsat
 
@@ -340,12 +342,29 @@ let rec luby i =
   if (1 lsl !k) - 1 = i + 1 then 1 lsl (!k - 1)
   else luby (i + 1 - (1 lsl (!k - 1)))
 
-let solve ?(conflict_limit = max_int) t =
+let solve ?(conflict_limit = max_int) ?deadline ?stop t =
   if t.unsat then Unsat
   else begin
     let restart_base = 100 in
     let restart_num = ref 0 in
     let result = ref None in
+    (* Deadline and external-stop polling happen at propagation
+       boundaries (after each [propagate] fixpoint): once at the first
+       boundary — so even a query that resolves in a handful of steps
+       observes an already-expired deadline — then subsampled every 64
+       steps so the clock read does not show up in the profile. *)
+    let steps = ref 0 in
+    let poll () =
+      incr steps;
+      if !steps land 63 = 1 then begin
+        (match deadline with
+         | Some d when Unix.gettimeofday () > d -> raise Timeout
+         | Some _ | None -> ());
+        match stop with
+        | Some f when f () -> raise Interrupted
+        | Some _ | None -> ()
+      end
+    in
     while !result = None do
       let budget = restart_base * luby !restart_num in
       incr restart_num;
@@ -353,6 +372,7 @@ let solve ?(conflict_limit = max_int) t =
       let restart = ref false in
       while !result = None && not !restart do
         let conflict = propagate t in
+        poll ();
         if conflict <> -1 then begin
           t.conflicts <- t.conflicts + 1;
           incr local_conflicts;

@@ -26,12 +26,19 @@ val add_clause : t -> int list -> unit
 
 type result = Sat | Unsat
 
-val solve : ?conflict_limit:int -> t -> result
+val solve :
+  ?conflict_limit:int -> ?deadline:float -> ?stop:(unit -> bool) -> t -> result
 (** Solve the current clause set.  [conflict_limit] bounds the total
     number of conflicts (default: unlimited); reaching it raises
-    {!Resource_exhausted}. *)
+    {!Resource_exhausted}.  [deadline] is an absolute
+    [Unix.gettimeofday] instant; the CDCL loop polls it at propagation
+    boundaries and raises {!Timeout} once passed.  [stop] is polled at
+    the same points and raises {!Interrupted} when it returns [true]
+    (used for SIGINT-responsive solving). *)
 
 exception Resource_exhausted
+exception Timeout
+exception Interrupted
 
 val value : t -> int -> bool
 (** Model value of a variable after [solve] returned [Sat].  Unassigned

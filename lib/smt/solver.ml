@@ -10,12 +10,15 @@ module Stats = struct
     slice_hits : int;
     cache_hits : int;
     cex_hits : int;
+    query_evictions : int;
+    cex_evictions : int;
     interval_unsat : int;
     interval_sat : int;
     sat_calls : int;
     sat_conflicts : int;
     sat_decisions : int;
     sat_propagations : int;
+    sat_timeouts : int;
     time : float;
     interval_time : float;
     bitblast_time : float;
@@ -24,9 +27,10 @@ module Stats = struct
 
   let zero =
     { queries = 0; slices = 0; slice_hits = 0; cache_hits = 0; cex_hits = 0;
+      query_evictions = 0; cex_evictions = 0;
       interval_unsat = 0; interval_sat = 0; sat_calls = 0; sat_conflicts = 0;
-      sat_decisions = 0; sat_propagations = 0; time = 0.0; interval_time = 0.0;
-      bitblast_time = 0.0; sat_time = 0.0 }
+      sat_decisions = 0; sat_propagations = 0; sat_timeouts = 0; time = 0.0;
+      interval_time = 0.0; bitblast_time = 0.0; sat_time = 0.0 }
 
   let current = ref zero
   let get () = !current
@@ -39,16 +43,41 @@ module Stats = struct
       slice_hits = a.slice_hits - b.slice_hits;
       cache_hits = a.cache_hits - b.cache_hits;
       cex_hits = a.cex_hits - b.cex_hits;
+      query_evictions = a.query_evictions - b.query_evictions;
+      cex_evictions = a.cex_evictions - b.cex_evictions;
       interval_unsat = a.interval_unsat - b.interval_unsat;
       interval_sat = a.interval_sat - b.interval_sat;
       sat_calls = a.sat_calls - b.sat_calls;
       sat_conflicts = a.sat_conflicts - b.sat_conflicts;
       sat_decisions = a.sat_decisions - b.sat_decisions;
       sat_propagations = a.sat_propagations - b.sat_propagations;
+      sat_timeouts = a.sat_timeouts - b.sat_timeouts;
       time = a.time -. b.time;
       interval_time = a.interval_time -. b.interval_time;
       bitblast_time = a.bitblast_time -. b.bitblast_time;
       sat_time = a.sat_time -. b.sat_time;
+    }
+
+  let add a b =
+    {
+      queries = a.queries + b.queries;
+      slices = a.slices + b.slices;
+      slice_hits = a.slice_hits + b.slice_hits;
+      cache_hits = a.cache_hits + b.cache_hits;
+      cex_hits = a.cex_hits + b.cex_hits;
+      query_evictions = a.query_evictions + b.query_evictions;
+      cex_evictions = a.cex_evictions + b.cex_evictions;
+      interval_unsat = a.interval_unsat + b.interval_unsat;
+      interval_sat = a.interval_sat + b.interval_sat;
+      sat_calls = a.sat_calls + b.sat_calls;
+      sat_conflicts = a.sat_conflicts + b.sat_conflicts;
+      sat_decisions = a.sat_decisions + b.sat_decisions;
+      sat_propagations = a.sat_propagations + b.sat_propagations;
+      sat_timeouts = a.sat_timeouts + b.sat_timeouts;
+      time = a.time +. b.time;
+      interval_time = a.interval_time +. b.interval_time;
+      bitblast_time = a.bitblast_time +. b.bitblast_time;
+      sat_time = a.sat_time +. b.sat_time;
     }
 
   let cache_hit_rate t =
@@ -59,12 +88,63 @@ module Stats = struct
 
   let pp ppf t =
     Format.fprintf ppf
-      "queries=%d slices=%d slice-hits=%d cache=%d cex=%d itv-unsat=%d \
-       itv-sat=%d sat-calls=%d conflicts=%d decisions=%d propagations=%d \
-       time=%.3fs (itv=%.3fs blast=%.3fs sat=%.3fs)"
-      t.queries t.slices t.slice_hits t.cache_hits t.cex_hits t.interval_unsat
+      "queries=%d slices=%d slice-hits=%d cache=%d cex=%d evict=%d/%d \
+       itv-unsat=%d itv-sat=%d sat-calls=%d conflicts=%d decisions=%d \
+       propagations=%d timeouts=%d time=%.3fs (itv=%.3fs blast=%.3fs \
+       sat=%.3fs)"
+      t.queries t.slices t.slice_hits t.cache_hits t.cex_hits
+      t.query_evictions t.cex_evictions t.interval_unsat
       t.interval_sat t.sat_calls t.sat_conflicts t.sat_decisions
-      t.sat_propagations t.time t.interval_time t.bitblast_time t.sat_time
+      t.sat_propagations t.sat_timeouts t.time t.interval_time
+      t.bitblast_time t.sat_time
+
+  let to_json t =
+    Obs.Json.Obj
+      [ ("queries", Obs.Json.Int t.queries);
+        ("slices", Obs.Json.Int t.slices);
+        ("slice_hits", Obs.Json.Int t.slice_hits);
+        ("cache_hits", Obs.Json.Int t.cache_hits);
+        ("cex_hits", Obs.Json.Int t.cex_hits);
+        ("query_evictions", Obs.Json.Int t.query_evictions);
+        ("cex_evictions", Obs.Json.Int t.cex_evictions);
+        ("interval_unsat", Obs.Json.Int t.interval_unsat);
+        ("interval_sat", Obs.Json.Int t.interval_sat);
+        ("sat_calls", Obs.Json.Int t.sat_calls);
+        ("sat_conflicts", Obs.Json.Int t.sat_conflicts);
+        ("sat_decisions", Obs.Json.Int t.sat_decisions);
+        ("sat_propagations", Obs.Json.Int t.sat_propagations);
+        ("sat_timeouts", Obs.Json.Int t.sat_timeouts);
+        ("time", Obs.Json.Float t.time);
+        ("interval_time", Obs.Json.Float t.interval_time);
+        ("bitblast_time", Obs.Json.Float t.bitblast_time);
+        ("sat_time", Obs.Json.Float t.sat_time) ]
+
+  let of_json j =
+    let int k =
+      Option.value ~default:0 Obs.Json.(Option.bind (member k j) to_int_opt)
+    in
+    let flt k =
+      Option.value ~default:0.0
+        Obs.Json.(Option.bind (member k j) to_float_opt)
+    in
+    { queries = int "queries";
+      slices = int "slices";
+      slice_hits = int "slice_hits";
+      cache_hits = int "cache_hits";
+      cex_hits = int "cex_hits";
+      query_evictions = int "query_evictions";
+      cex_evictions = int "cex_evictions";
+      interval_unsat = int "interval_unsat";
+      interval_sat = int "interval_sat";
+      sat_calls = int "sat_calls";
+      sat_conflicts = int "sat_conflicts";
+      sat_decisions = int "sat_decisions";
+      sat_propagations = int "sat_propagations";
+      sat_timeouts = int "sat_timeouts";
+      time = flt "time";
+      interval_time = flt "interval_time";
+      bitblast_time = flt "bitblast_time";
+      sat_time = flt "sat_time" }
 end
 
 let caching = ref true
@@ -76,8 +156,16 @@ let set_independence b = independence := b
 (* Per-slice query cache: the canonical key is the sorted list of term
    ids of one independent slice (terms are hash-consed, so equal
    constraint sets share a key).  With independence disabled the whole
-   constraint set is one slice, recovering the old whole-query cache. *)
-let query_cache : (int list, outcome) Hashtbl.t = Hashtbl.create 4096
+   constraint set is one slice, recovering the old whole-query cache.
+   Bounded by LRU eviction so unbounded campaigns cannot exhaust
+   memory; the default capacity is large enough that decision-prefix
+   replay within a run stays deterministic in practice (see
+   [set_cache_capacity]). *)
+let default_query_cache_cap = 65536
+let default_cex_index_cap = 4096
+
+let query_cache : (int list, outcome) Lru.t =
+  Lru.create ~cap:default_query_cache_cap ()
 
 (* Variable-indexed counterexample cache.  A model satisfying a
    superset query also satisfies this query, so re-evaluating recent
@@ -86,22 +174,49 @@ let query_cache : (int list, outcome) Hashtbl.t = Hashtbl.create 4096
    indexed by the variables they bind and lookups evaluate only models
    that cover the slice. *)
 let cex_per_var = 8
-let cex_index : (int, Model.t list ref) Hashtbl.t = Hashtbl.create 512
+let cex_index : (int, Model.t list) Lru.t =
+  Lru.create ~cap:default_cex_index_cap ()
+
+(* Eviction totals live in the LRU maps; fold the deltas into the
+   [Stats] counters so [Stats.reset]/[Stats.sub] keep working. *)
+let last_query_evictions = ref 0
+let last_cex_evictions = ref 0
+
+let note_evictions () =
+  let qe = Lru.evictions query_cache in
+  let ce = Lru.evictions cex_index in
+  if qe <> !last_query_evictions || ce <> !last_cex_evictions then begin
+    Stats.(
+      current :=
+        { !current with
+          query_evictions =
+            !current.query_evictions + (qe - !last_query_evictions);
+          cex_evictions = !current.cex_evictions + (ce - !last_cex_evictions) });
+    last_query_evictions := qe;
+    last_cex_evictions := ce
+  end
+
+let set_cache_capacity ?query ?cex () =
+  Option.iter (Lru.set_capacity query_cache) query;
+  Option.iter (Lru.set_capacity cex_index) cex;
+  note_evictions ()
+
+let cache_sizes () = (Lru.length query_cache, Lru.length cex_index)
 
 let remember_model m =
-  if !caching then
+  if !caching then begin
     List.iter
       (fun ((v : Expr.var), _) ->
-         let slot =
-           match Hashtbl.find_opt cex_index v.Expr.var_id with
-           | Some slot -> slot
-           | None ->
-             let slot = ref [] in
-             Hashtbl.add cex_index v.Expr.var_id slot;
-             slot
+         let prev =
+           match Lru.find cex_index v.Expr.var_id with
+           | Some models -> models
+           | None -> []
          in
-         slot := m :: List.filteri (fun i _ -> i < cex_per_var - 1) !slot)
-      (Model.bindings m)
+         Lru.put cex_index v.Expr.var_id
+           (m :: List.filteri (fun i _ -> i < cex_per_var - 1) prev))
+      (Model.bindings m);
+    note_evictions ()
+  end
 
 (* Candidate models are those indexed under the slice's first variable
    and binding every other slice variable; only those are evaluated.
@@ -114,9 +229,9 @@ let cex_lookup vars constraints =
     match vars with
     | [] -> None
     | (v0 : Expr.var) :: rest ->
-      (match Hashtbl.find_opt cex_index v0.Expr.var_id with
+      (match Lru.find cex_index v0.Expr.var_id with
        | None -> None
-       | Some slot ->
+       | Some models ->
          Option.map
            (fun m -> Model.of_fun vars (Model.find m))
            (List.find_opt
@@ -125,11 +240,16 @@ let cex_lookup vars constraints =
                    (fun (v : Expr.var) -> Model.find_opt m v <> None)
                    rest
                  && Model.satisfies m constraints)
-              !slot))
+              models))
 
 let clear_caches () =
-  Hashtbl.reset query_cache;
-  Hashtbl.reset cex_index
+  Lru.clear query_cache;
+  Lru.clear cex_index
+
+(* Hook polled by the CDCL loop so a SIGINT can unwind even a long SAT
+   call.  Installed by the engine; defaults to never stopping. *)
+let interrupt_check = ref (fun () -> false)
+let set_interrupt_check f = interrupt_check := f
 
 let outcome_to_string = function
   | Sat _ -> "sat"
@@ -149,7 +269,7 @@ let stage name timef record f =
       ~args:(record r) name;
   r
 
-let solve_with_sat ?conflict_limit constraints vars =
+let solve_with_sat ?conflict_limit ?deadline constraints vars =
   let sat = Sat.create () in
   let ctx =
     stage "bitblast"
@@ -169,12 +289,22 @@ let solve_with_sat ?conflict_limit constraints vars =
               (match r with
                | Ok Sat.Sat -> "sat"
                | Ok Sat.Unsat -> "unsat"
-               | Error () -> "resource-exhausted"));
+               | Error msg -> msg));
            ("conflicts", Obs.Event.Int (Sat.stats_conflicts sat)) ])
       (fun () ->
-         match Sat.solve ?conflict_limit sat with
+         match
+           Sat.solve ?conflict_limit ?deadline
+             ~stop:(fun () -> !interrupt_check ())
+             sat
+         with
          | r -> Ok r
-         | exception Sat.Resource_exhausted -> Error ())
+         | exception Sat.Resource_exhausted -> Error "conflict limit reached"
+         | exception Sat.Timeout ->
+           Stats.(
+             current :=
+               { !current with sat_timeouts = !current.sat_timeouts + 1 });
+           Error "solver timeout"
+         | exception Sat.Interrupted -> Error "interrupted")
   in
   Stats.(
     current :=
@@ -184,7 +314,7 @@ let solve_with_sat ?conflict_limit constraints vars =
         sat_propagations =
           !current.sat_propagations + Sat.stats_propagations sat });
   match result with
-  | Error () -> Unknown "conflict limit reached"
+  | Error msg -> Unknown msg
   | Ok Sat.Unsat -> Unsat
   | Ok Sat.Sat ->
     let model = Bitblast.extract_model ctx vars in
@@ -195,7 +325,7 @@ let solve_with_sat ?conflict_limit constraints vars =
 
 (* The uncached tail of the per-slice pipeline: interval prescreen
    (range propagation plus candidate probing), then bit-blast + SAT. *)
-let solve_slice ?conflict_limit constraints vars =
+let solve_slice ?conflict_limit ?deadline constraints vars =
   let prescreen =
     stage "interval"
       (fun s dt ->
@@ -232,14 +362,14 @@ let solve_slice ?conflict_limit constraints vars =
     Sat m
   | `Inconclusive ->
     Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
-    let r = solve_with_sat ?conflict_limit constraints vars in
+    let r = solve_with_sat ?conflict_limit ?deadline constraints vars in
     (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
     r
 
 (* One independent slice: per-slice query cache, then the variable-
    indexed counterexample cache, then the solving pipeline.  Emits a
    [solver/slice] span per slice when the sink is enabled. *)
-let check_slice ?conflict_limit constraints =
+let check_slice ?conflict_limit ?deadline constraints =
   let t0 = if !Obs.Sink.enabled then Unix.gettimeofday () else 0.0 in
   Stats.(current := { !current with slices = !current.slices + 1 });
   let finish ~via r =
@@ -257,7 +387,7 @@ let check_slice ?conflict_limit constraints =
     List.sort_uniq Int.compare
       (List.map (fun (c : Expr.t) -> c.Expr.id) constraints)
   in
-  match if !caching then Hashtbl.find_opt query_cache key else None with
+  match if !caching then Lru.find query_cache key else None with
   | Some r ->
     Stats.(
       current :=
@@ -279,17 +409,30 @@ let check_slice ?conflict_limit constraints =
           branch conditions it rebuilds embed model values — so a slice,
           once answered, must keep answering with the same model even as
           the counterexample index churns. *)
-       if !caching then Hashtbl.replace query_cache key (Sat m);
+       if !caching then begin
+         Lru.put query_cache key (Sat m);
+         note_evictions ()
+       end;
        finish ~via:"cex" (Sat m)
      | None ->
-       let r = solve_slice ?conflict_limit constraints vars in
+       let r = solve_slice ?conflict_limit ?deadline constraints vars in
        (match r with
         | Unknown _ -> ()
-        | Sat _ | Unsat -> if !caching then Hashtbl.replace query_cache key r);
+        | Sat _ | Unsat ->
+          if !caching then begin
+            Lru.put query_cache key r;
+            note_evictions ()
+          end);
        finish ~via:"pipeline" r)
 
-let check ?conflict_limit constraints =
+let check ?conflict_limit ?timeout_ms constraints =
   let t0 = Unix.gettimeofday () in
+  (* The per-query timeout becomes an absolute deadline shared by every
+     slice of the conjunction: a query is one budget unit regardless of
+     how many independent slices it splits into. *)
+  let deadline =
+    Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) timeout_ms
+  in
   Stats.(current := { !current with queries = !current.queries + 1 });
   let finish ~via r =
     let dt = Unix.gettimeofday () -. t0 in
@@ -326,7 +469,7 @@ let check ?conflict_limit constraints =
              failwith "Solver: internal error, merged model fails evaluation";
            Sat model)
       | s :: rest ->
-        (match check_slice ?conflict_limit s with
+        (match check_slice ?conflict_limit ?deadline s with
          | Unsat -> Unsat
          | Unknown msg ->
            solve_all model (Some (match unknown with Some m -> m | None -> msg)) rest

@@ -29,12 +29,14 @@ type outcome =
   | Unsat
   | Unknown of string  (** resource limit reached *)
 
-val check : ?conflict_limit:int -> Expr.t list -> outcome
+val check : ?conflict_limit:int -> ?timeout_ms:int -> Expr.t list -> outcome
 (** Satisfiability of the conjunction of the given boolean terms.
     On [Sat], the returned model satisfies every constraint (this is
     verified internally by evaluation).  [Unknown] is returned when any
-    slice hits [conflict_limit]; an [Unsat] slice still settles the
-    query as [Unsat] even if another slice was cut short. *)
+    slice hits [conflict_limit], exceeds the per-query [timeout_ms]
+    deadline (shared by all slices of the conjunction), or is cut short
+    by the {!set_interrupt_check} hook; an [Unsat] slice still settles
+    the query as [Unsat] even if another slice was cut short. *)
 
 val is_sat : ?conflict_limit:int -> Expr.t list -> bool
 (** [true] on [Sat]; [false] on [Unsat].  Raises [Failure] on
@@ -44,7 +46,27 @@ val get_model : Expr.t list -> Model.t option
 (** [Some model] on [Sat], [None] on [Unsat].  Raises on [Unknown]. *)
 
 val clear_caches : unit -> unit
-(** Drop the query and counterexample caches (useful for benchmarks). *)
+(** Drop the query and counterexample caches (useful for benchmarks).
+    Does not count as eviction. *)
+
+val set_cache_capacity : ?query:int -> ?cex:int -> unit -> unit
+(** Bound the query cache (entries) and the counterexample index
+    (variables tracked); [<= 0] unbounds.  Shrinking evicts
+    immediately.  Defaults: 65536 query entries, 4096 cex variables.
+    Caveat: with decision-prefix replay, a query-cache eviction inside
+    one run can in principle change which model a re-issued [Sat] query
+    returns; the default capacity is far above the working set of the
+    bundled testbenches, and checkpoints record concretization values
+    explicitly, so replay stays deterministic. *)
+
+val cache_sizes : unit -> int * int
+(** Current (query cache, cex index) entry counts. *)
+
+val set_interrupt_check : (unit -> bool) -> unit
+(** Install the hook polled by the CDCL loop at propagation boundaries;
+    when it returns [true] the in-flight query unwinds and [check]
+    returns [Unknown "interrupted"].  Used to make SIGINT responsive
+    even during a long SAT call. *)
 
 val set_caching : bool -> unit
 (** Enable or disable both caches (enabled by default); used by the
@@ -66,18 +88,22 @@ module Stats : sig
     slice_hits : int;         (** slices answered by either cache *)
     cache_hits : int;         (** slices answered by the query cache *)
     cex_hits : int;           (** slices answered by the cex cache *)
+    query_evictions : int;    (** LRU evictions from the query cache *)
+    cex_evictions : int;      (** LRU evictions from the cex index *)
     interval_unsat : int;     (** proved unsat by interval propagation *)
     interval_sat : int;       (** model found from interval candidates *)
     sat_calls : int;          (** slices that reached the SAT solver *)
     sat_conflicts : int;      (** CDCL conflicts, summed over queries *)
     sat_decisions : int;      (** CDCL decisions, summed over queries *)
     sat_propagations : int;   (** unit propagations, summed over queries *)
+    sat_timeouts : int;       (** SAT calls cut short by [timeout_ms] *)
     time : float;             (** total seconds spent inside [check] *)
     interval_time : float;    (** seconds in the interval prescreen *)
     bitblast_time : float;    (** seconds bit-blasting to CNF *)
     sat_time : float;         (** seconds in the CDCL search *)
   }
 
+  val zero : t
   val get : unit -> t
   val reset : unit -> unit
 
@@ -85,8 +111,17 @@ module Stats : sig
   (** Component-wise difference — [sub after before] is the activity of
       one exploration run. *)
 
+  val add : t -> t -> t
+  (** Component-wise sum — folds a checkpointed segment's activity into
+      the resumed run's. *)
+
   val cache_hit_rate : t -> float
   (** Fraction of slices answered by either cache, in [0, 1]. *)
 
   val pp : Format.formatter -> t -> unit
+
+  val to_json : t -> Obs.Json.t
+  val of_json : Obs.Json.t -> t
+  (** Missing fields read as zero, so checkpoints stay loadable across
+      counter additions. *)
 end

@@ -1,0 +1,65 @@
+type t = {
+  max_paths : int option;
+  max_instructions : int option;
+  max_seconds : float option;
+  max_solver_conflicts : int option;
+  solver_timeout_ms : int option;
+  max_memory_mb : int option;
+}
+
+let unlimited =
+  {
+    max_paths = None;
+    max_instructions = None;
+    max_seconds = None;
+    max_solver_conflicts = None;
+    solver_timeout_ms = None;
+    max_memory_mb = None;
+  }
+
+type reason =
+  | Paths
+  | Instructions
+  | Deadline
+  | Memory
+  | Errors
+  | Interrupt
+
+let reason_to_string = function
+  | Paths -> "paths"
+  | Instructions -> "instructions"
+  | Deadline -> "deadline"
+  | Memory -> "memory"
+  | Errors -> "errors"
+  | Interrupt -> "interrupt"
+
+let reason_of_string = function
+  | "paths" -> Some Paths
+  | "instructions" -> Some Instructions
+  | "deadline" -> Some Deadline
+  | "memory" -> Some Memory
+  | "errors" -> Some Errors
+  | "interrupt" -> Some Interrupt
+  | _ -> None
+
+let heap_mb () =
+  let s = Gc.quick_stat () in
+  float_of_int s.Gc.heap_words *. float_of_int (Sys.word_size / 8) /. 1e6
+
+(* The interrupt flag is a plain bool ref: OCaml signal handlers run
+   between bytecode/native safepoints, and a single-word store is
+   atomic for them. *)
+let interrupt_flag = ref false
+let interrupted () = !interrupt_flag
+let interrupt_now () = interrupt_flag := true
+let clear_interrupt () = interrupt_flag := false
+
+let handlers_installed = ref false
+
+let install_signal_handlers () =
+  if not !handlers_installed then begin
+    handlers_installed := true;
+    let handle = Sys.Signal_handle (fun _ -> interrupt_now ()) in
+    ignore (Sys.signal Sys.sigint handle);
+    ignore (Sys.signal Sys.sigterm handle)
+  end

@@ -1,0 +1,64 @@
+(** Unified resource budgets for exploration.
+
+    One record carries every limit an exploration run can be given:
+    the path/instruction/time bounds the engine always had, a memory
+    watermark read from [Gc] statistics, and the per-query solver
+    budgets (CDCL conflict limit and wall-clock timeout).  Exhausting
+    any of them stops exploration {e gracefully}: the engine unwinds
+    between solver queries, records which budget fired, and still
+    produces a (non-exhaustive) report — and, when checkpointing is
+    enabled, a resumable frontier snapshot.
+
+    The module also owns the process-wide interrupt flag: signal
+    handlers (or tests) set it, and both the engine's between-branch
+    polling and the SAT solver's propagation-boundary polling observe
+    it, so even a run stuck inside one hard query stays responsive to
+    Ctrl-C. *)
+
+type t = {
+  max_paths : int option;         (** executions to attempt *)
+  max_instructions : int option;  (** symbolic operations *)
+  max_seconds : float option;     (** wall-clock deadline for the run *)
+  max_solver_conflicts : int option;
+      (** per-query CDCL conflict budget; an over-budget query kills
+          only the current path (graceful degradation) *)
+  solver_timeout_ms : int option;
+      (** per-query wall-clock budget, same path-local semantics *)
+  max_memory_mb : int option;
+      (** OCaml heap watermark; checked between branches *)
+}
+
+val unlimited : t
+
+(** Why a run stopped early.  [Errors] is the [stop_after_errors]
+    threshold; [Interrupt] is SIGINT/SIGTERM (or a programmatic
+    {!interrupt_now}).  Absence of a reason means the frontier was
+    exhausted. *)
+type reason =
+  | Paths
+  | Instructions
+  | Deadline
+  | Memory
+  | Errors
+  | Interrupt
+
+val reason_to_string : reason -> string
+(** Stable metric-safe names: ["paths"], ["instructions"],
+    ["deadline"], ["memory"], ["errors"], ["interrupt"]. *)
+
+val reason_of_string : string -> reason option
+
+val heap_mb : unit -> float
+(** Current major-heap size in MB, from [Gc.quick_stat] (no heap
+    walk — cheap enough to poll at branches). *)
+
+val interrupted : unit -> bool
+val interrupt_now : unit -> unit
+val clear_interrupt : unit -> unit
+
+val install_signal_handlers : unit -> unit
+(** Route SIGINT and SIGTERM to {!interrupt_now} (idempotent).  The
+    engine then stops at the next branch or propagation boundary,
+    writes the final checkpoint when one was requested, and returns a
+    partial report — callers keep their [Fun.protect] epilogues (sink
+    flushing) because the process is not killed. *)

@@ -1,0 +1,43 @@
+(** Serializable exploration state.
+
+    A checkpoint captures everything the engine needs to continue an
+    interrupted run as if it had never stopped: the pending frontier
+    (decision prefixes with their fork sites), the search state (visit
+    counts and PRNG state), the accumulated counters and wall time,
+    the solver activity so far, and the errors already found.  Because
+    prefixes record concretization {e values} (see {!Decision}), a
+    resumed run replays them without consulting the solver and reaches
+    byte-identical verdicts, path totals and bug sites.
+
+    Checkpoints are single-line JSON written atomically
+    (tmp-and-rename), so a run killed mid-write never leaves a torn
+    file behind. *)
+
+type t = {
+  label : string;            (** testbench name, checked on resume *)
+  strategy : string;         (** {!Search.strategy_to_string} form *)
+  frontier : (string * Decision.t array) list;  (** oldest first *)
+  visits : (string * int) list;
+  rng : int64;
+  paths : int;
+  completed : int;
+  errored : int;
+  infeasible : int;
+  unknown : int;
+  instructions : int;
+  wall_time : float;         (** seconds of exploration so far *)
+  solver : Smt.Solver.Stats.t;
+  errors : Error.t list;     (** discovery order *)
+  degraded : bool;
+      (** some path was lost to a solver resource limit — the eventual
+          run can no longer be exhaustive *)
+  stop_reason : string option;
+      (** why the snapshotted segment stopped; [None] for periodic
+          snapshots of a still-running exploration *)
+}
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+
+val save : string -> t -> unit
+val load : string -> (t, string) result

@@ -1,0 +1,34 @@
+module Bv = Smt.Bv
+
+type t =
+  | Dir of bool
+  | Pick of { value : Bv.t; dir : bool }
+
+let to_string = function
+  | Dir true -> "T"
+  | Dir false -> "F"
+  | Pick { value; dir } ->
+    Printf.sprintf "%c0x%Lx:%d"
+      (if dir then '+' else '-')
+      (Bv.to_int64 value) (Bv.width value)
+
+let of_string s =
+  match s with
+  | "T" -> Ok (Dir true)
+  | "F" -> Ok (Dir false)
+  | _ ->
+    let fail () = Error (Printf.sprintf "malformed decision %S" s) in
+    if String.length s < 2 || (s.[0] <> '+' && s.[0] <> '-') then fail ()
+    else
+      let dir = s.[0] = '+' in
+      (match String.index_opt s ':' with
+       | None -> fail ()
+       | Some i ->
+         let hex = String.sub s 1 (i - 1) in
+         let w = String.sub s (i + 1) (String.length s - i - 1) in
+         (match Int64.of_string_opt hex, int_of_string_opt w with
+          | Some v, Some width when width >= 1 && width <= 64 ->
+            Ok (Pick { value = Bv.make ~width v; dir })
+          | _ -> fail ()))
+
+let pp ppf d = Format.pp_print_string ppf (to_string d)

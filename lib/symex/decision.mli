@@ -1,0 +1,26 @@
+(** One recorded exploration decision.
+
+    A pending path is a vector of decisions replayed by re-execution.
+    Plain branches record the direction taken.  Concretization records
+    the chosen value {e and} the direction, because the value comes
+    from a solver model and model choice depends on solver-cache
+    history: replaying a concretization by direction alone could pick a
+    different value on a resumed run (cold caches) and explore a
+    different state space.  Recording the value makes replay — and
+    therefore checkpoint/resume — deterministic without consulting the
+    solver. *)
+
+type t =
+  | Dir of bool
+      (** a branch: [true] took the condition, [false] its negation *)
+  | Pick of { value : Smt.Bv.t; dir : bool }
+      (** a concretization candidate: [dir = true] constrained the term
+          to [value]; [dir = false] excluded it and moved on *)
+
+val to_string : t -> string
+(** Compact form used inside checkpoints: ["T"] / ["F"] for branches,
+    ["+0x<hex>:<width>"] / ["-0x<hex>:<width>"] for picks. *)
+
+val of_string : string -> (t, string) result
+
+val pp : Format.formatter -> t -> unit

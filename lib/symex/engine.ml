@@ -3,20 +3,16 @@ module Bv = Smt.Bv
 module Solver = Smt.Solver
 module Model = Smt.Model
 
-type limits = {
+type limits = Budget.t = {
   max_paths : int option;
   max_instructions : int option;
   max_seconds : float option;
   max_solver_conflicts : int option;
+  solver_timeout_ms : int option;
+  max_memory_mb : int option;
 }
 
-let no_limits =
-  {
-    max_paths = None;
-    max_instructions = None;
-    max_seconds = None;
-    max_solver_conflicts = None;
-  }
+let no_limits = Budget.unlimited
 
 type config = {
   strategy : Search.strategy;
@@ -26,6 +22,11 @@ type config = {
 
 let default_config =
   { strategy = Search.Dfs; limits = no_limits; stop_after_errors = None }
+
+type checkpoint_policy = {
+  write : Checkpoint.t -> unit;
+  every_s : float;
+}
 
 type report = {
   errors : Error.t list;
@@ -40,6 +41,8 @@ type report = {
   solver_queries : int;
   solver_stats : Solver.Stats.t;
   exhausted : bool;
+  stop_reason : Budget.reason option;
+  strategy : Search.strategy;
   branch_coverage : (string * int) list;
 }
 
@@ -54,18 +57,21 @@ exception Replay_stop
 exception Replay_diverged of string
 
 type path_state = {
-  prefix : bool array;            (* prescribed decisions *)
+  prefix : Decision.t array;      (* prescribed decisions *)
   mutable pos : int;              (* prescribed decisions consumed *)
-  mutable taken : bool list;      (* all decisions, newest first *)
+  mutable taken : Decision.t list;  (* all decisions, newest first *)
   mutable pc : Expr.t list;       (* path condition, newest first *)
   mutable inputs : (string * Expr.t) list;  (* newest first *)
   mutable fresh_idx : int;
+  mutable visited : string list;  (* sites visited on this path, for
+                                     rollback when it is abandoned *)
+  instr_start : int;              (* instructions_so_far at path start *)
   path_id : int;
 }
 
 type explore_state = {
   cfg : config;
-  frontier : bool array Search.t;
+  frontier : Decision.t array Search.t;
   mutable pool : (string * int * Expr.t) array;
   mutable pool_len : int;
   mutable cur : path_state option;
@@ -76,9 +82,12 @@ type explore_state = {
   mutable n_errored : int;
   mutable n_infeasible : int;
   mutable n_unknown : int;
-  mutable exhausted : bool;
+  mutable degraded : bool;
+      (* a path was lost to a solver resource limit: the run can no
+         longer be exhaustive, even after a resume *)
+  mutable stop_reason : Budget.reason option;
   started : float;
-  instr_base : int;
+  mutable instr_base : int;
 }
 
 type replay_state = {
@@ -114,18 +123,25 @@ let current_path st =
 let elapsed st = Unix.gettimeofday () -. st.started
 let instructions_so_far st = Expr.instruction_count () - st.instr_base
 
+(* Record why exploration stops (the first reason wins) and unwind.
+   Unlike [degraded], a recorded stop reason is recoverable: the
+   checkpointed frontier still covers the unexplored states. *)
+let stop st reason =
+  if st.stop_reason = None then st.stop_reason <- Some reason;
+  raise Stop_exploration
+
 let check_limits st =
+  if Budget.interrupted () then stop st Budget.Interrupt;
   let l = st.cfg.limits in
-  let hit =
-    (match l.max_instructions with
-     | Some n -> instructions_so_far st > n
-     | None -> false)
-    || (match l.max_seconds with Some s -> elapsed st > s | None -> false)
-  in
-  if hit then begin
-    st.exhausted <- false;
-    raise Stop_exploration
-  end
+  (match l.max_instructions with
+   | Some n when instructions_so_far st > n -> stop st Budget.Instructions
+   | Some _ | None -> ());
+  (match l.max_seconds with
+   | Some s when elapsed st > s -> stop st Budget.Deadline
+   | Some _ | None -> ());
+  match l.max_memory_mb with
+  | Some m when Budget.heap_mb () > float_of_int m -> stop st Budget.Memory
+  | Some _ | None -> ()
 
 (* ------------------------------------------------------------------ *)
 (* Symbolic inputs                                                     *)
@@ -194,20 +210,25 @@ let path_condition () =
   | Explore st -> List.rev (current_path st).pc
   | Replay _ | Rand _ | Off -> []
 
-(* A solver [Unknown] (conflict limit hit) in the middle of a path
-   terminates only that path, KLEE-style, instead of aborting the whole
-   exploration: the remaining frontier is still explored and the run is
-   reported as non-exhaustive, so [--max-solver-conflicts] composes
-   with the other [--max-*] limits. *)
+(* A solver [Unknown] (conflict or timeout budget hit) in the middle of
+   a path terminates only that path, KLEE-style, instead of aborting
+   the whole exploration: the remaining frontier is still explored and
+   the run is reported as non-exhaustive, so [--max-solver-conflicts]
+   and [--solver-timeout-ms] compose with the other [--max-*] limits.
+   An [Unknown] caused by the interrupt flag is different — nothing was
+   exhausted, the query was merely cut short — so it stops the whole
+   run instead of killing (and losing) the current path. *)
 let solver_unknown st msg =
-  st.exhausted <- false;
+  if Budget.interrupted () then stop st Budget.Interrupt;
+  st.degraded <- true;
   if !Obs.Sink.enabled then
     Obs.Sink.instant ~cat:"engine" "solver-unknown"
       ~args:[ ("reason", Obs.Event.Str msg) ];
   raise (Terminate_path End_unknown)
 
 let path_check st constraints =
-  Solver.check ?conflict_limit:st.cfg.limits.max_solver_conflicts constraints
+  Solver.check ?conflict_limit:st.cfg.limits.max_solver_conflicts
+    ?timeout_ms:st.cfg.limits.solver_timeout_ms constraints
 
 let feasible st constraints =
   match path_check st constraints with
@@ -217,9 +238,13 @@ let feasible st constraints =
 
 let take st ps cond d =
   ignore st;
-  ps.taken <- d :: ps.taken;
+  ps.taken <- Decision.Dir d :: ps.taken;
   ps.pc <- (if d then cond else Expr.not_ cond) :: ps.pc;
   d
+
+let record_visit st ps site =
+  Search.record_visit st.frontier site;
+  ps.visited <- site :: ps.visited
 
 let branch ?(site = "branch") cond =
   Expr.add_instructions 1;
@@ -239,21 +264,28 @@ let branch ?(site = "branch") cond =
   | Explore st ->
     check_limits st;
     let ps = current_path st in
-    Search.record_visit st.frontier site;
+    record_visit st ps site;
     (match Expr.to_bool cond with
      | Some b -> b
      | None ->
        if ps.pos < Array.length ps.prefix then begin
-         let d = ps.prefix.(ps.pos) in
-         ps.pos <- ps.pos + 1;
-         take st ps cond d
+         match ps.prefix.(ps.pos) with
+         | Decision.Dir d ->
+           ps.pos <- ps.pos + 1;
+           take st ps cond d
+         | Decision.Pick _ ->
+           failwith
+             "Engine.branch: decision trace diverged (prescribed \
+              concretization at a branch)"
        end
        else begin
          let sat_true = feasible st (cond :: ps.pc) in
          let sat_false = feasible st (Expr.not_ cond :: ps.pc) in
          match sat_true, sat_false with
          | true, true ->
-           let alt = Array.of_list (List.rev (false :: ps.taken)) in
+           let alt =
+             Array.of_list (List.rev (Decision.Dir false :: ps.taken))
+           in
            Search.push st.frontier ~site alt;
            if !Obs.Sink.enabled then
              Obs.Sink.instant ~cat:"engine" "fork"
@@ -334,9 +366,7 @@ let record_error st ps kind site message model =
             ("kind", Obs.Event.Str (Error.kind_to_string kind));
             ("path", Obs.Event.Int ps.path_id) ];
     match st.cfg.stop_after_errors with
-    | Some n when List.length st.errors_rev >= n ->
-      st.exhausted <- false;
-      raise Stop_exploration
+    | Some n when List.length st.errors_rev >= n -> stop st Budget.Errors
     | Some _ | None -> ()
   end
 
@@ -429,6 +459,12 @@ let report_error kind ~site ~message =
 (* ------------------------------------------------------------------ *)
 (* Concretization (KLEE-style enumerating fork)                        *)
 
+(* Concretization decisions are recorded as [Decision.Pick] — value
+   included — because the value comes from a solver model, and model
+   choice depends on cache history.  Replaying by value keeps a
+   resumed run (cold caches) on exactly the value enumeration the
+   original run would have explored; prescribed picks consult no
+   solver at all. *)
 let rec concretize ?(site = "concretize") e =
   match Expr.to_bv e with
   | Some v -> v
@@ -438,24 +474,105 @@ let rec concretize ?(site = "concretize") e =
      | Replay _ -> raise (Replay_diverged "symbolic value during replay")
      | Rand _ -> raise (Replay_diverged "symbolic value during random trial")
      | Explore st ->
+       Expr.add_instructions 1;
+       check_limits st;
        let ps = current_path st in
-       (match path_check st ps.pc with
-        | Solver.Sat m ->
-          let v = Model.eval m e in
-          if branch ~site (Expr.eq e (Expr.const v)) then v
-          else concretize ~site e
-        | Solver.Unsat -> raise (Terminate_path End_infeasible)
-        | Solver.Unknown msg -> solver_unknown st msg))
+       record_visit st ps site;
+       if ps.pos < Array.length ps.prefix then begin
+         match ps.prefix.(ps.pos) with
+         | Decision.Pick { value; dir } ->
+           ps.pos <- ps.pos + 1;
+           let cond = Expr.eq e (Expr.const value) in
+           ps.taken <- Decision.Pick { value; dir } :: ps.taken;
+           ps.pc <- (if dir then cond else Expr.not_ cond) :: ps.pc;
+           if dir then value else concretize ~site e
+         | Decision.Dir _ ->
+           failwith
+             "Engine.concretize: decision trace diverged (prescribed \
+              branch at a concretization)"
+       end
+       else
+         (match path_check st ps.pc with
+          | Solver.Sat m ->
+            let v = Model.eval m e in
+            let cond = Expr.eq e (Expr.const v) in
+            (* [m] already witnesses [e = v]; only the excluded side
+               needs a feasibility query before forking. *)
+            if feasible st (Expr.not_ cond :: ps.pc) then begin
+              let alt =
+                Array.of_list
+                  (List.rev
+                     (Decision.Pick { value = v; dir = false } :: ps.taken))
+              in
+              Search.push st.frontier ~site alt;
+              if !Obs.Sink.enabled then
+                Obs.Sink.instant ~cat:"engine" "fork"
+                  ~args:
+                    [ ("site", Obs.Event.Str site);
+                      ("path", Obs.Event.Int ps.path_id);
+                      ("frontier", Obs.Event.Int (Search.length st.frontier)) ]
+            end;
+            ps.taken <- Decision.Pick { value = v; dir = true } :: ps.taken;
+            ps.pc <- cond :: ps.pc;
+            v
+          | Solver.Unsat -> raise (Terminate_path End_infeasible)
+          | Solver.Unknown msg -> solver_unknown st msg))
 
 (* ------------------------------------------------------------------ *)
 (* Exploration loop                                                    *)
 
-let run ?(config = default_config) body =
+(* A checkpoint is a pure function of the exploration state; [final]
+   distinguishes the last snapshot of a stopped run (which records the
+   stop reason) from a periodic one. *)
+let snapshot ~label st solver_base ~final =
+  {
+    Checkpoint.label;
+    strategy = Search.strategy_to_string st.cfg.strategy;
+    frontier = Search.entries st.frontier;
+    visits = Search.visit_counts st.frontier;
+    rng = Search.rng_state st.frontier;
+    paths = st.n_paths;
+    completed = st.n_completed;
+    errored = st.n_errored;
+    infeasible = st.n_infeasible;
+    unknown = st.n_unknown;
+    instructions = instructions_so_far st;
+    wall_time = elapsed st;
+    solver = Solver.Stats.sub (Solver.Stats.get ()) solver_base;
+    errors = List.rev st.errors_rev;
+    degraded = st.degraded;
+    stop_reason =
+      (if final then Option.map Budget.reason_to_string st.stop_reason
+       else None);
+  }
+
+let run ?(config = default_config) ?(label = "run") ?resume ?checkpoint body =
   (match !mode with
    | Off -> ()
    | Explore _ | Replay _ | Rand _ ->
      failwith "Engine.run: nested runs are not allowed");
-  let solver_stats0 = Solver.Stats.get () in
+  (match resume with
+   | Some ck ->
+     let want = Search.strategy_to_string config.strategy in
+     if ck.Checkpoint.strategy <> want then
+       failwith
+         (Printf.sprintf
+            "Engine.run: checkpoint was taken under strategy %s, not %s"
+            ck.Checkpoint.strategy want);
+     if ck.Checkpoint.label <> label then
+       failwith
+         (Printf.sprintf "Engine.run: checkpoint is for %S, not %S"
+            ck.Checkpoint.label label)
+   | None -> ());
+  (* Baselines are shifted by the checkpointed totals so elapsed time,
+     instruction counts and the final solver-stats difference all
+     include the pre-interruption segment. *)
+  let solver_stats0 =
+    match resume with
+    | None -> Solver.Stats.get ()
+    | Some ck -> Solver.Stats.sub (Solver.Stats.get ()) ck.Checkpoint.solver
+  in
+  let now = Unix.gettimeofday () in
   let st =
     {
       cfg = config;
@@ -470,31 +587,63 @@ let run ?(config = default_config) body =
       n_errored = 0;
       n_infeasible = 0;
       n_unknown = 0;
-      exhausted = true;
-      started = Unix.gettimeofday ();
+      degraded = false;
+      stop_reason = None;
+      started =
+        (match resume with
+         | None -> now
+         | Some ck -> now -. ck.Checkpoint.wall_time);
       instr_base = Expr.instruction_count ();
     }
   in
+  (match resume with
+   | None -> Search.push st.frontier ~site:"root" [||]
+   | Some ck ->
+     List.iter
+       (fun (site, prefix) -> Search.push st.frontier ~site prefix)
+       ck.Checkpoint.frontier;
+     Search.set_visit_counts st.frontier ck.Checkpoint.visits;
+     Search.set_rng_state st.frontier ck.Checkpoint.rng;
+     st.errors_rev <- List.rev ck.Checkpoint.errors;
+     List.iter
+       (fun (e : Error.t) ->
+          Hashtbl.replace st.error_table (e.Error.site, e.Error.kind) ())
+       ck.Checkpoint.errors;
+     st.n_paths <- ck.Checkpoint.paths;
+     st.n_completed <- ck.Checkpoint.completed;
+     st.n_errored <- ck.Checkpoint.errored;
+     st.n_infeasible <- ck.Checkpoint.infeasible;
+     st.n_unknown <- ck.Checkpoint.unknown;
+     st.degraded <- ck.Checkpoint.degraded;
+     st.instr_base <- Expr.instruction_count () - ck.Checkpoint.instructions);
+  Solver.set_interrupt_check Budget.interrupted;
   mode := Explore st;
-  Search.push st.frontier ~site:"root" [||];
   if !Obs.Sink.enabled then
     Obs.Sink.instant ~cat:"engine" "run:start"
       ~args:
         [ ("strategy",
-           Obs.Event.Str (Search.strategy_to_string config.strategy)) ];
+           Obs.Event.Str (Search.strategy_to_string config.strategy));
+          ("resumed", Obs.Event.Bool (resume <> None)) ];
+  let last_checkpoint = ref now in
   let finish () = mode := Off in
   Fun.protect ~finally:finish (fun () ->
       (try
          let continue = ref true in
          while !continue do
            (match config.limits.max_paths with
-            | Some n when st.n_paths >= n ->
-              st.exhausted <- false;
-              raise Stop_exploration
+            | Some n when st.n_paths >= n -> stop st Budget.Paths
             | Some _ | None -> ());
            (* Instruction/time budgets are also enforced between paths,
               so straight-line testbenches cannot overrun them. *)
            check_limits st;
+           (match checkpoint with
+            | Some policy ->
+              let t = Unix.gettimeofday () in
+              if t -. !last_checkpoint >= policy.every_s then begin
+                last_checkpoint := t;
+                policy.write (snapshot ~label st solver_stats0 ~final:false)
+              end
+            | None -> ());
            match Search.pop st.frontier with
            | None -> continue := false
            | Some prefix ->
@@ -506,6 +655,8 @@ let run ?(config = default_config) body =
                  pc = [];
                  inputs = [];
                  fresh_idx = 0;
+                 visited = [];
+                 instr_start = instructions_so_far st;
                  path_id = st.n_paths;
                }
              in
@@ -551,23 +702,34 @@ let run ?(config = default_config) body =
                    let site = "exception:" ^ Printexc.to_string exn in
                    (match Solver.check ps.pc with
                     | Solver.Sat m ->
-                      (try
-                         record_error st ps Error.Unhandled_exception site
-                           (Printexc.to_string exn) m
-                       with Stop_exploration as e ->
-                         st.n_errored <- st.n_errored + 1;
-                         end_path "error";
-                         raise e);
+                      (* A [Stop_exploration] from the error threshold
+                         propagates to the abandonment handler below,
+                         which re-queues the path; the recorded error
+                         survives and resume de-duplicates it. *)
+                      record_error st ps Error.Unhandled_exception site
+                        (Printexc.to_string exn) m;
                       st.n_errored <- st.n_errored + 1;
                       end_path "error"
                     | Solver.Unsat ->
                       st.n_infeasible <- st.n_infeasible + 1;
                       end_path "infeasible"
                     | Solver.Unknown _ ->
-                      st.exhausted <- false;
+                      st.degraded <- true;
                       st.n_unknown <- st.n_unknown + 1;
                       end_path "unknown"))
               with Stop_exploration as e ->
+                (* A budget stop caught the path mid-execution.  Abandon
+                   it without losing it: roll back its visit counts and
+                   instructions, and re-queue the decisions taken so far
+                   as a pending prefix — a resumed run re-executes the
+                   path in full, so total counters match an
+                   uninterrupted run exactly. *)
+                List.iter (Search.unrecord_visit st.frontier) ps.visited;
+                let partial = instructions_so_far st - ps.instr_start in
+                st.instr_base <- st.instr_base + partial;
+                Search.push st.frontier ~site:"requeued"
+                  (Array.of_list (List.rev ps.taken));
+                st.n_paths <- st.n_paths - 1;
                 end_path "stopped";
                 st.cur <- None;
                 raise e);
@@ -589,6 +751,15 @@ let run ?(config = default_config) body =
              end
          done
        with Stop_exploration -> ());
+      let exhausted = st.stop_reason = None && not st.degraded in
+      (* The final checkpoint is written both on budget stops and on
+         exhaustion (where it records an empty frontier), so a resumed
+         run of a finished exploration simply returns the carried
+         totals. *)
+      (match checkpoint with
+       | Some policy ->
+         policy.write (snapshot ~label st solver_stats0 ~final:true)
+       | None -> ());
       let solver_stats =
         Solver.Stats.sub (Solver.Stats.get ()) solver_stats0
       in
@@ -601,7 +772,12 @@ let run ?(config = default_config) body =
               ("infeasible", Obs.Event.Int st.n_infeasible);
               ("unknown", Obs.Event.Int st.n_unknown);
               ("instructions", Obs.Event.Int (instructions_so_far st));
-              ("exhausted", Obs.Event.Bool st.exhausted) ];
+              ("exhausted", Obs.Event.Bool exhausted);
+              ("stop",
+               Obs.Event.Str
+                 (match st.stop_reason with
+                  | None -> "none"
+                  | Some r -> Budget.reason_to_string r)) ];
       {
         errors = List.rev st.errors_rev;
         paths = st.n_paths;
@@ -614,7 +790,9 @@ let run ?(config = default_config) body =
         solver_time = solver_stats.Solver.Stats.time;
         solver_queries = solver_stats.Solver.Stats.queries;
         solver_stats;
-        exhausted = st.exhausted;
+        exhausted;
+        stop_reason = st.stop_reason;
+        strategy = config.strategy;
         branch_coverage = Search.visit_counts st.frontier;
       })
 
@@ -649,6 +827,7 @@ type random_report = {
   rejected : int;
   failure : (Error.t * int) option;
   random_wall_time : float;
+  seed : int;
 }
 
 let random_test ?(seed = 42) ?(max_trials = 10_000) ?max_seconds body =
@@ -712,4 +891,5 @@ let random_test ?(seed = 42) ?(max_trials = 10_000) ?max_seconds body =
         rejected = !rejected;
         failure = !failure;
         random_wall_time = Unix.gettimeofday () -. started;
+        seed;
       })

@@ -24,7 +24,7 @@
     continues until the frontier is exhausted or a limit is reached.
     Errors are de-duplicated by [(site, kind)]. *)
 
-type limits = {
+type limits = Budget.t = {
   max_paths : int option;
   max_instructions : int option;
   max_seconds : float option;
@@ -32,6 +32,12 @@ type limits = {
       (** per-query CDCL conflict budget; a query that exceeds it
           terminates only the current path (counted in
           [paths_unknown]) and marks the run non-exhaustive *)
+  solver_timeout_ms : int option;
+      (** per-query wall-clock budget, same path-local semantics; the
+          CDCL loop polls the deadline at propagation boundaries *)
+  max_memory_mb : int option;
+      (** OCaml heap watermark (from [Gc] statistics), polled between
+          branches; exceeding it stops the run gracefully *)
 }
 
 val no_limits : limits
@@ -44,6 +50,15 @@ type config = {
 }
 
 val default_config : config
+
+type checkpoint_policy = {
+  write : Checkpoint.t -> unit;
+      (** called with a frontier snapshot; typically
+          [Checkpoint.save path] *)
+  every_s : float;
+      (** minimum seconds between periodic snapshots; a final snapshot
+          is always written when the run stops or exhausts *)
+}
 
 type report = {
   errors : Error.t list;        (** distinct errors, in discovery order *)
@@ -59,15 +74,39 @@ type report = {
   solver_stats : Smt.Solver.Stats.t;
       (** full solver activity of this run (per-stage times, cache
           hits, SAT counters) — the difference of {!Smt.Solver.Stats}
-          snapshots taken around the run *)
+          snapshots taken around the run; after a resume it includes
+          the checkpointed segment's activity *)
   exhausted : bool;             (** the whole state space was explored *)
+  stop_reason : Budget.reason option;
+      (** which budget stopped the run, [None] on exhaustion *)
+  strategy : Search.strategy;   (** the strategy the run used *)
   branch_coverage : (string * int) list;
       (** executed branch sites with execution counts (KLEE-style
           coverage reporting) *)
 }
 
-val run : ?config:config -> (unit -> unit) -> report
-(** Explore a testbench.  Nested calls are not allowed. *)
+val run :
+  ?config:config ->
+  ?label:string ->
+  ?resume:Checkpoint.t ->
+  ?checkpoint:checkpoint_policy ->
+  (unit -> unit) ->
+  report
+(** Explore a testbench.  Nested calls are not allowed.
+
+    [label] names the run inside checkpoints (defaults to ["run"]);
+    resuming checks it, so a checkpoint cannot be replayed against the
+    wrong testbench.  [resume] restores a checkpointed frontier, search
+    state, counters and errors, and continues as if never interrupted:
+    an interrupted-then-resumed exploration reaches the same verdicts,
+    path totals and error sites as an uninterrupted one (pop {e order}
+    may differ for non-DFS strategies, totals do not).  [checkpoint]
+    writes periodic snapshots plus a final one at stop/exhaustion.
+
+    The engine polls {!Budget.interrupted} between branches and inside
+    SAT solving, so SIGINT/SIGTERM (via
+    {!Budget.install_signal_handlers}) stop the run gracefully: the
+    final checkpoint is written and a partial report returned. *)
 
 (** {1 Testbench / DUV intrinsics}
 
@@ -153,6 +192,8 @@ type random_report = {
   failure : (Error.t * int) option;
       (** first failure and the 1-based trial index it occurred on *)
   random_wall_time : float;
+  seed : int;             (** the seed the campaign ran with, so a
+                              failing campaign can be reproduced *)
 }
 
 val random_test :

@@ -22,6 +22,83 @@ let kind_to_string = function
   | Division_by_zero -> "division by zero"
   | Unhandled_exception -> "unhandled exception"
 
+let kind_of_string = function
+  | "assertion failure" -> Some Assertion_failure
+  | "abort" -> Some Abort
+  | "out-of-bounds access" -> Some Out_of_bounds
+  | "division by zero" -> Some Division_by_zero
+  | "unhandled exception" -> Some Unhandled_exception
+  | _ -> None
+
+let to_json t =
+  let open Obs.Json in
+  Obj
+    [ ("kind", Str (kind_to_string t.kind));
+      ("site", Str t.site);
+      ("message", Str t.message);
+      ("counterexample",
+       List
+         (List.map
+            (fun (name, v) ->
+               Obj
+                 [ ("name", Str name);
+                   ("width", Int (Smt.Bv.width v));
+                   ("value", Str (Printf.sprintf "0x%Lx" (Smt.Bv.to_int64 v))) ])
+            t.counterexample));
+      ("path_id", Int t.path_id);
+      ("instructions", Int t.instructions);
+      ("found_after", Float t.found_after) ]
+
+let of_json j =
+  let open Obs.Json in
+  let str k = Option.bind (member k j) to_string_opt in
+  let int k = Option.bind (member k j) to_int_opt in
+  match str "kind", str "site" with
+  | Some kind_s, Some site ->
+    (match kind_of_string kind_s with
+     | None -> Error (Printf.sprintf "unknown error kind %S" kind_s)
+     | Some kind ->
+       let binding bj =
+         match
+           ( Option.bind (member "name" bj) to_string_opt,
+             Option.bind (member "width" bj) to_int_opt,
+             Option.bind (member "value" bj) to_string_opt )
+         with
+         | Some name, Some width, Some hex ->
+           (match Int64.of_string_opt hex with
+            | Some v when width >= 1 && width <= 64 ->
+              Ok (name, Smt.Bv.make ~width v)
+            | _ -> Error "malformed counterexample value"
+           )
+         | _ -> Error "malformed counterexample binding"
+       in
+       let cex =
+         match Option.bind (member "counterexample" j) to_list_opt with
+         | None -> Ok []
+         | Some l ->
+           List.fold_right
+             (fun bj acc ->
+                match acc, binding bj with
+                | Ok tl, Ok b -> Ok (b :: tl)
+                | (Error _ as e), _ -> e
+                | _, (Error _ as e) -> e)
+             l (Ok [])
+       in
+       (match cex with
+        | Error e -> Error e
+        | Ok counterexample ->
+          Ok
+            { kind;
+              site;
+              message = Option.value ~default:"" (str "message");
+              counterexample;
+              path_id = Option.value ~default:0 (int "path_id");
+              instructions = Option.value ~default:0 (int "instructions");
+              found_after =
+                Option.value ~default:0.0
+                  (Option.bind (member "found_after" j) to_float_opt) }))
+  | _ -> Error "error record missing kind/site"
+
 let pp_counterexample ppf t =
   let pp_binding ppf (name, v) =
     Format.fprintf ppf "%s = %a" name Smt.Bv.pp v

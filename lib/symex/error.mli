@@ -28,3 +28,11 @@ type t = {
 val kind_to_string : kind -> string
 val pp : Format.formatter -> t -> unit
 val pp_counterexample : Format.formatter -> t -> unit
+
+val kind_of_string : string -> kind option
+(** Inverse of {!kind_to_string}. *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+(** Checkpoint serialization; counterexample values round-trip as
+    hex-string/width pairs. *)

@@ -25,6 +25,23 @@ let all_strategies = [ Dfs; Bfs; Random_path 42; Cover_new ]
 
 type 'a entry = { site : string; item : 'a }
 
+(* splitmix64: a tiny, high-quality PRNG whose entire state is one
+   [int64] — chosen over [Random.State] so checkpoints can serialize
+   the search state exactly and a resumed [Random_path] run draws the
+   same sequence it would have drawn uninterrupted. *)
+let splitmix64 state =
+  let state = Int64.add state 0x9E3779B97F4A7C15L in
+  let z = state in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+      0xBF58476D1CE4E5B9L
+  in
+  let z =
+    Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+      0x94D049BB133111EBL
+  in
+  (state, Int64.logxor z (Int64.shift_right_logical z 31))
+
 (* The frontier is a deque over a circular-free array slice: live
    entries occupy [head, tail), oldest at [head], newest at [tail - 1].
    Dfs and Bfs pop at the ends in O(1); Random_path and Cover_new
@@ -38,7 +55,7 @@ type 'a t = {
   mutable head : int;  (* first live slot *)
   mutable tail : int;  (* one past the last live slot *)
   visits : (string, int) Hashtbl.t;
-  rng : Random.State.t;
+  mutable rng : int64;  (* splitmix64 state *)
 }
 
 let create strategy =
@@ -49,8 +66,16 @@ let create strategy =
     head = 0;
     tail = 0;
     visits = Hashtbl.create 64;
-    rng = Random.State.make [| seed |];
+    rng = Int64.of_int seed;
   }
+
+let rand_int t n =
+  let state, z = splitmix64 t.rng in
+  t.rng <- state;
+  Int64.to_int (Int64.unsigned_rem z (Int64.of_int n))
+
+let rng_state t = t.rng
+let set_rng_state t s = t.rng <- s
 
 let length t = t.tail - t.head
 let is_empty t = t.tail = t.head
@@ -78,6 +103,20 @@ let record_visit t site =
   let n = match Hashtbl.find_opt t.visits site with Some n -> n | None -> 0 in
   Hashtbl.replace t.visits site (n + 1)
 
+(* Inverse of [record_visit], used when the engine abandons a
+   partially executed path at a budget stop: the path is re-queued and
+   will re-record its visits when re-executed after resume, so the
+   partial execution must leave no trace in the counts. *)
+let unrecord_visit t site =
+  match Hashtbl.find_opt t.visits site with
+  | Some 1 -> Hashtbl.remove t.visits site
+  | Some n when n > 1 -> Hashtbl.replace t.visits site (n - 1)
+  | Some _ | None -> ()
+
+let set_visit_counts t counts =
+  Hashtbl.reset t.visits;
+  List.iter (fun (site, n) -> Hashtbl.replace t.visits site n) counts
+
 let visit_counts t =
   Hashtbl.fold (fun site n acc -> (site, n) :: acc) t.visits []
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
@@ -89,6 +128,11 @@ let get t p =
   match t.buf.(p) with
   | Some e -> e
   | None -> assert false (* slots in [head, tail) are always live *)
+
+let entries t =
+  List.init (length t) (fun i ->
+      let e = get t (t.head + i) in
+      (e.site, e.item))
 
 (* Remove the entry at physical index [p], shifting whichever side of
    it is shorter so a pop near either end stays O(1). *)
@@ -114,7 +158,7 @@ let pop t =
     | Bfs -> Some (remove_at t t.head)
     | Random_path _ ->
       (* The old implementation drew the i-th newest entry. *)
-      let i = Random.State.int t.rng (length t) in
+      let i = rand_int t (length t) in
       Some (remove_at t (t.tail - 1 - i))
     | Cover_new ->
       (* First minimum in newest-first order (strict [<] on a

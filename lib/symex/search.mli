@@ -31,6 +31,29 @@ val pop : 'a t -> 'a option
 val record_visit : 'a t -> string -> unit
 (** Tell the coverage-guided strategy that a branch site executed. *)
 
+val unrecord_visit : 'a t -> string -> unit
+(** Undo one {!record_visit} — the engine rolls back the visits of a
+    partially executed path when a budget stop abandons it, so the
+    re-queued path re-records them cleanly after resume. *)
+
 val visit_counts : 'a t -> (string * int) list
 (** Executed branch sites with their execution counts, sorted by site
     name — the engine reports these as branch coverage. *)
+
+(** {1 Checkpointing}
+
+    Everything that makes [pop] deterministic is exposed so a frontier
+    can be serialized and rebuilt exactly: the pending entries in
+    queue order, the visit counts (which drive [Cover_new]) and the
+    PRNG state (which drives [Random_path]). *)
+
+val entries : 'a t -> (string * 'a) list
+(** Pending [(site, item)] entries, oldest first — re-[push]ing them in
+    this order onto a fresh frontier reproduces the queue exactly. *)
+
+val set_visit_counts : 'a t -> (string * int) list -> unit
+
+val rng_state : 'a t -> int64
+(** The splitmix64 state consumed by [Random_path] pops. *)
+
+val set_rng_state : 'a t -> int64 -> unit

@@ -14,4 +14,5 @@ let () =
       ("uart", Test_uart.suite);
       ("differential", Test_differential.suite);
       ("integration", Test_core.suite);
+      ("resilience", Test_resilience.suite);
     ]

@@ -1,0 +1,188 @@
+(* Resilience tests: checkpoint/resume equivalence across every search
+   strategy and testbench, mid-path interruption, and the Section 5.3
+   fault-injection campaign as a pinned detection matrix.
+
+   The equivalence property under test is the one DESIGN.md promises:
+   an exploration that is interrupted by a budget, checkpointed and
+   resumed reaches exactly the same verdict, path totals, instruction
+   count and bug sites as one that ran straight through. *)
+
+module Engine = Symex.Engine
+module Search = Symex.Search
+module Error = Symex.Error
+module Verify = Symsysc.Verify
+module Report = Symsysc.Report
+
+let scenario ?strategy () =
+  Verify.scenario ~num_sources:4 ~t5_max_len:8 ?strategy ()
+
+let strategies =
+  [ ("dfs", Search.Dfs);
+    ("bfs", Search.Bfs);
+    ("random", Search.Random_path 42);
+    ("cover-new", Search.Cover_new) ]
+
+let tests = [ "t1"; "t2"; "t3"; "t4"; "t5" ]
+
+(* The deterministic fields two equivalent runs must agree on. *)
+let fingerprint (r : Report.t) =
+  let e = r.Report.engine in
+  ( r.Report.verdict,
+    e.Engine.paths,
+    e.Engine.paths_completed,
+    e.Engine.paths_errored,
+    e.Engine.paths_infeasible,
+    e.Engine.paths_unknown,
+    e.Engine.instructions,
+    List.sort compare
+      (List.map
+         (fun (err : Error.t) ->
+            (err.Error.site, Error.kind_to_string err.Error.kind))
+         e.Engine.errors) )
+
+let with_limits sc limits =
+  { sc with
+    Verify.engine_config = { sc.Verify.engine_config with Engine.limits } }
+
+(* Run [name] straight through, then again truncated by [cut] (which
+   edits the limits), capture the final checkpoint, resume without the
+   truncation and require identical fingerprints. *)
+let check_resume_equiv ~cut strategy name () =
+  let sc = scenario ~strategy () in
+  let straight = Verify.run_test sc name in
+  let saved = ref None in
+  let policy =
+    { Engine.write = (fun ck -> saved := Some ck); every_s = infinity }
+  in
+  let truncated =
+    Verify.run_test ~checkpoint:policy
+      (with_limits sc (cut sc.Verify.engine_config.Engine.limits))
+      name
+  in
+  match !saved with
+  | None -> Alcotest.fail "no checkpoint written"
+  | Some ck ->
+    (* The truncated run must not claim exhaustive coverage unless it
+       genuinely finished before the budget fired. *)
+    if truncated.Report.engine.Engine.stop_reason <> None then
+      Alcotest.(check bool) "truncated run not exhausted" false
+        truncated.Report.engine.Engine.exhausted;
+    let resumed = Verify.run_test ~resume:ck sc name in
+    Alcotest.(check bool) "resumed run exhausted" true
+      resumed.Report.engine.Engine.exhausted;
+    Alcotest.(check bool)
+      "resumed fingerprint equals straight-through" true
+      (fingerprint resumed = fingerprint straight)
+
+(* Interrupt between paths: a small path budget. *)
+let cut_paths limits = { limits with Engine.max_paths = Some 3 }
+
+(* Interrupt in the middle of a path: an instruction budget that fires
+   partway through an execution, forcing the engine to abandon and
+   requeue the in-flight path. *)
+let cut_instructions limits =
+  { limits with Engine.max_instructions = Some 50 }
+
+let resume_cases =
+  List.concat_map
+    (fun (sname, strategy) ->
+       List.map
+         (fun name ->
+            ( Printf.sprintf "resume equivalence: %s/%s" sname name,
+              `Slow,
+              check_resume_equiv ~cut:cut_paths strategy name ))
+         tests)
+    strategies
+
+let midpath_cases =
+  List.map
+    (fun (sname, strategy) ->
+       ( Printf.sprintf "mid-path resume equivalence: %s/t4" sname,
+         `Slow,
+         check_resume_equiv ~cut:cut_instructions strategy "t4" ))
+    strategies
+
+(* A resumed run must also refuse a checkpoint from a different test. *)
+let test_resume_label_mismatch () =
+  let sc = scenario () in
+  let saved = ref None in
+  let policy =
+    { Engine.write = (fun ck -> saved := Some ck); every_s = infinity }
+  in
+  ignore
+    (Verify.run_test ~checkpoint:policy
+       (with_limits sc (cut_paths sc.Verify.engine_config.Engine.limits))
+       "t1");
+  match !saved with
+  | None -> Alcotest.fail "no checkpoint written"
+  | Some ck ->
+    (match Verify.run_test ~resume:ck sc "t2" with
+     | _ -> Alcotest.fail "resuming t1's checkpoint as t2 should fail"
+     | exception _ -> ())
+
+(* ------------------------------------------------------------------ *)
+(* Fault-injection detection matrix (Section 5.3)                      *)
+
+(* Pinned at scenario ~num_sources:4 ~t5_max_len:8; first_path is the
+   path index of the first detecting execution — a deterministic
+   latency measure.  Regenerate with Verify.detection_matrix if the
+   testbenches or the scaled scenario change. *)
+let golden_matrix =
+  [ ("IF1",
+     [ ("T1", true, Some 0); ("T2", false, None); ("T3", false, None);
+       ("T4", false, None); ("T5", false, None) ]);
+    ("IF2",
+     [ ("T1", true, Some 1); ("T2", true, Some 0); ("T3", false, None);
+       ("T4", false, None); ("T5", false, None) ]);
+    ("IF3",
+     [ ("T1", false, None); ("T2", true, Some 0); ("T3", false, None);
+       ("T4", false, None); ("T5", false, None) ]);
+    ("IF4",
+     [ ("T1", true, Some 1); ("T2", false, None); ("T3", false, None);
+       ("T4", false, None); ("T5", false, None) ]);
+    ("IF5",
+     [ ("T1", true, Some 1); ("T2", true, Some 0); ("T3", false, None);
+       ("T4", false, None); ("T5", false, None) ]);
+    ("IF6",
+     [ ("T1", false, None); ("T2", false, None); ("T3", true, Some 0);
+       ("T4", false, None); ("T5", false, None) ]) ]
+
+let test_detection_matrix () =
+  let matrix = Verify.detection_matrix (scenario ()) in
+  let got =
+    List.map
+      (fun (fault, cells) ->
+         ( Plic.Fault.to_string fault,
+           List.map
+             (fun (test, (c : Verify.matrix_cell)) ->
+                (test, c.Verify.detected, c.Verify.first_path))
+             cells ))
+      matrix
+  in
+  (* Every injected fault must be caught by at least one test — the
+     paper's qualitative claim for the campaign. *)
+  List.iter
+    (fun (fault, cells) ->
+       Alcotest.(check bool) (fault ^ " detected by some test") true
+         (List.exists (fun (_, detected, _) -> detected) cells))
+    got;
+  (* And the full matrix, including path-count latency, is stable. *)
+  List.iter2
+    (fun (efault, erow) (gfault, grow) ->
+       Alcotest.(check string) "fault order" efault gfault;
+       List.iter2
+         (fun (etest, edet, epath) (gtest, gdet, gpath) ->
+            Alcotest.(check string) (efault ^ " column") etest gtest;
+            Alcotest.(check bool)
+              (Printf.sprintf "%s/%s detected" efault etest) edet gdet;
+            Alcotest.(check (option int))
+              (Printf.sprintf "%s/%s first path" efault etest) epath gpath)
+         erow grow)
+    golden_matrix got
+
+let suite =
+  resume_cases @ midpath_cases
+  @ [
+      ("resume: label mismatch rejected", `Quick, test_resume_label_mismatch);
+      ("fault campaign: detection matrix", `Slow, test_detection_matrix);
+    ]

@@ -682,6 +682,107 @@ let test_model_defaults () =
     check_bv "unbound var reads zero" (Bv.zero 16) (Model.find Model.empty v)
   | _ -> Alcotest.fail "expected one var"
 
+(* ------------------------------------------------------------------ *)
+(* LRU cache, per-query budgets and stats serialization                *)
+
+let test_lru_eviction_order () =
+  let l = Smt.Lru.create ~cap:2 () in
+  Smt.Lru.put l 1 "a";
+  Smt.Lru.put l 2 "b";
+  (* Touch 1 so 2 becomes least-recently used. *)
+  Alcotest.(check (option string)) "hit bumps" (Some "a") (Smt.Lru.find l 1);
+  Smt.Lru.put l 3 "c";
+  Alcotest.(check (option string)) "recent kept" (Some "a") (Smt.Lru.find l 1);
+  Alcotest.(check (option string)) "lru evicted" None (Smt.Lru.find l 2);
+  Alcotest.(check (option string)) "new kept" (Some "c") (Smt.Lru.find l 3);
+  Alcotest.(check int) "one eviction" 1 (Smt.Lru.evictions l);
+  Alcotest.(check int) "at capacity" 2 (Smt.Lru.length l)
+
+let test_lru_replace_and_resize () =
+  let l = Smt.Lru.create ~cap:3 () in
+  List.iter (fun k -> Smt.Lru.put l k (string_of_int k)) [ 1; 2; 3 ];
+  Smt.Lru.put l 2 "two";  (* replace, no eviction *)
+  Alcotest.(check int) "replace keeps length" 3 (Smt.Lru.length l);
+  Alcotest.(check int) "replace is not eviction" 0 (Smt.Lru.evictions l);
+  Smt.Lru.set_capacity l 1;
+  Alcotest.(check int) "shrink evicts" 1 (Smt.Lru.length l);
+  Alcotest.(check int) "shrink counted" 2 (Smt.Lru.evictions l);
+  Alcotest.(check (option string)) "mru survives shrink" (Some "two")
+    (Smt.Lru.find l 2);
+  Smt.Lru.clear l;
+  Alcotest.(check int) "clear empties" 0 (Smt.Lru.length l);
+  Alcotest.(check int) "clear not counted" 2 (Smt.Lru.evictions l)
+
+let test_lru_unbounded () =
+  let l = Smt.Lru.create ~cap:0 () in
+  for k = 1 to 1000 do Smt.Lru.put l k k done;
+  Alcotest.(check int) "nothing evicted" 0 (Smt.Lru.evictions l);
+  Alcotest.(check int) "all kept" 1000 (Smt.Lru.length l)
+
+let test_solver_cache_capacity_evictions () =
+  Solver.clear_caches ();
+  let before = (Solver.Stats.get ()).Solver.Stats.query_evictions in
+  Solver.set_cache_capacity ~query:1 ();
+  let q i =
+    let x = Expr.fresh_var (Printf.sprintf "ev%d" i) 8 in
+    ignore (Solver.check [ Expr.ult x (Expr.int ~width:8 5) ])
+  in
+  q 0; q 1; q 2;
+  let after = (Solver.Stats.get ()).Solver.Stats.query_evictions in
+  Solver.set_cache_capacity ~query:65536 ();
+  Solver.clear_caches ();
+  Alcotest.(check bool) "evictions counted in stats" true (after - before >= 2);
+  let qsz, _ = Solver.cache_sizes () in
+  Alcotest.(check int) "cache emptied" 0 qsz
+
+(* x*x = 3 is unsat mod 2^16 (squares are 0, 1 or 4 mod 8) but neither
+   constant folding nor interval propagation can see it, so the query
+   reaches CDCL — large enough to hit the propagation-boundary polls. *)
+let hard_query () =
+  let x = Expr.fresh_var "hardq" 16 in
+  [ Expr.eq (Expr.mul x x) (Expr.int ~width:16 3) ]
+
+let test_solver_timeout_returns_unknown () =
+  Solver.clear_caches ();
+  let before = (Solver.Stats.get ()).Solver.Stats.sat_timeouts in
+  (match Solver.check ~timeout_ms:0 (hard_query ()) with
+   | Solver.Unknown _ -> ()
+   | Solver.Sat _ -> Alcotest.fail "expected Unknown, got Sat"
+   | Solver.Unsat -> Alcotest.fail "expected Unknown, got Unsat");
+  let after = (Solver.Stats.get ()).Solver.Stats.sat_timeouts in
+  Alcotest.(check bool) "timeout counted" true (after > before);
+  (* Without the budget the same query settles. *)
+  (match Solver.check (hard_query ()) with
+   | Solver.Unsat -> ()
+   | _ -> Alcotest.fail "x*x = 3 should be unsat");
+  Solver.clear_caches ()
+
+let test_solver_interrupt_returns_unknown () =
+  Solver.clear_caches ();
+  Solver.set_interrupt_check (fun () -> true);
+  let r = Solver.check (hard_query ()) in
+  Solver.set_interrupt_check (fun () -> false);
+  Solver.clear_caches ();
+  match r with
+  | Solver.Unknown _ -> ()
+  | Solver.Sat _ | Solver.Unsat -> Alcotest.fail "expected Unknown"
+
+let test_solver_stats_json_roundtrip () =
+  let s =
+    { Solver.Stats.queries = 7; slices = 9; slice_hits = 4; cache_hits = 3;
+      cex_hits = 1; query_evictions = 2; cex_evictions = 5;
+      interval_unsat = 6; interval_sat = 8; sat_calls = 10;
+      sat_conflicts = 11; sat_decisions = 12; sat_propagations = 13;
+      sat_timeouts = 14; time = 1.5; interval_time = 0.25;
+      bitblast_time = 0.5; sat_time = 0.75 }
+  in
+  let s' = Solver.Stats.of_json (Solver.Stats.to_json s) in
+  Alcotest.(check bool) "roundtrip" true (s = s');
+  (* Missing fields default to zero (forward compatibility). *)
+  let z = Solver.Stats.of_json (Obs.Json.Obj [ ("queries", Obs.Json.Int 3) ]) in
+  Alcotest.(check int) "present field" 3 z.Solver.Stats.queries;
+  Alcotest.(check int) "missing field" 0 z.Solver.Stats.sat_timeouts
+
 let suite =
   [
     ("bv: make masks", `Quick, test_bv_make_masks);
@@ -724,5 +825,13 @@ let suite =
     ("smtlib: terms", `Quick, test_smtlib_terms);
     ("smtlib: query well-formed", `Quick, test_smtlib_query_well_formed);
     ("smtlib: model values", `Quick, test_smtlib_model_values);
+    ("lru: eviction order", `Quick, test_lru_eviction_order);
+    ("lru: replace and resize", `Quick, test_lru_replace_and_resize);
+    ("lru: unbounded", `Quick, test_lru_unbounded);
+    ("solver: cache capacity and evictions", `Quick,
+     test_solver_cache_capacity_evictions);
+    ("solver: per-query timeout", `Quick, test_solver_timeout_returns_unknown);
+    ("solver: interrupt hook", `Quick, test_solver_interrupt_returns_unknown);
+    ("solver: stats JSON roundtrip", `Quick, test_solver_stats_json_roundtrip);
   ]
   @ bv_props

@@ -404,11 +404,13 @@ let test_search_order_bfs () =
   check_golden "bfs order" Search.Bfs
     [ "TTT"; "FTT"; "TFT"; "TTF"; "FFT"; "FTF"; "TFF"; "FFF" ]
 
+(* Pinned against the splitmix64 PRNG (state is one serializable
+   int64, so checkpoints can restore the draw sequence exactly). *)
 let test_search_order_random () =
   check_golden "random:42 order" (Search.Random_path 42)
-    [ "TTT"; "TFT"; "TTF"; "TFF"; "FTT"; "FTF"; "FFT"; "FFF" ];
+    [ "TTT"; "TFT"; "TFF"; "TTF"; "FTT"; "FTF"; "FFT"; "FFF" ];
   check_golden "random:7 order" (Search.Random_path 7)
-    [ "TTT"; "TTF"; "TFT"; "FTT"; "FFT"; "FTF"; "TFF"; "FFF" ]
+    [ "TTT"; "TTF"; "TFT"; "FTT"; "FFT"; "FFF"; "FTF"; "TFF" ]
 
 let test_search_order_cover_new () =
   check_golden "cover-new order" Search.Cover_new
@@ -535,6 +537,180 @@ let test_random_trial_limit () =
   let r = Engine.random_test ~seed:5 ~max_trials:10 (fun () -> ()) in
   Alcotest.(check int) "stops at limit" 10 r.Engine.trials
 
+(* ------------------------------------------------------------------ *)
+(* Budgets, graceful stops and checkpoint serialization                *)
+
+let forking_tb () =
+  let x = Engine.fresh32 "x" in
+  ignore (Engine.branch (Expr.ult x (e_int 10)));
+  ignore (Engine.branch (Expr.ult x (e_int 100)))
+
+let limits_config limits = { Engine.default_config with Engine.limits }
+
+let test_deadline_stop () =
+  let r =
+    run
+      ~config:
+        (limits_config { Engine.no_limits with max_seconds = Some 0.0 })
+      forking_tb
+  in
+  Alcotest.(check bool) "deadline reason" true
+    (r.Engine.stop_reason = Some Symex.Budget.Deadline);
+  Alcotest.(check bool) "not exhausted" false r.Engine.exhausted
+
+let test_memory_stop () =
+  (* A zero watermark is always exceeded — the run stops at the first
+     poll with a Memory reason instead of crashing. *)
+  let r =
+    run
+      ~config:
+        (limits_config { Engine.no_limits with max_memory_mb = Some 0 })
+      forking_tb
+  in
+  Alcotest.(check bool) "memory reason" true
+    (r.Engine.stop_reason = Some Symex.Budget.Memory);
+  Alcotest.(check bool) "not exhausted" false r.Engine.exhausted
+
+let test_paths_stop_reason () =
+  let r =
+    run
+      ~config:(limits_config { Engine.no_limits with max_paths = Some 1 })
+      forking_tb
+  in
+  Alcotest.(check int) "one path" 1 r.Engine.paths;
+  Alcotest.(check bool) "paths reason" true
+    (r.Engine.stop_reason = Some Symex.Budget.Paths)
+
+let test_interrupt_stop () =
+  Symex.Budget.interrupt_now ();
+  let r =
+    Fun.protect ~finally:Symex.Budget.clear_interrupt (fun () ->
+        run forking_tb)
+  in
+  Alcotest.(check bool) "interrupt reason" true
+    (r.Engine.stop_reason = Some Symex.Budget.Interrupt);
+  Alcotest.(check bool) "not exhausted" false r.Engine.exhausted
+
+let test_solver_timeout_degrades () =
+  (* x*x = 3 has no solution mod 2^32 but needs real CDCL work; a zero
+     per-query budget makes it Unknown, which kills only that path. *)
+  let r =
+    run
+      ~config:
+        (limits_config { Engine.no_limits with solver_timeout_ms = Some 0 })
+      (fun () ->
+        let x = Engine.fresh32 "x" in
+        ignore (Engine.branch (Expr.eq (Expr.mul x x) (e_int 3))))
+  in
+  Alcotest.(check int) "path lost to the budget" 1 r.Engine.paths_unknown;
+  Alcotest.(check bool) "degraded, not stopped" true
+    (r.Engine.stop_reason = None);
+  Alcotest.(check bool) "not exhaustive" false r.Engine.exhausted
+
+let test_budget_reason_strings () =
+  List.iter
+    (fun reason ->
+       let s = Symex.Budget.reason_to_string reason in
+       Alcotest.(check bool) ("roundtrip " ^ s) true
+         (Symex.Budget.reason_of_string s = Some reason))
+    Symex.Budget.[ Paths; Instructions; Deadline; Memory; Errors; Interrupt ];
+  Alcotest.(check bool) "unknown rejected" true
+    (Symex.Budget.reason_of_string "bogus" = None)
+
+let test_decision_string_roundtrip () =
+  let open Symex.Decision in
+  List.iter
+    (fun d ->
+       match of_string (to_string d) with
+       | Ok d' ->
+         Alcotest.(check bool) ("roundtrip " ^ to_string d) true (d = d')
+       | Error e -> Alcotest.fail e)
+    [ Dir true; Dir false;
+      Pick { value = Bv.make ~width:32 0xdeadbeefL; dir = true };
+      Pick { value = Bv.make ~width:7 0x2aL; dir = false };
+      Pick { value = Bv.zero 1; dir = true } ];
+  Alcotest.(check bool) "garbage rejected" true
+    (match of_string "Q" with Error _ -> true | Ok _ -> false)
+
+let sample_error =
+  {
+    Error.kind = Error.Abort;
+    site = "reg:align";
+    message = "unaligned access";
+    counterexample =
+      [ ("addr", Bv.make ~width:32 0x2L); ("len", Bv.make ~width:32 1L) ];
+    path_id = 3;
+    instructions = 120;
+    found_after = 0.25;
+  }
+
+let test_error_json_roundtrip () =
+  match Error.of_json (Error.to_json sample_error) with
+  | Ok e -> Alcotest.(check bool) "roundtrip" true (e = sample_error)
+  | Error msg -> Alcotest.fail msg
+
+let test_checkpoint_json_roundtrip () =
+  let ck =
+    {
+      Symex.Checkpoint.label = "t4";
+      strategy = "random:42";
+      frontier =
+        [ ("site-a", [| Symex.Decision.Dir true; Symex.Decision.Dir false |]);
+          ("site-b",
+           [| Symex.Decision.Pick
+                { value = Bv.make ~width:32 5L; dir = false } |]) ];
+      visits = [ ("site-a", 2); ("site-b", 1) ];
+      rng = 0x123456789abcdef0L;
+      paths = 7;
+      completed = 4;
+      errored = 1;
+      infeasible = 1;
+      unknown = 1;
+      instructions = 321;
+      wall_time = 1.25;
+      solver = { Smt.Solver.Stats.zero with Smt.Solver.Stats.queries = 17 };
+      errors = [ sample_error ];
+      degraded = true;
+      stop_reason = Some "deadline";
+    }
+  in
+  match Symex.Checkpoint.of_json (Symex.Checkpoint.to_json ck) with
+  | Ok ck' -> Alcotest.(check bool) "roundtrip" true (ck = ck')
+  | Error msg -> Alcotest.fail msg
+
+let test_checkpoint_file_roundtrip () =
+  let path = Filename.temp_file "symsysc-ck" ".json" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+       let ck =
+         {
+           Symex.Checkpoint.label = "t1";
+           strategy = "dfs";
+           frontier = [];
+           visits = [];
+           rng = 1L;
+           paths = 0;
+           completed = 0;
+           errored = 0;
+           infeasible = 0;
+           unknown = 0;
+           instructions = 0;
+           wall_time = 0.0;
+           solver = Smt.Solver.Stats.zero;
+           errors = [];
+           degraded = false;
+           stop_reason = None;
+         }
+       in
+       Symex.Checkpoint.save path ck;
+       match Symex.Checkpoint.load path with
+       | Ok ck' -> Alcotest.(check bool) "file roundtrip" true (ck = ck')
+       | Error msg -> Alcotest.fail msg);
+  match Symex.Checkpoint.load "/nonexistent/ck.json" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "loading a missing file should fail"
+
 let suite =
   [
     ("engine: straight-line is one path", `Quick, test_no_branch_single_path);
@@ -588,6 +764,17 @@ let suite =
      test_random_deterministic_seed);
     ("random baseline: rejection sampling", `Quick, test_random_rejection);
     ("random baseline: trial limit", `Quick, test_random_trial_limit);
+    ("budget: deadline stops gracefully", `Quick, test_deadline_stop);
+    ("budget: memory watermark stops gracefully", `Quick, test_memory_stop);
+    ("budget: max-paths records its reason", `Quick, test_paths_stop_reason);
+    ("budget: interrupt stops gracefully", `Quick, test_interrupt_stop);
+    ("budget: solver timeout degrades one path", `Quick,
+     test_solver_timeout_degrades);
+    ("budget: reason strings roundtrip", `Quick, test_budget_reason_strings);
+    ("decision: string roundtrip", `Quick, test_decision_string_roundtrip);
+    ("error: JSON roundtrip", `Quick, test_error_json_roundtrip);
+    ("checkpoint: JSON roundtrip", `Quick, test_checkpoint_json_roundtrip);
+    ("checkpoint: file roundtrip", `Quick, test_checkpoint_file_roundtrip);
     ("engine: branch coverage reported", `Quick, fun () ->
         let r =
           run (fun () ->
