@@ -39,8 +39,10 @@ let bench_sources = 4
 let bench_limits =
   { Engine.no_limits with Engine.max_paths = Some 400 }
 
-let bench_config =
-  { Engine.default_config with Engine.limits = bench_limits }
+let bench_session = Engine.Session.make ~limits:bench_limits ()
+
+let first_error_session =
+  { bench_session with Engine.Session.stop_after_errors = Some 1 }
 
 let params variant faults =
   Symsysc.Tests.with_faults faults
@@ -55,7 +57,8 @@ let table1_tests =
   List.map
     (fun (name, test) ->
        Test.make ~name
-         (Staged.stage (fun () -> ignore (Engine.run ~config:bench_config (test original)))))
+         (Staged.stage (fun () ->
+              ignore (Engine.Session.run bench_session (test original)))))
     Symsysc.Tests.all
 
 (* ------------------------------------------------------------------ *)
@@ -75,10 +78,10 @@ let table2_tests =
          | None -> assert false
        in
        let p = params Config.Fixed [ fault ] in
-       let config = { bench_config with Engine.stop_after_errors = Some 1 } in
        Test.make
          ~name:(Printf.sprintf "%s-by-%s" (Fault.to_string fault) (detector_for fault))
-         (Staged.stage (fun () -> ignore (Engine.run ~config (test p)))))
+         (Staged.stage (fun () ->
+              ignore (Engine.Session.run first_error_session (test p)))))
     Fault.all
 
 (* ------------------------------------------------------------------ *)
@@ -182,7 +185,7 @@ let solver_tests =
 let table1_workload () =
   let original = params Config.Original [] in
   List.iter
-    (fun (_, test) -> ignore (Engine.run ~config:bench_config (test original)))
+    (fun (_, test) -> ignore (Engine.Session.run bench_session (test original)))
     Symsysc.Tests.all
 
 let independence_tests =
@@ -211,11 +214,27 @@ let exploration_tests =
   [
     Test.make ~name:"first-error"
       (Staged.stage (fun () ->
-           let config = { bench_config with Engine.stop_after_errors = Some 1 } in
-           ignore (Engine.run ~config (t1 p))));
+           ignore (Engine.Session.run first_error_session (t1 p))));
     Test.make ~name:"exhaustive"
-      (Staged.stage (fun () -> ignore (Engine.run ~config:bench_config (t1 p))));
+      (Staged.stage (fun () -> ignore (Engine.Session.run bench_session (t1 p))));
   ]
+
+(* ------------------------------------------------------------------ *)
+(* Scaling: parallel workers on one exploration                        *)
+
+let scaling_workers = [ 1; 2; 4 ]
+
+let scaling_tests =
+  let p = params Config.Original [] in
+  let t1 =
+    match Symsysc.Tests.by_name "T1" with Some t -> t | None -> assert false
+  in
+  List.map
+    (fun workers ->
+       let session = { bench_session with Engine.Session.workers } in
+       Test.make ~name:(Printf.sprintf "workers-%d" workers)
+         (Staged.stage (fun () -> ignore (Engine.Session.run session (t1 p)))))
+    scaling_workers
 
 (* ------------------------------------------------------------------ *)
 (* Baseline: symbolic execution vs random testing on the IF6 harness   *)
@@ -229,8 +248,7 @@ let baseline_tests =
   [
     Test.make ~name:"symbolic-first-error"
       (Staged.stage (fun () ->
-           let config = { bench_config with Engine.stop_after_errors = Some 1 } in
-           ignore (Engine.run ~config harness)));
+           ignore (Engine.Session.run first_error_session harness)));
     Test.make ~name:"random-testing"
       (Staged.stage (fun () ->
            ignore (Engine.random_test ~seed:11 ~max_trials:100_000 harness)));
@@ -267,7 +285,7 @@ let clint_tests =
   [
     Test.make ~name:"timer-comparator-sweep"
       (Staged.stage (fun () ->
-           ignore (Engine.run ~config:bench_config clint_property)));
+           ignore (Engine.Session.run bench_session clint_property)));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -285,16 +303,15 @@ let resilience_tests =
      and the resume bench does real work). *)
   let sample_checkpoint =
     let saved = ref None in
-    let config =
-      { bench_config with
-        Engine.limits = { bench_limits with Engine.max_paths = Some 5 } }
+    let session =
+      { bench_session with
+        Engine.Session.limits = { bench_limits with Engine.max_paths = Some 5 };
+        checkpoint =
+          Some
+            { Engine.write = (fun ck -> saved := Some ck);
+              every_s = infinity } }
     in
-    ignore
-      (Engine.run ~config ~label:"t4"
-         ~checkpoint:
-           { Engine.write = (fun ck -> saved := Some ck);
-             every_s = infinity }
-         (t4 original));
+    ignore (Engine.Session.run ~label:"t4" session (t4 original));
     match !saved with Some ck -> ck | None -> assert false
   in
   let sample_json = Obs.Json.to_string (Symex.Checkpoint.to_json sample_checkpoint) in
@@ -312,17 +329,21 @@ let resilience_tests =
     Test.make ~name:"checkpointed-exploration"
       (Staged.stage (fun () ->
            let sink = ref None in
-           ignore
-             (Engine.run ~config:bench_config ~label:"t4"
-                ~checkpoint:
-                  { Engine.write = (fun ck -> sink := Some ck);
-                    every_s = 0.0 }
-                (t4 original))));
+           let session =
+             { bench_session with
+               Engine.Session.checkpoint =
+                 Some
+                   { Engine.write = (fun ck -> sink := Some ck);
+                     every_s = 0.0 } }
+           in
+           ignore (Engine.Session.run ~label:"t4" session (t4 original))));
     Test.make ~name:"resume-from-checkpoint"
       (Staged.stage (fun () ->
-           ignore
-             (Engine.run ~config:bench_config ~label:"t4"
-                ~resume:sample_checkpoint (t4 original))));
+           let session =
+             { bench_session with
+               Engine.Session.resume = Some sample_checkpoint }
+           in
+           ignore (Engine.Session.run ~label:"t4" session (t4 original))));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -440,15 +461,15 @@ let instrumented_mode independence =
   List.map
     (fun (name, test) ->
        Smt.Solver.clear_caches ();
-       let config =
-         if smoke then bench_config
+       let session =
+         if smoke then bench_session
          else
-           { Engine.default_config with
-             Engine.limits =
-               { Engine.no_limits with Engine.max_paths = Some 20_000 } }
+           Engine.Session.make
+             ~limits:{ Engine.no_limits with Engine.max_paths = Some 20_000 }
+             ()
        in
        let before = Smt.Solver.Stats.get () in
-       let report = Engine.run ~config (test original) in
+       let report = Engine.Session.run session (test original) in
        let stats = Smt.Solver.Stats.sub (Smt.Solver.Stats.get ()) before in
        {
          m_test = name;
@@ -552,6 +573,100 @@ let write_independence_json path =
     ~finally:(fun () -> close_out oc)
     (fun () -> Buffer.output_buffer oc buf)
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_4.json: worker-scaling of the whole Table 1 campaign.  One
+   run of all five tests per worker count; error-site equality against
+   the single-worker run is machine-checked, and the speedups are
+   honest wall-clock ratios on this machine — the [cores] field
+   qualifies them (on a single-core runner the expected speedup is
+   <= 1x, the fork/IPC overhead). *)
+
+(* Available cores, so BENCH_4 consumers can judge the speedup column.
+   The bench binary deliberately has no Unix dependency; Linux sysfs is
+   enough here and the fallback is harmless elsewhere. *)
+let online_cores () =
+  try
+    let ic = open_in "/sys/devices/system/cpu/online" in
+    let line = Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic) in
+    List.fold_left
+      (fun acc range ->
+         match String.split_on_char '-' (String.trim range) with
+         | [ lo; hi ] -> acc + int_of_string hi - int_of_string lo + 1
+         | [ _ ] -> acc + 1
+         | _ -> acc)
+      0
+      (String.split_on_char ',' line)
+  with _ -> 1
+
+let scaling_sources = if smoke then bench_sources else 8
+let scaling_t5_len = if smoke then 8 else 16
+
+let scaling_campaign workers =
+  let scenario =
+    Symsysc.Verify.scenario ~num_sources:scaling_sources
+      ~t5_max_len:scaling_t5_len ~workers ()
+  in
+  Smt.Solver.clear_caches ();
+  (workers, Symsysc.Verify.table1 scenario)
+
+let campaign_wall reports =
+  List.fold_left
+    (fun acc (r : Symsysc.Report.t) ->
+       acc +. r.Symsysc.Report.engine.Engine.wall_time)
+    0.0 reports
+
+let campaign_sites reports =
+  List.sort_uniq String.compare
+    (List.concat_map
+       (fun (r : Symsysc.Report.t) ->
+          List.map
+            (fun (e : Symex.Error.t) -> e.Symex.Error.site)
+            r.Symsysc.Report.engine.Engine.errors)
+       reports)
+
+let write_scaling_json path rows =
+  let cores = online_cores () in
+  let base_wall =
+    match rows with (_, reports) :: _ -> campaign_wall reports | [] -> 0.0
+  in
+  let base_sites =
+    match rows with (_, reports) :: _ -> campaign_sites reports | [] -> []
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"symsysc-bench-scaling-v1\",";
+  Printf.bprintf buf "\"sources\":%d,\"t5_max_len\":%d,\"cores\":%d,\"rows\":["
+    scaling_sources scaling_t5_len cores;
+  List.iteri
+    (fun i (workers, reports) ->
+       if i > 0 then Buffer.add_char buf ',';
+       let wall = campaign_wall reports in
+       let total f =
+         List.fold_left
+           (fun acc (r : Symsysc.Report.t) -> acc + f r.Symsysc.Report.engine)
+           0 reports
+       in
+       Printf.bprintf buf
+         "{\"workers\":%d,\"wall_s\":%.3f,\"paths\":%d,\"instructions\":%d,\
+          \"speedup\":%.3f,\"error_sites\":["
+         workers wall
+         (total (fun e -> e.Engine.paths))
+         (total (fun e -> e.Engine.instructions))
+         (if wall > 0.0 then base_wall /. wall else 0.0);
+       List.iteri
+         (fun j site ->
+            if j > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf "\"%s\"" (Obs.Export.escape_json site))
+         (campaign_sites reports);
+       Buffer.add_string buf "]}")
+    rows;
+  Printf.bprintf buf "],\"summary\":{\"cores\":%d,\"same_error_sites\":%b}}\n"
+    cores
+    (List.for_all (fun (_, reports) -> campaign_sites reports = base_sites) rows);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
 let () =
   Format.printf "=== SymSysC benchmark harness ===@.@.";
   Format.printf "-- Table 1 workload (per-test exploration, %d sources) --@."
@@ -570,6 +685,8 @@ let () =
   benchmark_group "independence" independence_tests;
   Format.printf "@.-- Ablation: first error vs exhaustive exploration (T1) --@.";
   benchmark_group "exploration" exploration_tests;
+  Format.printf "@.-- Scaling: parallel workers (T1 exploration) --@.";
+  benchmark_group "scaling" scaling_tests;
   Format.printf "@.-- Baseline: symbolic vs random testing (fault IF6) --@.";
   benchmark_group "baseline" baseline_tests;
   Format.printf "@.-- Second peripheral: CLINT timer property --@.";
@@ -580,6 +697,12 @@ let () =
   Format.printf "@.(machine-readable results written to BENCH_1.json)@.";
   write_independence_json "BENCH_2.json";
   Format.printf "(independence on/off comparison written to BENCH_2.json)@.";
+  let scaling_rows = List.map scaling_campaign scaling_workers in
+  write_scaling_json "BENCH_4.json" scaling_rows;
+  Format.printf "(worker-scaling comparison written to BENCH_4.json)@.";
+  Format.printf "@.worker scaling (Table 1 campaign, %d cores online):@."
+    (online_cores ());
+  Symsysc.Tables.print_scaling Format.std_formatter scaling_rows;
 
   (* ---- the actual table reproductions ---- *)
   let sources = getenv_int "SYMSYSC_SOURCES" (if smoke then 4 else 8) in

@@ -61,11 +61,22 @@ let max_memory_mb =
 
 let seed =
   let doc =
-    "Seed for the random search strategy (equivalent to \
-     --strategy random:$(docv); recorded in the report so campaigns \
-     are reproducible)."
+    "Seed for the random search strategy (selects --strategy \
+     random:$(docv) unless --strategy is given explicitly; recorded in \
+     the report so campaigns are reproducible)."
   in
   Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+
+let workers =
+  let doc =
+    "Explore with $(docv) parallel worker processes: a master owns the \
+     path frontier and shares work units with forked workers, each \
+     running a private solver.  Verdicts, bug sites and the exhausted \
+     flag match a single-worker run of the same session; path totals \
+     match when the run is exhaustive.  Composes with \
+     --checkpoint-out/--resume-from and --seed."
+  in
+  Arg.(value & opt int 1 & info [ "workers"; "j" ] ~docv:"N" ~doc)
 
 let solver_cache_cap =
   let doc =
@@ -92,14 +103,17 @@ let strategy =
     Format.pp_print_string ppf (Symex.Search.strategy_to_string st)
   in
   let strategy_conv = Arg.conv (parse, print) in
-  let doc = "Search strategy: dfs, bfs, random[:seed], cover-new." in
-  Arg.(value & opt strategy_conv Symex.Search.Dfs
+  let doc = "Search strategy: dfs (default), bfs, random[:seed], cover-new." in
+  Arg.(value & opt (some strategy_conv) None
        & info [ "strategy" ] ~docv:"S" ~doc)
 
+(* Every command builds exactly one Engine.Session (inside
+   Verify.scenario) from these flags; run/table layers share it rather
+   than reassembling config bundles. *)
 let scenario_term =
   let make interrupts t5_len max_paths max_seconds max_solver_conflicts
       solver_timeout_ms max_memory_mb seed solver_cache_cap no_independence
-      strategy =
+      strategy workers =
     Smt.Solver.set_independence (not no_independence);
     Option.iter (fun cap -> Smt.Solver.set_cache_capacity ~query:cap ())
       solver_cache_cap;
@@ -107,19 +121,14 @@ let scenario_term =
        make SIGINT/SIGTERM graceful for every command. *)
     Symex.Budget.install_signal_handlers ();
     Symex.Budget.clear_interrupt ();
-    let strategy =
-      match seed with
-      | Some s -> Symex.Search.Random_path s
-      | None -> strategy
-    in
     Symsysc.Verify.scenario ~num_sources:interrupts ~t5_max_len:t5_len
       ?max_paths ?max_seconds ?max_solver_conflicts ?solver_timeout_ms
-      ?max_memory_mb ~strategy ()
+      ?max_memory_mb ?seed ?strategy ~workers ()
   in
   Term.(
     const make $ interrupts $ t5_len $ max_paths $ max_seconds
     $ max_solver_conflicts $ solver_timeout_ms $ max_memory_mb $ seed
-    $ solver_cache_cap $ no_independence $ strategy)
+    $ solver_cache_cap $ no_independence $ strategy $ workers)
 
 (* ---- observability options ---- *)
 
@@ -298,7 +307,7 @@ let run_cmd =
       checkpoint_every_s resume_from report_out name =
     match Symsysc.Tests.by_name name with
     | None -> `Error (false, "unknown test " ^ name)
-    | Some test ->
+    | Some _ ->
       let label = String.uppercase_ascii name in
       let params =
         Symsysc.Tests.with_faults faults
@@ -317,17 +326,21 @@ let run_cmd =
       let checkpoint =
         Option.map
           (fun path ->
-             { Engine.write = Symex.Checkpoint.save path;
+             { Symex.Checkpoint.write = Symex.Checkpoint.save path;
                every_s = checkpoint_every_s })
           checkpoint_out
       in
+      (* Inject the per-run flags into the one session every layer
+         shares; Verify.run_test does the rest. *)
+      let scenario =
+        { Symsysc.Verify.params;
+          session =
+            { scenario.Symsysc.Verify.session with
+              Engine.Session.resume; checkpoint } }
+      in
       let report =
         with_obs obs ~record:Symsysc.Report.record_metrics (fun () ->
-            let report =
-              Engine.run ~config:scenario.Symsysc.Verify.engine_config
-                ~label ?resume ?checkpoint (test params)
-            in
-            Symsysc.Report.make label report)
+            Symsysc.Verify.run_test scenario label)
       in
       (match report.Symsysc.Report.engine.Engine.stop_reason with
        | Some reason ->

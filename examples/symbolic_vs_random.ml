@@ -27,10 +27,8 @@ let masking_testbench =
 let () =
   Format.printf "== symbolic execution vs random testing (fault: IF6) ==@.@.";
 
-  let config =
-    { Engine.default_config with Engine.stop_after_errors = Some 1 }
-  in
-  let symbolic = Engine.run ~config masking_testbench in
+  let session = Engine.Session.make ~stop_after_errors:1 () in
+  let symbolic = Engine.Session.run session masking_testbench in
   (match symbolic.Engine.errors with
    | e :: _ ->
      Format.printf

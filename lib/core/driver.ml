@@ -74,6 +74,16 @@ let run ?env ~sched ~bus program =
   List.iter (exec ~sched ~bus env) program;
   env
 
+(* A driver program is itself a testbench: exploring it under a
+   session turns "firmware access sequence" into a verification
+   campaign without hand-writing the engine plumbing.  [system] builds
+   a fresh scheduler/bus per path — the engine re-executes the thunk,
+   so the DUV must be constructed inside it. *)
+let explore ?(label = "driver") ~session ~system program =
+  Engine.Session.run ~label session (fun () ->
+      let sched, bus = system () in
+      ignore (run ~sched ~bus program))
+
 let pp_operand ppf = function
   | Const n -> Format.fprintf ppf "0x%x" n
   | Sym name -> Format.fprintf ppf "sym:%s" name

@@ -55,5 +55,18 @@ val run :
 
 val empty_env : unit -> env
 
+val explore :
+  ?label:string ->
+  session:Symex.Engine.Session.t ->
+  system:(unit -> Pk.Scheduler.t * Tlm.Router.transport_fn) ->
+  instr list ->
+  Symex.Engine.report
+(** Explore a driver program symbolically under a session — the
+    campaign form of {!run}.  [system] must build a fresh
+    scheduler/bus pair (the whole device under verification) on every
+    call: the engine re-executes it once per path, including in pool
+    workers when the session has [workers > 1].  [label] names the run
+    in checkpoints (default ["driver"]). *)
+
 val pp_instr : Format.formatter -> instr -> unit
 val pp_program : Format.formatter -> instr list -> unit

@@ -99,6 +99,7 @@ let record_metrics t =
   gi "symsysc_solver_query_evictions" s.Smt.Solver.Stats.query_evictions;
   gi "symsysc_solver_cex_evictions" s.Smt.Solver.Stats.cex_evictions;
   gi "symsysc_engine_exhausted" (if e.Engine.exhausted then 1 else 0);
+  gi "symsysc_engine_workers" e.Engine.workers;
   (* One-hot stop-reason gauges so alerting can key on a specific
      budget without string labels. *)
   List.iter
@@ -139,6 +140,7 @@ let to_json t =
     [ ("test", Str t.test_name);
       ("verdict", Str (verdict_to_string t.verdict));
       ("strategy", Str (Symex.Search.strategy_to_string e.Engine.strategy));
+      ("workers", Int e.Engine.workers);
       ("exhausted", Bool e.Engine.exhausted);
       ("stop_reason",
        match e.Engine.stop_reason with

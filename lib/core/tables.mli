@@ -11,6 +11,11 @@ val print_solver_breakdown : Format.formatter -> Report.t list -> unit
 (** Companion to Table 1: per-test solver-stage breakdown (queries,
     cache hit rate, interval/bit-blast/SAT seconds, CDCL conflicts). *)
 
+val print_scaling : Format.formatter -> (int * Report.t list) list -> unit
+(** Worker-scaling table: rows are (worker count, reports of the same
+    campaign at that count); Speedup is the first row's summed wall
+    time over this row's. *)
+
 val print_table2 :
   Format.formatter -> tests:string list -> Verify.detection list -> unit
 (** Table 2: rows are tests, columns are bugs; cells are the rounded

@@ -37,45 +37,49 @@ let bug_matches bug (err : Error.t) =
 
 type scenario = {
   params : Tests.params;
-  engine_config : Engine.config;
+  session : Engine.Session.t;
 }
 
-let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?max_paths ?max_seconds
-    ?max_solver_conflicts ?solver_timeout_ms ?max_memory_mb
-    ?(strategy = Symex.Search.Dfs) () =
-  {
-    params = Tests.scaled_params ~num_sources ~t5_max_len;
-    engine_config =
-      {
-        Engine.strategy;
-        limits =
+let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?session ?max_paths
+    ?max_seconds ?max_solver_conflicts ?solver_timeout_ms ?max_memory_mb
+    ?stop_after_errors ?seed ?workers ?strategy () =
+  let session =
+    match session with
+    | Some s -> s
+    | None ->
+      Engine.Session.make ?strategy
+        ~limits:
           { Engine.no_limits with
             max_paths;
             max_seconds;
             max_solver_conflicts;
             solver_timeout_ms;
-            max_memory_mb };
-        stop_after_errors = None;
-      };
-  }
+            max_memory_mb }
+        ?stop_after_errors ?seed ?workers ()
+  in
+  { params = Tests.scaled_params ~num_sources ~t5_max_len; session }
 
-let run_named ?resume ?checkpoint scenario name params =
+let run_named session name params =
   match Tests.by_name name with
   | None -> invalid_arg ("Verify.run_test: unknown test " ^ name)
   | Some test ->
-    let report =
-      Engine.run ~config:scenario.engine_config ~label:name ?resume
-        ?checkpoint (test params)
-    in
+    let report = Engine.Session.run ~label:name session (test params) in
     Report.make name report
 
-let run_test ?resume ?checkpoint scenario name =
-  run_named ?resume ?checkpoint scenario name scenario.params
+let run_test scenario name = run_named scenario.session name scenario.params
+
+(* Campaign runs execute many labelled tests under one scenario, so a
+   session-level [resume] (whose checkpoint names a single test) and a
+   [checkpoint] sink (one path, would be overwritten per test) cannot
+   apply; strip them rather than fail on the second test. *)
+let campaign_session scenario =
+  { scenario.session with Engine.Session.resume = None; checkpoint = None }
 
 let table1 scenario =
   let params = Tests.with_variant Config.Original scenario.params in
   let params = Tests.with_faults [] params in
-  List.map (fun (name, _) -> run_named scenario name params) Tests.all
+  let session = campaign_session scenario in
+  List.map (fun (name, _) -> run_named session name params) Tests.all
 
 type detection = {
   bug : bug;
@@ -92,12 +96,13 @@ let detection_time bug (report : Report.t) =
   | times -> Some (List.fold_left Float.min Float.infinity times)
 
 let table2 ?(tests = List.map fst Tests.all) scenario =
+  let session = campaign_session scenario in
   (* One run per test on the original PLIC serves all F columns. *)
   let original_params =
     Tests.with_faults [] (Tests.with_variant Config.Original scenario.params)
   in
   let original_reports =
-    List.map (fun name -> (name, run_named scenario name original_params)) tests
+    List.map (fun name -> (name, run_named session name original_params)) tests
   in
   let f_rows =
     List.map
@@ -120,19 +125,15 @@ let table2 ?(tests = List.map fst Tests.all) scenario =
            Tests.with_faults [ fault ]
              (Tests.with_variant Config.Fixed scenario.params)
          in
-         let stop_scenario =
-           {
-             scenario with
-             engine_config =
-               { scenario.engine_config with Engine.stop_after_errors = Some 1 };
-           }
+         let stop_session =
+           { session with Engine.Session.stop_after_errors = Some 1 }
          in
          {
            bug = Injected fault;
            per_test =
              List.map
                (fun name ->
-                  let report = run_named stop_scenario name params in
+                  let report = run_named stop_session name params in
                   (name, detection_time (Injected fault) report))
                tests;
          })
@@ -148,23 +149,20 @@ let table2 ?(tests = List.map fst Tests.all) scenario =
 type matrix_cell = { detected : bool; first_path : int option }
 
 let detection_matrix ?(tests = List.map fst Tests.all) scenario =
+  let stop_session =
+    { (campaign_session scenario) with
+      Engine.Session.stop_after_errors = Some 1 }
+  in
   List.map
     (fun fault ->
        let params =
          Tests.with_faults [ fault ]
            (Tests.with_variant Config.Fixed scenario.params)
        in
-       let stop_scenario =
-         {
-           scenario with
-           engine_config =
-             { scenario.engine_config with Engine.stop_after_errors = Some 1 };
-         }
-       in
        ( fault,
          List.map
            (fun name ->
-              let report = run_named stop_scenario name params in
+              let report = run_named stop_session name params in
               let first_path =
                 List.filter_map
                   (fun (e : Error.t) ->

@@ -23,38 +23,43 @@ val bug_matches : bug -> Symex.Error.t -> bool
 
 type scenario = {
   params : Tests.params;
-  engine_config : Symex.Engine.config;
+  session : Symex.Engine.Session.t;
+      (** how every run of this scenario explores: strategy, budgets,
+          worker count, checkpointing, resume *)
 }
 
 val scenario :
   ?num_sources:int ->
   ?t5_max_len:int ->
+  ?session:Symex.Engine.Session.t ->
   ?max_paths:int ->
   ?max_seconds:float ->
   ?max_solver_conflicts:int ->
   ?solver_timeout_ms:int ->
   ?max_memory_mb:int ->
+  ?stop_after_errors:int ->
+  ?seed:int ->
+  ?workers:int ->
   ?strategy:Symex.Search.strategy ->
   unit ->
   scenario
 (** Build a scenario; defaults: FE310 scale reduced to [num_sources]
-    (default 8) and [t5_max_len] (default 16), no path/time/solver/
-    memory budgets except those given. *)
+    (default 8) and [t5_max_len] (default 16).  Pass a pre-built
+    [session] (as the CLI does — one session shared by every layer) or
+    let the remaining arguments build one via
+    {!Symex.Engine.Session.make} with no budgets except those given. *)
 
-val run_test :
-  ?resume:Symex.Checkpoint.t ->
-  ?checkpoint:Symex.Engine.checkpoint_policy ->
-  scenario ->
-  string ->
-  Report.t
+val run_test : scenario -> string -> Report.t
 (** Run one test (by name, "T1".."T5") on the scenario's variant and
-    faults.  Raises [Invalid_argument] on unknown names.  [resume]
-    continues from a checkpoint (its label must be the test name);
-    [checkpoint] snapshots the frontier periodically and at stop. *)
+    faults under the scenario's session.  Raises [Invalid_argument] on
+    unknown names.  Checkpointing and resume come from the session: a
+    resume checkpoint's label must be the test name. *)
 
 val table1 : scenario -> Report.t list
 (** All five tests against the {e original} PLIC — the paper's
-    Table 1. *)
+    Table 1.  Campaign entrypoints (this, {!table2},
+    {!detection_matrix}) run many labelled tests, so the session's
+    [resume]/[checkpoint] (which name a single run) are ignored. *)
 
 type detection = {
   bug : bug;

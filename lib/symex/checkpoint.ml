@@ -19,6 +19,11 @@ type t = {
   stop_reason : string option;
 }
 
+type policy = {
+  write : t -> unit;
+  every_s : float;
+}
+
 let version = 1
 
 let to_json t =

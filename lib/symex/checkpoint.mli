@@ -36,6 +36,17 @@ type t = {
           snapshots of a still-running exploration *)
 }
 
+type policy = {
+  write : t -> unit;
+      (** called with a frontier snapshot; typically {!save}[ path] *)
+  every_s : float;
+      (** minimum seconds between periodic snapshots; a final snapshot
+          is always written when the run stops or exhausts *)
+}
+(** How an exploration persists snapshots.  Shared by the sequential
+    engine and the worker-pool master (whose snapshots also fold the
+    in-flight work units back into the frontier). *)
+
 val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 

@@ -23,7 +23,7 @@ type config = {
 let default_config =
   { strategy = Search.Dfs; limits = no_limits; stop_after_errors = None }
 
-type checkpoint_policy = {
+type checkpoint_policy = Checkpoint.policy = {
   write : Checkpoint.t -> unit;
   every_s : float;
 }
@@ -44,6 +44,7 @@ type report = {
   stop_reason : Budget.reason option;
   strategy : Search.strategy;
   branch_coverage : (string * int) list;
+  workers : int;
 }
 
 exception Check_failed of string
@@ -71,7 +72,9 @@ type path_state = {
 
 type explore_state = {
   cfg : config;
-  frontier : Decision.t array Search.t;
+  mutable frontier : Decision.t array Search.t;
+      (* the run's frontier in a sequential exploration; a per-unit
+         fork collector in a pool worker (replaced for every unit) *)
   mutable pool : (string * int * Expr.t) array;
   mutable pool_len : int;
   mutable cur : path_state option;
@@ -521,6 +524,100 @@ let rec concretize ?(site = "concretize") e =
 (* ------------------------------------------------------------------ *)
 (* Exploration loop                                                    *)
 
+(* Run [body] once under [prefix], updating the counters, error table
+   and telemetry of [st].  On a budget stop the partial path is rolled
+   back — visit counts, instructions and the path count leave no trace
+   — and the decisions taken so far are returned so the caller can
+   re-queue them: the sequential loop pushes them back onto its own
+   frontier, the worker-pool unit runner ships them to the master. *)
+let exec_path st body ~prefix =
+  let ps =
+    {
+      prefix;
+      pos = 0;
+      taken = [];
+      pc = [];
+      inputs = [];
+      fresh_idx = 0;
+      visited = [];
+      instr_start = instructions_so_far st;
+      path_id = st.n_paths;
+    }
+  in
+  st.cur <- Some ps;
+  st.n_paths <- st.n_paths + 1;
+  if !Obs.Sink.enabled then
+    Obs.Sink.span_begin ~cat:"engine" "path"
+      ~args:
+        [ ("path", Obs.Event.Int ps.path_id);
+          ("prefix", Obs.Event.Int (Array.length prefix)) ];
+  let ended = ref false in
+  let end_path outcome =
+    if (not !ended) && !Obs.Sink.enabled then begin
+      ended := true;
+      Obs.Sink.span_end ~cat:"engine" "path"
+        ~args:
+          [ ("path", Obs.Event.Int ps.path_id);
+            ("outcome", Obs.Event.Str outcome);
+            ("frontier", Obs.Event.Int (Search.length st.frontier)) ]
+    end
+  in
+  let result =
+    try
+      (try
+         body ();
+         st.n_completed <- st.n_completed + 1;
+         end_path "completed"
+       with
+       | Terminate_path End_error ->
+         st.n_errored <- st.n_errored + 1;
+         end_path "error"
+       | Terminate_path End_infeasible ->
+         st.n_infeasible <- st.n_infeasible + 1;
+         end_path "infeasible"
+       | Terminate_path End_unknown ->
+         st.n_unknown <- st.n_unknown + 1;
+         end_path "unknown"
+       | Stop_exploration as e -> raise e
+       | Check_failed _ as e -> raise e
+       | exn ->
+         (* An OCaml exception escaped the testbench: report it like
+            KLEE reports an unhandled C++ exception. *)
+         let site = "exception:" ^ Printexc.to_string exn in
+         (match Solver.check ps.pc with
+          | Solver.Sat m ->
+            (* A [Stop_exploration] from the error threshold propagates
+               to the abandonment handler below, which re-queues the
+               path; the recorded error survives and resume
+               de-duplicates it. *)
+            record_error st ps Error.Unhandled_exception site
+              (Printexc.to_string exn) m;
+            st.n_errored <- st.n_errored + 1;
+            end_path "error"
+          | Solver.Unsat ->
+            st.n_infeasible <- st.n_infeasible + 1;
+            end_path "infeasible"
+          | Solver.Unknown _ ->
+            st.degraded <- true;
+            st.n_unknown <- st.n_unknown + 1;
+            end_path "unknown"));
+      `Done
+    with Stop_exploration ->
+      (* A budget stop caught the path mid-execution.  Abandon it
+         without losing it: roll back its visit counts and
+         instructions; re-queuing the returned decisions lets a
+         resumed run re-execute the path in full, so total counters
+         match an uninterrupted run exactly. *)
+      List.iter (Search.unrecord_visit st.frontier) ps.visited;
+      let partial = instructions_so_far st - ps.instr_start in
+      st.instr_base <- st.instr_base + partial;
+      st.n_paths <- st.n_paths - 1;
+      end_path "stopped";
+      `Stopped (Array.of_list (List.rev ps.taken))
+  in
+  st.cur <- None;
+  result
+
 (* A checkpoint is a pure function of the exploration state; [final]
    distinguishes the last snapshot of a stopped run (which records the
    stop reason) from a periodic one. *)
@@ -546,7 +643,7 @@ let snapshot ~label st solver_base ~final =
        else None);
   }
 
-let run ?(config = default_config) ?(label = "run") ?resume ?checkpoint body =
+let seq_run ~(config : config) ~label ?resume ?checkpoint body =
   (match !mode with
    | Off -> ()
    | Explore _ | Replay _ | Rand _ ->
@@ -647,93 +744,11 @@ let run ?(config = default_config) ?(label = "run") ?resume ?checkpoint body =
            match Search.pop st.frontier with
            | None -> continue := false
            | Some prefix ->
-             let ps =
-               {
-                 prefix;
-                 pos = 0;
-                 taken = [];
-                 pc = [];
-                 inputs = [];
-                 fresh_idx = 0;
-                 visited = [];
-                 instr_start = instructions_so_far st;
-                 path_id = st.n_paths;
-               }
-             in
-             st.cur <- Some ps;
-             st.n_paths <- st.n_paths + 1;
-             if !Obs.Sink.enabled then
-               Obs.Sink.span_begin ~cat:"engine" "path"
-                 ~args:
-                   [ ("path", Obs.Event.Int ps.path_id);
-                     ("prefix", Obs.Event.Int (Array.length prefix)) ];
-             let ended = ref false in
-             let end_path outcome =
-               if (not !ended) && !Obs.Sink.enabled then begin
-                 ended := true;
-                 Obs.Sink.span_end ~cat:"engine" "path"
-                   ~args:
-                     [ ("path", Obs.Event.Int ps.path_id);
-                       ("outcome", Obs.Event.Str outcome);
-                       ("frontier",
-                        Obs.Event.Int (Search.length st.frontier)) ]
-               end
-             in
-             (try
-                (try
-                   body ();
-                   st.n_completed <- st.n_completed + 1;
-                   end_path "completed"
-                 with
-                 | Terminate_path End_error ->
-                   st.n_errored <- st.n_errored + 1;
-                   end_path "error"
-                 | Terminate_path End_infeasible ->
-                   st.n_infeasible <- st.n_infeasible + 1;
-                   end_path "infeasible"
-                 | Terminate_path End_unknown ->
-                   st.n_unknown <- st.n_unknown + 1;
-                   end_path "unknown"
-                 | Stop_exploration as e -> raise e
-                 | Check_failed _ as e -> raise e
-                 | exn ->
-                   (* An OCaml exception escaped the testbench: report it
-                      like KLEE reports an unhandled C++ exception. *)
-                   let site = "exception:" ^ Printexc.to_string exn in
-                   (match Solver.check ps.pc with
-                    | Solver.Sat m ->
-                      (* A [Stop_exploration] from the error threshold
-                         propagates to the abandonment handler below,
-                         which re-queues the path; the recorded error
-                         survives and resume de-duplicates it. *)
-                      record_error st ps Error.Unhandled_exception site
-                        (Printexc.to_string exn) m;
-                      st.n_errored <- st.n_errored + 1;
-                      end_path "error"
-                    | Solver.Unsat ->
-                      st.n_infeasible <- st.n_infeasible + 1;
-                      end_path "infeasible"
-                    | Solver.Unknown _ ->
-                      st.degraded <- true;
-                      st.n_unknown <- st.n_unknown + 1;
-                      end_path "unknown"))
-              with Stop_exploration as e ->
-                (* A budget stop caught the path mid-execution.  Abandon
-                   it without losing it: roll back its visit counts and
-                   instructions, and re-queue the decisions taken so far
-                   as a pending prefix — a resumed run re-executes the
-                   path in full, so total counters match an
-                   uninterrupted run exactly. *)
-                List.iter (Search.unrecord_visit st.frontier) ps.visited;
-                let partial = instructions_so_far st - ps.instr_start in
-                st.instr_base <- st.instr_base + partial;
-                Search.push st.frontier ~site:"requeued"
-                  (Array.of_list (List.rev ps.taken));
-                st.n_paths <- st.n_paths - 1;
-                end_path "stopped";
-                st.cur <- None;
-                raise e);
-             st.cur <- None;
+             (match exec_path st body ~prefix with
+              | `Stopped taken ->
+                Search.push st.frontier ~site:"requeued" taken;
+                raise Stop_exploration
+              | `Done -> ());
              if Obs.Progress.due ~paths:st.n_paths then begin
                let s = Solver.Stats.sub (Solver.Stats.get ()) solver_stats0 in
                Obs.Progress.tick
@@ -794,7 +809,189 @@ let run ?(config = default_config) ?(label = "run") ?resume ?checkpoint body =
         stop_reason = st.stop_reason;
         strategy = config.strategy;
         branch_coverage = Search.visit_counts st.frontier;
+        workers = 1;
       })
+
+(* ------------------------------------------------------------------ *)
+(* Worker-pool integration                                             *)
+
+(* Persistent per-worker execution context.  Global budgets are
+   stripped — the master enforces them between dispatches — while the
+   per-query solver limits stay with the worker's private solver, and
+   [stop_after_errors] is handled by the master (a worker must never
+   stop the whole run on its own).  The positional symbolic-input pool
+   survives across units so the worker's solver caches stay warm, just
+   as they do across paths of a sequential run. *)
+let unit_ctx config =
+  let limits =
+    { config.limits with
+      max_paths = None;
+      max_instructions = None;
+      max_seconds = None;
+      max_memory_mb = None }
+  in
+  {
+    cfg = { config with limits; stop_after_errors = None };
+    frontier = Search.create config.strategy;
+    pool = Array.make 16 ("", 0, Expr.tru);
+    pool_len = 0;
+    cur = None;
+    error_table = Hashtbl.create 16;
+    errors_rev = [];
+    n_paths = 0;
+    n_completed = 0;
+    n_errored = 0;
+    n_infeasible = 0;
+    n_unknown = 0;
+    degraded = false;
+    stop_reason = None;
+    started = Unix.gettimeofday ();
+    instr_base = Expr.instruction_count ();
+  }
+
+(* Execute one work unit: a single path under [prefix], collecting the
+   forks it discovers into a fresh frontier.  The error/counter fields
+   of [st] are per-unit (reset here); the input pool is not.  Worker-
+   local bookkeeping in the result (error path ids, found_after) is in
+   unit-relative terms — the master rewrites it into campaign terms at
+   merge time. *)
+let run_unit st body ~prefix =
+  (match !mode with
+   | Off -> ()
+   | Explore _ | Replay _ | Rand _ ->
+     failwith "Engine.run_unit: nested runs are not allowed");
+  st.frontier <- Search.create st.cfg.strategy;
+  Hashtbl.reset st.error_table;
+  st.errors_rev <- [];
+  st.n_paths <- 0;
+  st.n_completed <- 0;
+  st.n_errored <- 0;
+  st.n_infeasible <- 0;
+  st.n_unknown <- 0;
+  st.degraded <- false;
+  st.stop_reason <- None;
+  st.instr_base <- Expr.instruction_count ();
+  let solver0 = Solver.Stats.get () in
+  Solver.set_interrupt_check Budget.interrupted;
+  mode := Explore st;
+  let finish () = mode := Off in
+  let outcome =
+    Fun.protect ~finally:finish (fun () -> exec_path st body ~prefix)
+  in
+  let solver = Solver.Stats.sub (Solver.Stats.get ()) solver0 in
+  let forks = Search.entries st.frontier in
+  let errors = List.rev st.errors_rev in
+  match outcome with
+  | `Stopped taken ->
+    (* Mirror of the sequential budget-stop requeue: the partial path
+       was rolled back by [exec_path]; forks and errors found before
+       the stop are kept (resume de-duplicates the errors). *)
+    { Pool.outcome = Pool.Unit_aborted;
+      forks;
+      errors;
+      visits = [];
+      instructions = 0;
+      degraded = st.degraded;
+      solver;
+      requeue = Some taken }
+  | `Done ->
+    let outcome =
+      if st.n_completed > 0 then Pool.Unit_completed
+      else if st.n_errored > 0 then Pool.Unit_errored
+      else if st.n_infeasible > 0 then Pool.Unit_infeasible
+      else Pool.Unit_unknown
+    in
+    { Pool.outcome;
+      forks;
+      errors;
+      visits = Search.visit_counts st.frontier;
+      instructions = instructions_so_far st;
+      degraded = st.degraded;
+      solver;
+      requeue = None }
+
+(* ------------------------------------------------------------------ *)
+(* Session API                                                         *)
+
+module Session = struct
+  type t = {
+    strategy : Search.strategy;
+    limits : limits;
+    stop_after_errors : int option;
+    checkpoint : Checkpoint.policy option;
+    resume : Checkpoint.t option;
+    seed : int option;
+    workers : int;
+  }
+
+  let make ?strategy ?(limits = no_limits) ?stop_after_errors ?checkpoint
+      ?resume ?seed ?(workers = 1) () =
+    if workers < 1 then
+      invalid_arg "Engine.Session.make: workers must be >= 1";
+    let strategy =
+      match strategy, seed with
+      | Some s, _ -> s
+      | None, Some seed -> Search.Random_path seed
+      | None, None -> Search.Dfs
+    in
+    { strategy; limits; stop_after_errors; checkpoint; resume; seed; workers }
+
+  let config t =
+    { strategy = t.strategy;
+      limits = t.limits;
+      stop_after_errors = t.stop_after_errors }
+
+  let run ?(label = "run") t body =
+    if t.workers = 1 then
+      seq_run ~config:(config t) ~label ?resume:t.resume
+        ?checkpoint:t.checkpoint body
+    else begin
+      (match !mode with
+       | Off -> ()
+       | Explore _ | Replay _ | Rand _ ->
+         failwith "Engine.Session.run: nested runs are not allowed");
+      let pool_cfg =
+        { Pool.workers = t.workers;
+          strategy = t.strategy;
+          limits = t.limits;
+          stop_after_errors = t.stop_after_errors;
+          label }
+      in
+      (* The context is created lazily so it materializes in each
+         worker process after the fork, never in the master. *)
+      let ctx = lazy (unit_ctx (config t)) in
+      let exec ~prefix = run_unit (Lazy.force ctx) body ~prefix in
+      let r =
+        Pool.run pool_cfg ?resume:t.resume ?checkpoint:t.checkpoint ~exec ()
+      in
+      {
+        errors = r.Pool.r_errors;
+        paths = r.Pool.r_paths;
+        paths_completed = r.Pool.r_completed;
+        paths_errored = r.Pool.r_errored;
+        paths_infeasible = r.Pool.r_infeasible;
+        paths_unknown = r.Pool.r_unknown;
+        instructions = r.Pool.r_instructions;
+        wall_time = r.Pool.r_wall_time;
+        solver_time = r.Pool.r_solver.Solver.Stats.time;
+        solver_queries = r.Pool.r_solver.Solver.Stats.queries;
+        solver_stats = r.Pool.r_solver;
+        exhausted = r.Pool.r_exhausted;
+        stop_reason = r.Pool.r_stop_reason;
+        strategy = t.strategy;
+        branch_coverage = r.Pool.r_visits;
+        workers = t.workers;
+      }
+    end
+end
+
+(* Deprecated pre-Session entry point, kept for one release: builds a
+   one-shot single-worker Session from the legacy argument bundle. *)
+let run ?(config = default_config) ?(label = "run") ?resume ?checkpoint body =
+  Session.run ~label
+    (Session.make ~strategy:config.strategy ~limits:config.limits
+       ?stop_after_errors:config.stop_after_errors ?checkpoint ?resume ())
+    body
 
 (* ------------------------------------------------------------------ *)
 (* Replay                                                              *)
@@ -828,9 +1025,10 @@ type random_report = {
   failure : (Error.t * int) option;
   random_wall_time : float;
   seed : int;
+  workers : int;
 }
 
-let random_test ?(seed = 42) ?(max_trials = 10_000) ?max_seconds body =
+let random_test_seq ~seed ~max_trials ?max_seconds body =
   (match !mode with
    | Off -> ()
    | Explore _ | Replay _ | Rand _ ->
@@ -892,4 +1090,92 @@ let random_test ?(seed = 42) ?(max_trials = 10_000) ?max_seconds body =
         failure = !failure;
         random_wall_time = Unix.gettimeofday () -. started;
         seed;
+        workers = 1;
       })
+
+(* Transport form of a random report for the fork-map pipe (the
+   counterexample travels inside [Error.to_json]). *)
+let random_report_to_json r =
+  let open Obs.Json in
+  Obj
+    [ ("trials", Int r.trials);
+      ("rejected", Int r.rejected);
+      ("wall", Float r.random_wall_time);
+      ("failure",
+       match r.failure with
+       | None -> Null
+       | Some (e, trial) ->
+         Obj [ ("error", Error.to_json e); ("trial", Int trial) ]) ]
+
+let random_report_of_json ~seed j =
+  let open Obs.Json in
+  let int k = Option.value ~default:0 (Option.bind (member k j) to_int_opt) in
+  let failure =
+    match member "failure" j with
+    | None | Some Null -> None
+    | Some fj ->
+      Option.bind (member "error" fj) (fun ej ->
+          match Error.of_json ej with
+          | Ok e ->
+            Some
+              ( e,
+                Option.value ~default:0
+                  (Option.bind (member "trial" fj) to_int_opt) )
+          | Error _ -> None)
+  in
+  {
+    trials = int "trials";
+    rejected = int "rejected";
+    failure;
+    random_wall_time =
+      Option.value ~default:0.0
+        (Option.bind (member "wall" j) to_float_opt);
+    seed;
+    workers = 1;
+  }
+
+(* The i-th worker draws from its own RNG stream, derived from the run
+   seed by walking the splitmix64 sequence — so [--seed X --workers N]
+   is reproducible for a given N (and explores different trial sets
+   for different N, which is the point of adding workers). *)
+let derive_worker_seed seed i =
+  let rec go state k =
+    let state, z = Search.splitmix64 state in
+    if k = 0 then Int64.to_int (Int64.logand z 0x3FFFFFFFFFFFFFFFL)
+    else go state (k - 1)
+  in
+  go (Int64.of_int seed) i
+
+let random_test ?(seed = 42) ?(max_trials = 10_000) ?max_seconds
+    ?(workers = 1) body =
+  if workers < 1 then invalid_arg "Engine.random_test: workers must be >= 1";
+  if workers = 1 then random_test_seq ~seed ~max_trials ?max_seconds body
+  else begin
+    (match !mode with
+     | Off -> ()
+     | Explore _ | Replay _ | Rand _ ->
+       failwith "Engine.random_test: nested runs are not allowed");
+    let started = Unix.gettimeofday () in
+    let per_worker = (max_trials + workers - 1) / workers in
+    let results =
+      Pool.fork_map ~workers (fun i ->
+          random_report_to_json
+            (random_test_seq ~seed:(derive_worker_seed seed i)
+               ~max_trials:per_worker ?max_seconds body))
+    in
+    let reports =
+      List.filter_map
+        (function Ok j -> Some (random_report_of_json ~seed j) | Error _ -> None)
+        results
+    in
+    {
+      trials = List.fold_left (fun a r -> a + r.trials) 0 reports;
+      rejected = List.fold_left (fun a r -> a + r.rejected) 0 reports;
+      (* The lowest-indexed worker's failure wins, keeping the merged
+         verdict deterministic; its trial number is worker-local. *)
+      failure = List.find_map (fun r -> r.failure) reports;
+      random_wall_time = Unix.gettimeofday () -. started;
+      seed;
+      workers;
+    }
+  end

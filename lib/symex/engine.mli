@@ -22,7 +22,17 @@
     As in KLEE, a violable [check] records an error with a concrete
     counterexample and terminates only the failing side; exploration
     continues until the frontier is exhausted or a limit is reached.
-    Errors are de-duplicated by [(site, kind)]. *)
+    Errors are de-duplicated by [(site, kind)].
+
+    {1 Entry points}
+
+    {!Session} is the one way to configure and start an exploration:
+    build a session with {!Session.make} (strategy, budgets, workers,
+    checkpointing, resume) and run any number of testbenches through
+    it with {!Session.run}.  With [workers > 1] the session runs the
+    worker-pool engine ({!Pool}); with the default single worker it
+    runs the in-process sequential loop — same verdicts either way.
+    The legacy {!run} entry point survives as a deprecated wrapper. *)
 
 type limits = Budget.t = {
   max_paths : int option;
@@ -51,7 +61,7 @@ type config = {
 
 val default_config : config
 
-type checkpoint_policy = {
+type checkpoint_policy = Checkpoint.policy = {
   write : Checkpoint.t -> unit;
       (** called with a frontier snapshot; typically
           [Checkpoint.save path] *)
@@ -59,6 +69,7 @@ type checkpoint_policy = {
       (** minimum seconds between periodic snapshots; a final snapshot
           is always written when the run stops or exhausts *)
 }
+(** Alias of {!Checkpoint.policy}, kept for source compatibility. *)
 
 type report = {
   errors : Error.t list;        (** distinct errors, in discovery order *)
@@ -83,7 +94,69 @@ type report = {
   branch_coverage : (string * int) list;
       (** executed branch sites with execution counts (KLEE-style
           coverage reporting) *)
+  workers : int;                (** worker processes the run used (1 =
+                                    in-process sequential exploration) *)
 }
+
+(** The unified exploration entry point: one value carrying everything
+    that used to be spread over [Engine.run]'s argument bundle
+    (config, checkpoint policy, resume state, seed, worker count). *)
+module Session : sig
+  type t = {
+    strategy : Search.strategy;
+    limits : limits;
+    stop_after_errors : int option;
+    checkpoint : Checkpoint.policy option;
+    resume : Checkpoint.t option;
+    seed : int option;     (** recorded seed (drives the default
+                               [Random_path] strategy when set) *)
+    workers : int;
+  }
+
+  val make :
+    ?strategy:Search.strategy ->
+    ?limits:limits ->
+    ?stop_after_errors:int ->
+    ?checkpoint:Checkpoint.policy ->
+    ?resume:Checkpoint.t ->
+    ?seed:int ->
+    ?workers:int ->
+    unit ->
+    t
+  (** Build a session.  Defaults: no budgets, no checkpointing, one
+      worker.  The strategy defaults to [Random_path seed] when [seed]
+      is given and [strategy] is not, and to [Dfs] otherwise.  Raises
+      [Invalid_argument] when [workers < 1]. *)
+
+  val config : t -> config
+  (** The legacy config bundle this session denotes (strategy, limits,
+      error threshold) — for code still on the deprecated API. *)
+
+  val run : ?label:string -> t -> (unit -> unit) -> report
+  (** Explore a testbench under this session.  Nested runs are not
+      allowed.
+
+      [label] names the run inside checkpoints (defaults to ["run"]);
+      resuming checks it, so a checkpoint cannot be replayed against
+      the wrong testbench.  [t.resume] restores a checkpointed
+      frontier, search state, counters and errors, and continues as if
+      never interrupted: an interrupted-then-resumed exploration
+      reaches the same verdicts, path totals and error sites as an
+      uninterrupted one (pop {e order} may differ for non-DFS
+      strategies, totals do not).  [t.checkpoint] writes periodic
+      snapshots plus a final one at stop/exhaustion.
+
+      With [t.workers > 1] exploration runs on the {!Pool}
+      master/worker engine: same verdicts, error sites and exhausted
+      flag as a single-worker run of the same session, and identical
+      path totals when the run is exhaustive.  Checkpoints taken by a
+      parallel run resume fine under any worker count, and vice versa.
+
+      The engine polls {!Budget.interrupted} between branches and
+      inside SAT solving, so SIGINT/SIGTERM (via
+      {!Budget.install_signal_handlers}) stop the run gracefully: the
+      final checkpoint is written and a partial report returned. *)
+end
 
 val run :
   ?config:config ->
@@ -92,21 +165,10 @@ val run :
   ?checkpoint:checkpoint_policy ->
   (unit -> unit) ->
   report
-(** Explore a testbench.  Nested calls are not allowed.
-
-    [label] names the run inside checkpoints (defaults to ["run"]);
-    resuming checks it, so a checkpoint cannot be replayed against the
-    wrong testbench.  [resume] restores a checkpointed frontier, search
-    state, counters and errors, and continues as if never interrupted:
-    an interrupted-then-resumed exploration reaches the same verdicts,
-    path totals and error sites as an uninterrupted one (pop {e order}
-    may differ for non-DFS strategies, totals do not).  [checkpoint]
-    writes periodic snapshots plus a final one at stop/exhaustion.
-
-    The engine polls {!Budget.interrupted} between branches and inside
-    SAT solving, so SIGINT/SIGTERM (via
-    {!Budget.install_signal_handlers}) stop the run gracefully: the
-    final checkpoint is written and a partial report returned. *)
+(** Deprecated pre-{!Session} entry point, kept as a thin wrapper for
+    one release: equivalent to {!Session.run} of a single-worker
+    session built from the same arguments.  New code should construct
+    an {!Session.t} instead. *)
 
 (** {1 Testbench / DUV intrinsics}
 
@@ -194,13 +256,23 @@ type random_report = {
   random_wall_time : float;
   seed : int;             (** the seed the campaign ran with, so a
                               failing campaign can be reproduced *)
+  workers : int;          (** processes the campaign ran on *)
 }
 
 val random_test :
   ?seed:int ->
   ?max_trials:int ->
   ?max_seconds:float ->
+  ?workers:int ->
   (unit -> unit) ->
   random_report
 (** Run up to [max_trials] (default 10_000) random trials or until
-    [max_seconds] elapse or a check fails. *)
+    [max_seconds] elapse or a check fails.
+
+    With [workers > 1] the trial budget is split over forked worker
+    processes, each drawing from its own RNG stream derived from
+    [seed] via splitmix64 — so a campaign is reproducible for a given
+    [(seed, workers)] pair.  Workers run their full quota (no
+    cross-worker cancellation); the merged verdict is the
+    lowest-indexed worker's failure, with a worker-local trial
+    index. *)

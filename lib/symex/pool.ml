@@ -1,0 +1,776 @@
+module Json = Obs.Json
+module Stats = Smt.Solver.Stats
+
+type unit_outcome =
+  | Unit_completed
+  | Unit_errored
+  | Unit_infeasible
+  | Unit_unknown
+  | Unit_aborted
+
+type unit_result = {
+  outcome : unit_outcome;
+  forks : (string * Decision.t array) list;
+  errors : Error.t list;
+  visits : (string * int) list;
+  instructions : int;
+  degraded : bool;
+  solver : Stats.t;
+  requeue : Decision.t array option;
+}
+
+type config = {
+  workers : int;
+  strategy : Search.strategy;
+  limits : Budget.t;
+  stop_after_errors : int option;
+  label : string;
+}
+
+type result = {
+  r_errors : Error.t list;
+  r_paths : int;
+  r_completed : int;
+  r_errored : int;
+  r_infeasible : int;
+  r_unknown : int;
+  r_instructions : int;
+  r_wall_time : float;
+  r_solver : Stats.t;
+  r_exhausted : bool;
+  r_stop_reason : Budget.reason option;
+  r_visits : (string * int) list;
+  r_dispatched : int;
+  r_requeued : int;
+  r_worker_deaths : int;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Framing: ASCII decimal payload length, a newline, then one JSON
+   document.  Both directions of both pipes speak this format; it
+   reuses the existing Obs.Json printer/parser rather than inventing a
+   binary protocol, and a frame is trivially inspectable with strace
+   or by dumping the pipe. *)
+
+let rec write_all fd buf off len =
+  if len > 0 then begin
+    let n =
+      try Unix.write fd buf off len
+      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
+    in
+    write_all fd buf (off + n) (len - n)
+  end
+
+let write_frame fd j =
+  let payload = Json.to_string j in
+  let s = string_of_int (String.length payload) ^ "\n" ^ payload in
+  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
+
+let rec read_byte fd =
+  let b = Bytes.create 1 in
+  match Unix.read fd b 0 1 with
+  | 0 -> raise End_of_file
+  | _ -> Bytes.get b 0
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_byte fd
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off < n then
+      match Unix.read fd b off (n - off) with
+      | 0 -> raise End_of_file
+      | k -> go (off + k)
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
+  in
+  go 0;
+  Bytes.unsafe_to_string b
+
+let read_frame fd =
+  let hdr = Buffer.create 8 in
+  let rec header () =
+    match read_byte fd with
+    | '\n' -> ()
+    | c -> Buffer.add_char hdr c; header ()
+  in
+  header ();
+  let len =
+    match int_of_string_opt (Buffer.contents hdr) with
+    | Some n when n >= 0 && n <= 1 lsl 30 -> n
+    | _ -> failwith "pool: malformed frame header"
+  in
+  match Json.of_string (read_exact fd len) with
+  | Ok j -> j
+  | Error e -> failwith ("pool: malformed frame: " ^ e)
+
+(* ------------------------------------------------------------------ *)
+(* Message encoding.  Prefixes travel in their Decision.to_string form
+   — the same representation checkpoints use — so work units are
+   replayed without consulting the solver. *)
+
+let prefix_to_json prefix =
+  Json.List
+    (Array.to_list
+       (Array.map (fun d -> Json.Str (Decision.to_string d)) prefix))
+
+let map_result f l =
+  List.fold_right
+    (fun x acc ->
+       match acc with
+       | Error _ -> acc
+       | Ok tl -> (match f x with Ok y -> Ok (y :: tl) | Error e -> Error e))
+    l (Ok [])
+
+let prefix_of_json j =
+  match Json.to_list_opt j with
+  | None -> Error "pool: malformed prefix"
+  | Some l ->
+    Result.map Array.of_list
+      (map_result
+         (fun dj ->
+            match Json.to_string_opt dj with
+            | Some s -> Decision.of_string s
+            | None -> Error "pool: malformed decision")
+         l)
+
+let outcome_to_string = function
+  | Unit_completed -> "completed"
+  | Unit_errored -> "errored"
+  | Unit_infeasible -> "infeasible"
+  | Unit_unknown -> "unknown"
+  | Unit_aborted -> "aborted"
+
+let outcome_of_string = function
+  | "completed" -> Some Unit_completed
+  | "errored" -> Some Unit_errored
+  | "infeasible" -> Some Unit_infeasible
+  | "unknown" -> Some Unit_unknown
+  | "aborted" -> Some Unit_aborted
+  | _ -> None
+
+let unit_to_json id prefix =
+  Json.Obj
+    [ ("cmd", Json.Str "unit");
+      ("id", Json.Int id);
+      ("prefix", prefix_to_json prefix) ]
+
+let stop_msg = Json.Obj [ ("cmd", Json.Str "stop") ]
+
+let fatal_msg msg =
+  Json.Obj [ ("cmd", Json.Str "fatal"); ("msg", Json.Str msg) ]
+
+let result_to_json id (r : unit_result) =
+  Json.Obj
+    [ ("cmd", Json.Str "result");
+      ("id", Json.Int id);
+      ("outcome", Json.Str (outcome_to_string r.outcome));
+      ("forks",
+       Json.List
+         (List.map
+            (fun (site, prefix) ->
+               Json.Obj
+                 [ ("site", Json.Str site); ("prefix", prefix_to_json prefix) ])
+            r.forks));
+      ("errors", Json.List (List.map Error.to_json r.errors));
+      ("visits",
+       Json.List
+         (List.map
+            (fun (site, n) ->
+               Json.Obj [ ("site", Json.Str site); ("count", Json.Int n) ])
+            r.visits));
+      ("instructions", Json.Int r.instructions);
+      ("degraded", Json.Bool r.degraded);
+      ("solver", Stats.to_json r.solver);
+      ("requeue",
+       match r.requeue with None -> Json.Null | Some p -> prefix_to_json p) ]
+
+let result_of_json j =
+  let ( let* ) = Result.bind in
+  let require name = function
+    | Some v -> Ok v
+    | None -> Error ("pool: result missing " ^ name)
+  in
+  let* id = require "id" (Option.bind (Json.member "id" j) Json.to_int_opt) in
+  let* outcome_s =
+    require "outcome" (Option.bind (Json.member "outcome" j) Json.to_string_opt)
+  in
+  let* outcome = require "outcome" (outcome_of_string outcome_s) in
+  let* forks_l =
+    require "forks" (Option.bind (Json.member "forks" j) Json.to_list_opt)
+  in
+  let* forks =
+    map_result
+      (fun fj ->
+         let* site =
+           require "fork site"
+             (Option.bind (Json.member "site" fj) Json.to_string_opt)
+         in
+         let* prefix =
+           match Json.member "prefix" fj with
+           | Some pj -> prefix_of_json pj
+           | None -> Error "pool: fork missing prefix"
+         in
+         Ok (site, prefix))
+      forks_l
+  in
+  let* errors =
+    match Option.bind (Json.member "errors" j) Json.to_list_opt with
+    | None -> Ok []
+    | Some l -> map_result Error.of_json l
+  in
+  let* visits =
+    match Option.bind (Json.member "visits" j) Json.to_list_opt with
+    | None -> Ok []
+    | Some l ->
+      map_result
+        (fun vj ->
+           match
+             ( Option.bind (Json.member "site" vj) Json.to_string_opt,
+               Option.bind (Json.member "count" vj) Json.to_int_opt )
+           with
+           | Some site, Some n -> Ok (site, n)
+           | _ -> Error "pool: malformed visit entry")
+        l
+  in
+  let* requeue =
+    match Json.member "requeue" j with
+    | None | Some Json.Null -> Ok None
+    | Some pj -> Result.map Option.some (prefix_of_json pj)
+  in
+  let solver =
+    match Json.member "solver" j with
+    | Some sj -> Stats.of_json sj
+    | None -> Stats.zero
+  in
+  Ok
+    ( id,
+      { outcome;
+        forks;
+        errors;
+        visits;
+        instructions =
+          Option.value ~default:0
+            (Option.bind (Json.member "instructions" j) Json.to_int_opt);
+        degraded =
+          Option.value ~default:false
+            (Option.bind (Json.member "degraded" j) Json.to_bool_opt);
+        solver;
+        requeue } )
+
+(* ------------------------------------------------------------------ *)
+(* Worker side.  Runs after [fork]: silence the inherited telemetry
+   (the master keeps the only progress meter and trace recorder), then
+   serve units until a stop frame or EOF.  A worker exits through
+   [Unix._exit] so it never runs the parent's [at_exit] hooks or
+   re-flushes inherited channel buffers. *)
+
+let worker_main ~exec r w =
+  Obs.Progress.disable ();
+  Obs.Sink.reset ();
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let rec loop () =
+    let j = read_frame r in
+    match Option.bind (Json.member "cmd" j) Json.to_string_opt with
+    | Some "stop" | None -> ()
+    | Some "unit" ->
+      let id =
+        Option.value ~default:0
+          (Option.bind (Json.member "id" j) Json.to_int_opt)
+      in
+      (match
+         match Json.member "prefix" j with
+         | Some pj -> prefix_of_json pj
+         | None -> Error "pool: unit missing prefix"
+       with
+       | Error msg -> write_frame w (fatal_msg msg)
+       | Ok prefix ->
+         (match exec ~prefix with
+          | res -> write_frame w (result_to_json id res); loop ()
+          | exception exn ->
+            write_frame w (fatal_msg (Printexc.to_string exn))))
+    | Some _ -> loop ()
+  in
+  (try loop () with End_of_file -> () | _ -> ());
+  Unix._exit 0
+
+(* ------------------------------------------------------------------ *)
+(* Master side. *)
+
+type worker_state = {
+  w_id : int;
+  w_pid : int;
+  w_in : Unix.file_descr;   (* master -> worker *)
+  w_out : Unix.file_descr;  (* worker -> master *)
+  mutable w_unit : (int * Decision.t array * float) option;
+      (* unit id, dispatched prefix, dispatch time *)
+  mutable w_alive : bool;
+}
+
+exception Worker_fatal of string
+
+let run cfg ?resume ?checkpoint ~exec () =
+  if cfg.workers < 1 then invalid_arg "Pool.run: workers must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  let frontier = Search.create cfg.strategy in
+  let error_table : (string * Error.kind, unit) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let errors_rev = ref [] in
+  let n_errors = ref 0 in
+  let n_paths = ref 0 in
+  let n_completed = ref 0 in
+  let n_errored = ref 0 in
+  let n_infeasible = ref 0 in
+  let n_unknown = ref 0 in
+  let instr = ref 0 in
+  let solver_acc = ref Stats.zero in
+  let degraded = ref false in
+  let stop_reason = ref None in
+  let dispatched = ref 0 in
+  let requeued = ref 0 in
+  let deaths = ref 0 in
+  let now = Unix.gettimeofday () in
+  let started =
+    match resume with None -> now | Some ck -> now -. ck.Checkpoint.wall_time
+  in
+  (match resume with
+   | None -> Search.push frontier ~site:"root" [||]
+   | Some ck ->
+     if ck.Checkpoint.label <> cfg.label then
+       failwith
+         (Printf.sprintf "Pool.run: checkpoint is for %S, not %S"
+            ck.Checkpoint.label cfg.label);
+     let here = Search.strategy_to_string cfg.strategy in
+     if ck.Checkpoint.strategy <> here then
+       failwith
+         (Printf.sprintf
+            "Pool.run: checkpoint used strategy %s, this run uses %s"
+            ck.Checkpoint.strategy here);
+     List.iter
+       (fun (site, prefix) -> Search.push frontier ~site prefix)
+       ck.Checkpoint.frontier;
+     Search.set_visit_counts frontier ck.Checkpoint.visits;
+     Search.set_rng_state frontier ck.Checkpoint.rng;
+     n_paths := ck.Checkpoint.paths;
+     n_completed := ck.Checkpoint.completed;
+     n_errored := ck.Checkpoint.errored;
+     n_infeasible := ck.Checkpoint.infeasible;
+     n_unknown := ck.Checkpoint.unknown;
+     instr := ck.Checkpoint.instructions;
+     solver_acc := ck.Checkpoint.solver;
+     degraded := ck.Checkpoint.degraded;
+     List.iter
+       (fun (e : Error.t) ->
+          Hashtbl.replace error_table (e.Error.site, e.Error.kind) ();
+          errors_rev := e :: !errors_rev;
+          incr n_errors)
+       ck.Checkpoint.errors);
+  let m_queue =
+    Obs.Metrics.gauge ~help:"pending work units in the master frontier"
+      "symsysc_pool_queue_depth"
+  in
+  let m_busy =
+    Obs.Metrics.gauge ~help:"workers currently executing a unit"
+      "symsysc_pool_workers_busy"
+  in
+  let m_dispatched =
+    Obs.Metrics.counter ~help:"work units handed to workers"
+      "symsysc_pool_units_dispatched"
+  in
+  let m_requeued =
+    Obs.Metrics.counter
+      ~help:"work units re-queued (aborts and worker deaths)"
+      "symsysc_pool_requeues"
+  in
+  let m_deaths =
+    Obs.Metrics.counter ~help:"worker processes lost mid-run"
+      "symsysc_pool_worker_deaths"
+  in
+  (* All pipe pairs are created before any fork so each child can close
+     every descriptor that is not its own.  Without this, a late-forked
+     sibling would inherit an earlier worker's write end and keep it
+     open past that worker's death, and the master would never see the
+     EOF that signals the death. *)
+  let pipes =
+    Array.init cfg.workers (fun _ -> (Unix.pipe (), Unix.pipe ()))
+  in
+  let spawn i =
+    let (ur, uw), (rr, rw) = pipes.(i) in
+    flush stdout;
+    flush stderr;
+    match Unix.fork () with
+    | 0 ->
+      Array.iteri
+        (fun j ((ur', uw'), (rr', rw')) ->
+           if j = i then begin
+             (try Unix.close uw' with _ -> ());
+             (try Unix.close rr' with _ -> ())
+           end
+           else
+             List.iter
+               (fun fd -> try Unix.close fd with _ -> ())
+               [ ur'; uw'; rr'; rw' ])
+        pipes;
+      (try worker_main ~exec ur rw with _ -> ());
+      Unix._exit 125
+    | pid ->
+      { w_id = i; w_pid = pid; w_in = uw; w_out = rr; w_unit = None;
+        w_alive = true }
+  in
+  let workers = Array.init cfg.workers spawn in
+  Array.iter
+    (fun ((ur, _), (_, rw)) ->
+       (try Unix.close ur with _ -> ());
+       (try Unix.close rw with _ -> ()))
+    pipes;
+  let elapsed () = Unix.gettimeofday () -. started in
+  let inflight () =
+    Array.fold_left
+      (fun acc w -> acc + (match w.w_unit with Some _ -> 1 | None -> 0))
+      0 workers
+  in
+  let stop reason = if !stop_reason = None then stop_reason := Some reason in
+  let snapshot ~final =
+    let in_flight =
+      Array.to_list workers
+      |> List.filter_map (fun w ->
+          match w.w_unit with
+          | Some (_, prefix, _) -> Some ("in-flight", prefix)
+          | None -> None)
+    in
+    { Checkpoint.label = cfg.label;
+      strategy = Search.strategy_to_string cfg.strategy;
+      frontier = Search.entries frontier @ in_flight;
+      visits = Search.visit_counts frontier;
+      rng = Search.rng_state frontier;
+      paths = !n_paths - inflight ();
+      completed = !n_completed;
+      errored = !n_errored;
+      infeasible = !n_infeasible;
+      unknown = !n_unknown;
+      instructions = !instr;
+      wall_time = elapsed ();
+      solver = !solver_acc;
+      errors = List.rev !errors_rev;
+      degraded = !degraded;
+      stop_reason =
+        (if final then Option.map Budget.reason_to_string !stop_reason
+         else None) }
+  in
+  let handle_death w =
+    w.w_alive <- false;
+    (try Unix.close w.w_in with _ -> ());
+    (try Unix.close w.w_out with _ -> ());
+    (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
+    incr deaths;
+    Obs.Metrics.inc m_deaths;
+    (match w.w_unit with
+     | Some (id, prefix, _) ->
+       w.w_unit <- None;
+       decr n_paths;
+       incr requeued;
+       Obs.Metrics.inc m_requeued;
+       Search.push frontier ~site:"requeued" prefix;
+       if !Obs.Sink.enabled then
+         Obs.Sink.instant ~cat:"pool" "worker-death"
+           ~args:[ ("worker", Obs.Event.Int w.w_id);
+                   ("unit", Obs.Event.Int id);
+                   ("requeued", Obs.Event.Bool true) ]
+     | None ->
+       if !Obs.Sink.enabled then
+         Obs.Sink.instant ~cat:"pool" "worker-death"
+           ~args:[ ("worker", Obs.Event.Int w.w_id);
+                   ("requeued", Obs.Event.Bool false) ])
+  in
+  let dispatch w =
+    match Search.pop frontier with
+    | None -> ()
+    | Some prefix ->
+      let id = !n_paths in
+      incr n_paths;
+      incr dispatched;
+      w.w_unit <- Some (id, prefix, Unix.gettimeofday ());
+      Obs.Metrics.inc m_dispatched;
+      Obs.Metrics.set m_queue (float_of_int (Search.length frontier));
+      if !Obs.Sink.enabled then
+        Obs.Sink.instant ~cat:"pool" "dispatch"
+          ~args:[ ("worker", Obs.Event.Int w.w_id);
+                  ("unit", Obs.Event.Int id);
+                  ("prefix_len", Obs.Event.Int (Array.length prefix));
+                  ("frontier", Obs.Event.Int (Search.length frontier)) ];
+      (try write_frame w.w_in (unit_to_json id prefix)
+       with _ -> handle_death w)
+  in
+  let merge w id (r : unit_result) =
+    match w.w_unit with
+    | Some (uid, prefix, t0) when uid = id ->
+      w.w_unit <- None;
+      (match r.outcome with
+       | Unit_aborted ->
+         decr n_paths;
+         incr requeued;
+         Obs.Metrics.inc m_requeued;
+         let p = match r.requeue with Some p -> p | None -> prefix in
+         Search.push frontier ~site:"requeued" p
+       | Unit_completed -> incr n_completed
+       | Unit_errored -> incr n_errored
+       | Unit_infeasible -> incr n_infeasible
+       | Unit_unknown -> incr n_unknown);
+      if r.outcome <> Unit_aborted then begin
+        instr := !instr + r.instructions;
+        Search.merge_visit_counts frontier r.visits
+      end;
+      List.iter (fun (site, p) -> Search.push frontier ~site p) r.forks;
+      solver_acc := Stats.add !solver_acc r.solver;
+      if r.degraded then degraded := true;
+      List.iter
+        (fun (e : Error.t) ->
+           let key = (e.Error.site, e.Error.kind) in
+           if not (Hashtbl.mem error_table key) then begin
+             Hashtbl.add error_table key ();
+             (* Rewrite the worker-local bookkeeping fields into
+                campaign terms: the unit id is the global path id and
+                discovery time/instructions are campaign totals. *)
+             errors_rev :=
+               { e with
+                 Error.path_id = id;
+                 found_after = elapsed ();
+                 instructions = !instr }
+               :: !errors_rev;
+             incr n_errors;
+             if !Obs.Sink.enabled then
+               Obs.Sink.instant ~cat:"pool" "error"
+                 ~args:[ ("site", Obs.Event.Str e.Error.site);
+                         ("kind",
+                          Obs.Event.Str (Error.kind_to_string e.Error.kind));
+                         ("worker", Obs.Event.Int w.w_id) ];
+             match cfg.stop_after_errors with
+             | Some n when !n_errors >= n -> stop Budget.Errors
+             | _ -> ()
+           end)
+        r.errors;
+      Obs.Metrics.set m_queue (float_of_int (Search.length frontier));
+      if !Obs.Sink.enabled then
+        Obs.Sink.complete ~cat:"pool"
+          ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6)
+          "unit"
+          ~args:[ ("worker", Obs.Event.Int w.w_id);
+                  ("unit", Obs.Event.Int id);
+                  ("outcome", Obs.Event.Str (outcome_to_string r.outcome));
+                  ("forks", Obs.Event.Int (List.length r.forks)) ]
+    | Some _ | None -> ()
+  in
+  let shutdown ~force () =
+    Array.iter
+      (fun w ->
+         if w.w_alive then begin
+           if force then (try Unix.kill w.w_pid Sys.sigkill with _ -> ())
+           else (try write_frame w.w_in stop_msg with _ -> ());
+           (try Unix.close w.w_in with _ -> ());
+           (try Unix.close w.w_out with _ -> ());
+           (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
+           w.w_alive <- false
+         end)
+      workers
+  in
+  if !Obs.Sink.enabled then
+    Obs.Sink.instant ~cat:"pool" "run:start"
+      ~args:[ ("workers", Obs.Event.Int cfg.workers);
+              ("strategy",
+               Obs.Event.Str (Search.strategy_to_string cfg.strategy));
+              ("resumed", Obs.Event.Bool (resume <> None)) ];
+  let last_checkpoint = ref now in
+  let main_loop () =
+    let continue = ref true in
+    while !continue do
+      (* Budgets, first reason wins; same precedence as the sequential
+         engine's per-path checks. *)
+      if !stop_reason = None then begin
+        if Budget.interrupted () then stop Budget.Interrupt
+        else begin
+          (match cfg.limits.Budget.max_paths with
+           | Some n when !n_paths >= n -> stop Budget.Paths
+           | _ -> ());
+          (match cfg.limits.Budget.max_instructions with
+           | Some n when !instr > n -> stop Budget.Instructions
+           | _ -> ());
+          (match cfg.limits.Budget.max_seconds with
+           | Some s when elapsed () > s -> stop Budget.Deadline
+           | _ -> ());
+          (match cfg.limits.Budget.max_memory_mb with
+           | Some mb when Budget.heap_mb () > float_of_int mb ->
+             stop Budget.Memory
+           | _ -> ())
+        end
+      end;
+      (match checkpoint with
+       | Some p ->
+         let t = Unix.gettimeofday () in
+         if t -. !last_checkpoint >= p.Checkpoint.every_s then begin
+           last_checkpoint := t;
+           p.Checkpoint.write (snapshot ~final:false)
+         end
+       | None -> ());
+      (* Work-sharing: fill every idle worker while budget remains. *)
+      let rec fill () =
+        if !stop_reason = None && not (Search.is_empty frontier) then begin
+          let paths_left =
+            match cfg.limits.Budget.max_paths with
+            | Some n -> !n_paths < n
+            | None -> true
+          in
+          if paths_left then
+            match
+              Array.to_seq workers
+              |> Seq.find (fun w -> w.w_alive && w.w_unit = None)
+            with
+            | Some w -> dispatch w; fill ()
+            | None -> ()
+        end
+      in
+      fill ();
+      let busy = inflight () in
+      Obs.Metrics.set m_busy (float_of_int busy);
+      if busy = 0 then begin
+        if Search.is_empty frontier || !stop_reason <> None then
+          continue := false
+        else if
+          not (Array.exists (fun w -> w.w_alive) workers)
+        then begin
+          (* Work remains but nobody can run it: persist the frontier
+             (so the run is resumable) and report the failure. *)
+          (match checkpoint with
+           | Some p -> p.Checkpoint.write (snapshot ~final:false)
+           | None -> ());
+          raise
+            (Worker_fatal
+               (Printf.sprintf "all %d workers died with work remaining"
+                  cfg.workers))
+        end
+        (* else: dispatch failed because the only idle workers died
+           while being written to; loop and retry with the survivors. *)
+      end
+      else begin
+        let fds =
+          Array.to_list workers
+          |> List.filter_map (fun w ->
+              if w.w_alive && w.w_unit <> None then Some w.w_out else None)
+        in
+        match Unix.select fds [] [] 0.1 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+        | ready, _, _ ->
+          List.iter
+            (fun fd ->
+               match
+                 Array.to_seq workers |> Seq.find (fun w -> w.w_out == fd)
+               with
+               | None -> ()
+               | Some w ->
+                 (match read_frame fd with
+                  | exception _ -> handle_death w
+                  | j ->
+                    (match
+                       Option.bind (Json.member "cmd" j) Json.to_string_opt
+                     with
+                     | Some "result" ->
+                       (match result_of_json j with
+                        | Ok (id, r) -> merge w id r
+                        | Error msg -> raise (Worker_fatal msg))
+                     | Some "fatal" ->
+                       let msg =
+                         Option.value ~default:"worker failure"
+                           (Option.bind (Json.member "msg" j)
+                              Json.to_string_opt)
+                       in
+                       raise (Worker_fatal msg)
+                     | _ -> ())))
+            ready
+      end
+    done
+  in
+  match main_loop () with
+  | () ->
+    shutdown ~force:false ();
+    (match checkpoint with
+     | Some p -> p.Checkpoint.write (snapshot ~final:true)
+     | None -> ());
+    let wall = elapsed () in
+    let errors =
+      List.rev !errors_rev
+      |> List.sort (fun (a : Error.t) (b : Error.t) ->
+          match String.compare a.Error.site b.Error.site with
+          | 0 ->
+            String.compare
+              (Error.kind_to_string a.Error.kind)
+              (Error.kind_to_string b.Error.kind)
+          | c -> c)
+    in
+    if !Obs.Sink.enabled then
+      Obs.Sink.instant ~cat:"pool" "run:end"
+        ~args:[ ("paths", Obs.Event.Int !n_paths);
+                ("errors", Obs.Event.Int !n_errors);
+                ("requeues", Obs.Event.Int !requeued);
+                ("worker_deaths", Obs.Event.Int !deaths) ];
+    { r_errors = errors;
+      r_paths = !n_paths;
+      r_completed = !n_completed;
+      r_errored = !n_errored;
+      r_infeasible = !n_infeasible;
+      r_unknown = !n_unknown;
+      r_instructions = !instr;
+      r_wall_time = wall;
+      r_solver = !solver_acc;
+      r_exhausted = !stop_reason = None && not !degraded;
+      r_stop_reason = !stop_reason;
+      r_visits = Search.visit_counts frontier;
+      r_dispatched = !dispatched;
+      r_requeued = !requeued;
+      r_worker_deaths = !deaths }
+  | exception Worker_fatal msg ->
+    shutdown ~force:true ();
+    failwith ("Engine pool: " ^ msg)
+  | exception exn ->
+    shutdown ~force:true ();
+    raise exn
+
+(* ------------------------------------------------------------------ *)
+
+let fork_map ~workers f =
+  if workers < 1 then invalid_arg "Pool.fork_map: workers must be >= 1";
+  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  flush stdout;
+  flush stderr;
+  (* As in [run]: create every pipe before the first fork so each child
+     can close the write ends it inherited from its siblings' pipes —
+     otherwise a child dying early would never produce an EOF. *)
+  let pipes = Array.init workers (fun _ -> Unix.pipe ()) in
+  let children =
+    Array.to_list
+      (Array.init workers (fun i ->
+           match Unix.fork () with
+           | 0 ->
+             Array.iteri
+               (fun j (r', w') ->
+                  if j = i then (try Unix.close r' with _ -> ())
+                  else begin
+                    (try Unix.close r' with _ -> ());
+                    (try Unix.close w' with _ -> ())
+                  end)
+               pipes;
+             Obs.Progress.disable ();
+             Obs.Sink.reset ();
+             (try write_frame (snd pipes.(i)) (f i) with _ -> ());
+             Unix._exit 0
+           | pid -> (pid, fst pipes.(i))))
+  in
+  Array.iter (fun (_, w) -> try Unix.close w with _ -> ()) pipes;
+  List.map
+    (fun (pid, r) ->
+       let res =
+         match read_frame r with
+         | j -> Ok j
+         | exception _ -> Error "worker died before reporting"
+       in
+       (try Unix.close r with _ -> ());
+       (try ignore (Unix.waitpid [] pid) with _ -> ());
+       res)
+    children

@@ -1,0 +1,110 @@
+(** Master/worker parallel path exploration.
+
+    Pending paths of the re-execution engine share nothing but the
+    testbench, so exploration parallelizes at the path level: the
+    {e master} owns the frontier and hands out {e work units} — one
+    decision prefix each — to [N] forked worker processes over pipes
+    (length-prefixed {!Obs.Json} frames).  Each worker re-executes the
+    testbench under its prefix with a private solver (caches and all)
+    and streams back the forks it discovered, the errors it found, and
+    its counter / {!Smt.Solver.Stats} deltas.  The master re-balances
+    by work-sharing: a unit is dispatched to whichever worker is idle,
+    so no worker idles while the frontier is non-empty.
+
+    This module is deliberately independent of {!Engine}: the actual
+    unit execution is injected as the [exec] callback (which runs in
+    the worker processes, after [fork]).  {!Engine.Session} wires the
+    two together and is the API testbenches use.
+
+    {1 Merge semantics}
+
+    Reports merge deterministically: errors are de-duplicated by
+    [(site, kind)] and returned in canonical (site, kind) order,
+    counters are summed, per-stage solver times aggregated across
+    workers (so the reported solver time is {e CPU} seconds, which can
+    exceed wall time under parallelism).  Budgets are enforced by the
+    master between dispatches; a budget stop lets in-flight units
+    finish and merges them.  A checkpoint is the master frontier plus
+    the in-flight prefixes folded back into it, so parallel runs
+    compose with [--checkpoint-out] / [--resume-from] (in either
+    direction: a sequential run can resume a parallel checkpoint and
+    vice versa).
+
+    {1 Fault tolerance}
+
+    A worker that dies mid-unit (killed, crashed) is detected by EOF
+    on its pipe; its in-flight prefix is re-queued and the run
+    completes on the remaining workers. *)
+
+(** How a single work-unit execution ended in the worker. *)
+type unit_outcome =
+  | Unit_completed   (** ran to the end of the testbench *)
+  | Unit_errored     (** terminated by an error *)
+  | Unit_infeasible  (** killed by an unsatisfiable assumption *)
+  | Unit_unknown     (** killed by a solver resource limit *)
+  | Unit_aborted
+      (** interrupted mid-path (e.g. SIGINT in the worker): rolled
+          back; the master re-queues the prefix in [requeue] *)
+
+type unit_result = {
+  outcome : unit_outcome;
+  forks : (string * Decision.t array) list;
+      (** frontier entries discovered by this unit, in discovery order *)
+  errors : Error.t list;
+  visits : (string * int) list;
+      (** branch-site visit deltas of this unit (empty when aborted) *)
+  instructions : int;  (** instruction delta (0 when aborted) *)
+  degraded : bool;     (** a solver resource limit fired *)
+  solver : Smt.Solver.Stats.t;  (** solver activity delta of this unit *)
+  requeue : Decision.t array option;
+      (** for [Unit_aborted]: the decisions taken before the abort,
+          re-queued by the master so nothing is lost *)
+}
+
+type config = {
+  workers : int;                  (** worker processes to fork, >= 1 *)
+  strategy : Search.strategy;     (** master frontier pop order *)
+  limits : Budget.t;              (** global budgets (master-enforced) *)
+  stop_after_errors : int option;
+  label : string;                 (** run name, checked on resume *)
+}
+
+type result = {
+  r_errors : Error.t list;
+      (** de-duplicated by [(site, kind)], canonical (site, kind) order *)
+  r_paths : int;
+  r_completed : int;
+  r_errored : int;
+  r_infeasible : int;
+  r_unknown : int;
+  r_instructions : int;
+  r_wall_time : float;
+  r_solver : Smt.Solver.Stats.t;
+  r_exhausted : bool;
+  r_stop_reason : Budget.reason option;
+  r_visits : (string * int) list;  (** merged branch coverage *)
+  r_dispatched : int;   (** units handed to workers (incl. re-runs) *)
+  r_requeued : int;     (** units re-queued (aborts + worker deaths) *)
+  r_worker_deaths : int;
+}
+
+val run :
+  config ->
+  ?resume:Checkpoint.t ->
+  ?checkpoint:Checkpoint.policy ->
+  exec:(prefix:Decision.t array -> unit_result) ->
+  unit ->
+  result
+(** Explore with [config.workers] forked workers.  [exec] is called in
+    the worker processes only — one call per received unit; worker
+    state (solver caches, pooled inputs) persists across calls within
+    one worker.  Raises [Failure] if every worker dies while work
+    remains, or if a worker reports a fatal testbench error (the
+    analogue of an exception escaping {!Engine.run}). *)
+
+val fork_map :
+  workers:int -> (int -> Obs.Json.t) -> (Obs.Json.t, string) Stdlib.result list
+(** Generic fork helper: run [f i] in [workers] forked child processes
+    and collect one JSON result frame from each, in index order
+    ([Error] for a child that died before reporting).  Used for the
+    parallel random-testing baseline. *)

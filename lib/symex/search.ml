@@ -113,6 +113,17 @@ let unrecord_visit t site =
   | Some n when n > 1 -> Hashtbl.replace t.visits site (n - 1)
   | Some _ | None -> ()
 
+(* Fold another run's visit counts into this frontier's — the pool
+   master merges per-unit deltas reported by workers. *)
+let merge_visit_counts t counts =
+  List.iter
+    (fun (site, n) ->
+       let cur =
+         match Hashtbl.find_opt t.visits site with Some c -> c | None -> 0
+       in
+       Hashtbl.replace t.visits site (cur + n))
+    counts
+
 let set_visit_counts t counts =
   Hashtbl.reset t.visits;
   List.iter (fun (site, n) -> Hashtbl.replace t.visits site n) counts

@@ -53,6 +53,17 @@ val entries : 'a t -> (string * 'a) list
 
 val set_visit_counts : 'a t -> (string * int) list -> unit
 
+val merge_visit_counts : 'a t -> (string * int) list -> unit
+(** Add another run's visit counts to this frontier's — the pool master
+    folds the per-unit coverage deltas reported by workers into its own
+    frontier so [Cover_new] scheduling and checkpoints see the global
+    counts. *)
+
+val splitmix64 : int64 -> int64 * int64
+(** One step of the splitmix64 PRNG: [(next_state, output)].  Exposed
+    so per-worker RNG streams (random testing under [--workers]) can be
+    derived deterministically from one run seed. *)
+
 val rng_state : 'a t -> int64
 (** The splitmix64 state consumed by [Random_path] pops. *)
 

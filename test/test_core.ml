@@ -105,7 +105,7 @@ let test_fixed_passes_all () =
   let params = Tests.with_variant Config.Fixed sc.Verify.params in
   List.iter
     (fun (name, test) ->
-       let report = Engine.run ~config:sc.Verify.engine_config (test params) in
+       let report = Engine.Session.run sc.Verify.session (test params) in
        Alcotest.(check int) (name ^ " clean on fixed PLIC") 0
          (List.length report.Engine.errors))
     Tests.all
@@ -121,10 +121,10 @@ let detects test fault =
   match Tests.by_name test with
   | None -> Alcotest.fail "unknown test"
   | Some t ->
-    let config =
-      { sc.Verify.engine_config with Engine.stop_after_errors = Some 1 }
+    let session =
+      { sc.Verify.session with Engine.Session.stop_after_errors = Some 1 }
     in
-    let report = Engine.run ~config (t params) in
+    let report = Engine.Session.run session (t params) in
     report.Engine.errors <> []
 
 let test_fault_detection_pattern () =

@@ -15,4 +15,5 @@ let () =
       ("differential", Test_differential.suite);
       ("integration", Test_core.suite);
       ("resilience", Test_resilience.suite);
+      ("pool", Test_pool.suite);
     ]

@@ -40,9 +40,11 @@ let fingerprint (r : Report.t) =
             (err.Error.site, Error.kind_to_string err.Error.kind))
          e.Engine.errors) )
 
+let with_session sc f =
+  { sc with Verify.session = f sc.Verify.session }
+
 let with_limits sc limits =
-  { sc with
-    Verify.engine_config = { sc.Verify.engine_config with Engine.limits } }
+  with_session sc (fun s -> { s with Engine.Session.limits })
 
 (* Run [name] straight through, then again truncated by [cut] (which
    edits the limits), capture the final checkpoint, resume without the
@@ -55,8 +57,10 @@ let check_resume_equiv ~cut strategy name () =
     { Engine.write = (fun ck -> saved := Some ck); every_s = infinity }
   in
   let truncated =
-    Verify.run_test ~checkpoint:policy
-      (with_limits sc (cut sc.Verify.engine_config.Engine.limits))
+    Verify.run_test
+      (with_session
+         (with_limits sc (cut sc.Verify.session.Engine.Session.limits))
+         (fun s -> { s with Engine.Session.checkpoint = Some policy }))
       name
   in
   match !saved with
@@ -67,7 +71,11 @@ let check_resume_equiv ~cut strategy name () =
     if truncated.Report.engine.Engine.stop_reason <> None then
       Alcotest.(check bool) "truncated run not exhausted" false
         truncated.Report.engine.Engine.exhausted;
-    let resumed = Verify.run_test ~resume:ck sc name in
+    let resumed =
+      Verify.run_test
+        (with_session sc (fun s -> { s with Engine.Session.resume = Some ck }))
+        name
+    in
     Alcotest.(check bool) "resumed run exhausted" true
       resumed.Report.engine.Engine.exhausted;
     Alcotest.(check bool)
@@ -110,13 +118,20 @@ let test_resume_label_mismatch () =
     { Engine.write = (fun ck -> saved := Some ck); every_s = infinity }
   in
   ignore
-    (Verify.run_test ~checkpoint:policy
-       (with_limits sc (cut_paths sc.Verify.engine_config.Engine.limits))
+    (Verify.run_test
+       (with_session
+          (with_limits sc (cut_paths sc.Verify.session.Engine.Session.limits))
+          (fun s -> { s with Engine.Session.checkpoint = Some policy }))
        "t1");
   match !saved with
   | None -> Alcotest.fail "no checkpoint written"
   | Some ck ->
-    (match Verify.run_test ~resume:ck sc "t2" with
+    (match
+       Verify.run_test
+         (with_session sc
+            (fun s -> { s with Engine.Session.resume = Some ck }))
+         "t2"
+     with
      | _ -> Alcotest.fail "resuming t1's checkpoint as t2 should fail"
      | exception _ -> ())
 

@@ -12,7 +12,10 @@ module Mem = Symex.Mem
 
 let e_int v = Expr.int ~width:32 v
 
-let run ?config body = Engine.run ?config body
+let run ?strategy ?limits ?stop_after_errors body =
+  Engine.Session.run
+    (Engine.Session.make ?strategy ?limits ?stop_after_errors ())
+    body
 
 (* ------------------------------------------------------------------ *)
 (* Exploration basics                                                  *)
@@ -130,11 +133,8 @@ let test_division_by_zero_detector () =
   | _ -> Alcotest.fail "expected one division error"
 
 let test_stop_after_errors () =
-  let config =
-    { Engine.default_config with Engine.stop_after_errors = Some 1 }
-  in
   let r =
-    run ~config (fun () ->
+    run ~stop_after_errors:1 (fun () ->
         let x = Engine.fresh32 "x" in
         if Engine.branch (Expr.ult x (e_int 10)) then
           Engine.check ~site:"first" Expr.fls
@@ -147,14 +147,9 @@ let test_stop_after_errors () =
 (* Limits                                                              *)
 
 let test_max_paths () =
-  let config =
-    {
-      Engine.default_config with
-      Engine.limits = { Engine.no_limits with Engine.max_paths = Some 3 };
-    }
-  in
   let r =
-    run ~config (fun () ->
+    run ~limits:{ Engine.no_limits with Engine.max_paths = Some 3 }
+      (fun () ->
         let x = Engine.fresh32 "x" in
         (* 16 feasible paths *)
         ignore (Engine.branch (Expr.ult x (e_int 2)));
@@ -166,14 +161,9 @@ let test_max_paths () =
   Alcotest.(check bool) "not exhausted" false r.Engine.exhausted
 
 let test_max_instructions () =
-  let config =
-    {
-      Engine.default_config with
-      Engine.limits = { Engine.no_limits with Engine.max_instructions = Some 50 };
-    }
-  in
   let r =
-    run ~config (fun () ->
+    run ~limits:{ Engine.no_limits with Engine.max_instructions = Some 50 }
+      (fun () ->
         let x = Engine.fresh32 "x" in
         let acc = ref x in
         for _ = 1 to 10_000 do
@@ -187,9 +177,8 @@ let test_max_instructions () =
 
 let explore_order strategy =
   let order = ref [] in
-  let config = { Engine.default_config with Engine.strategy } in
   let r =
-    run ~config (fun () ->
+    run ~strategy (fun () ->
         let x = Engine.fresh32 "x" in
         let b1 = Engine.branch ~site:"b1" (Expr.ult x (e_int 100)) in
         let b2 = Engine.branch ~site:"b2" (Expr.ult x (e_int 200)) in
@@ -317,16 +306,11 @@ let test_solver_unknown_kills_path_only () =
   (* A query blowing the conflict budget must kill only the current
      path (KLEE-style), not the whole exploration. *)
   Smt.Solver.clear_caches ();
-  let config =
-    {
-      Engine.default_config with
-      Engine.limits =
-        { Engine.no_limits with Engine.max_solver_conflicts = Some 0 };
-    }
-  in
   let easy_paths = ref 0 in
   let r =
-    run ~config (fun () ->
+    run
+      ~limits:{ Engine.no_limits with Engine.max_solver_conflicts = Some 0 }
+      (fun () ->
         let x = Engine.fresh32 "ux" in
         (* With x < 16 the interval prescreen answers x*x = 225 by
            candidate evaluation (x = 15); with x >= 16 it needs real
@@ -345,19 +329,15 @@ let test_solver_conflict_limit_composes () =
   (* --max-paths and --max-solver-conflicts together: the path budget
      still caps the run even when every query stays cheap. *)
   Smt.Solver.clear_caches ();
-  let config =
-    {
-      Engine.default_config with
-      Engine.limits =
+  let r =
+    run
+      ~limits:
         {
           Engine.no_limits with
           Engine.max_paths = Some 2;
           Engine.max_solver_conflicts = Some 10_000;
-        };
-    }
-  in
-  let r =
-    run ~config (fun () ->
+        }
+      (fun () ->
         let x = Engine.fresh32 "cx" in
         ignore (Engine.branch (Expr.ult x (e_int 2)));
         ignore (Engine.branch (Expr.ult x (e_int 4))))
@@ -374,9 +354,8 @@ let test_solver_conflict_limit_composes () =
    every strategy on a 3-branch testbench (8 paths). *)
 let golden_order strategy =
   let acc = ref [] in
-  let config = { Engine.default_config with Engine.strategy } in
   let _ =
-    run ~config (fun () ->
+    run ~strategy (fun () ->
         let x = Engine.fresh32 "gx" in
         let b1 = Engine.branch ~site:"b1" (Expr.ult x (e_int 64)) in
         let b2 =
@@ -545,14 +524,9 @@ let forking_tb () =
   ignore (Engine.branch (Expr.ult x (e_int 10)));
   ignore (Engine.branch (Expr.ult x (e_int 100)))
 
-let limits_config limits = { Engine.default_config with Engine.limits }
-
 let test_deadline_stop () =
   let r =
-    run
-      ~config:
-        (limits_config { Engine.no_limits with max_seconds = Some 0.0 })
-      forking_tb
+    run ~limits:{ Engine.no_limits with max_seconds = Some 0.0 } forking_tb
   in
   Alcotest.(check bool) "deadline reason" true
     (r.Engine.stop_reason = Some Symex.Budget.Deadline);
@@ -562,10 +536,7 @@ let test_memory_stop () =
   (* A zero watermark is always exceeded — the run stops at the first
      poll with a Memory reason instead of crashing. *)
   let r =
-    run
-      ~config:
-        (limits_config { Engine.no_limits with max_memory_mb = Some 0 })
-      forking_tb
+    run ~limits:{ Engine.no_limits with max_memory_mb = Some 0 } forking_tb
   in
   Alcotest.(check bool) "memory reason" true
     (r.Engine.stop_reason = Some Symex.Budget.Memory);
@@ -573,9 +544,7 @@ let test_memory_stop () =
 
 let test_paths_stop_reason () =
   let r =
-    run
-      ~config:(limits_config { Engine.no_limits with max_paths = Some 1 })
-      forking_tb
+    run ~limits:{ Engine.no_limits with max_paths = Some 1 } forking_tb
   in
   Alcotest.(check int) "one path" 1 r.Engine.paths;
   Alcotest.(check bool) "paths reason" true
@@ -595,9 +564,7 @@ let test_solver_timeout_degrades () =
   (* x*x = 3 has no solution mod 2^32 but needs real CDCL work; a zero
      per-query budget makes it Unknown, which kills only that path. *)
   let r =
-    run
-      ~config:
-        (limits_config { Engine.no_limits with solver_timeout_ms = Some 0 })
+    run ~limits:{ Engine.no_limits with solver_timeout_ms = Some 0 }
       (fun () ->
         let x = Engine.fresh32 "x" in
         ignore (Engine.branch (Expr.eq (Expr.mul x x) (e_int 3))))
