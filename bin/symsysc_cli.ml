@@ -93,6 +93,56 @@ let no_independence =
   in
   Arg.(value & flag & info [ "no-independence" ] ~doc)
 
+let heartbeat_ms =
+  let doc =
+    "Worker heartbeat period in milliseconds (with --workers > 1): \
+     workers emit periodic liveness frames and the master's watchdog \
+     kills and replaces a worker silent for max(8 heartbeats, 1s), \
+     re-queueing its unit.  Without it a wedged (e.g. SIGSTOPped) \
+     worker blocks the run forever."
+  in
+  Arg.(value & opt (some int) None & info [ "heartbeat-ms" ] ~docv:"MS" ~doc)
+
+let solver_retries =
+  let doc =
+    "Retry an Unknown solver query up to $(docv) times with a restarted, \
+     perturbed SAT search (fresh branching order and phases) before \
+     giving the path up as unknown.  Heals transient resource-limit \
+     blowups; retries are counted in the solver stats."
+  in
+  Arg.(value & opt int 2 & info [ "solver-retries" ] ~docv:"N" ~doc)
+
+let no_validate =
+  let doc =
+    "Skip counterexample validation (by default every reported error's \
+     model is concretely re-executed solver-free and errors whose \
+     replay disagrees are marked UNVALIDATED)."
+  in
+  Arg.(value & flag & info [ "no-validate" ] ~doc)
+
+let chaos_spec =
+  let parse s =
+    match Chaos.parse_spec s with
+    | Ok spec -> Ok spec
+    | Error msg -> Error (`Msg msg)
+  in
+  let print ppf spec = Format.pp_print_string ppf (Chaos.spec_to_string spec) in
+  let chaos_conv = Arg.conv (parse, print) in
+  let doc =
+    "Arm the verifier's own fault injector with \
+     \"point:rate,point:rate,...\" (rates in [0,1], default 1): e.g. \
+     \"solver-unknown:0.05,worker-crash:0.02\".  Points: solver-unknown, \
+     solver-stall, worker-hang, worker-crash, frame-truncate, \
+     frame-corrupt, checkpoint-corrupt.  Injections are deterministic \
+     for a fixed --chaos-seed and are accounted in the report."
+  in
+  Arg.(value & opt (some chaos_conv) None
+       & info [ "chaos-spec" ] ~docv:"SPEC" ~doc)
+
+let chaos_seed =
+  let doc = "Seed for the --chaos-spec injection streams." in
+  Arg.(value & opt int 0 & info [ "chaos-seed" ] ~docv:"N" ~doc)
+
 let strategy =
   let parse s =
     match Symex.Search.strategy_of_string s with
@@ -113,22 +163,29 @@ let strategy =
 let scenario_term =
   let make interrupts t5_len max_paths max_seconds max_solver_conflicts
       solver_timeout_ms max_memory_mb seed solver_cache_cap no_independence
-      strategy workers =
+      strategy workers heartbeat_ms solver_retries no_validate chaos_spec
+      chaos_seed =
     Smt.Solver.set_independence (not no_independence);
     Option.iter (fun cap -> Smt.Solver.set_cache_capacity ~query:cap ())
       solver_cache_cap;
+    Smt.Solver.set_retries solver_retries;
+    (match chaos_spec with
+     | Some spec -> Chaos.configure ~seed:chaos_seed spec
+     | None -> Chaos.disable ());
     (* Budget stops are delivered through the interrupt flag's siblings;
        make SIGINT/SIGTERM graceful for every command. *)
     Symex.Budget.install_signal_handlers ();
     Symex.Budget.clear_interrupt ();
     Symsysc.Verify.scenario ~num_sources:interrupts ~t5_max_len:t5_len
       ?max_paths ?max_seconds ?max_solver_conflicts ?solver_timeout_ms
-      ?max_memory_mb ?seed ?strategy ~workers ()
+      ?max_memory_mb ?seed ?strategy ~workers ?heartbeat_ms
+      ~validate:(not no_validate) ()
   in
   Term.(
     const make $ interrupts $ t5_len $ max_paths $ max_seconds
     $ max_solver_conflicts $ solver_timeout_ms $ max_memory_mb $ seed
-    $ solver_cache_cap $ no_independence $ strategy $ workers)
+    $ solver_cache_cap $ no_independence $ strategy $ workers $ heartbeat_ms
+    $ solver_retries $ no_validate $ chaos_spec $ chaos_seed)
 
 (* ---- observability options ---- *)
 

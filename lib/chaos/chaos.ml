@@ -1,0 +1,164 @@
+(* Deterministic seeded fault injection; see chaos.mli. *)
+
+type point =
+  | Solver_unknown
+  | Solver_stall
+  | Worker_hang
+  | Worker_crash
+  | Frame_truncate
+  | Frame_corrupt
+  | Checkpoint_corrupt
+
+let all_points =
+  [ Solver_unknown; Solver_stall; Worker_hang; Worker_crash;
+    Frame_truncate; Frame_corrupt; Checkpoint_corrupt ]
+
+let point_to_string = function
+  | Solver_unknown -> "solver-unknown"
+  | Solver_stall -> "solver-stall"
+  | Worker_hang -> "worker-hang"
+  | Worker_crash -> "worker-crash"
+  | Frame_truncate -> "frame-truncate"
+  | Frame_corrupt -> "frame-corrupt"
+  | Checkpoint_corrupt -> "checkpoint-corrupt"
+
+let point_of_string s =
+  List.find_opt (fun p -> point_to_string p = s) all_points
+
+let idx = function
+  | Solver_unknown -> 0
+  | Solver_stall -> 1
+  | Worker_hang -> 2
+  | Worker_crash -> 3
+  | Frame_truncate -> 4
+  | Frame_corrupt -> 5
+  | Checkpoint_corrupt -> 6
+
+let n_points = List.length all_points
+
+type spec = (point * float) list
+
+let parse_spec s =
+  let s = String.trim s in
+  if s = "" then Ok []
+  else
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest ->
+        let part = String.trim part in
+        let name, rate_s =
+          match String.index_opt part ':' with
+          | None -> (part, "1")
+          | Some i ->
+            ( String.sub part 0 i,
+              String.sub part (i + 1) (String.length part - i - 1) )
+        in
+        (match point_of_string (String.trim name) with
+         | None -> Error (Printf.sprintf "chaos: unknown point %S" name)
+         | Some p ->
+           (match float_of_string_opt (String.trim rate_s) with
+            | Some r when r >= 0.0 && r <= 1.0 -> go ((p, r) :: acc) rest
+            | _ ->
+              Error
+                (Printf.sprintf "chaos: rate %S for %s not in [0,1]" rate_s
+                   name)))
+    in
+    go [] parts
+
+let spec_to_string spec =
+  String.concat ","
+    (List.map
+       (fun (p, r) -> Printf.sprintf "%s:%g" (point_to_string p) r)
+       spec)
+
+(* ------------------------------------------------------------------ *)
+(* Seeded streams                                                      *)
+
+(* splitmix64: one state per point so injection draws at one layer do
+   not perturb decisions at another. *)
+let splitmix64 st =
+  let st = Int64.add st 0x9E3779B97F4A7C15L in
+  let z = st in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30))
+            0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+            0x94D049BB133111EBL in
+  (Int64.logxor z (Int64.shift_right_logical z 31), st)
+
+let rates = Array.make n_points 0.0
+let states = Array.make n_points 0L
+let injected = Array.make n_points 0
+let armed = ref false
+
+let configure ?(seed = 0) spec =
+  Array.fill rates 0 n_points 0.0;
+  Array.fill injected 0 n_points 0;
+  List.iter (fun (p, r) -> rates.(idx p) <- r) spec;
+  let base = Int64.of_int seed in
+  Array.iteri
+    (fun i _ ->
+       let s0 =
+         Int64.add base (Int64.mul (Int64.of_int (i + 1)) 0x9E3779B97F4A7C15L)
+       in
+       states.(i) <- fst (splitmix64 s0))
+    states;
+  armed := List.exists (fun (_, r) -> r > 0.0) spec
+
+let disable () =
+  armed := false;
+  Array.fill rates 0 n_points 0.0
+
+let active () = !armed
+
+let reseed salt =
+  let m = Int64.mul (Int64.of_int (salt + 1)) 0x9E3779B97F4A7C15L in
+  Array.iteri
+    (fun i st -> states.(i) <- fst (splitmix64 (Int64.logxor st m)))
+    states;
+  (* A forked worker inherits the master's counters; zero them so the
+     worker reports only its own injections and the master can merge
+     per-worker deltas without double counting. *)
+  Array.fill injected 0 n_points 0
+
+let metric p =
+  let name =
+    String.map (function '-' -> '_' | c -> c) (point_to_string p)
+  in
+  Obs.Metrics.counter
+    ~help:"chaos injections fired at this point"
+    ("symsysc_chaos_" ^ name ^ "_total")
+
+let uniform i =
+  let v, st = splitmix64 states.(i) in
+  states.(i) <- st;
+  Int64.to_float (Int64.shift_right_logical v 11) /. 9007199254740992.0
+
+let fire p =
+  !armed
+  &&
+  let i = idx p in
+  rates.(i) > 0.0
+  && uniform i < rates.(i)
+  && begin
+    injected.(i) <- injected.(i) + 1;
+    Obs.Metrics.inc (metric p);
+    if !Obs.Sink.enabled then Obs.Sink.instant ~cat:"chaos" (point_to_string p);
+    true
+  end
+
+let counts () =
+  List.map (fun p -> (point_to_string p, injected.(idx p))) all_points
+
+let total () = Array.fold_left ( + ) 0 injected
+
+let merge op a b =
+  List.map
+    (fun p ->
+       let k = point_to_string p in
+       let get l = match List.assoc_opt k l with Some n -> n | None -> 0 in
+       (k, op (get a) (get b)))
+    all_points
+
+let sub_counts after before = merge ( - ) after before
+let add_counts a b = merge ( + ) a b

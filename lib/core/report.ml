@@ -27,10 +27,29 @@ let verdict_to_string = function
   | Pass -> "Pass"
   | Fail n -> Printf.sprintf "Fail (%d)" n
 
+(* Resilience events are rare enough that the one-line summary only
+   mentions them when they fired; a quiet run stays one line. *)
+let resilience_suffix (r : Engine.resilience) =
+  let parts =
+    List.filter_map
+      (fun (n, label) -> if n > 0 then Some (Printf.sprintf "%d %s" n label)
+        else None)
+      [ (r.Engine.res_unvalidated, "UNVALIDATED");
+        (r.Engine.res_quarantined, "quarantined");
+        (r.Engine.res_hung, "hung");
+        (r.Engine.res_worker_deaths, "worker deaths");
+        (r.Engine.res_checkpoint_fallbacks, "checkpoint fallbacks");
+        (Engine.(List.fold_left (fun a (_, n) -> a + n) 0 r.res_chaos),
+         "injected faults") ]
+  in
+  match parts with
+  | [] -> ""
+  | _ -> Printf.sprintf " [%s]" (String.concat ", " parts)
+
 let pp ppf t =
   Format.fprintf ppf
     "%s: %s — %d instr, %.2fs, %d paths, %.2f%% solver, %d queries, \
-     %.1f%% cache%s"
+     %.1f%% cache%s%s"
     t.test_name
     (verdict_to_string t.verdict)
     t.engine.Engine.instructions t.engine.Engine.wall_time
@@ -42,6 +61,7 @@ let pp ppf t =
      | Some r ->
        Printf.sprintf " (stopped: %s)" (Symex.Budget.reason_to_string r)
      | None -> if t.engine.Engine.exhausted then "" else " (degraded)")
+    (resilience_suffix t.engine.Engine.resilience)
 
 let pp_solver_breakdown ppf t =
   let s = t.engine.Engine.solver_stats in
@@ -76,6 +96,17 @@ let record_metrics t =
   let s = e.Engine.solver_stats in
   let g name v = Obs.Metrics.set (Obs.Metrics.gauge name) v in
   let gi name v = g name (float_of_int v) in
+  (* Some resilience totals are live counters owned by their subsystem
+     (pool watchdog, checkpoint, validation, chaos) — but increments in
+     forked workers die with the worker process, so the master's
+     counter can undershoot the merged run total.  Top the existing
+     counter up to the merged value rather than registering a clashing
+     gauge under the same name. *)
+  let ci name v =
+    let c = Obs.Metrics.counter name in
+    let d = v - Obs.Metrics.counter_value c in
+    if d > 0 then Obs.Metrics.inc ~by:d c
+  in
   gi "symsysc_engine_paths" e.Engine.paths;
   gi "symsysc_engine_paths_completed" e.Engine.paths_completed;
   gi "symsysc_engine_paths_errored" e.Engine.paths_errored;
@@ -100,6 +131,19 @@ let record_metrics t =
   gi "symsysc_solver_cex_evictions" s.Smt.Solver.Stats.cex_evictions;
   gi "symsysc_engine_exhausted" (if e.Engine.exhausted then 1 else 0);
   gi "symsysc_engine_workers" e.Engine.workers;
+  (let r = e.Engine.resilience in
+   gi "symsysc_engine_requeued" r.Engine.res_requeued;
+   gi "symsysc_engine_worker_deaths" r.Engine.res_worker_deaths;
+   ci "symsysc_pool_workers_hung" r.Engine.res_hung;
+   ci "symsysc_pool_units_quarantined" r.Engine.res_quarantined;
+   ci "symsysc_checkpoint_fallbacks_total" r.Engine.res_checkpoint_fallbacks;
+   ci "symsysc_unvalidated_errors_total" r.Engine.res_unvalidated;
+   List.iter
+     (fun (point, n) ->
+        ci (Printf.sprintf "symsysc_chaos_%s_total"
+              (String.map (function '-' -> '_' | c -> c) point))
+          n)
+     r.Engine.res_chaos);
   (* One-hot stop-reason gauges so alerting can key on a specific
      budget without string labels. *)
   List.iter
@@ -156,6 +200,18 @@ let to_json t =
       ("solver_time", Float e.Engine.solver_time);
       ("solver_queries", Int e.Engine.solver_queries);
       ("solver", Smt.Solver.Stats.to_json e.Engine.solver_stats);
+      ("resilience",
+       (let r = e.Engine.resilience in
+        Obj
+          [ ("requeued", Int r.Engine.res_requeued);
+            ("worker_deaths", Int r.Engine.res_worker_deaths);
+            ("hung", Int r.Engine.res_hung);
+            ("quarantined", Int r.Engine.res_quarantined);
+            ("checkpoint_fallbacks", Int r.Engine.res_checkpoint_fallbacks);
+            ("unvalidated", Int r.Engine.res_unvalidated);
+            ("chaos",
+             Obj
+               (List.map (fun (p, n) -> (p, Int n)) r.Engine.res_chaos)) ]));
       ("errors", List (List.map Symex.Error.to_json errors)) ]
 
 let save_json path t = Obs.Json.save path (to_json t)

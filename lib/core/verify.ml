@@ -42,7 +42,7 @@ type scenario = {
 
 let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?session ?max_paths
     ?max_seconds ?max_solver_conflicts ?solver_timeout_ms ?max_memory_mb
-    ?stop_after_errors ?seed ?workers ?strategy () =
+    ?stop_after_errors ?seed ?workers ?heartbeat_ms ?validate ?strategy () =
   let session =
     match session with
     | Some s -> s
@@ -55,7 +55,7 @@ let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?session ?max_paths
             max_solver_conflicts;
             solver_timeout_ms;
             max_memory_mb }
-        ?stop_after_errors ?seed ?workers ()
+        ?stop_after_errors ?seed ?workers ?heartbeat_ms ?validate ()
   in
   { params = Tests.scaled_params ~num_sources ~t5_max_len; session }
 

@@ -40,6 +40,8 @@ val scenario :
   ?stop_after_errors:int ->
   ?seed:int ->
   ?workers:int ->
+  ?heartbeat_ms:int ->
+  ?validate:bool ->
   ?strategy:Symex.Search.strategy ->
   unit ->
   scenario

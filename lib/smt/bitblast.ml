@@ -7,9 +7,33 @@ type ctx = {
   memo : (int, repr) Hashtbl.t;        (* Expr.id -> repr *)
   vars : (int, int array) Hashtbl.t;   (* var_id -> bit literals *)
   mutable true_lit : int;              (* literal asserted true, 0 if none *)
+  deadline : float option;
+  stop : (unit -> bool) option;
+  mutable steps : int;                 (* poll subsampling counter *)
 }
 
-let create sat = { sat; memo = Hashtbl.create 1024; vars = Hashtbl.create 64; true_lit = 0 }
+let create ?deadline ?stop sat =
+  { sat; memo = Hashtbl.create 1024; vars = Hashtbl.create 64; true_lit = 0;
+    deadline; stop; steps = 0 }
+
+(* Encoding a huge term must not blow far past the per-query deadline
+   before the CDCL loop ever gets to poll it, so translation polls the
+   same deadline/stop pair at node boundaries (subsampled: a node may
+   expand to hundreds of gates, so every node would be too often and
+   every translate call of a deep term too rare). *)
+let poll ctx =
+  match ctx.deadline, ctx.stop with
+  | None, None -> ()
+  | deadline, stop ->
+    ctx.steps <- ctx.steps + 1;
+    if ctx.steps land 63 = 1 then begin
+      (match deadline with
+       | Some d when Unix.gettimeofday () > d -> raise Sat.Timeout
+       | Some _ | None -> ());
+      match stop with
+      | Some f when f () -> raise Sat.Interrupted
+      | Some _ | None -> ()
+    end
 
 let fresh ctx = Sat.new_var ctx.sat
 
@@ -197,6 +221,7 @@ let rec translate ctx (e : Expr.t) : repr =
   match Hashtbl.find_opt ctx.memo e.Expr.id with
   | Some r -> r
   | None ->
+    poll ctx;
     let r = translate_uncached ctx e in
     Hashtbl.add ctx.memo e.Expr.id r;
     r

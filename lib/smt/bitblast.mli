@@ -7,7 +7,12 @@
 
 type ctx
 
-val create : Sat.t -> ctx
+val create : ?deadline:float -> ?stop:(unit -> bool) -> Sat.t -> ctx
+(** [deadline] (absolute [Unix.gettimeofday] instant) and [stop] are
+    polled during translation — subsampled at term-node boundaries — and
+    raise {!Sat.Timeout} / {!Sat.Interrupted} respectively, so encoding
+    a huge term respects the same per-query budget as the CDCL search
+    that follows it. *)
 
 val assert_true : ctx -> Expr.t -> unit
 (** Assert a boolean term as a top-level constraint. *)

@@ -410,6 +410,28 @@ let solve ?(conflict_limit = max_int) ?deadline ?stop t =
     match !result with Some r -> r | None -> assert false
   end
 
+(* Seeded search perturbation for retry-with-restart: jitter the
+   initial VSIDS activities and saved phases so a retried query walks a
+   different part of the search tree.  Deterministic in [seed]; a
+   no-op on variables already assigned at level 0. *)
+let perturb t seed =
+  let st = ref seed in
+  let next () =
+    let s = Int64.add !st 0x9E3779B97F4A7C15L in
+    st := s;
+    let z = Int64.mul (Int64.logxor s (Int64.shift_right_logical s 30))
+              0xBF58476D1CE4E5B9L in
+    let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27))
+              0x94D049BB133111EBL in
+    Int64.logxor z (Int64.shift_right_logical z 31)
+  in
+  for v = 1 to t.nvars do
+    let r = next () in
+    t.activity.(v) <-
+      Int64.to_float (Int64.shift_right_logical r 11) /. 9007199254740992.0;
+    t.phase.(v) <- Int64.logand r 1L = 1L
+  done
+
 let value t v =
   if v >= 1 && v <= t.nvars && t.assign.(v) = 1 then true else false
 

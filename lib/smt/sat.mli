@@ -40,6 +40,13 @@ exception Resource_exhausted
 exception Timeout
 exception Interrupted
 
+val perturb : t -> int64 -> unit
+(** Seed-derived jitter of the initial VSIDS activities and saved
+    phases, so a retried query explores the search tree in a different
+    order.  Used by {!Solver}'s retry-with-restart: a query that came
+    back Unknown under one ordering may well resolve under another
+    within the same budget.  Deterministic in the seed. *)
+
 val value : t -> int -> bool
 (** Model value of a variable after [solve] returned [Sat].  Unassigned
     variables (possible when they occur in no clause) read as [false]. *)

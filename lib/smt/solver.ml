@@ -19,6 +19,7 @@ module Stats = struct
     sat_decisions : int;
     sat_propagations : int;
     sat_timeouts : int;
+    sat_retries : int;
     time : float;
     interval_time : float;
     bitblast_time : float;
@@ -29,7 +30,8 @@ module Stats = struct
     { queries = 0; slices = 0; slice_hits = 0; cache_hits = 0; cex_hits = 0;
       query_evictions = 0; cex_evictions = 0;
       interval_unsat = 0; interval_sat = 0; sat_calls = 0; sat_conflicts = 0;
-      sat_decisions = 0; sat_propagations = 0; sat_timeouts = 0; time = 0.0;
+      sat_decisions = 0; sat_propagations = 0; sat_timeouts = 0;
+      sat_retries = 0; time = 0.0;
       interval_time = 0.0; bitblast_time = 0.0; sat_time = 0.0 }
 
   let current = ref zero
@@ -52,6 +54,7 @@ module Stats = struct
       sat_decisions = a.sat_decisions - b.sat_decisions;
       sat_propagations = a.sat_propagations - b.sat_propagations;
       sat_timeouts = a.sat_timeouts - b.sat_timeouts;
+      sat_retries = a.sat_retries - b.sat_retries;
       time = a.time -. b.time;
       interval_time = a.interval_time -. b.interval_time;
       bitblast_time = a.bitblast_time -. b.bitblast_time;
@@ -74,6 +77,7 @@ module Stats = struct
       sat_decisions = a.sat_decisions + b.sat_decisions;
       sat_propagations = a.sat_propagations + b.sat_propagations;
       sat_timeouts = a.sat_timeouts + b.sat_timeouts;
+      sat_retries = a.sat_retries + b.sat_retries;
       time = a.time +. b.time;
       interval_time = a.interval_time +. b.interval_time;
       bitblast_time = a.bitblast_time +. b.bitblast_time;
@@ -90,13 +94,13 @@ module Stats = struct
     Format.fprintf ppf
       "queries=%d slices=%d slice-hits=%d cache=%d cex=%d evict=%d/%d \
        itv-unsat=%d itv-sat=%d sat-calls=%d conflicts=%d decisions=%d \
-       propagations=%d timeouts=%d time=%.3fs (itv=%.3fs blast=%.3fs \
-       sat=%.3fs)"
+       propagations=%d timeouts=%d retries=%d time=%.3fs (itv=%.3fs \
+       blast=%.3fs sat=%.3fs)"
       t.queries t.slices t.slice_hits t.cache_hits t.cex_hits
       t.query_evictions t.cex_evictions t.interval_unsat
       t.interval_sat t.sat_calls t.sat_conflicts t.sat_decisions
-      t.sat_propagations t.sat_timeouts t.time t.interval_time
-      t.bitblast_time t.sat_time
+      t.sat_propagations t.sat_timeouts t.sat_retries t.time
+      t.interval_time t.bitblast_time t.sat_time
 
   let to_json t =
     Obs.Json.Obj
@@ -114,6 +118,7 @@ module Stats = struct
         ("sat_decisions", Obs.Json.Int t.sat_decisions);
         ("sat_propagations", Obs.Json.Int t.sat_propagations);
         ("sat_timeouts", Obs.Json.Int t.sat_timeouts);
+        ("sat_retries", Obs.Json.Int t.sat_retries);
         ("time", Obs.Json.Float t.time);
         ("interval_time", Obs.Json.Float t.interval_time);
         ("bitblast_time", Obs.Json.Float t.bitblast_time);
@@ -141,6 +146,7 @@ module Stats = struct
       sat_decisions = int "sat_decisions";
       sat_propagations = int "sat_propagations";
       sat_timeouts = int "sat_timeouts";
+      sat_retries = int "sat_retries";
       time = flt "time";
       interval_time = flt "interval_time";
       bitblast_time = flt "bitblast_time";
@@ -269,36 +275,29 @@ let stage name timef record f =
       ~args:(record r) name;
   r
 
-let solve_with_sat ?conflict_limit ?deadline constraints vars =
+(* Bounded retry-with-restart around the SAT backend: a query that
+   comes back Unknown (conflict limit, timeout, injected fault) is
+   retried up to [retries] times, each attempt re-encoded from scratch
+   with {!Sat.perturb}ed VSIDS activities and phases — a different
+   search order often resolves within the same budget — and, for
+   timeouts, a fresh per-attempt deadline.  Interrupts never retry. *)
+let retries = ref 0
+let set_retries n = retries := max 0 n
+
+let solve_with_sat ?conflict_limit ?deadline ~attempt constraints vars =
   let sat = Sat.create () in
-  let ctx =
+  let stop () = !interrupt_check () in
+  let blast =
     stage "bitblast"
       (fun s dt -> { s with Stats.bitblast_time = s.Stats.bitblast_time +. dt })
       (fun _ -> [ ("vars", Obs.Event.Int (Sat.num_vars sat)) ])
       (fun () ->
-         let ctx = Bitblast.create sat in
-         List.iter (Bitblast.assert_true ctx) constraints;
-         ctx)
-  in
-  let result =
-    stage "sat"
-      (fun s dt -> { s with Stats.sat_time = s.Stats.sat_time +. dt })
-      (fun r ->
-         [ ("result",
-            Obs.Event.Str
-              (match r with
-               | Ok Sat.Sat -> "sat"
-               | Ok Sat.Unsat -> "unsat"
-               | Error msg -> msg));
-           ("conflicts", Obs.Event.Int (Sat.stats_conflicts sat)) ])
-      (fun () ->
          match
-           Sat.solve ?conflict_limit ?deadline
-             ~stop:(fun () -> !interrupt_check ())
-             sat
+           let ctx = Bitblast.create ?deadline ~stop sat in
+           List.iter (Bitblast.assert_true ctx) constraints;
+           ctx
          with
-         | r -> Ok r
-         | exception Sat.Resource_exhausted -> Error "conflict limit reached"
+         | ctx -> Ok ctx
          | exception Sat.Timeout ->
            Stats.(
              current :=
@@ -306,26 +305,98 @@ let solve_with_sat ?conflict_limit ?deadline constraints vars =
            Error "solver timeout"
          | exception Sat.Interrupted -> Error "interrupted")
   in
-  Stats.(
-    current :=
-      { !current with
-        sat_conflicts = !current.sat_conflicts + Sat.stats_conflicts sat;
-        sat_decisions = !current.sat_decisions + Sat.stats_decisions sat;
-        sat_propagations =
-          !current.sat_propagations + Sat.stats_propagations sat });
-  match result with
+  match blast with
   | Error msg -> Unknown msg
-  | Ok Sat.Unsat -> Unsat
-  | Ok Sat.Sat ->
-    let model = Bitblast.extract_model ctx vars in
-    (* Safety net: a model must satisfy the query by evaluation. *)
-    if not (Model.satisfies model constraints) then
-      failwith "Solver: internal error, SAT model fails evaluation";
-    Sat model
+  | Ok ctx ->
+    if attempt > 0 then Sat.perturb sat (Int64.of_int attempt);
+    let result =
+      stage "sat"
+        (fun s dt -> { s with Stats.sat_time = s.Stats.sat_time +. dt })
+        (fun r ->
+           [ ("result",
+              Obs.Event.Str
+                (match r with
+                 | Ok Sat.Sat -> "sat"
+                 | Ok Sat.Unsat -> "unsat"
+                 | Error msg -> msg));
+             ("conflicts", Obs.Event.Int (Sat.stats_conflicts sat)) ])
+        (fun () ->
+           match Sat.solve ?conflict_limit ?deadline ~stop sat with
+           | r -> Ok r
+           | exception Sat.Resource_exhausted -> Error "conflict limit reached"
+           | exception Sat.Timeout ->
+             Stats.(
+               current :=
+                 { !current with sat_timeouts = !current.sat_timeouts + 1 });
+             Error "solver timeout"
+           | exception Sat.Interrupted -> Error "interrupted")
+    in
+    Stats.(
+      current :=
+        { !current with
+          sat_conflicts = !current.sat_conflicts + Sat.stats_conflicts sat;
+          sat_decisions = !current.sat_decisions + Sat.stats_decisions sat;
+          sat_propagations =
+            !current.sat_propagations + Sat.stats_propagations sat });
+    (match result with
+     | Error msg -> Unknown msg
+     | Ok Sat.Unsat -> Unsat
+     | Ok Sat.Sat ->
+       let model = Bitblast.extract_model ctx vars in
+       (* Safety net: a model must satisfy the query by evaluation. *)
+       if not (Model.satisfies model constraints) then
+         failwith "Solver: internal error, SAT model fails evaluation";
+       Sat model)
+
+(* One SAT attempt, chaos points included: [Solver_unknown] replaces
+   the backend's answer, [Solver_stall] burns (a bounded slice of) the
+   query budget and reports a timeout — both are then healed or
+   surfaced by the retry loop exactly like organic Unknowns. *)
+let sat_attempt ?conflict_limit ?deadline ~attempt constraints vars =
+  if Chaos.fire Chaos.Solver_unknown then Unknown "chaos: injected unknown"
+  else if Chaos.fire Chaos.Solver_stall then begin
+    let now = Unix.gettimeofday () in
+    let dt =
+      match deadline with
+      | Some d -> Float.min (Float.max (d -. now) 0.0) 0.05
+      | None -> 0.05
+    in
+    if dt > 0.0 then Unix.sleepf dt;
+    Stats.(
+      current := { !current with sat_timeouts = !current.sat_timeouts + 1 });
+    Unknown "solver timeout (chaos stall)"
+  end
+  else solve_with_sat ?conflict_limit ?deadline ~attempt constraints vars
+
+let sat_with_retries ?conflict_limit ?deadline ?timeout_ms constraints vars =
+  let rec go attempt deadline =
+    let r = sat_attempt ?conflict_limit ?deadline ~attempt constraints vars in
+    match r with
+    | Unknown msg
+      when attempt < !retries && msg <> "interrupted"
+           && not (!interrupt_check ()) ->
+      Stats.(
+        current := { !current with sat_retries = !current.sat_retries + 1 });
+      if !Obs.Sink.enabled then
+        Obs.Sink.instant ~cat:"solver"
+          ~args:[ ("reason", Obs.Event.Str msg) ]
+          "retry";
+      (* A fresh per-attempt deadline: the documented worst case per
+         query is (retries + 1) x timeout_ms. *)
+      let deadline' =
+        match timeout_ms with
+        | Some ms ->
+          Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
+        | None -> deadline
+      in
+      go (attempt + 1) deadline'
+    | r -> r
+  in
+  go 0 deadline
 
 (* The uncached tail of the per-slice pipeline: interval prescreen
    (range propagation plus candidate probing), then bit-blast + SAT. *)
-let solve_slice ?conflict_limit ?deadline constraints vars =
+let solve_slice ?conflict_limit ?deadline ?timeout_ms constraints vars =
   let prescreen =
     stage "interval"
       (fun s dt ->
@@ -362,14 +433,16 @@ let solve_slice ?conflict_limit ?deadline constraints vars =
     Sat m
   | `Inconclusive ->
     Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
-    let r = solve_with_sat ?conflict_limit ?deadline constraints vars in
+    let r =
+      sat_with_retries ?conflict_limit ?deadline ?timeout_ms constraints vars
+    in
     (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
     r
 
 (* One independent slice: per-slice query cache, then the variable-
    indexed counterexample cache, then the solving pipeline.  Emits a
    [solver/slice] span per slice when the sink is enabled. *)
-let check_slice ?conflict_limit ?deadline constraints =
+let check_slice ?conflict_limit ?deadline ?timeout_ms constraints =
   let t0 = if !Obs.Sink.enabled then Unix.gettimeofday () else 0.0 in
   Stats.(current := { !current with slices = !current.slices + 1 });
   let finish ~via r =
@@ -415,7 +488,9 @@ let check_slice ?conflict_limit ?deadline constraints =
        end;
        finish ~via:"cex" (Sat m)
      | None ->
-       let r = solve_slice ?conflict_limit ?deadline constraints vars in
+       let r =
+         solve_slice ?conflict_limit ?deadline ?timeout_ms constraints vars
+       in
        (match r with
         | Unknown _ -> ()
         | Sat _ | Unsat ->
@@ -469,7 +544,7 @@ let check ?conflict_limit ?timeout_ms constraints =
              failwith "Solver: internal error, merged model fails evaluation";
            Sat model)
       | s :: rest ->
-        (match check_slice ?conflict_limit ?deadline s with
+        (match check_slice ?conflict_limit ?deadline ?timeout_ms s with
          | Unsat -> Unsat
          | Unknown msg ->
            solve_all model (Some (match unknown with Some m -> m | None -> msg)) rest

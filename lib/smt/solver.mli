@@ -34,9 +34,23 @@ val check : ?conflict_limit:int -> ?timeout_ms:int -> Expr.t list -> outcome
     On [Sat], the returned model satisfies every constraint (this is
     verified internally by evaluation).  [Unknown] is returned when any
     slice hits [conflict_limit], exceeds the per-query [timeout_ms]
-    deadline (shared by all slices of the conjunction), or is cut short
-    by the {!set_interrupt_check} hook; an [Unsat] slice still settles
-    the query as [Unsat] even if another slice was cut short. *)
+    deadline (shared by all slices of the conjunction, polled during
+    bit-blasting as well as at CDCL propagation boundaries), or is cut
+    short by the {!set_interrupt_check} hook; an [Unsat] slice still
+    settles the query as [Unsat] even if another slice was cut short.
+
+    A SAT attempt that would answer Unknown is first retried up to
+    {!set_retries} times with {!Sat.perturb}ed search order and — for
+    timeouts — a fresh per-attempt deadline, so the worst case per
+    query is [(retries + 1) * timeout_ms].  Interrupts never retry.
+    With a {!Chaos} spec armed, the [solver-unknown] / [solver-stall]
+    points inject Unknowns/timeouts at the same place, healed by the
+    same retry loop. *)
+
+val set_retries : int -> unit
+(** Bound the retry-with-restart loop (default 0: a first Unknown is
+    final, the pre-retry behaviour).  Retries are counted in
+    {!Stats.sat_retries}. *)
 
 val is_sat : ?conflict_limit:int -> Expr.t list -> bool
 (** [true] on [Sat]; [false] on [Unsat].  Raises [Failure] on
@@ -97,6 +111,8 @@ module Stats : sig
     sat_decisions : int;      (** CDCL decisions, summed over queries *)
     sat_propagations : int;   (** unit propagations, summed over queries *)
     sat_timeouts : int;       (** SAT calls cut short by [timeout_ms] *)
+    sat_retries : int;        (** Unknown answers retried with a
+                                  perturbed search order *)
     time : float;             (** total seconds spent inside [check] *)
     interval_time : float;    (** seconds in the interval prescreen *)
     bitblast_time : float;    (** seconds bit-blasting to CNF *)

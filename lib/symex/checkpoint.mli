@@ -11,7 +11,12 @@
 
     Checkpoints are single-line JSON written atomically
     (tmp-and-rename), so a run killed mid-write never leaves a torn
-    file behind. *)
+    file behind.  The on-disk form is an integrity envelope —
+    [{"format":2,"crc":"0x...","payload":{...}}] — whose CRC-32 covers
+    the serialized payload; {!save} rotates the previous file to
+    [<path>.bak] before installing the new one, and {!load} falls back
+    to the backup when the primary file is missing, torn or fails the
+    CRC, so one corrupted write never strands a resumable campaign. *)
 
 type t = {
   label : string;            (** testbench name, checked on resume *)
@@ -51,4 +56,21 @@ val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result
 
 val save : string -> t -> unit
+(** Atomic write of the integrity envelope; an existing file at [path]
+    is rotated to [path ^ ".bak"] first.  With a {!Chaos} spec armed,
+    the [checkpoint-corrupt] point truncates the new file (simulating
+    a torn write) — the rotation keeps the previous good snapshot. *)
+
 val load : string -> (t, string) result
+(** Load and CRC-check a checkpoint; on any failure (unreadable,
+    unparsable, bad CRC, bad version) the [.bak] rotation is tried
+    before giving up, bumping {!fallbacks} and the
+    [symsysc_checkpoint_fallbacks_total] counter.  The returned error
+    is the {e primary} file's.  Bare version-1 files (pre-envelope)
+    still load. *)
+
+val fallbacks : unit -> int
+(** Process-total count of loads that were answered by the backup. *)
+
+val backup_path : string -> string
+(** [path ^ ".bak"] — where {!save} rotates the previous snapshot. *)

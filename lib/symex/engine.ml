@@ -28,6 +28,29 @@ type checkpoint_policy = Checkpoint.policy = {
   every_s : float;
 }
 
+(* How much self-healing the run needed: every retried query, requeued
+   unit, killed worker, quarantined unit, checkpoint fallback and
+   unconfirmed counterexample is surfaced here so a fault — injected or
+   genuine — is visible in the report rather than silently absorbed. *)
+type resilience = {
+  res_requeued : int;
+  res_worker_deaths : int;
+  res_hung : int;
+  res_quarantined : int;
+  res_checkpoint_fallbacks : int;
+  res_unvalidated : int;
+  res_chaos : (string * int) list;
+}
+
+let no_resilience =
+  { res_requeued = 0;
+    res_worker_deaths = 0;
+    res_hung = 0;
+    res_quarantined = 0;
+    res_checkpoint_fallbacks = 0;
+    res_unvalidated = 0;
+    res_chaos = [] }
+
 type report = {
   errors : Error.t list;
   paths : int;
@@ -45,6 +68,7 @@ type report = {
   strategy : Search.strategy;
   branch_coverage : (string * int) list;
   workers : int;
+  resilience : resilience;
 }
 
 exception Check_failed of string
@@ -359,6 +383,7 @@ let record_error st ps kind site message model =
         path_id = ps.path_id;
         instructions = instructions_so_far st;
         found_after = elapsed st;
+        validated = true;
       }
     in
     st.errors_rev <- err :: st.errors_rev;
@@ -383,6 +408,7 @@ let replay_failure rs kind site message =
       path_id = 0;
       instructions = 0;
       found_after = 0.0;
+      validated = true;
     }
   in
   rs.failure <- Some err;
@@ -398,6 +424,7 @@ let random_failure rs kind site message =
       path_id = 0;
       instructions = 0;
       found_after = 0.0;
+      validated = true;
     }
   in
   rs.r_failure <- Some err;
@@ -670,6 +697,7 @@ let seq_run ~(config : config) ~label ?resume ?checkpoint body =
     | Some ck -> Solver.Stats.sub (Solver.Stats.get ()) ck.Checkpoint.solver
   in
   let now = Unix.gettimeofday () in
+  let chaos0 = Chaos.counts () in
   let st =
     {
       cfg = config;
@@ -810,6 +838,10 @@ let seq_run ~(config : config) ~label ?resume ?checkpoint body =
         strategy = config.strategy;
         branch_coverage = Search.visit_counts st.frontier;
         workers = 1;
+        resilience =
+          { no_resilience with
+            res_checkpoint_fallbacks = Checkpoint.fallbacks ();
+            res_chaos = Chaos.sub_counts (Chaos.counts ()) chaos0 };
       })
 
 (* ------------------------------------------------------------------ *)
@@ -893,7 +925,8 @@ let run_unit st body ~prefix =
       instructions = 0;
       degraded = st.degraded;
       solver;
-      requeue = Some taken }
+      requeue = Some taken;
+      chaos = [] }
   | `Done ->
     let outcome =
       if st.n_completed > 0 then Pool.Unit_completed
@@ -908,90 +941,8 @@ let run_unit st body ~prefix =
       instructions = instructions_so_far st;
       degraded = st.degraded;
       solver;
-      requeue = None }
-
-(* ------------------------------------------------------------------ *)
-(* Session API                                                         *)
-
-module Session = struct
-  type t = {
-    strategy : Search.strategy;
-    limits : limits;
-    stop_after_errors : int option;
-    checkpoint : Checkpoint.policy option;
-    resume : Checkpoint.t option;
-    seed : int option;
-    workers : int;
-  }
-
-  let make ?strategy ?(limits = no_limits) ?stop_after_errors ?checkpoint
-      ?resume ?seed ?(workers = 1) () =
-    if workers < 1 then
-      invalid_arg "Engine.Session.make: workers must be >= 1";
-    let strategy =
-      match strategy, seed with
-      | Some s, _ -> s
-      | None, Some seed -> Search.Random_path seed
-      | None, None -> Search.Dfs
-    in
-    { strategy; limits; stop_after_errors; checkpoint; resume; seed; workers }
-
-  let config t =
-    { strategy = t.strategy;
-      limits = t.limits;
-      stop_after_errors = t.stop_after_errors }
-
-  let run ?(label = "run") t body =
-    if t.workers = 1 then
-      seq_run ~config:(config t) ~label ?resume:t.resume
-        ?checkpoint:t.checkpoint body
-    else begin
-      (match !mode with
-       | Off -> ()
-       | Explore _ | Replay _ | Rand _ ->
-         failwith "Engine.Session.run: nested runs are not allowed");
-      let pool_cfg =
-        { Pool.workers = t.workers;
-          strategy = t.strategy;
-          limits = t.limits;
-          stop_after_errors = t.stop_after_errors;
-          label }
-      in
-      (* The context is created lazily so it materializes in each
-         worker process after the fork, never in the master. *)
-      let ctx = lazy (unit_ctx (config t)) in
-      let exec ~prefix = run_unit (Lazy.force ctx) body ~prefix in
-      let r =
-        Pool.run pool_cfg ?resume:t.resume ?checkpoint:t.checkpoint ~exec ()
-      in
-      {
-        errors = r.Pool.r_errors;
-        paths = r.Pool.r_paths;
-        paths_completed = r.Pool.r_completed;
-        paths_errored = r.Pool.r_errored;
-        paths_infeasible = r.Pool.r_infeasible;
-        paths_unknown = r.Pool.r_unknown;
-        instructions = r.Pool.r_instructions;
-        wall_time = r.Pool.r_wall_time;
-        solver_time = r.Pool.r_solver.Solver.Stats.time;
-        solver_queries = r.Pool.r_solver.Solver.Stats.queries;
-        solver_stats = r.Pool.r_solver;
-        exhausted = r.Pool.r_exhausted;
-        stop_reason = r.Pool.r_stop_reason;
-        strategy = t.strategy;
-        branch_coverage = r.Pool.r_visits;
-        workers = t.workers;
-      }
-    end
-end
-
-(* Deprecated pre-Session entry point, kept for one release: builds a
-   one-shot single-worker Session from the legacy argument bundle. *)
-let run ?(config = default_config) ?(label = "run") ?resume ?checkpoint body =
-  Session.run ~label
-    (Session.make ~strategy:config.strategy ~limits:config.limits
-       ?stop_after_errors:config.stop_after_errors ?checkpoint ?resume ())
-    body
+      requeue = None;
+      chaos = [] }
 
 (* ------------------------------------------------------------------ *)
 (* Replay                                                              *)
@@ -1015,6 +966,172 @@ let replay values body =
          | None -> Some (Error "replay stopped without failure"))
       | Replay_diverged msg -> Some (Error msg)
       | exn -> Some (Error ("exception during replay: " ^ Printexc.to_string exn)))
+
+(* ------------------------------------------------------------------ *)
+(* Counterexample validation                                           *)
+
+(* The engine as a self-checking oracle: every error's model is
+   replayed concretely (solver-free) through the testbench, and an
+   error whose replay does not reproduce the same (site, kind) is
+   demoted to [validated = false] instead of being silently trusted —
+   a solver or engine defect then surfaces in the report rather than
+   as a false bug ticket. *)
+
+let m_unvalidated =
+  lazy
+    (Obs.Metrics.counter
+       ~help:"reported errors whose counterexample replay did not \
+              reproduce the failure"
+       "symsysc_unvalidated_errors_total")
+
+let confirm_error body (e : Error.t) =
+  match replay e.Error.counterexample body with
+  | Some (Ok e') ->
+    e'.Error.site = e.Error.site && e'.Error.kind = e.Error.kind
+  | Some (Error msg) ->
+    (* An unhandled exception escapes the replay harness as [Error];
+       it confirms an [Unhandled_exception] finding when it is the
+       same exception the explorer recorded (site "exception:<exn>"). *)
+    (match e.Error.kind with
+     | Error.Unhandled_exception ->
+       let prefix = "exception:" in
+       let plen = String.length prefix in
+       String.length e.Error.site > plen
+       && String.sub e.Error.site 0 plen = prefix
+       && msg
+          = "exception during replay: "
+            ^ String.sub e.Error.site plen (String.length e.Error.site - plen)
+     | _ -> false)
+  | None | (exception _) -> false
+
+let validate_errors body (rep : report) =
+  let unvalidated = ref 0 in
+  let errors =
+    List.map
+      (fun (e : Error.t) ->
+         if confirm_error body e then e
+         else begin
+           incr unvalidated;
+           Obs.Metrics.inc (Lazy.force m_unvalidated);
+           if !Obs.Sink.enabled then
+             Obs.Sink.instant ~cat:"engine" "unvalidated"
+               ~args:
+                 [ ("site", Obs.Event.Str e.Error.site);
+                   ("kind", Obs.Event.Str (Error.kind_to_string e.Error.kind)) ];
+           { e with Error.validated = false }
+         end)
+      rep.errors
+  in
+  { rep with
+    errors;
+    resilience = { rep.resilience with res_unvalidated = !unvalidated } }
+
+(* ------------------------------------------------------------------ *)
+(* Session API                                                         *)
+
+module Session = struct
+  type t = {
+    strategy : Search.strategy;
+    limits : limits;
+    stop_after_errors : int option;
+    checkpoint : Checkpoint.policy option;
+    resume : Checkpoint.t option;
+    seed : int option;
+    workers : int;
+    heartbeat_ms : int option;
+    validate : bool;
+  }
+
+  (* Poison-unit quarantine threshold: a unit that has taken down this
+     many workers is dropped rather than requeued. *)
+  let max_unit_crashes = 3
+
+  let make ?strategy ?(limits = no_limits) ?stop_after_errors ?checkpoint
+      ?resume ?seed ?(workers = 1) ?heartbeat_ms ?(validate = true) () =
+    if workers < 1 then
+      invalid_arg "Engine.Session.make: workers must be >= 1";
+    (match heartbeat_ms with
+     | Some ms when ms < 1 ->
+       invalid_arg "Engine.Session.make: heartbeat_ms must be >= 1"
+     | _ -> ());
+    let strategy =
+      match strategy, seed with
+      | Some s, _ -> s
+      | None, Some seed -> Search.Random_path seed
+      | None, None -> Search.Dfs
+    in
+    { strategy; limits; stop_after_errors; checkpoint; resume; seed; workers;
+      heartbeat_ms; validate }
+
+  let config t =
+    { strategy = t.strategy;
+      limits = t.limits;
+      stop_after_errors = t.stop_after_errors }
+
+  let run ?(label = "run") t body =
+    let rep =
+      if t.workers = 1 then
+        seq_run ~config:(config t) ~label ?resume:t.resume
+          ?checkpoint:t.checkpoint body
+      else begin
+        (match !mode with
+         | Off -> ()
+         | Explore _ | Replay _ | Rand _ ->
+           failwith "Engine.Session.run: nested runs are not allowed");
+        let pool_cfg =
+          { Pool.workers = t.workers;
+            strategy = t.strategy;
+            limits = t.limits;
+            stop_after_errors = t.stop_after_errors;
+            label;
+            heartbeat_ms = t.heartbeat_ms;
+            max_unit_crashes }
+        in
+        (* The context is created lazily so it materializes in each
+           worker process after the fork, never in the master. *)
+        let ctx = lazy (unit_ctx (config t)) in
+        let exec ~prefix = run_unit (Lazy.force ctx) body ~prefix in
+        let r =
+          Pool.run pool_cfg ?resume:t.resume ?checkpoint:t.checkpoint ~exec ()
+        in
+        {
+          errors = r.Pool.r_errors;
+          paths = r.Pool.r_paths;
+          paths_completed = r.Pool.r_completed;
+          paths_errored = r.Pool.r_errored;
+          paths_infeasible = r.Pool.r_infeasible;
+          paths_unknown = r.Pool.r_unknown;
+          instructions = r.Pool.r_instructions;
+          wall_time = r.Pool.r_wall_time;
+          solver_time = r.Pool.r_solver.Solver.Stats.time;
+          solver_queries = r.Pool.r_solver.Solver.Stats.queries;
+          solver_stats = r.Pool.r_solver;
+          exhausted = r.Pool.r_exhausted;
+          stop_reason = r.Pool.r_stop_reason;
+          strategy = t.strategy;
+          branch_coverage = r.Pool.r_visits;
+          workers = t.workers;
+          resilience =
+            { no_resilience with
+              res_requeued = r.Pool.r_requeued;
+              res_worker_deaths = r.Pool.r_worker_deaths;
+              res_hung = r.Pool.r_hung;
+              res_quarantined = r.Pool.r_quarantined;
+              res_checkpoint_fallbacks = Checkpoint.fallbacks ();
+              res_chaos = r.Pool.r_chaos };
+        }
+      end
+    in
+    if t.validate then validate_errors body rep else rep
+end
+
+(* Deprecated pre-Session entry point, kept for one release: builds a
+   one-shot single-worker Session from the legacy argument bundle. *)
+let run ?(config = default_config) ?(label = "run") ?resume ?checkpoint body =
+  Session.run ~label
+    (Session.make ~strategy:config.strategy ~limits:config.limits
+       ?stop_after_errors:config.stop_after_errors ?checkpoint ?resume ())
+    body
 
 (* ------------------------------------------------------------------ *)
 (* Random-testing baseline                                             *)
@@ -1066,6 +1183,7 @@ let random_test_seq ~seed ~max_trials ?max_seconds body =
                    path_id = 0;
                    instructions = 0;
                    found_after = Unix.gettimeofday () -. started;
+                   validated = true;
                  },
                  !trials )
          | Stdlib.Exit -> continue := false
@@ -1080,6 +1198,7 @@ let random_test_seq ~seed ~max_trials ?max_seconds body =
                    path_id = 0;
                    instructions = 0;
                    found_after = Unix.gettimeofday () -. started;
+                   validated = true;
                  },
                  !trials ));
         mode := Off

@@ -71,6 +71,27 @@ type checkpoint_policy = Checkpoint.policy = {
 }
 (** Alias of {!Checkpoint.policy}, kept for source compatibility. *)
 
+type resilience = {
+  res_requeued : int;        (** work units re-queued after a fault *)
+  res_worker_deaths : int;   (** worker processes lost (incl. watchdog kills) *)
+  res_hung : int;            (** workers killed by the heartbeat watchdog *)
+  res_quarantined : int;     (** poison units dropped after repeated crashes *)
+  res_checkpoint_fallbacks : int;
+      (** checkpoint loads answered by the [.bak] rotation (process
+          total, see {!Checkpoint.fallbacks}) *)
+  res_unvalidated : int;     (** errors whose counterexample replay failed *)
+  res_chaos : (string * int) list;
+      (** {!Chaos} injections fired during the run, per point (master
+          plus workers) — all zeros when chaos is disarmed *)
+}
+(** Self-healing ledger of a run: every retried query, requeued unit,
+    killed worker, quarantined unit, checkpoint fallback and
+    unconfirmed counterexample, so a fault — injected by {!Chaos} or
+    genuine — is accounted in the report rather than silently
+    absorbed. *)
+
+val no_resilience : resilience
+
 type report = {
   errors : Error.t list;        (** distinct errors, in discovery order *)
   paths : int;                  (** total executions *)
@@ -96,6 +117,7 @@ type report = {
           coverage reporting) *)
   workers : int;                (** worker processes the run used (1 =
                                     in-process sequential exploration) *)
+  resilience : resilience;      (** faults absorbed during the run *)
 }
 
 (** The unified exploration entry point: one value carrying everything
@@ -111,6 +133,15 @@ module Session : sig
     seed : int option;     (** recorded seed (drives the default
                                [Random_path] strategy when set) *)
     workers : int;
+    heartbeat_ms : int option;
+        (** worker heartbeat period: workers emit liveness frames at
+            this period and the master kills (and requeues the unit
+            of) any worker silent for [max (8*hb, 1s)]; [None]
+            disables the watchdog.  Ignored when [workers = 1]. *)
+    validate : bool;
+        (** replay every error's counterexample concretely after the
+            run and demote unconfirmed errors to
+            [Error.validated = false] (default [true]) *)
   }
 
   val make :
@@ -121,12 +152,15 @@ module Session : sig
     ?resume:Checkpoint.t ->
     ?seed:int ->
     ?workers:int ->
+    ?heartbeat_ms:int ->
+    ?validate:bool ->
     unit ->
     t
   (** Build a session.  Defaults: no budgets, no checkpointing, one
-      worker.  The strategy defaults to [Random_path seed] when [seed]
-      is given and [strategy] is not, and to [Dfs] otherwise.  Raises
-      [Invalid_argument] when [workers < 1]. *)
+      worker, no heartbeats, validation on.  The strategy defaults to
+      [Random_path seed] when [seed] is given and [strategy] is not,
+      and to [Dfs] otherwise.  Raises [Invalid_argument] when
+      [workers < 1] or [heartbeat_ms < 1]. *)
 
   val config : t -> config
   (** The legacy config bundle this session denotes (strategy, limits,
@@ -155,7 +189,16 @@ module Session : sig
       The engine polls {!Budget.interrupted} between branches and
       inside SAT solving, so SIGINT/SIGTERM (via
       {!Budget.install_signal_handlers}) stop the run gracefully: the
-      final checkpoint is written and a partial report returned. *)
+      final checkpoint is written and a partial report returned.
+
+      With [t.validate] (the default), every reported error's
+      counterexample is replayed concretely — solver-free — after the
+      run; an error that does not reproduce the same [(site, kind)] is
+      returned with [Error.validated = false], counted in
+      [resilience.res_unvalidated] and in the
+      [symsysc_unvalidated_errors_total] metric.  A clean engine and
+      solver produce zero unvalidated errors; a nonzero count means
+      the verifier itself (not the DUV) is suspect. *)
 end
 
 val run :

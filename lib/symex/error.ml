@@ -13,6 +13,7 @@ type t = {
   path_id : int;
   instructions : int;
   found_after : float;
+  validated : bool;
 }
 
 let kind_to_string = function
@@ -47,7 +48,8 @@ let to_json t =
             t.counterexample));
       ("path_id", Int t.path_id);
       ("instructions", Int t.instructions);
-      ("found_after", Float t.found_after) ]
+      ("found_after", Float t.found_after);
+      ("validated", Bool t.validated) ]
 
 let of_json j =
   let open Obs.Json in
@@ -96,7 +98,10 @@ let of_json j =
               instructions = Option.value ~default:0 (int "instructions");
               found_after =
                 Option.value ~default:0.0
-                  (Option.bind (member "found_after" j) to_float_opt) }))
+                  (Option.bind (member "found_after" j) to_float_opt);
+              validated =
+                Option.value ~default:true
+                  (Option.bind (member "validated" j) to_bool_opt) }))
   | _ -> Error "error record missing kind/site"
 
 let pp_counterexample ppf t =
@@ -108,6 +113,7 @@ let pp_counterexample ppf t =
     t.counterexample
 
 let pp ppf t =
-  Format.fprintf ppf "@[<v>%s at %s: %s (path %d, %.2fs)@,%a@]"
+  Format.fprintf ppf "@[<v>%s at %s: %s (path %d, %.2fs)%s@,%a@]"
     (kind_to_string t.kind) t.site t.message t.path_id t.found_after
+    (if t.validated then "" else " [UNVALIDATED]")
     pp_counterexample t

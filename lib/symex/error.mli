@@ -23,6 +23,12 @@ type t = {
   path_id : int;          (** path on which the error was first found *)
   instructions : int;     (** instructions executed when first found *)
   found_after : float;    (** seconds since exploration start *)
+  validated : bool;
+  (** the counterexample reproduced the failure when replayed
+      concretely (solver-free) through the testbench; [false] marks a
+      model the solver claimed but replay could not confirm — surfaced
+      as [UNVALIDATED] rather than silently trusted (the engine is a
+      self-checking oracle) *)
 }
 
 val kind_to_string : kind -> string

@@ -17,6 +17,7 @@ type unit_result = {
   degraded : bool;
   solver : Stats.t;
   requeue : Decision.t array option;
+  chaos : (string * int) list;
 }
 
 type config = {
@@ -25,6 +26,8 @@ type config = {
   limits : Budget.t;
   stop_after_errors : int option;
   label : string;
+  heartbeat_ms : int option;
+  max_unit_crashes : int;
 }
 
 type result = {
@@ -43,6 +46,9 @@ type result = {
   r_dispatched : int;
   r_requeued : int;
   r_worker_deaths : int;
+  r_hung : int;
+  r_quarantined : int;
+  r_chaos : (string * int) list;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -61,9 +67,12 @@ let rec write_all fd buf off len =
     write_all fd buf (off + n) (len - n)
   end
 
-let write_frame fd j =
+let frame_string j =
   let payload = Json.to_string j in
-  let s = string_of_int (String.length payload) ^ "\n" ^ payload in
+  string_of_int (String.length payload) ^ "\n" ^ payload
+
+let write_frame fd j =
+  let s = frame_string j in
   write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
 
 let rec read_byte fd =
@@ -158,6 +167,8 @@ let stop_msg = Json.Obj [ ("cmd", Json.Str "stop") ]
 let fatal_msg msg =
   Json.Obj [ ("cmd", Json.Str "fatal"); ("msg", Json.Str msg) ]
 
+let hb_msg id = Json.Obj [ ("cmd", Json.Str "hb"); ("worker", Json.Int id) ]
+
 let result_to_json id (r : unit_result) =
   Json.Obj
     [ ("cmd", Json.Str "result");
@@ -180,6 +191,8 @@ let result_to_json id (r : unit_result) =
       ("instructions", Json.Int r.instructions);
       ("degraded", Json.Bool r.degraded);
       ("solver", Stats.to_json r.solver);
+      ("chaos",
+       Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.chaos));
       ("requeue",
        match r.requeue with None -> Json.Null | Some p -> prefix_to_json p) ]
 
@@ -241,6 +254,14 @@ let result_of_json j =
     | Some sj -> Stats.of_json sj
     | None -> Stats.zero
   in
+  let chaos =
+    match Json.member "chaos" j with
+    | Some (Json.Obj fields) ->
+      List.filter_map
+        (fun (k, v) -> Option.map (fun n -> (k, n)) (Json.to_int_opt v))
+        fields
+    | _ -> []
+  in
   Ok
     ( id,
       { outcome;
@@ -254,19 +275,84 @@ let result_of_json j =
           Option.value ~default:false
             (Option.bind (Json.member "degraded" j) Json.to_bool_opt);
         solver;
-        requeue } )
+        requeue;
+        chaos } )
 
 (* ------------------------------------------------------------------ *)
 (* Worker side.  Runs after [fork]: silence the inherited telemetry
    (the master keeps the only progress meter and trace recorder), then
    serve units until a stop frame or EOF.  A worker exits through
    [Unix._exit] so it never runs the parent's [at_exit] hooks or
-   re-flushes inherited channel buffers. *)
+   re-flushes inherited channel buffers.
 
-let worker_main ~exec r w =
+   With [heartbeat_ms] set, a SIGALRM-driven timer writes a tiny "hb"
+   frame at that period, proving to the master's watchdog that the
+   worker is alive even while a long solver call is in flight.  The
+   [writing] flag keeps the handler from splicing a heartbeat into the
+   middle of a result frame. *)
+
+let worker_main ~exec ~worker_id ~heartbeat_ms r w =
   Obs.Progress.disable ();
   Obs.Sink.reset ();
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (* Each forked worker must draw its own chaos decisions — siblings
+     inherit identical PRNG streams over [fork] and would otherwise all
+     fail on the same draw.  This also zeroes the injection counters
+     inherited from the master, so the worker accounts only its own. *)
+  if Chaos.active () then Chaos.reseed worker_id;
+  let writing = ref false in
+  let stop_heartbeat () =
+    try
+      ignore
+        (Unix.setitimer Unix.ITIMER_REAL
+           { Unix.it_interval = 0.0; it_value = 0.0 })
+    with _ -> ()
+  in
+  (match heartbeat_ms with
+   | None -> ()
+   | Some ms ->
+     let iv = float_of_int (max 1 ms) /. 1000.0 in
+     Sys.set_signal Sys.sigalrm
+       (Sys.Signal_handle
+          (fun _ ->
+             if not !writing then
+               try write_frame w (hb_msg worker_id) with _ -> ()));
+     ignore
+       (Unix.setitimer Unix.ITIMER_REAL
+          { Unix.it_interval = iv; it_value = iv }));
+  let send_string s =
+    writing := true;
+    Fun.protect
+      ~finally:(fun () -> writing := false)
+      (fun () -> write_all w (Bytes.unsafe_of_string s) 0 (String.length s))
+  in
+  let send j = send_string (frame_string j) in
+  let send_result id res =
+    let res = { res with chaos = Chaos.counts () } in
+    let j = result_to_json id res in
+    if Chaos.fire Chaos.Frame_truncate then begin
+      (* A worker dying mid-write: half a frame, then gone.  Exiting
+         here (rather than carrying on) makes the master see EOF right
+         after the torn bytes, exactly as a real crash would. *)
+      let s = frame_string j in
+      writing := true;
+      (try write_all w (Bytes.unsafe_of_string s) 0 (String.length s / 2)
+       with _ -> ());
+      stop_heartbeat ();
+      Unix._exit 132
+    end
+    else if Chaos.fire Chaos.Frame_corrupt then begin
+      (* Well-framed garbage: the length header is intact but the
+         payload no longer parses, so the master must treat this
+         worker as compromised and requeue its unit. *)
+      let payload = Bytes.of_string (Json.to_string j) in
+      if Bytes.length payload > 0 then Bytes.set payload 0 'X';
+      send_string
+        (string_of_int (Bytes.length payload) ^ "\n"
+        ^ Bytes.to_string payload)
+    end
+    else send j
+  in
   let rec loop () =
     let j = read_frame r in
     match Option.bind (Json.member "cmd" j) Json.to_string_opt with
@@ -281,15 +367,27 @@ let worker_main ~exec r w =
          | Some pj -> prefix_of_json pj
          | None -> Error "pool: unit missing prefix"
        with
-       | Error msg -> write_frame w (fatal_msg msg)
+       | Error msg -> send (fatal_msg msg)
        | Ok prefix ->
+         if Chaos.fire Chaos.Worker_crash then begin
+           stop_heartbeat ();
+           Unix._exit 131
+         end;
+         if Chaos.fire Chaos.Worker_hang then begin
+           (* A stuck worker: no heartbeats, no result, no exit.  Only
+              the master's watchdog can clear it. *)
+           stop_heartbeat ();
+           while true do
+             Unix.sleepf 3600.0
+           done
+         end;
          (match exec ~prefix with
-          | res -> write_frame w (result_to_json id res); loop ()
-          | exception exn ->
-            write_frame w (fatal_msg (Printexc.to_string exn))))
+          | res -> send_result id res; loop ()
+          | exception exn -> send (fatal_msg (Printexc.to_string exn))))
     | Some _ -> loop ()
   in
   (try loop () with End_of_file -> () | _ -> ());
+  stop_heartbeat ();
   Unix._exit 0
 
 (* ------------------------------------------------------------------ *)
@@ -303,12 +401,23 @@ type worker_state = {
   mutable w_unit : (int * Decision.t array * float) option;
       (* unit id, dispatched prefix, dispatch time *)
   mutable w_alive : bool;
+  mutable w_last_seen : float;
+      (* last frame (result or heartbeat) received from this worker *)
+  mutable w_chaos : (string * int) list;
+      (* cumulative injection counts last reported by this worker *)
 }
 
 exception Worker_fatal of string
 
+(* A dispatch can fail (worker died while being written to) without the
+   run being dead — bounded by this many consecutive no-progress loop
+   iterations before the master gives up and persists the frontier. *)
+let max_dispatch_stalls = 10_000
+
 let run cfg ?resume ?checkpoint ~exec () =
   if cfg.workers < 1 then invalid_arg "Pool.run: workers must be >= 1";
+  if cfg.max_unit_crashes < 1 then
+    invalid_arg "Pool.run: max_unit_crashes must be >= 1";
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   let frontier = Search.create cfg.strategy in
   let error_table : (string * Error.kind, unit) Hashtbl.t =
@@ -328,6 +437,11 @@ let run cfg ?resume ?checkpoint ~exec () =
   let dispatched = ref 0 in
   let requeued = ref 0 in
   let deaths = ref 0 in
+  let hung = ref 0 in
+  let quarantined = ref 0 in
+  let stalls = ref 0 in
+  let chaos0 = Chaos.counts () in
+  let worker_chaos = ref [] in
   let now = Unix.gettimeofday () in
   let started =
     match resume with None -> now | Some ck -> now -. ck.Checkpoint.wall_time
@@ -385,57 +499,75 @@ let run cfg ?resume ?checkpoint ~exec () =
     Obs.Metrics.counter ~help:"worker processes lost mid-run"
       "symsysc_pool_worker_deaths"
   in
-  (* All pipe pairs are created before any fork so each child can close
-     every descriptor that is not its own.  Without this, a late-forked
-     sibling would inherit an earlier worker's write end and keep it
-     open past that worker's death, and the master would never see the
-     EOF that signals the death. *)
-  let pipes =
-    Array.init cfg.workers (fun _ -> (Unix.pipe (), Unix.pipe ()))
+  let m_hung =
+    Obs.Metrics.counter
+      ~help:"workers killed by the heartbeat watchdog"
+      "symsysc_pool_workers_hung"
   in
-  let spawn i =
-    let (ur, uw), (rr, rw) = pipes.(i) in
+  let m_quarantined =
+    Obs.Metrics.counter
+      ~help:"work units quarantined after repeatedly killing workers"
+      "symsysc_pool_units_quarantined"
+  in
+  (* Workers are spawned dynamically (the master replaces dead ones),
+     so each spawn creates its own pipe pair and the master closes the
+     worker-side ends immediately after the fork.  A child can then
+     only inherit the master-side ends (write-to-worker / read-from-
+     worker) of the siblings alive at its fork — it closes those too —
+     and crucially can never inherit a sibling's result-write end,
+     which is what would mask the EOF that signals that sibling's
+     death. *)
+  let workers : worker_state list ref = ref [] in
+  let next_id = ref 0 in
+  let spawns = ref 0 in
+  let spawn_cap = cfg.workers + 1024 in
+  let spawn () =
+    let ur, uw = Unix.pipe () in
+    let rr, rw = Unix.pipe () in
     flush stdout;
     flush stderr;
+    let id = !next_id in
+    incr next_id;
+    incr spawns;
     match Unix.fork () with
     | 0 ->
-      Array.iteri
-        (fun j ((ur', uw'), (rr', rw')) ->
-           if j = i then begin
-             (try Unix.close uw' with _ -> ());
-             (try Unix.close rr' with _ -> ())
-           end
-           else
-             List.iter
-               (fun fd -> try Unix.close fd with _ -> ())
-               [ ur'; uw'; rr'; rw' ])
-        pipes;
-      (try worker_main ~exec ur rw with _ -> ());
+      (try Unix.close uw with _ -> ());
+      (try Unix.close rr with _ -> ());
+      List.iter
+        (fun w ->
+           (try Unix.close w.w_in with _ -> ());
+           (try Unix.close w.w_out with _ -> ()))
+        !workers;
+      (try
+         worker_main ~exec ~worker_id:id ~heartbeat_ms:cfg.heartbeat_ms ur rw
+       with _ -> ());
       Unix._exit 125
     | pid ->
-      { w_id = i; w_pid = pid; w_in = uw; w_out = rr; w_unit = None;
-        w_alive = true }
+      (try Unix.close ur with _ -> ());
+      (try Unix.close rw with _ -> ());
+      let w =
+        { w_id = id; w_pid = pid; w_in = uw; w_out = rr; w_unit = None;
+          w_alive = true; w_last_seen = Unix.gettimeofday (); w_chaos = [] }
+      in
+      workers := !workers @ [ w ]
   in
-  let workers = Array.init cfg.workers spawn in
-  Array.iter
-    (fun ((ur, _), (_, rw)) ->
-       (try Unix.close ur with _ -> ());
-       (try Unix.close rw with _ -> ()))
-    pipes;
+  for _ = 1 to cfg.workers do spawn () done;
   let elapsed () = Unix.gettimeofday () -. started in
+  let alive () = List.filter (fun w -> w.w_alive) !workers in
   let inflight () =
-    Array.fold_left
+    List.fold_left
       (fun acc w -> acc + (match w.w_unit with Some _ -> 1 | None -> 0))
-      0 workers
+      0 !workers
   in
   let stop reason = if !stop_reason = None then stop_reason := Some reason in
   let snapshot ~final =
     let in_flight =
-      Array.to_list workers
-      |> List.filter_map (fun w ->
-          match w.w_unit with
-          | Some (_, prefix, _) -> Some ("in-flight", prefix)
-          | None -> None)
+      List.filter_map
+        (fun w ->
+           match w.w_unit with
+           | Some (_, prefix, _) -> Some ("in-flight", prefix)
+           | None -> None)
+        !workers
     in
     { Checkpoint.label = cfg.label;
       strategy = Search.strategy_to_string cfg.strategy;
@@ -456,8 +588,19 @@ let run cfg ?resume ?checkpoint ~exec () =
         (if final then Option.map Budget.reason_to_string !stop_reason
          else None) }
   in
-  let handle_death w =
+  (* Units that repeatedly take their worker down with them are poison:
+     after [max_unit_crashes] deaths attributable to the same prefix,
+     the unit is quarantined instead of requeued — losing one path
+     (and the exhaustiveness claim) beats losing the whole campaign. *)
+  let crash_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let prefix_key p =
+    String.concat ";" (Array.to_list (Array.map Decision.to_string p))
+  in
+  let handle_death ?(hung = false) w =
     w.w_alive <- false;
+    (* SIGKILL before reaping: a hung worker never exits on its own,
+       and one that sent a corrupt frame may still be running. *)
+    (try Unix.kill w.w_pid Sys.sigkill with _ -> ());
     (try Unix.close w.w_in with _ -> ());
     (try Unix.close w.w_out with _ -> ());
     (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
@@ -467,18 +610,35 @@ let run cfg ?resume ?checkpoint ~exec () =
      | Some (id, prefix, _) ->
        w.w_unit <- None;
        decr n_paths;
-       incr requeued;
-       Obs.Metrics.inc m_requeued;
-       Search.push frontier ~site:"requeued" prefix;
+       let key = prefix_key prefix in
+       let crashes =
+         1 + Option.value ~default:0 (Hashtbl.find_opt crash_counts key)
+       in
+       Hashtbl.replace crash_counts key crashes;
+       let quarantine = crashes >= cfg.max_unit_crashes in
+       if quarantine then begin
+         incr quarantined;
+         Obs.Metrics.inc m_quarantined;
+         degraded := true
+       end
+       else begin
+         incr requeued;
+         Obs.Metrics.inc m_requeued;
+         Search.push frontier ~site:"requeued" prefix
+       end;
        if !Obs.Sink.enabled then
-         Obs.Sink.instant ~cat:"pool" "worker-death"
+         Obs.Sink.instant ~cat:"pool"
+           (if quarantine then "quarantine" else "worker-death")
            ~args:[ ("worker", Obs.Event.Int w.w_id);
                    ("unit", Obs.Event.Int id);
-                   ("requeued", Obs.Event.Bool true) ]
+                   ("hung", Obs.Event.Bool hung);
+                   ("crashes", Obs.Event.Int crashes);
+                   ("requeued", Obs.Event.Bool (not quarantine)) ]
      | None ->
        if !Obs.Sink.enabled then
          Obs.Sink.instant ~cat:"pool" "worker-death"
            ~args:[ ("worker", Obs.Event.Int w.w_id);
+                   ("hung", Obs.Event.Bool hung);
                    ("requeued", Obs.Event.Bool false) ])
   in
   let dispatch w =
@@ -489,6 +649,7 @@ let run cfg ?resume ?checkpoint ~exec () =
       incr n_paths;
       incr dispatched;
       w.w_unit <- Some (id, prefix, Unix.gettimeofday ());
+      w.w_last_seen <- Unix.gettimeofday ();
       Obs.Metrics.inc m_dispatched;
       Obs.Metrics.set m_queue (float_of_int (Search.length frontier));
       if !Obs.Sink.enabled then
@@ -497,13 +658,20 @@ let run cfg ?resume ?checkpoint ~exec () =
                   ("unit", Obs.Event.Int id);
                   ("prefix_len", Obs.Event.Int (Array.length prefix));
                   ("frontier", Obs.Event.Int (Search.length frontier)) ];
-      (try write_frame w.w_in (unit_to_json id prefix)
+      (try write_frame w.w_in (unit_to_json id prefix); stalls := 0
        with _ -> handle_death w)
   in
   let merge w id (r : unit_result) =
     match w.w_unit with
     | Some (uid, prefix, t0) when uid = id ->
       w.w_unit <- None;
+      stalls := 0;
+      (* The worker reports cumulative injection counts; fold in the
+         delta since its previous report so multi-unit workers are
+         accounted exactly once. *)
+      let delta = Chaos.sub_counts r.chaos w.w_chaos in
+      w.w_chaos <- r.chaos;
+      worker_chaos := Chaos.add_counts !worker_chaos delta;
       (match r.outcome with
        | Unit_aborted ->
          decr n_paths;
@@ -560,7 +728,7 @@ let run cfg ?resume ?checkpoint ~exec () =
     | Some _ | None -> ()
   in
   let shutdown ~force () =
-    Array.iter
+    List.iter
       (fun w ->
          if w.w_alive then begin
            if force then (try Unix.kill w.w_pid Sys.sigkill with _ -> ())
@@ -570,13 +738,15 @@ let run cfg ?resume ?checkpoint ~exec () =
            (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
            w.w_alive <- false
          end)
-      workers
+      !workers
   in
   if !Obs.Sink.enabled then
     Obs.Sink.instant ~cat:"pool" "run:start"
       ~args:[ ("workers", Obs.Event.Int cfg.workers);
               ("strategy",
                Obs.Event.Str (Search.strategy_to_string cfg.strategy));
+              ("heartbeat_ms",
+               Obs.Event.Int (Option.value ~default:0 cfg.heartbeat_ms));
               ("resumed", Obs.Event.Bool (resume <> None)) ];
   let last_checkpoint = ref now in
   let main_loop () =
@@ -610,6 +780,45 @@ let run cfg ?resume ?checkpoint ~exec () =
            p.Checkpoint.write (snapshot ~final:false)
          end
        | None -> ());
+      (* Watchdog: a worker with a unit in flight that has produced no
+         frame — result or heartbeat — within the grace period is
+         presumed wedged (SIGSTOP, runaway loop, injected hang).  It is
+         killed and its unit requeued; EOF detection alone would wait
+         on it forever. *)
+      (match cfg.heartbeat_ms with
+       | None -> ()
+       | Some ms ->
+         (* Generous on purpose: a missed heartbeat must mean a wedged
+            worker, not a loaded machine — a spurious kill is healed by
+            the requeue, but three on one slow unit would quarantine
+            it. *)
+         let grace = Float.max (8.0 *. float_of_int ms /. 1000.0) 1.0 in
+         let t = Unix.gettimeofday () in
+         List.iter
+           (fun w ->
+              if w.w_alive && w.w_unit <> None
+                 && t -. w.w_last_seen > grace
+              then begin
+                incr hung;
+                Obs.Metrics.inc m_hung;
+                if !Obs.Sink.enabled then
+                  Obs.Sink.instant ~cat:"pool" "watchdog-kill"
+                    ~args:[ ("worker", Obs.Event.Int w.w_id);
+                            ("silent_s",
+                             Obs.Event.Float (t -. w.w_last_seen)) ];
+                handle_death ~hung:true w
+              end)
+           !workers);
+      (* Keep the pool at strength: dead workers are replaced while
+         work remains, so a chaos campaign (or a string of genuine
+         crashes) degrades throughput rather than the verdict.  The
+         spawn cap bounds a pathological crash loop. *)
+      if !stop_reason = None && not (Search.is_empty frontier) then begin
+        let missing = cfg.workers - List.length (alive ()) in
+        for _ = 1 to min missing (spawn_cap - !spawns) do
+          spawn ()
+        done
+      end;
       (* Work-sharing: fill every idle worker while budget remains. *)
       let rec fill () =
         if !stop_reason = None && not (Search.is_empty frontier) then begin
@@ -620,8 +829,7 @@ let run cfg ?resume ?checkpoint ~exec () =
           in
           if paths_left then
             match
-              Array.to_seq workers
-              |> Seq.find (fun w -> w.w_alive && w.w_unit = None)
+              List.find_opt (fun w -> w.w_alive && w.w_unit = None) !workers
             with
             | Some w -> dispatch w; fill ()
             | None -> ()
@@ -634,55 +842,84 @@ let run cfg ?resume ?checkpoint ~exec () =
         if Search.is_empty frontier || !stop_reason <> None then
           continue := false
         else if
-          not (Array.exists (fun w -> w.w_alive) workers)
+          not (List.exists (fun w -> w.w_alive) !workers)
+          && !spawns >= spawn_cap
         then begin
-          (* Work remains but nobody can run it: persist the frontier
-             (so the run is resumable) and report the failure. *)
+          (* Work remains but nobody can run it and the respawn budget
+             is spent: persist the frontier (so the run is resumable)
+             and report the failure. *)
           (match checkpoint with
            | Some p -> p.Checkpoint.write (snapshot ~final:false)
            | None -> ());
           raise
             (Worker_fatal
-               (Printf.sprintf "all %d workers died with work remaining"
-                  cfg.workers))
+               (Printf.sprintf
+                  "all workers died with work remaining (%d spawned)"
+                  !spawns))
         end
-        (* else: dispatch failed because the only idle workers died
-           while being written to; loop and retry with the survivors. *)
+        else begin
+          (* Dispatch made no progress this iteration (the idle workers
+             died while being written to, or were just respawned).
+             Retry — but boundedly, so a repeated dispatch failure
+             cannot spin the master forever. *)
+          incr stalls;
+          if !stalls >= max_dispatch_stalls then begin
+            (match checkpoint with
+             | Some p -> p.Checkpoint.write (snapshot ~final:false)
+             | None -> ());
+            raise
+              (Worker_fatal
+                 (Printf.sprintf
+                    "dispatch stalled %d consecutive times with work \
+                     remaining"
+                    !stalls))
+          end;
+          ignore (Unix.select [] [] [] 0.001)
+        end
       end
       else begin
         let fds =
-          Array.to_list workers
-          |> List.filter_map (fun w ->
-              if w.w_alive && w.w_unit <> None then Some w.w_out else None)
+          List.filter_map
+            (fun w -> if w.w_alive then Some w.w_out else None)
+            !workers
         in
         match Unix.select fds [] [] 0.1 with
         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
         | ready, _, _ ->
           List.iter
             (fun fd ->
+               (* Match on liveness too: a dead worker's closed fd
+                  number is reused by the next spawn's pipe, and the
+                  stale entry would otherwise shadow the live worker —
+                  swallowing its frames until the watchdog killed it. *)
                match
-                 Array.to_seq workers |> Seq.find (fun w -> w.w_out == fd)
+                 List.find_opt
+                   (fun w -> w.w_alive && w.w_out == fd)
+                   !workers
                with
                | None -> ()
                | Some w ->
-                 (match read_frame fd with
-                  | exception _ -> handle_death w
-                  | j ->
-                    (match
-                       Option.bind (Json.member "cmd" j) Json.to_string_opt
-                     with
-                     | Some "result" ->
-                       (match result_of_json j with
-                        | Ok (id, r) -> merge w id r
-                        | Error msg -> raise (Worker_fatal msg))
-                     | Some "fatal" ->
-                       let msg =
-                         Option.value ~default:"worker failure"
-                           (Option.bind (Json.member "msg" j)
-                              Json.to_string_opt)
-                       in
-                       raise (Worker_fatal msg)
-                     | _ -> ())))
+                 if w.w_alive then
+                   match read_frame fd with
+                   | exception _ -> handle_death w
+                   | j ->
+                     w.w_last_seen <- Unix.gettimeofday ();
+                     (match
+                        Option.bind (Json.member "cmd" j) Json.to_string_opt
+                      with
+                      | Some "result" ->
+                        (match result_of_json j with
+                         | Ok (id, r) -> merge w id r
+                         | Error msg -> raise (Worker_fatal msg))
+                      | Some "hb" -> ()
+                      | Some "fatal" ->
+                        let msg =
+                          Option.value ~default:"worker failure"
+                            (Option.bind (Json.member "msg" j)
+                               Json.to_string_opt)
+                        in
+                        raise (Worker_fatal msg)
+                      | _ -> ()))
             ready
       end
     done
@@ -704,12 +941,19 @@ let run cfg ?resume ?checkpoint ~exec () =
               (Error.kind_to_string b.Error.kind)
           | c -> c)
     in
+    let chaos =
+      Chaos.add_counts
+        (Chaos.sub_counts (Chaos.counts ()) chaos0)
+        !worker_chaos
+    in
     if !Obs.Sink.enabled then
       Obs.Sink.instant ~cat:"pool" "run:end"
         ~args:[ ("paths", Obs.Event.Int !n_paths);
                 ("errors", Obs.Event.Int !n_errors);
                 ("requeues", Obs.Event.Int !requeued);
-                ("worker_deaths", Obs.Event.Int !deaths) ];
+                ("worker_deaths", Obs.Event.Int !deaths);
+                ("hung", Obs.Event.Int !hung);
+                ("quarantined", Obs.Event.Int !quarantined) ];
     { r_errors = errors;
       r_paths = !n_paths;
       r_completed = !n_completed;
@@ -724,7 +968,10 @@ let run cfg ?resume ?checkpoint ~exec () =
       r_visits = Search.visit_counts frontier;
       r_dispatched = !dispatched;
       r_requeued = !requeued;
-      r_worker_deaths = !deaths }
+      r_worker_deaths = !deaths;
+      r_hung = !hung;
+      r_quarantined = !quarantined;
+      r_chaos = chaos }
   | exception Worker_fatal msg ->
     shutdown ~force:true ();
     failwith ("Engine pool: " ^ msg)
@@ -739,9 +986,9 @@ let fork_map ~workers f =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   flush stdout;
   flush stderr;
-  (* As in [run]: create every pipe before the first fork so each child
-     can close the write ends it inherited from its siblings' pipes —
-     otherwise a child dying early would never produce an EOF. *)
+  (* Create every pipe before the first fork so each child can close
+     the write ends it inherited from its siblings' pipes — otherwise a
+     child dying early would never produce an EOF. *)
   let pipes = Array.init workers (fun _ -> Unix.pipe ()) in
   let children =
     Array.to_list

@@ -33,8 +33,27 @@
     {1 Fault tolerance}
 
     A worker that dies mid-unit (killed, crashed) is detected by EOF
-    on its pipe; its in-flight prefix is re-queued and the run
-    completes on the remaining workers. *)
+    on its pipe — or by a torn/unparsable frame, which marks the worker
+    compromised.  Its in-flight prefix is re-queued and a replacement
+    worker is forked while work remains, so the run completes at full
+    strength (a spawn cap bounds pathological crash loops).
+
+    With [heartbeat_ms] set, workers emit periodic heartbeat frames
+    from a SIGALRM timer and the master runs a {e watchdog}: a worker
+    holding a unit that produces no frame for [max (8*hb, 1s)] is
+    presumed wedged (e.g. SIGSTOPped), killed, and treated as a death
+    — without heartbeats such a worker would block the run forever.
+
+    A {e poison unit} whose prefix kills [max_unit_crashes] workers is
+    quarantined rather than requeued: the path is dropped, the run is
+    marked degraded (no exhaustiveness claim) and the quarantine is
+    surfaced in [r_quarantined].
+
+    With a {!Chaos} spec armed, workers reseed their injection streams
+    with their worker id and fire the [worker-crash], [worker-hang],
+    [frame-truncate] and [frame-corrupt] points; the per-worker
+    injection counts travel back in result frames and are merged into
+    [r_chaos]. *)
 
 (** How a single work-unit execution ended in the worker. *)
 type unit_outcome =
@@ -59,6 +78,9 @@ type unit_result = {
   requeue : Decision.t array option;
       (** for [Unit_aborted]: the decisions taken before the abort,
           re-queued by the master so nothing is lost *)
+  chaos : (string * int) list;
+      (** cumulative {!Chaos.counts} of this worker process; the
+          master folds per-result deltas into [r_chaos] *)
 }
 
 type config = {
@@ -67,6 +89,12 @@ type config = {
   limits : Budget.t;              (** global budgets (master-enforced) *)
   stop_after_errors : int option;
   label : string;                 (** run name, checked on resume *)
+  heartbeat_ms : int option;
+      (** worker heartbeat period; [None] disables heartbeats and the
+          watchdog (a wedged worker then blocks the run) *)
+  max_unit_crashes : int;
+      (** worker deaths attributable to one prefix before that unit is
+          quarantined instead of requeued; >= 1 *)
 }
 
 type result = {
@@ -85,7 +113,13 @@ type result = {
   r_visits : (string * int) list;  (** merged branch coverage *)
   r_dispatched : int;   (** units handed to workers (incl. re-runs) *)
   r_requeued : int;     (** units re-queued (aborts + worker deaths) *)
-  r_worker_deaths : int;
+  r_worker_deaths : int;  (** workers lost (crashes + watchdog kills) *)
+  r_hung : int;         (** workers killed by the heartbeat watchdog *)
+  r_quarantined : int;  (** poison units dropped after repeated crashes *)
+  r_chaos : (string * int) list;
+      (** merged {!Chaos} injection counts: the master's own plus the
+          per-result deltas reported by workers (injections in a
+          worker's final, torn frame are unaccountable and lost) *)
 }
 
 val run :
@@ -99,8 +133,9 @@ val run :
     the worker processes only — one call per received unit; worker
     state (solver caches, pooled inputs) persists across calls within
     one worker.  Raises [Failure] if every worker dies while work
-    remains, or if a worker reports a fatal testbench error (the
-    analogue of an exception escaping {!Engine.run}). *)
+    remains and the respawn cap is spent, if the master's dispatch
+    stalls without progress, or if a worker reports a fatal testbench
+    error (the analogue of an exception escaping {!Engine.run}). *)
 
 val fork_map :
   workers:int -> (int -> Obs.Json.t) -> (Obs.Json.t, string) Stdlib.result list

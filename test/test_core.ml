@@ -454,6 +454,7 @@ let test_explain_known_sites () =
            path_id = 0;
            instructions = 0;
            found_after = 0.0;
+           validated = true;
          }
        in
        Alcotest.(check bool) (site ^ " explained") true

@@ -16,4 +16,5 @@ let () =
       ("integration", Test_core.suite);
       ("resilience", Test_resilience.suite);
       ("pool", Test_pool.suite);
+      ("chaos", Test_chaos.suite);
     ]

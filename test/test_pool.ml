@@ -81,7 +81,7 @@ let equiv_cases =
 let unit_ok ?(forks = []) () =
   { Pool.outcome = Pool.Unit_completed; forks; errors = []; visits = [];
     instructions = 1; degraded = false; solver = Smt.Solver.Stats.zero;
-    requeue = None }
+    requeue = None; chaos = [] }
 
 (* A worker SIGKILLed in the middle of a unit must have its prefix
    re-queued and served by a surviving worker.  The exec callback runs
@@ -95,7 +95,7 @@ let test_worker_death_requeued () =
        let config =
          { Pool.workers = 2; strategy = Search.Dfs;
            limits = Engine.no_limits; stop_after_errors = None;
-           label = "kill-test" }
+           label = "kill-test"; heartbeat_ms = None; max_unit_crashes = 3 }
        in
        let exec ~prefix =
          match Array.to_list prefix with

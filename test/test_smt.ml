@@ -773,7 +773,7 @@ let test_solver_stats_json_roundtrip () =
       cex_hits = 1; query_evictions = 2; cex_evictions = 5;
       interval_unsat = 6; interval_sat = 8; sat_calls = 10;
       sat_conflicts = 11; sat_decisions = 12; sat_propagations = 13;
-      sat_timeouts = 14; time = 1.5; interval_time = 0.25;
+      sat_timeouts = 14; sat_retries = 15; time = 1.5; interval_time = 0.25;
       bitblast_time = 0.5; sat_time = 0.75 }
   in
   let s' = Solver.Stats.of_json (Solver.Stats.to_json s) in

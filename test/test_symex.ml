@@ -609,6 +609,7 @@ let sample_error =
     path_id = 3;
     instructions = 120;
     found_after = 0.25;
+    validated = true;
   }
 
 let test_error_json_roundtrip () =
