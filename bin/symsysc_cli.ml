@@ -226,18 +226,29 @@ let stats_interval =
   Arg.(value & opt (some pos_int) None
        & info [ "stats-interval" ] ~docv:"N" ~doc)
 
+let top_flag =
+  let doc =
+    "Live TTY dashboard on stderr (redraws in place): paths/s, frontier \
+     depth, solver and cache rates, and with --workers > 1 a per-worker \
+     busy/idle line with heartbeat ages.  Overrides --stats-interval."
+  in
+  Arg.(value & flag & info [ "top" ] ~doc)
+
 type obs_opts = {
   trace_out : string option;
   events_out : string option;
   metrics_out : string option;
   stats_interval : int option;
+  top : bool;
 }
 
 let obs_term =
-  let make trace_out events_out metrics_out stats_interval =
-    { trace_out; events_out; metrics_out; stats_interval }
+  let make trace_out events_out metrics_out stats_interval top =
+    { trace_out; events_out; metrics_out; stats_interval; top }
   in
-  Term.(const make $ trace_out $ events_out $ metrics_out $ stats_interval)
+  Term.(
+    const make $ trace_out $ events_out $ metrics_out $ stats_interval
+    $ top_flag)
 
 (* Run [f] with the requested telemetry consumers installed; write the
    output files afterwards.  [record] lets the caller publish final
@@ -252,9 +263,11 @@ let with_obs (o : obs_opts) ?(record = fun _ -> ()) f =
     if o.metrics_out <> None then Some (Obs.Export.metrics_bridge ())
     else None
   in
-  (match o.stats_interval with
-   | Some n -> Obs.Progress.configure ~interval:n ()
-   | None -> ());
+  if o.top then Obs.Progress.configure_top ()
+  else
+    (match o.stats_interval with
+     | Some n -> Obs.Progress.configure ~interval:n ()
+     | None -> ());
   let finish () =
     Obs.Progress.disable ();
     Option.iter Obs.Export.stop recorder;
@@ -263,23 +276,35 @@ let with_obs (o : obs_opts) ?(record = fun _ -> ()) f =
   let result = Fun.protect ~finally:finish f in
   (match recorder with
    | Some r ->
-     let events = Obs.Export.events r in
-     if Obs.Export.dropped r > 0 then
-       Format.eprintf "[obs] warning: %d events dropped (buffer limit)@."
-         (Obs.Export.dropped r);
+     (* Tagged save: a -j N run merges worker event streams into this
+        recorder, and the tagged serializers give each source its own
+        named Perfetto track ("master", "worker 0", ...). *)
+     let tagged = Obs.Export.tagged_events r in
+     (match Obs.Export.dropped r, Obs.Export.remote_dropped r with
+      | 0, 0 -> ()
+      | local, 0 ->
+        Format.eprintf "[obs] warning: %d events dropped (buffer limit)@."
+          local
+      | local, remote ->
+        Format.eprintf
+          "[obs] warning: %d events dropped (%d at the recorder, %d in \
+           worker forwarding buffers)@."
+          (local + remote) local remote);
      let save what path write =
        try
          write path;
          Format.eprintf "[obs] %s (%d events) -> %s@." what
-           (List.length events) path
+           (List.length tagged) path
        with Sys_error msg ->
          Format.eprintf "symsysc: cannot write %s: %s@." what msg
      in
      Option.iter
-       (fun path -> save "chrome trace" path (Obs.Export.save_chrome events))
+       (fun path ->
+          save "chrome trace" path (Obs.Export.save_chrome_tagged tagged))
        o.trace_out;
      Option.iter
-       (fun path -> save "event log" path (Obs.Export.save_jsonl events))
+       (fun path ->
+          save "event log" path (Obs.Export.save_jsonl_tagged tagged))
        o.events_out
    | None -> ());
   record result;
@@ -326,6 +351,15 @@ let solver_stats_flag =
   let doc = "Print the per-stage solver breakdown after the run." in
   Arg.(value & flag & info [ "solver-stats" ] ~doc)
 
+let profile_flag =
+  let doc =
+    "Print the top-$(docv) solver-time attribution buckets — (query \
+     origin, pipeline stage) keys ranked by self time — after the run \
+     (default K: 10)."
+  in
+  Arg.(value & opt ~vopt:(Some 10) (some int) None
+       & info [ "profile" ] ~docv:"K" ~doc)
+
 (* ---- resilience options ---- *)
 
 let checkpoint_out =
@@ -360,8 +394,8 @@ let report_out =
        & info [ "report-out" ] ~docv:"FILE" ~doc)
 
 let run_cmd =
-  let run scenario variant faults coverage solver_stats obs checkpoint_out
-      checkpoint_every_s resume_from report_out name =
+  let run scenario variant faults coverage solver_stats profile obs
+      checkpoint_out checkpoint_every_s resume_from report_out name =
     match Symsysc.Tests.by_name name with
     | None -> `Error (false, "unknown test " ^ name)
     | Some _ ->
@@ -416,8 +450,14 @@ let run_cmd =
              Format.eprintf "symsysc: cannot write report: %s@." msg)
         report_out;
       Format.printf "%a@." Symsysc.Report.pp report;
+      if report.Symsysc.Report.engine.Engine.coverage <> Obs.Coverage.zero
+      then Format.printf "%a" Symsysc.Report.pp_coverage report;
       if solver_stats then
         Format.printf "@.%a@." Symsysc.Report.pp_solver_breakdown report;
+      Option.iter
+        (fun k ->
+           Format.printf "@.%a" (Symsysc.Report.pp_profile ~k) report)
+        profile;
       List.iter
         (fun e ->
            Format.printf "@.%a@." Error.pp e;
@@ -438,7 +478,7 @@ let run_cmd =
     (Cmd.info "run" ~doc)
     Term.(
       ret (const run $ scenario_term $ variant $ faults $ coverage_flag
-           $ solver_stats_flag $ obs_term $ checkpoint_out
+           $ solver_stats_flag $ profile_flag $ obs_term $ checkpoint_out
            $ checkpoint_every_s $ resume_from $ report_out $ test_name))
 
 (* ---- table1 ---- *)
@@ -453,6 +493,8 @@ let table1_cmd =
     Symsysc.Tables.print_table1 Format.std_formatter reports;
     Format.printf "@.where the solver time goes:@.";
     Symsysc.Tables.print_solver_breakdown Format.std_formatter reports;
+    Format.printf "@.what the paths covered:@.";
+    Symsysc.Tables.print_coverage Format.std_formatter reports;
     List.iter
       (fun (r : Symsysc.Report.t) ->
          List.iter
@@ -481,6 +523,46 @@ let table2_cmd =
   let doc = "Regenerate Table 2 (time-to-detection matrix)." in
   Cmd.v (Cmd.info "table2" ~doc) Term.(const run $ scenario_term $ tests_opt)
 
+(* ---- report-diff ---- *)
+
+let report_diff_cmd =
+  let file n =
+    let doc = "Report JSON written by --report-out." in
+    Arg.(required & pos n (some file) None & info [] ~docv:"REPORT" ~doc)
+  in
+  let run a_path b_path =
+    let load path =
+      match Obs.Json.load path with
+      | Ok j -> j
+      | Error msg ->
+        Format.eprintf "symsysc: cannot read %s: %s@." path msg;
+        exit 2
+    in
+    let diffs = Symsysc.Diff.compare_reports (load a_path) (load b_path) in
+    match diffs with
+    | [] ->
+      Format.printf "reports agree (%s vs %s)@." a_path b_path;
+      `Ok ()
+    | _ ->
+      Format.printf "%a@." Symsysc.Diff.pp diffs;
+      Format.eprintf "symsysc: %d difference%s between %s and %s@."
+        (List.length diffs)
+        (if List.length diffs = 1 then "" else "s")
+        a_path b_path;
+      exit 1
+  in
+  let doc =
+    "Compare two --report-out JSONs on their deterministic fields \
+     (verdict, termination, path/instruction counters, (site, kind) \
+     error set, coverage maps and percentages); exit 1 on any \
+     difference.  Wall/solver times, cache statistics, worker counts, \
+     resilience counters and the solver-time profile are ignored — \
+     they legitimately vary across runs and worker counts."
+  in
+  Cmd.v
+    (Cmd.info "report-diff" ~doc)
+    Term.(ret (const run $ file 0 $ file 1))
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -506,4 +588,7 @@ let () =
     "Symbolic verification of SystemC TLM peripherals (SymSysC, DAC'22)"
   in
   let info = Cmd.info "symsysc" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ run_cmd; table1_cmd; table2_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ run_cmd; table1_cmd; table2_cmd; report_diff_cmd; list_cmd ]))

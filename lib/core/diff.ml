@@ -1,0 +1,115 @@
+(* Deterministic comparison of two --report-out JSONs, for the CI gate
+   between a -j 1 and a -j 4 run of the same campaign.
+
+   Only fields that are deterministic for a fixed seed and path set are
+   compared: verdict/strategy/termination, path and instruction
+   counters, the (site, kind) error set, and the full coverage map plus
+   its percentage summary.  Deliberately excluded: wall and solver
+   times, solver cache statistics, worker count, resilience counters,
+   the profile (bucket keys depend on per-worker private caches) and
+   dropped-event counts — all legitimately vary across worker counts or
+   runs. *)
+
+module Json = Obs.Json
+
+let scalar_to_string = function
+  | Json.Null -> "null"
+  | Json.Bool b -> string_of_bool b
+  | Json.Int n -> string_of_int n
+  | Json.Float f -> Printf.sprintf "%g" f
+  | Json.Str s -> s
+  | (Json.List _ | Json.Obj _) as j -> Json.to_string j
+
+let field name j =
+  match Json.member name j with Some v -> v | None -> Json.Null
+
+(* Scalar field equality; Int 3 and Float 3. compare equal so a report
+   that went through a float-normalizing tool still diffs clean. *)
+let scalar_equal a b =
+  match a, b with
+  | Json.Int n, Json.Float f | Json.Float f, Json.Int n ->
+    f = float_of_int n
+  | _ -> a = b
+
+let compare_scalar name a b =
+  let va = field name a and vb = field name b in
+  if scalar_equal va vb then []
+  else
+    [ Printf.sprintf "%s: %s vs %s" name (scalar_to_string va)
+        (scalar_to_string vb) ]
+
+(* The error lists in reports are already sorted by (site, kind), but
+   de-duplicate and re-sort anyway so the diff is set-based: the same
+   bug found on a different number of paths is not a regression. *)
+let error_set j =
+  match Json.to_list_opt (field "errors" j) with
+  | None -> []
+  | Some errs ->
+    List.sort_uniq compare
+      (List.map
+         (fun e ->
+            ( Option.value ~default:"?"
+                (Option.bind (Json.member "site" e) Json.to_string_opt),
+              Option.value ~default:"?"
+                (Option.bind (Json.member "kind" e) Json.to_string_opt) ))
+         errs)
+
+let compare_errors a b =
+  let ea = error_set a and eb = error_set b in
+  let fmt (site, kind) = Printf.sprintf "%s/%s" site kind in
+  let missing tag xs ys =
+    List.filter_map
+      (fun e ->
+         if List.mem e ys then None
+         else Some (Printf.sprintf "errors: %s only in %s" (fmt e) tag))
+      xs
+  in
+  missing "first" ea eb @ missing "second" eb ea
+
+(* Coverage maps and their summaries serialize canonically (sorted keys,
+   fixed field order), so structural equality is the comparison; on
+   mismatch, drill one level down for a readable message. *)
+let compare_coverage name a b =
+  let ca = field name a and cb = field name b in
+  if ca = cb then []
+  else
+    match ca, cb with
+    | Json.Obj fa, Json.Obj fb ->
+      let keys =
+        List.sort_uniq compare (List.map fst fa @ List.map fst fb)
+      in
+      List.filter_map
+        (fun k ->
+           let va = field k ca and vb = field k cb in
+           if va = vb then None
+           else
+             Some
+               (Printf.sprintf "%s.%s: %s vs %s" name k
+                  (Json.to_string va) (Json.to_string vb)))
+        keys
+    | _ ->
+      [ Printf.sprintf "%s: %s vs %s" name (Json.to_string ca)
+          (Json.to_string cb) ]
+
+let compare_reports a b =
+  List.concat
+    [ compare_scalar "test" a b;
+      compare_scalar "verdict" a b;
+      compare_scalar "strategy" a b;
+      compare_scalar "exhausted" a b;
+      compare_scalar "stop_reason" a b;
+      compare_scalar "paths" a b;
+      compare_scalar "paths_completed" a b;
+      compare_scalar "paths_errored" a b;
+      compare_scalar "paths_infeasible" a b;
+      compare_scalar "paths_unknown" a b;
+      compare_scalar "instructions" a b;
+      compare_errors a b;
+      compare_coverage "coverage" a b;
+      compare_coverage "coverage_summary" a b ]
+
+let pp ppf diffs =
+  Format.fprintf ppf "@[<v>%a@]"
+    (Format.pp_print_list ~pp_sep:Format.pp_print_cut
+       Format.pp_print_string)
+    diffs

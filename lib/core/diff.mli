@@ -1,0 +1,22 @@
+(** Deterministic comparison of two machine-readable reports
+    ({!Report.to_json} files), the substance of the [report-diff] CLI
+    subcommand and the CI equivalence gate between worker counts.
+
+    Compared: test name, verdict, strategy, termination
+    (exhausted / stop_reason), path and instruction counters, the
+    (site, kind) error {e set}, and the coverage map plus its
+    percentage summary (both serialize canonically, so equality is
+    structural).
+
+    Excluded because they legitimately vary across runs or worker
+    counts: wall and solver times, solver cache statistics, worker
+    count, resilience counters, dropped-event counts, and the
+    solver-time profile (its bucket population depends on per-worker
+    private caches). *)
+
+val compare_reports : Obs.Json.t -> Obs.Json.t -> string list
+(** Human-readable difference lines; [[]] means the reports agree on
+    every compared field. *)
+
+val pp : Format.formatter -> string list -> unit
+(** One difference per line. *)

@@ -99,6 +99,86 @@ let known_sites =
         summary = "a successful read returned a wrong number of bytes";
         fix = "fill exactly the requested length on TLM_OK_RESPONSE";
       } );
+    (* CLINT timer-property detectors (testbench checks). *)
+    ( "clint:not-early",
+      {
+        bug = None;
+        summary =
+          "the machine timer interrupt asserted before mtime reached \
+           mtimecmp";
+        fix =
+          "raise the timer level only when mtime >= mtimecmp; re-derive \
+           the comparison after every mtimecmp write";
+      } );
+    ( "clint:fired",
+      {
+        bug = None;
+        summary =
+          "the machine timer interrupt never asserted although mtime \
+           passed mtimecmp";
+        fix =
+          "re-arm the comparison thread on mtimecmp writes so a \
+           deadline already in the past still fires";
+      } );
+    ( "clint:exact",
+      {
+        bug = None;
+        summary =
+          "the machine timer interrupt asserted at a tick other than \
+           the programmed mtimecmp deadline";
+        fix =
+          "compute the wakeup delay from the current mtime, not a \
+           stale copy taken before the register write";
+      } );
+    ( "clint:retract",
+      {
+        bug = None;
+        summary =
+          "the timer level stayed asserted after mtimecmp was moved \
+           into the future";
+        fix = "retract the level whenever the comparison becomes false";
+      } );
+    ( "clint:delay",
+      {
+        bug = None;
+        summary =
+          "the CLINT could not concretize the wakeup delay mtimecmp - \
+           mtime (unbounded symbolic deadline)";
+        fix =
+          "constrain mtimecmp in the testbench, or clamp the delay \
+           before scheduling the comparison thread";
+      } );
+    (* UART detectors. *)
+    ( "uart:loopback",
+      {
+        bug = None;
+        summary =
+          "a byte read back from the UART loopback differed from the \
+           byte written to txdata";
+        fix =
+          "preserve the full 8 data bits through the TX shift, line \
+           and RX FIFO path";
+      } );
+    ( "uart:wm-property",
+      {
+        bug = None;
+        summary =
+          "an interrupt-pending bit disagreed with its watermark \
+           condition (txwm/rxwm vs FIFO occupancy)";
+        fix =
+          "recompute ip from the FIFO levels and txcnt/rxcnt on every \
+           FIFO mutation, not only on register writes";
+      } );
+    ( "uart:div",
+      {
+        bug = None;
+        summary =
+          "the UART could not concretize the baud divisor (div left \
+           fully symbolic)";
+        fix =
+          "write a concrete divisor before enabling TX, or bound div \
+           with an assumption";
+      } );
   ]
 
 let lookup (err : Error.t) = List.assoc_opt err.Error.site known_sites

@@ -49,7 +49,7 @@ let resilience_suffix (r : Engine.resilience) =
 let pp ppf t =
   Format.fprintf ppf
     "%s: %s — %d instr, %.2fs, %d paths, %.2f%% solver, %d queries, \
-     %.1f%% cache%s%s"
+     %.1f%% cache%s%s%s"
     t.test_name
     (verdict_to_string t.verdict)
     t.engine.Engine.instructions t.engine.Engine.wall_time
@@ -62,6 +62,16 @@ let pp ppf t =
        Printf.sprintf " (stopped: %s)" (Symex.Budget.reason_to_string r)
      | None -> if t.engine.Engine.exhausted then "" else " (degraded)")
     (resilience_suffix t.engine.Engine.resilience)
+    (if t.engine.Engine.events_dropped > 0 then
+       Printf.sprintf " [%d trace events dropped]"
+         t.engine.Engine.events_dropped
+     else "")
+
+let pp_coverage ppf t =
+  Obs.Coverage.pp ppf t.engine.Engine.coverage
+
+let pp_profile ?k ppf t =
+  Obs.Profile.pp_top ?k ppf t.engine.Engine.profile
 
 let pp_solver_breakdown ppf t =
   let s = t.engine.Engine.solver_stats in
@@ -152,7 +162,34 @@ let record_metrics t =
          ("symsysc_engine_stop_" ^ Symex.Budget.reason_to_string r)
          (if e.Engine.stop_reason = Some r then 1 else 0))
     Symex.Budget.
-      [ Paths; Instructions; Deadline; Memory; Errors; Interrupt ]
+      [ Paths; Instructions; Deadline; Memory; Errors; Interrupt ];
+  (* Coverage gauges: one per peripheral (register / byte-resolution bit
+     percentages) and one per branch-site group (arm percentage).  Label
+     syntax matches the existing symsysc_chaos_* convention: the key is
+     folded into the metric name. *)
+  let mname base key =
+    Printf.sprintf "symsysc_coverage_%s_%s" base
+      (String.map
+         (function
+           | ('a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_') as c -> c
+           | _ -> '_')
+         key)
+  in
+  List.iter
+    (fun (p : Obs.Coverage.peripheral_summary) ->
+       g (mname "register_pct" p.Obs.Coverage.ps_peripheral)
+         (Obs.Coverage.pct p.Obs.Coverage.ps_touched
+            p.Obs.Coverage.ps_registers);
+       g (mname "bit_pct" p.Obs.Coverage.ps_peripheral)
+         (Obs.Coverage.pct p.Obs.Coverage.ps_bits_touched
+            p.Obs.Coverage.ps_bits))
+    (Obs.Coverage.peripherals e.Engine.coverage);
+  List.iter
+    (fun (b : Obs.Coverage.branch_summary) ->
+       g (mname "arm_pct" b.Obs.Coverage.bs_group)
+         (Obs.Coverage.pct b.Obs.Coverage.bs_covered b.Obs.Coverage.bs_arms))
+    (Obs.Coverage.branches e.Engine.coverage);
+  ci "symsysc_events_dropped_total" e.Engine.events_dropped
 
 let pp_errors ppf t =
   Format.fprintf ppf "@[<v>%a@]"
@@ -212,6 +249,10 @@ let to_json t =
             ("chaos",
              Obj
                (List.map (fun (p, n) -> (p, Int n)) r.Engine.res_chaos)) ]));
+      ("coverage", Obs.Coverage.to_json e.Engine.coverage);
+      ("coverage_summary", Obs.Coverage.summary_to_json e.Engine.coverage);
+      ("profile", Obs.Profile.to_json e.Engine.profile);
+      ("events_dropped", Int e.Engine.events_dropped);
       ("errors", List (List.map Symex.Error.to_json errors)) ]
 
 let save_json path t = Obs.Json.save path (to_json t)

@@ -25,6 +25,14 @@ val verdict_to_string : verdict -> string
 val pp : Format.formatter -> t -> unit
 (** One-line summary, including query count and cache hit rate. *)
 
+val pp_coverage : Format.formatter -> t -> unit
+(** Per-peripheral register/bit coverage and per-group branch-arm
+    coverage percentages (one line each). *)
+
+val pp_profile : ?k:int -> Format.formatter -> t -> unit
+(** Top-[k] solver-time attribution table: (query origin, pipeline
+    stage) buckets ranked by self time ([--profile]). *)
+
 val pp_solver_breakdown : Format.formatter -> t -> unit
 (** Multi-line per-stage solver breakdown (interval prescreen,
     bit-blasting, SAT search, cache hits, CDCL counters) — where the

@@ -60,6 +60,45 @@ let print_solver_breakdown ppf reports =
          s.Smt.Solver.Stats.sat_time s.Smt.Solver.Stats.sat_conflicts)
     reports
 
+(* Coverage companion to Table 1: how much of each test's register file
+   and decision tree the explored paths actually exercised.  Reg%% and
+   Bit%% aggregate over every peripheral the test mapped; Arm%% is over
+   all decision sites (both arms of a site count separately). *)
+let print_coverage ppf reports =
+  Format.fprintf ppf
+    "| Test | Regs  | Reg %%  | Bit %%  | Sites | Arm %%  |@.";
+  Format.fprintf ppf
+    "|------|-------|--------|--------|-------|--------|@.";
+  List.iter
+    (fun (r : Report.t) ->
+       let cov = r.Report.engine.Engine.coverage in
+       let sum f =
+         List.fold_left
+           (fun acc p -> acc + f p)
+           0
+           (Obs.Coverage.peripherals cov)
+       in
+       let regs = sum (fun p -> p.Obs.Coverage.ps_registers) in
+       let touched = sum (fun p -> p.Obs.Coverage.ps_touched) in
+       let bits = sum (fun p -> p.Obs.Coverage.ps_bits) in
+       let bits_touched = sum (fun p -> p.Obs.Coverage.ps_bits_touched) in
+       let bsum f =
+         List.fold_left
+           (fun acc b -> acc + f b)
+           0
+           (Obs.Coverage.branches cov)
+       in
+       let arms = bsum (fun b -> b.Obs.Coverage.bs_arms) in
+       let covered = bsum (fun b -> b.Obs.Coverage.bs_covered) in
+       Format.fprintf ppf
+         "| %-4s | %5d | %5.1f%% | %5.1f%% | %5d | %5.1f%% |@."
+         r.Report.test_name regs
+         (Obs.Coverage.pct touched regs)
+         (Obs.Coverage.pct bits_touched bits)
+         (arms / 2)
+         (Obs.Coverage.pct covered arms))
+    reports
+
 (* Worker-scaling companion: each row is the same campaign run with a
    different worker count; speedup is relative to the first row (the
    single-worker baseline), over the summed per-run wall time. *)

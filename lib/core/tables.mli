@@ -11,6 +11,11 @@ val print_solver_breakdown : Format.formatter -> Report.t list -> unit
 (** Companion to Table 1: per-test solver-stage breakdown (queries,
     cache hit rate, interval/bit-blast/SAT seconds, CDCL conflicts). *)
 
+val print_coverage : Format.formatter -> Report.t list -> unit
+(** Coverage companion to Table 1: per-test register, byte-resolution
+    bit and branch-arm coverage percentages, aggregated over every
+    peripheral / decision site the test touched. *)
+
 val print_scaling : Format.formatter -> (int * Report.t list) list -> unit
 (** Worker-scaling table: rows are (worker count, reports of the same
     campaign at that count); Speedup is the first row's summed wall

@@ -41,3 +41,63 @@ let pp ppf e =
   List.iter
     (fun (k, v) -> Format.fprintf ppf " %s=%a" k pp_arg v)
     e.args
+
+(* JSON transport for forwarding events between processes (worker →
+   master frames).  The arg payload maps 1:1 onto JSON scalars, so the
+   round-trip is exact (floats go through the Json printer's %.17g). *)
+
+let arg_to_json = function
+  | Int n -> Json.Int n
+  | Float f -> Json.Float f
+  | Str s -> Json.Str s
+  | Bool b -> Json.Bool b
+
+let arg_of_json = function
+  | Json.Int n -> Int n
+  | Json.Float f -> Float f
+  | Json.Str s -> Str s
+  | Json.Bool b -> Bool b
+  | Json.Null | Json.List _ | Json.Obj _ -> Str "?"
+
+let to_json e =
+  let base =
+    [ ("ts", Json.Float e.ts);
+      ("cat", Json.Str e.cat);
+      ("name", Json.Str e.name);
+      ("ph", Json.Str (kind_to_string e.kind)) ]
+  in
+  let dur = match e.kind with Complete d -> [ ("dur", Json.Float d) ] | _ -> [] in
+  let args =
+    match e.args with
+    | [] -> []
+    | l -> [ ("args", Json.Obj (List.map (fun (k, v) -> (k, arg_to_json v)) l)) ]
+  in
+  Json.Obj (base @ dur @ args)
+
+let of_json j =
+  let str k = Option.bind (Json.member k j) Json.to_string_opt in
+  let flt k = Option.bind (Json.member k j) Json.to_float_opt in
+  match str "ph" with
+  | None -> None
+  | Some ph ->
+    let kind =
+      match ph with
+      | "i" -> Some Instant
+      | "C" -> Some Counter
+      | "B" -> Some Span_begin
+      | "E" -> Some Span_end
+      | "X" -> Some (Complete (Option.value ~default:0.0 (flt "dur")))
+      | _ -> None
+    in
+    Option.map
+      (fun kind ->
+         let args =
+           match Json.member "args" j with
+           | Some (Json.Obj l) -> List.map (fun (k, v) -> (k, arg_of_json v)) l
+           | _ -> []
+         in
+         { ts = Option.value ~default:0.0 (flt "ts");
+           cat = Option.value ~default:"" (str "cat");
+           name = Option.value ~default:"" (str "name");
+           kind; args })
+      kind

@@ -40,3 +40,10 @@ val kind_to_string : kind -> string
 (** The Chrome trace-event phase letter. *)
 
 val pp : Format.formatter -> t -> unit
+
+val to_json : t -> Json.t
+(** Transport encoding for worker→master frames: fields [ts], [cat],
+    [name], [ph] (phase letter), [dur] (for ["X"]), [args]. *)
+
+val of_json : Json.t -> t option
+(** Inverse of {!to_json}; [None] on a malformed or unknown phase. *)

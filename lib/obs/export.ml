@@ -1,25 +1,99 @@
+(* Events are stored tagged with a source: 0 is this process (the
+   master), [w + 1] is pool worker [w] (via [inject]).  The untagged
+   [events] view hides the tags, so single-process consumers are
+   unaffected. *)
 type recorder = {
-  mutable rev_events : Event.t list;
+  mutable rev_events : (int * Event.t) list;
   mutable count : int;
   limit : int;
   mutable dropped : int;
+  mutable remote_dropped : int;
   mutable sub : int;
 }
 
+(* The most recently created, still-running recorder; lets the pool
+   master route forwarded worker events without threading the recorder
+   through the engine API. *)
+let live : recorder option ref = ref None
+
 let recorder ?(limit = 2_000_000) () =
-  let r = { rev_events = []; count = 0; limit; dropped = 0; sub = -1 } in
+  let r =
+    { rev_events = []; count = 0; limit; dropped = 0; remote_dropped = 0;
+      sub = -1 }
+  in
   r.sub <-
     Sink.subscribe (fun e ->
         if r.count >= r.limit then r.dropped <- r.dropped + 1
         else begin
-          r.rev_events <- e :: r.rev_events;
+          r.rev_events <- (0, e) :: r.rev_events;
           r.count <- r.count + 1
         end);
+  live := Some r;
   r
 
-let stop r = Sink.unsubscribe r.sub
-let events r = List.rev r.rev_events
+let stop r =
+  Sink.unsubscribe r.sub;
+  (match !live with Some l when l == r -> live := None | _ -> ())
+
+let events r = List.rev_map snd r.rev_events
+let tagged_events r = List.rev r.rev_events
 let dropped r = r.dropped
+let remote_dropped r = r.remote_dropped
+
+let active () = Option.is_some !live
+
+let inject ~worker evs =
+  match !live with
+  | None -> ()
+  | Some r ->
+    List.iter
+      (fun e ->
+         if r.count >= r.limit then r.dropped <- r.dropped + 1
+         else begin
+           r.rev_events <- (worker + 1, e) :: r.rev_events;
+           r.count <- r.count + 1
+         end)
+      evs
+
+let note_remote_dropped n =
+  match !live with
+  | None -> ()
+  | Some r -> r.remote_dropped <- r.remote_dropped + n
+
+let dropped_total () =
+  match !live with None -> 0 | Some r -> r.dropped + r.remote_dropped
+
+(* ---- worker-side forwarding buffer ----
+
+   Pool workers have no recorder (the sink is reset after fork); when
+   the master asked for forwarding they accumulate events here, bounded
+   per work unit, and drain the buffer into each result frame. *)
+
+let fwd_limit = ref 65_536
+let fwd_rev : Event.t list ref = ref []
+let fwd_count = ref 0
+let fwd_dropped = ref 0
+let fwd_sub = ref (-1)
+
+let forwarding_begin ?limit () =
+  (match limit with Some l -> fwd_limit := l | None -> ());
+  fwd_rev := [];
+  fwd_count := 0;
+  fwd_dropped := 0;
+  fwd_sub :=
+    Sink.subscribe (fun e ->
+        if !fwd_count >= !fwd_limit then incr fwd_dropped
+        else begin
+          fwd_rev := e :: !fwd_rev;
+          incr fwd_count
+        end)
+
+let forwarding_take () =
+  let evs = List.rev !fwd_rev and d = !fwd_dropped in
+  fwd_rev := [];
+  fwd_count := 0;
+  fwd_dropped := 0;
+  (evs, d)
 
 (* ---- JSON helpers (hand-rolled: no JSON dependency in the tree) ---- *)
 
@@ -141,6 +215,93 @@ let save_string path s =
 
 let save_chrome ?pid events path = save_string path (to_chrome ?pid events)
 let save_jsonl events path = save_string path (to_jsonl events)
+
+(* ---- multi-process Chrome trace (merged worker tracks) ----
+
+   Tag [t] renders as Chrome process [t + 1] (so the master keeps the
+   default pid 1 of [to_chrome]); each process carries a process_name
+   metadata row ("master" / "worker N") plus the usual per-category
+   thread names.  Events are stably sorted by timestamp so a merged
+   trace reads chronologically regardless of frame arrival order. *)
+
+let tag_name = function 0 -> "master" | t -> Printf.sprintf "worker %d" (t - 1)
+
+let to_chrome_tagged tagged =
+  let tagged =
+    List.stable_sort
+      (fun (_, (a : Event.t)) (_, (b : Event.t)) ->
+         Float.compare a.Event.ts b.Event.ts)
+      tagged
+  in
+  let tags =
+    List.sort_uniq Int.compare (List.map fst tagged)
+  in
+  let tids_of =
+    let tbl = Hashtbl.create 8 in
+    fun tag ->
+      match Hashtbl.find_opt tbl tag with
+      | Some t -> t
+      | None ->
+        let cats =
+          List.filter_map
+            (fun (t, (e : Event.t)) -> if t = tag then Some e.Event.cat else None)
+            tagged
+        in
+        let t = tid_table cats in
+        Hashtbl.add tbl tag t;
+        t
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"traceEvents\":[";
+  let first = ref true in
+  let sep () = if !first then first := false else Buffer.add_string buf ",\n" in
+  List.iter
+    (fun tag ->
+       let pid = tag + 1 in
+       sep ();
+       Printf.bprintf buf
+         "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+         pid (escape_json (tag_name tag));
+       Hashtbl.fold (fun cat tid acc -> (cat, tid) :: acc) (tids_of tag) []
+       |> List.sort (fun (_, a) (_, b) -> Int.compare a b)
+       |> List.iter (fun (cat, tid) ->
+           sep ();
+           Printf.bprintf buf
+             "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"%s\"}}"
+             pid tid (escape_json cat)))
+    tags;
+  List.iter
+    (fun (tag, (e : Event.t)) ->
+       sep ();
+       chrome_event buf ~pid:(tag + 1)
+         ~tid:(Hashtbl.find (tids_of tag) e.Event.cat)
+         e)
+    tagged;
+  Buffer.add_string buf "],\"displayTimeUnit\":\"ms\"}";
+  Buffer.contents buf
+
+let save_chrome_tagged tagged path = save_string path (to_chrome_tagged tagged)
+
+let to_jsonl_tagged tagged =
+  let buf = Buffer.create 4096 in
+  List.iter
+    (fun (tag, (e : Event.t)) ->
+       Printf.bprintf buf "{\"src\":\"%s\",\"ts\":%s,\"cat\":\"%s\",\"name\":\"%s\",\"ph\":\"%s\""
+         (escape_json (tag_name tag))
+         (json_float e.Event.ts) (escape_json e.Event.cat)
+         (escape_json e.Event.name)
+         (Event.kind_to_string e.Event.kind);
+       (match e.Event.kind with
+        | Event.Complete dur -> Printf.bprintf buf ",\"dur\":%s" (json_float dur)
+        | Event.Instant | Event.Counter | Event.Span_begin | Event.Span_end ->
+          ());
+       Buffer.add_string buf ",\"args\":";
+       json_args buf e.Event.args;
+       Buffer.add_string buf "}\n")
+    tagged;
+  Buffer.contents buf
+
+let save_jsonl_tagged tagged path = save_string path (to_jsonl_tagged tagged)
 
 (* ---- event -> metrics bridge ---- *)
 

@@ -16,7 +16,44 @@ val stop : recorder -> unit
 val events : recorder -> Event.t list
 (** Recorded events in emission order. *)
 
+val tagged_events : recorder -> (int * Event.t) list
+(** Recorded events with their source tag: 0 for this process, [w + 1]
+    for pool worker [w] (events added via {!inject}). *)
+
 val dropped : recorder -> int
+(** Events dropped locally past the recorder limit. *)
+
+val remote_dropped : recorder -> int
+(** Drop counts reported by workers via {!note_remote_dropped}. *)
+
+(** {1 Cross-worker merge support}
+
+    The pool master routes forwarded worker events into the most
+    recently created live recorder; workers buffer events between result
+    frames with the forwarding API below. *)
+
+val active : unit -> bool
+(** Whether a live recorder exists in this process (checked by workers
+    before paying for forwarding). *)
+
+val inject : worker:int -> Event.t list -> unit
+(** Append events from pool worker [worker] to the live recorder (tag
+    [worker + 1]), honouring its limit/drop accounting.  No-op without
+    a live recorder. *)
+
+val note_remote_dropped : int -> unit
+(** Account events a worker dropped before forwarding. *)
+
+val dropped_total : unit -> int
+(** Local + remote drops of the live recorder; 0 when none is active. *)
+
+val forwarding_begin : ?limit:int -> unit -> unit
+(** Worker side: subscribe a bounded buffer (default 65536 events per
+    work unit) that {!forwarding_take} drains. *)
+
+val forwarding_take : unit -> Event.t list * int
+(** Drain the forwarding buffer: buffered events in emission order and
+    the number dropped past the limit; resets both. *)
 
 val to_chrome : ?pid:int -> Event.t list -> string
 (** A complete Chrome trace-event JSON document
@@ -31,6 +68,19 @@ val to_jsonl : Event.t list -> string
 
 val save_chrome : ?pid:int -> Event.t list -> string -> unit
 val save_jsonl : Event.t list -> string -> unit
+
+val to_chrome_tagged : (int * Event.t) list -> string
+(** Like {!to_chrome} for tagged events: tag [t] becomes Chrome process
+    [t + 1] with a [process_name] metadata row ("master" / "worker N"),
+    so a merged multi-worker trace opens in Perfetto with one named
+    track group per worker.  Events are stably sorted by timestamp. *)
+
+val save_chrome_tagged : (int * Event.t) list -> string -> unit
+
+val to_jsonl_tagged : (int * Event.t) list -> string
+(** {!to_jsonl} plus a leading [src] field ("master" / "worker N"). *)
+
+val save_jsonl_tagged : (int * Event.t) list -> string -> unit
 
 val metrics_bridge : unit -> int
 (** Subscribe a folder that mirrors the event stream into {!Metrics}:

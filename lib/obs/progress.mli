@@ -1,12 +1,24 @@
-(** Live exploration statistics — the [klee-stats
-    --stats-write-interval] analogue.
+(** Live exploration statistics.
 
-    The engine calls {!due} after every finished path (one ref read
-    plus a [mod] when configured, one ref read when not) and, when it
-    returns true, assembles a {!snapshot} and calls {!tick}, which
-    appends one stats line to the configured formatter.  Rates
-    (paths/s, instructions/s) are computed over the window since the
-    previous line; solver fraction and cache hit rate are cumulative. *)
+    Two modes share one call-site contract: the engine (or pool master)
+    calls {!due} after progress is made and, when it returns true,
+    assembles a {!snapshot} and calls {!tick}.
+
+    - {!configure} — the [klee-stats] analogue: one appended stats line
+      every [interval] finished paths.
+    - {!configure_top} — a [top]-style TTY dashboard redrawn in place
+      every [refresh_s] seconds: paths/s, frontier depth, solver
+      fraction, cache hit rate, and per-worker health/heartbeat age.
+
+    Rates (paths/s, instructions/s) are computed over the window since
+    the previous tick; solver fraction and cache hit rate are
+    cumulative. *)
+
+type worker_row = {
+  wr_id : int;
+  wr_busy : bool;       (** a work unit is currently dispatched to it *)
+  wr_age : float;       (** seconds since its last heartbeat/frame *)
+}
 
 type snapshot = {
   paths : int;
@@ -17,6 +29,7 @@ type snapshot = {
   solver_queries : int;    (** cumulative solver queries *)
   cache_hits : int;        (** query-cache + counterexample-cache hits *)
   wall : float;            (** seconds since the run started *)
+  workers : worker_row list;  (** empty for sequential runs *)
 }
 
 val configure : ?out:Format.formatter -> interval:int -> unit -> unit
@@ -24,12 +37,23 @@ val configure : ?out:Format.formatter -> interval:int -> unit -> unit
     destination: stderr).  Raises [Invalid_argument] when
     [interval < 1]. *)
 
+val configure_top : ?out:Format.formatter -> ?refresh_s:float -> unit -> unit
+(** Redraw the dashboard at most every [refresh_s] seconds (default
+    0.5).  Raises [Invalid_argument] when [refresh_s <= 0]. *)
+
 val disable : unit -> unit
 
 val interval : unit -> int option
+(** The line-mode interval; [None] when disabled or in dashboard mode. *)
+
+val top_enabled : unit -> bool
 
 val due : paths:int -> bool
-(** True when a line should be printed after path number [paths]. *)
+(** Whether a tick should be drawn now.  Line mode: true at most once
+    per multiple of the interval (repeat polls at the same path count
+    do not re-fire).  Dashboard mode: true when the refresh period has
+    elapsed. *)
 
 val tick : snapshot -> unit
-(** Print one stats line (no-op when not configured). *)
+(** Print one stats line / redraw the dashboard (no-op when not
+    configured). *)

@@ -67,3 +67,8 @@ let with_span ?args ~cat name f =
     in
     Fun.protect ~finally:finish f
   end
+
+(* Cross-process timeline support: a worker inherits the master's epoch
+   so forwarded event timestamps land on one shared timeline. *)
+let current_epoch () = !epoch
+let set_epoch t = epoch := t

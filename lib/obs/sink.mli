@@ -57,3 +57,11 @@ val with_span :
   cat:string -> string -> (unit -> 'a) -> 'a
 (** Time [f] and emit a [Complete] span stamped at its start; when the
     sink is disabled this is exactly [f ()]. *)
+
+val current_epoch : unit -> float
+(** The pinned epoch (Unix time), or [nan] when no subscriber ever
+    pinned it. *)
+
+val set_epoch : float -> unit
+(** Pin the epoch explicitly — used by pool workers to inherit the
+    master's timeline so forwarded events merge onto one clock. *)

@@ -270,6 +270,7 @@ let stage name timef record f =
   let r = f () in
   let dt = Unix.gettimeofday () -. t0 in
   Stats.(current := timef !current dt);
+  Obs.Profile.record ~stage:name dt;
   if !Obs.Sink.enabled then
     Obs.Sink.complete ~cat:"solver" ~dur_us:(dt *. 1e6)
       ~args:(record r) name;
@@ -443,12 +444,20 @@ let solve_slice ?conflict_limit ?deadline ?timeout_ms constraints vars =
    indexed counterexample cache, then the solving pipeline.  Emits a
    [solver/slice] span per slice when the sink is enabled. *)
 let check_slice ?conflict_limit ?deadline ?timeout_ms constraints =
-  let t0 = if !Obs.Sink.enabled then Unix.gettimeofday () else 0.0 in
+  let t0 = Unix.gettimeofday () in
   Stats.(current := { !current with slices = !current.slices + 1 });
   let finish ~via r =
+    let dt = Unix.gettimeofday () -. t0 in
+    (* Cache shortcuts bypass the timed pipeline stages; attribute their
+       (small) wall time explicitly so the profile still sums to the
+       solver total.  Pipeline slices are covered by the inner stage
+       records plus the query-level "other" remainder. *)
+    (match via with
+     | "cache" -> Obs.Profile.record ~stage:"slice:cache" dt
+     | "cex" -> Obs.Profile.record ~stage:"slice:cex" dt
+     | _ -> ());
     if !Obs.Sink.enabled then
-      Obs.Sink.complete ~cat:"solver"
-        ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6)
+      Obs.Sink.complete ~cat:"solver" ~dur_us:(dt *. 1e6)
         ~args:
           [ ("outcome", Obs.Event.Str (outcome_to_string r));
             ("via", Obs.Event.Str via);
@@ -509,9 +518,15 @@ let check ?conflict_limit ?timeout_ms constraints =
     Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) timeout_ms
   in
   Stats.(current := { !current with queries = !current.queries + 1 });
+  let clock0 = Obs.Profile.stage_clock () in
   let finish ~via r =
     let dt = Unix.gettimeofday () -. t0 in
     Stats.(current := { !current with time = !current.time +. dt });
+    (* Attribute query wall time not covered by any inner stage record
+       (encoding overhead, slicing, constant short-circuits) to "other",
+       so per-origin bucket totals sum to the Stats.time delta. *)
+    Obs.Profile.record ~stage:"other"
+      (dt -. (Obs.Profile.stage_clock () -. clock0));
     if !Obs.Sink.enabled then
       Obs.Sink.complete ~cat:"solver" ~dur_us:(dt *. 1e6)
         ~args:

@@ -69,6 +69,9 @@ type report = {
   branch_coverage : (string * int) list;
   workers : int;
   resilience : resilience;
+  coverage : Obs.Coverage.t;
+  profile : Obs.Profile.t;
+  events_dropped : int;
 }
 
 exception Check_failed of string
@@ -141,6 +144,11 @@ let mode = ref Off
 
 let in_symbolic_context () =
   match !mode with Off -> false | Explore _ | Replay _ | Rand _ -> true
+
+(* Coverage is recorded only while exploring: replay/random re-runs of
+   already-explored paths must not inflate the counts. *)
+let exploring () =
+  match !mode with Explore _ -> true | Off | Replay _ | Rand _ -> false
 
 let current_path st =
   match st.cur with
@@ -263,10 +271,11 @@ let feasible st constraints =
   | Solver.Unsat -> false
   | Solver.Unknown msg -> solver_unknown st msg
 
-let take st ps cond d =
+let take ~site st ps cond d =
   ignore st;
   ps.taken <- Decision.Dir d :: ps.taken;
   ps.pc <- (if d then cond else Expr.not_ cond) :: ps.pc;
+  Obs.Coverage.record_arm ~site d;
   d
 
 let record_visit st ps site =
@@ -292,6 +301,7 @@ let branch ?(site = "branch") cond =
     check_limits st;
     let ps = current_path st in
     record_visit st ps site;
+    Obs.Profile.set_origin site;
     (match Expr.to_bool cond with
      | Some b -> b
      | None ->
@@ -299,7 +309,7 @@ let branch ?(site = "branch") cond =
          match ps.prefix.(ps.pos) with
          | Decision.Dir d ->
            ps.pos <- ps.pos + 1;
-           take st ps cond d
+           take ~site st ps cond d
          | Decision.Pick _ ->
            failwith
              "Engine.branch: decision trace diverged (prescribed \
@@ -320,9 +330,9 @@ let branch ?(site = "branch") cond =
                  [ ("site", Obs.Event.Str site);
                    ("path", Obs.Event.Int ps.path_id);
                    ("frontier", Obs.Event.Int (Search.length st.frontier)) ];
-           take st ps cond true
-         | true, false -> take st ps cond true
-         | false, true -> take st ps cond false
+           take ~site st ps cond true
+         | true, false -> take ~site st ps cond true
+         | false, true -> take ~site st ps cond false
          | false, false ->
            (* The path condition itself became unsatisfiable — can only
               happen via solver resource limits; kill the path. *)
@@ -352,6 +362,7 @@ let assume cond =
      | Some true -> ()
      | Some false -> raise (Terminate_path End_infeasible)
      | None ->
+       Obs.Profile.set_origin "assume";
        if feasible st (cond :: ps.pc) then ps.pc <- cond :: ps.pc
        else raise (Terminate_path End_infeasible))
 
@@ -449,6 +460,7 @@ let check_kind kind ~site ?(message = "property violated") cond =
   | Explore st ->
     check_limits st;
     let ps = current_path st in
+    Obs.Profile.set_origin site;
     (match Expr.to_bool cond with
      | Some true -> ()
      | Some false ->
@@ -479,6 +491,7 @@ let report_error kind ~site ~message =
   | Rand rs -> random_failure rs kind site message
   | Explore st ->
     let ps = current_path st in
+    Obs.Profile.set_origin site;
     (match path_check st ps.pc with
      | Solver.Sat m ->
        record_error st ps kind site message m;
@@ -508,6 +521,7 @@ let rec concretize ?(site = "concretize") e =
        check_limits st;
        let ps = current_path st in
        record_visit st ps site;
+       Obs.Profile.set_origin site;
        if ps.pos < Array.length ps.prefix then begin
          match ps.prefix.(ps.pos) with
          | Decision.Pick { value; dir } ->
@@ -515,6 +529,7 @@ let rec concretize ?(site = "concretize") e =
            let cond = Expr.eq e (Expr.const value) in
            ps.taken <- Decision.Pick { value; dir } :: ps.taken;
            ps.pc <- (if dir then cond else Expr.not_ cond) :: ps.pc;
+           Obs.Coverage.record_arm ~site dir;
            if dir then value else concretize ~site e
          | Decision.Dir _ ->
            failwith
@@ -544,6 +559,7 @@ let rec concretize ?(site = "concretize") e =
             end;
             ps.taken <- Decision.Pick { value = v; dir = true } :: ps.taken;
             ps.pc <- cond :: ps.pc;
+            Obs.Coverage.record_arm ~site true;
             v
           | Solver.Unsat -> raise (Terminate_path End_infeasible)
           | Solver.Unknown msg -> solver_unknown st msg))
@@ -573,6 +589,10 @@ let exec_path st body ~prefix =
   in
   st.cur <- Some ps;
   st.n_paths <- st.n_paths + 1;
+  (* Snapshot so an abandoned path's coverage rolls back with its visit
+     counts — keeping sequential budget stops and pool unit aborts on
+     identical accounting. *)
+  let cov0 = Obs.Coverage.get () in
   if !Obs.Sink.enabled then
     Obs.Sink.span_begin ~cat:"engine" "path"
       ~args:
@@ -611,6 +631,7 @@ let exec_path st body ~prefix =
          (* An OCaml exception escaped the testbench: report it like
             KLEE reports an unhandled C++ exception. *)
          let site = "exception:" ^ Printexc.to_string exn in
+         Obs.Profile.set_origin "exception";
          (match Solver.check ps.pc with
           | Solver.Sat m ->
             (* A [Stop_exploration] from the error threshold propagates
@@ -636,6 +657,7 @@ let exec_path st body ~prefix =
          resumed run re-execute the path in full, so total counters
          match an uninterrupted run exactly. *)
       List.iter (Search.unrecord_visit st.frontier) ps.visited;
+      Obs.Coverage.restore cov0;
       let partial = instructions_so_far st - ps.instr_start in
       st.instr_base <- st.instr_base + partial;
       st.n_paths <- st.n_paths - 1;
@@ -698,6 +720,11 @@ let seq_run ~(config : config) ~label ?resume ?checkpoint body =
   in
   let now = Unix.gettimeofday () in
   let chaos0 = Chaos.counts () in
+  (* Coverage/profile baselines are process-global deltas like the
+     solver stats; checkpoints do not carry them, so a resumed run
+     reports post-resume coverage only. *)
+  let coverage0 = Obs.Coverage.get () in
+  let profile0 = Obs.Profile.get () in
   let st =
     {
       cfg = config;
@@ -790,6 +817,7 @@ let seq_run ~(config : config) ~label ?resume ?checkpoint body =
                    cache_hits =
                      s.Solver.Stats.cache_hits + s.Solver.Stats.cex_hits;
                    wall = elapsed st;
+                   workers = [];
                  }
              end
          done
@@ -842,6 +870,9 @@ let seq_run ~(config : config) ~label ?resume ?checkpoint body =
           { no_resilience with
             res_checkpoint_fallbacks = Checkpoint.fallbacks ();
             res_chaos = Chaos.sub_counts (Chaos.counts ()) chaos0 };
+        coverage = Obs.Coverage.sub (Obs.Coverage.get ()) coverage0;
+        profile = Obs.Profile.sub (Obs.Profile.get ()) profile0;
+        events_dropped = Obs.Export.dropped_total ();
       })
 
 (* ------------------------------------------------------------------ *)
@@ -904,6 +935,8 @@ let run_unit st body ~prefix =
   st.stop_reason <- None;
   st.instr_base <- Expr.instruction_count ();
   let solver0 = Solver.Stats.get () in
+  let coverage0 = Obs.Coverage.get () in
+  let profile0 = Obs.Profile.get () in
   Solver.set_interrupt_check Budget.interrupted;
   mode := Explore st;
   let finish () = mode := Off in
@@ -911,6 +944,12 @@ let run_unit st body ~prefix =
     Fun.protect ~finally:finish (fun () -> exec_path st body ~prefix)
   in
   let solver = Solver.Stats.sub (Solver.Stats.get ()) solver0 in
+  (* An aborted unit's coverage delta is zero by construction —
+     [exec_path] restored the registry — mirroring the visits/
+     instructions rollback; the profile delta ships regardless, like
+     the solver stats. *)
+  let coverage = Obs.Coverage.sub (Obs.Coverage.get ()) coverage0 in
+  let profile = Obs.Profile.sub (Obs.Profile.get ()) profile0 in
   let forks = Search.entries st.frontier in
   let errors = List.rev st.errors_rev in
   match outcome with
@@ -926,7 +965,11 @@ let run_unit st body ~prefix =
       degraded = st.degraded;
       solver;
       requeue = Some taken;
-      chaos = [] }
+      chaos = [];
+      coverage;
+      profile;
+      events = [];
+      events_dropped = 0 }
   | `Done ->
     let outcome =
       if st.n_completed > 0 then Pool.Unit_completed
@@ -942,7 +985,11 @@ let run_unit st body ~prefix =
       degraded = st.degraded;
       solver;
       requeue = None;
-      chaos = [] }
+      chaos = [];
+      coverage;
+      profile;
+      events = [];
+      events_dropped = 0 }
 
 (* ------------------------------------------------------------------ *)
 (* Replay                                                              *)
@@ -1119,6 +1166,9 @@ module Session = struct
               res_quarantined = r.Pool.r_quarantined;
               res_checkpoint_fallbacks = Checkpoint.fallbacks ();
               res_chaos = r.Pool.r_chaos };
+          coverage = r.Pool.r_coverage;
+          profile = r.Pool.r_profile;
+          events_dropped = Obs.Export.dropped_total ();
         }
       end
     in

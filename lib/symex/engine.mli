@@ -118,6 +118,14 @@ type report = {
   workers : int;                (** worker processes the run used (1 =
                                     in-process sequential exploration) *)
   resilience : resilience;      (** faults absorbed during the run *)
+  coverage : Obs.Coverage.t;
+      (** register/branch-arm coverage recorded during the run, merged
+          across workers; deterministic for a fixed path set *)
+  profile : Obs.Profile.t;
+      (** solver wall time bucketed by (query origin, pipeline stage) *)
+  events_dropped : int;
+      (** trace events lost to recorder/forwarding limits (local +
+          worker-reported) *)
 }
 
 (** The unified exploration entry point: one value carrying everything
@@ -263,6 +271,12 @@ val terminate_path : unit -> 'a
 
 val in_symbolic_context : unit -> bool
 (** Whether a [run] or [replay] is active. *)
+
+val exploring : unit -> bool
+(** Whether symbolic exploration specifically is active — true under
+    [run]/[Session.run], false under replay or random trials.  Coverage
+    instrumentation gates on this so re-validation of counterexamples
+    does not inflate the counts. *)
 
 exception Check_failed of string
 (** Raised by [check] in plain concrete execution (outside [run] /

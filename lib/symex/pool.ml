@@ -18,6 +18,10 @@ type unit_result = {
   solver : Stats.t;
   requeue : Decision.t array option;
   chaos : (string * int) list;
+  coverage : Obs.Coverage.t;
+  profile : Obs.Profile.t;
+  events : Obs.Event.t list;
+  events_dropped : int;
 }
 
 type config = {
@@ -49,6 +53,8 @@ type result = {
   r_hung : int;
   r_quarantined : int;
   r_chaos : (string * int) list;
+  r_coverage : Obs.Coverage.t;
+  r_profile : Obs.Profile.t;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -193,6 +199,10 @@ let result_to_json id (r : unit_result) =
       ("solver", Stats.to_json r.solver);
       ("chaos",
        Json.Obj (List.map (fun (k, n) -> (k, Json.Int n)) r.chaos));
+      ("coverage", Obs.Coverage.to_json r.coverage);
+      ("profile", Obs.Profile.to_json r.profile);
+      ("events", Json.List (List.map Obs.Event.to_json r.events));
+      ("events_dropped", Json.Int r.events_dropped);
       ("requeue",
        match r.requeue with None -> Json.Null | Some p -> prefix_to_json p) ]
 
@@ -262,6 +272,21 @@ let result_of_json j =
         fields
     | _ -> []
   in
+  let coverage =
+    match Json.member "coverage" j with
+    | Some cj -> Obs.Coverage.of_json cj
+    | None -> Obs.Coverage.zero
+  in
+  let profile =
+    match Json.member "profile" j with
+    | Some pj -> Obs.Profile.of_json pj
+    | None -> Obs.Profile.zero
+  in
+  let events =
+    match Option.bind (Json.member "events" j) Json.to_list_opt with
+    | None -> []
+    | Some l -> List.filter_map Obs.Event.of_json l
+  in
   Ok
     ( id,
       { outcome;
@@ -276,7 +301,13 @@ let result_of_json j =
             (Option.bind (Json.member "degraded" j) Json.to_bool_opt);
         solver;
         requeue;
-        chaos } )
+        chaos;
+        coverage;
+        profile;
+        events;
+        events_dropped =
+          Option.value ~default:0
+            (Option.bind (Json.member "events_dropped" j) Json.to_int_opt) } )
 
 (* ------------------------------------------------------------------ *)
 (* Worker side.  Runs after [fork]: silence the inherited telemetry
@@ -293,7 +324,17 @@ let result_of_json j =
 
 let worker_main ~exec ~worker_id ~heartbeat_ms r w =
   Obs.Progress.disable ();
+  (* If the master has a live trace recorder, this worker forwards its
+     own event stream back in result frames.  Capture the master's
+     epoch before resetting the sink, then re-pin it, so forwarded
+     timestamps share the master's timeline. *)
+  let forward = Obs.Export.active () in
+  let master_epoch = Obs.Sink.current_epoch () in
   Obs.Sink.reset ();
+  if forward then begin
+    if not (Float.is_nan master_epoch) then Obs.Sink.set_epoch master_epoch;
+    Obs.Export.forwarding_begin ()
+  end;
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   (* Each forked worker must draw its own chaos decisions — siblings
      inherit identical PRNG streams over [fork] and would otherwise all
@@ -328,7 +369,13 @@ let worker_main ~exec ~worker_id ~heartbeat_ms r w =
   in
   let send j = send_string (frame_string j) in
   let send_result id res =
-    let res = { res with chaos = Chaos.counts () } in
+    let res =
+      if forward then begin
+        let events, events_dropped = Obs.Export.forwarding_take () in
+        { res with chaos = Chaos.counts (); events; events_dropped }
+      end
+      else { res with chaos = Chaos.counts () }
+    in
     let j = result_to_json id res in
     if Chaos.fire Chaos.Frame_truncate then begin
       (* A worker dying mid-write: half a frame, then gone.  Exiting
@@ -442,6 +489,8 @@ let run cfg ?resume ?checkpoint ~exec () =
   let stalls = ref 0 in
   let chaos0 = Chaos.counts () in
   let worker_chaos = ref [] in
+  let coverage_acc = ref Obs.Coverage.zero in
+  let profile_acc = ref Obs.Profile.zero in
   let now = Unix.gettimeofday () in
   let started =
     match resume with None -> now | Some ck -> now -. ck.Checkpoint.wall_time
@@ -685,10 +734,20 @@ let run cfg ?resume ?checkpoint ~exec () =
        | Unit_unknown -> incr n_unknown);
       if r.outcome <> Unit_aborted then begin
         instr := !instr + r.instructions;
-        Search.merge_visit_counts frontier r.visits
+        Search.merge_visit_counts frontier r.visits;
+        (* Coverage merges only from units that counted: exactly one
+           contribution per executed path, so the merged map matches a
+           sequential run over the same path set bit for bit. *)
+        coverage_acc := Obs.Coverage.add !coverage_acc r.coverage
       end;
       List.iter (fun (site, p) -> Search.push frontier ~site p) r.forks;
       solver_acc := Stats.add !solver_acc r.solver;
+      (* Profile and forwarded events mirror the solver stats: work
+         done is accounted even when the unit aborted. *)
+      profile_acc := Obs.Profile.add !profile_acc r.profile;
+      Obs.Export.inject ~worker:w.w_id r.events;
+      if r.events_dropped > 0 then
+        Obs.Export.note_remote_dropped r.events_dropped;
       if r.degraded then degraded := true;
       List.iter
         (fun (e : Error.t) ->
@@ -838,6 +897,31 @@ let run cfg ?resume ?checkpoint ~exec () =
       fill ();
       let busy = inflight () in
       Obs.Metrics.set m_busy (float_of_int busy);
+      (* Live progress (line mode or the --top dashboard); [due]
+         dedupes, so polling every loop iteration is cheap. *)
+      (let done_paths = !n_paths - busy in
+       if Obs.Progress.due ~paths:done_paths then begin
+         let t = Unix.gettimeofday () in
+         Obs.Progress.tick
+           { Obs.Progress.paths = done_paths;
+             instructions = !instr;
+             frontier = Search.length frontier;
+             errors = !n_errors;
+             solver_time = !solver_acc.Stats.time;
+             solver_queries = !solver_acc.Stats.queries;
+             cache_hits = !solver_acc.Stats.cache_hits + !solver_acc.Stats.cex_hits;
+             wall = elapsed ();
+             workers =
+               List.filter_map
+                 (fun w ->
+                    if w.w_alive then
+                      Some
+                        { Obs.Progress.wr_id = w.w_id;
+                          wr_busy = w.w_unit <> None;
+                          wr_age = t -. w.w_last_seen }
+                    else None)
+                 !workers }
+       end);
       if busy = 0 then begin
         if Search.is_empty frontier || !stop_reason <> None then
           continue := false
@@ -971,7 +1055,9 @@ let run cfg ?resume ?checkpoint ~exec () =
       r_worker_deaths = !deaths;
       r_hung = !hung;
       r_quarantined = !quarantined;
-      r_chaos = chaos }
+      r_chaos = chaos;
+      r_coverage = !coverage_acc;
+      r_profile = !profile_acc }
   | exception Worker_fatal msg ->
     shutdown ~force:true ();
     failwith ("Engine pool: " ^ msg)

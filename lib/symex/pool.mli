@@ -81,6 +81,17 @@ type unit_result = {
   chaos : (string * int) list;
       (** cumulative {!Chaos.counts} of this worker process; the
           master folds per-result deltas into [r_chaos] *)
+  coverage : Obs.Coverage.t;
+      (** register/branch-arm coverage delta of this unit (zero when
+          aborted — mirrors [visits]) *)
+  profile : Obs.Profile.t;
+      (** solver-time attribution delta of this unit (ships even when
+          aborted — mirrors [solver]) *)
+  events : Obs.Event.t list;
+      (** forwarded trace events (bounded); empty unless the master
+          requested forwarding *)
+  events_dropped : int;
+      (** events lost to the worker's forwarding buffer limit *)
 }
 
 type config = {
@@ -120,6 +131,12 @@ type result = {
       (** merged {!Chaos} injection counts: the master's own plus the
           per-result deltas reported by workers (injections in a
           worker's final, torn frame are unaccountable and lost) *)
+  r_coverage : Obs.Coverage.t;
+      (** merged coverage: the sum of non-aborted unit deltas — exactly
+          one contribution per executed path, so bit-for-bit equal to a
+          sequential run over the same path set *)
+  r_profile : Obs.Profile.t;
+      (** merged solver-time attribution (CPU seconds, like [r_solver]) *)
 }
 
 val run :

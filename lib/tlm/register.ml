@@ -1,4 +1,5 @@
 module Expr = Smt.Expr
+module Bv = Smt.Bv
 module Value = Symex.Value
 module Engine = Symex.Engine
 module Mem = Symex.Mem
@@ -51,6 +52,9 @@ let add_range t ~name ~base ~access ?pre_read ?post_write backing =
        (Printf.sprintf "Register.add_range: %s overlaps %s" name other.rg_name)
    | None -> ());
   t.rev_ranges <- range :: t.rev_ranges;
+  if Engine.exploring () then
+    Obs.Coverage.declare ~peripheral:t.rf_name ~register:name
+      ~size:range.rg_size;
   range
 
 let find_range t name =
@@ -100,6 +104,21 @@ let serve t (p : Payload.t) r =
        raise Done
      end);
   let offset = Value.sub p.Payload.addr (Value.of_int r.base) in
+  (* Coverage: concrete (or constant-folded) accesses mark their exact
+     byte window; accesses still symbolic here mark the whole register.
+     Constant folding is deterministic across re-executions, so the
+     recorded windows are identical for identical paths. *)
+  if Engine.exploring () then begin
+    let concrete v = Option.map Bv.to_int (Expr.to_bv v) in
+    let off = concrete offset and len = concrete p.Payload.len in
+    let record =
+      match p.Payload.cmd with
+      | Payload.Read -> Obs.Coverage.record_read
+      | Payload.Write -> Obs.Coverage.record_write
+    in
+    record ~peripheral:t.rf_name ~register:r.rg_name ~size:r.rg_size ?off
+      ?len ()
+  end;
   match p.Payload.cmd with
   | Payload.Read ->
     Option.iter (fun f -> f ()) r.pre_read;

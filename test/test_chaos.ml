@@ -340,7 +340,9 @@ let test_chaos_corrupts_checkpoint_write () =
 let unit_ok ?(forks = []) () =
   { Pool.outcome = Pool.Unit_completed; forks; errors = []; visits = [];
     instructions = 1; degraded = false; solver = Solver.Stats.zero;
-    requeue = None; chaos = [] }
+    requeue = None; chaos = [];
+    coverage = Obs.Coverage.zero; profile = Obs.Profile.zero;
+    events = []; events_dropped = 0 }
 
 (* A SIGSTOPped worker emits no heartbeats and never exits, which used
    to block the run forever; the watchdog must reap and replace it. *)

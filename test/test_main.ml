@@ -17,4 +17,5 @@ let () =
       ("resilience", Test_resilience.suite);
       ("pool", Test_pool.suite);
       ("chaos", Test_chaos.suite);
+      ("deepobs", Test_deepobs.suite);
     ]

@@ -81,7 +81,9 @@ let equiv_cases =
 let unit_ok ?(forks = []) () =
   { Pool.outcome = Pool.Unit_completed; forks; errors = []; visits = [];
     instructions = 1; degraded = false; solver = Smt.Solver.Stats.zero;
-    requeue = None; chaos = [] }
+    requeue = None; chaos = [];
+    coverage = Obs.Coverage.zero; profile = Obs.Profile.zero;
+    events = []; events_dropped = 0 }
 
 (* A worker SIGKILLed in the middle of a unit must have its prefix
    re-queued and served by a surviving worker.  The exec callback runs
