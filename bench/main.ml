@@ -204,6 +204,26 @@ let independence_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Incremental-solving ablation: the whole Table 1 workload with the
+   solver's scope reuse (retained CDCL instances under guard
+   assumptions) on vs off                                              *)
+
+let incremental_tests =
+  [
+    Test.make ~name:"incremental-on"
+      (Staged.stage (fun () ->
+           Smt.Solver.set_incremental true;
+           Smt.Solver.clear_caches ();
+           table1_workload ()));
+    Test.make ~name:"incremental-off"
+      (Staged.stage (fun () ->
+           Smt.Solver.set_incremental false;
+           Smt.Solver.clear_caches ();
+           table1_workload ();
+           Smt.Solver.set_incremental true));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* First-error vs exhaustive exploration (Section 5.3's observation)   *)
 
 let exploration_tests =
@@ -574,6 +594,132 @@ let write_independence_json path =
     (fun () -> Buffer.output_buffer oc buf)
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_7.json: instrumented incremental on/off comparison.  One
+   cold-cache exploration per test per mode, recording solver totals,
+   the bit-blast profile bucket and the found error sites, so the
+   payoff of scope reuse — fewer re-encodings, less bit-blast and SAT
+   time — and the bug-set equivalence of the two modes stay
+   machine-checkable across PRs. *)
+
+type inc_row = {
+  i_test : string;
+  i_stats : Smt.Solver.Stats.t;
+  i_bitblast_s : float;
+  i_wall_ms : float;
+  i_sites : string list;
+}
+
+let instrumented_incremental incremental =
+  Smt.Solver.set_incremental incremental;
+  let original =
+    Symsysc.Tests.with_faults []
+      (Symsysc.Tests.with_variant Config.Original
+         (Symsysc.Tests.scaled_params ~num_sources:independence_sources
+            ~t5_max_len:(if smoke then 8 else 16)))
+  in
+  List.map
+    (fun (name, test) ->
+       Smt.Solver.clear_caches ();
+       let session =
+         if smoke then bench_session
+         else
+           Engine.Session.make
+             ~limits:{ Engine.no_limits with Engine.max_paths = Some 20_000 }
+             ()
+       in
+       let before = Smt.Solver.Stats.get () in
+       let report = Engine.Session.run session (test original) in
+       let stats = Smt.Solver.Stats.sub (Smt.Solver.Stats.get ()) before in
+       let bitblast =
+         List.fold_left
+           (fun acc ((_, stage), (b : Obs.Profile.bucket)) ->
+              if stage = "bitblast" then acc +. b.Obs.Profile.b_time else acc)
+           0.0 report.Engine.profile
+       in
+       {
+         i_test = name;
+         i_stats = stats;
+         i_bitblast_s = bitblast;
+         i_wall_ms = report.Engine.wall_time *. 1000.0;
+         i_sites =
+           List.sort String.compare
+             (List.map
+                (fun (e : Symex.Error.t) -> e.Symex.Error.site)
+                report.Engine.errors);
+       })
+    Symsysc.Tests.all
+
+let write_incremental_json path =
+  let on_rows = instrumented_incremental true in
+  let off_rows = instrumented_incremental false in
+  Smt.Solver.set_incremental true;
+  Smt.Solver.clear_caches ();
+  let totalf f rows = List.fold_left (fun acc r -> acc +. f r) 0.0 rows in
+  let totali f rows =
+    List.fold_left (fun acc r -> acc + f r.i_stats) 0 rows
+  in
+  let solver_s rows = totalf (fun r -> r.i_stats.Smt.Solver.Stats.time) rows in
+  let bitblast_s rows = totalf (fun r -> r.i_bitblast_s) rows in
+  let buf = Buffer.create 4096 in
+  let row_json r =
+    let s = r.i_stats in
+    Printf.bprintf buf
+      "{\"test\":\"%s\",\"queries\":%d,\"slices\":%d,\"sat_calls\":%d,\
+       \"sat_conflicts\":%d,\"scope_reused\":%d,\"scope_rebuilds\":%d,\
+       \"solver_s\":%.6f,\"bitblast_s\":%.6f,\"sat_s\":%.6f,\
+       \"wall_ms\":%.3f,\"error_sites\":["
+      (Obs.Export.escape_json r.i_test)
+      s.Smt.Solver.Stats.queries s.Smt.Solver.Stats.slices
+      s.Smt.Solver.Stats.sat_calls s.Smt.Solver.Stats.sat_conflicts
+      s.Smt.Solver.Stats.scope_reused s.Smt.Solver.Stats.scope_rebuilds
+      s.Smt.Solver.Stats.time r.i_bitblast_s s.Smt.Solver.Stats.sat_time
+      r.i_wall_ms;
+    List.iteri
+      (fun i site ->
+         if i > 0 then Buffer.add_char buf ',';
+         Printf.bprintf buf "\"%s\"" (Obs.Export.escape_json site))
+      r.i_sites;
+    Buffer.add_string buf "]}"
+  in
+  let mode_json name rows =
+    Printf.bprintf buf "\"%s\":[" name;
+    List.iteri
+      (fun i r ->
+         if i > 0 then Buffer.add_char buf ',';
+         row_json r)
+      rows;
+    Buffer.add_char buf ']'
+  in
+  Buffer.add_string buf "{\"schema\":\"symsysc-bench-incremental-v1\",";
+  Printf.bprintf buf "\"sources\":%d," independence_sources;
+  mode_json "incremental_on" on_rows;
+  Buffer.add_char buf ',';
+  mode_json "incremental_off" off_rows;
+  let s_on = solver_s on_rows and s_off = solver_s off_rows in
+  let b_on = bitblast_s on_rows and b_off = bitblast_s off_rows in
+  Printf.bprintf buf
+    ",\"summary\":{\"solver_s_on\":%.6f,\"solver_s_off\":%.6f,\
+     \"solver_time_reduction\":%.4f,\"bitblast_s_on\":%.6f,\
+     \"bitblast_s_off\":%.6f,\"bitblast_reduction\":%.4f,\
+     \"sat_calls_on\":%d,\"sat_calls_off\":%d,\"scope_reused\":%d,\
+     \"scope_rebuilds\":%d,\"same_error_sites\":%b}}\n"
+    s_on s_off
+    (if s_off = 0.0 then 0.0 else 1.0 -. (s_on /. s_off))
+    b_on b_off
+    (if b_off = 0.0 then 0.0 else 1.0 -. (b_on /. b_off))
+    (totali (fun s -> s.Smt.Solver.Stats.sat_calls) on_rows)
+    (totali (fun s -> s.Smt.Solver.Stats.sat_calls) off_rows)
+    (totali (fun s -> s.Smt.Solver.Stats.scope_reused) on_rows)
+    (totali (fun s -> s.Smt.Solver.Stats.scope_rebuilds) on_rows)
+    (List.for_all2
+       (fun a b -> a.i_test = b.i_test && a.i_sites = b.i_sites)
+       on_rows off_rows);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_4.json: worker-scaling of the whole Table 1 campaign.  One
    run of all five tests per worker count; error-site equality against
    the single-worker run is machine-checked, and the speedups are
@@ -683,6 +829,9 @@ let () =
   Format.printf
     "@.-- Ablation: constraint-independence slicing (Table 1 workload) --@.";
   benchmark_group "independence" independence_tests;
+  Format.printf
+    "@.-- Ablation: incremental scope solving (Table 1 workload) --@.";
+  benchmark_group "incremental" incremental_tests;
   Format.printf "@.-- Ablation: first error vs exhaustive exploration (T1) --@.";
   benchmark_group "exploration" exploration_tests;
   Format.printf "@.-- Scaling: parallel workers (T1 exploration) --@.";
@@ -697,6 +846,8 @@ let () =
   Format.printf "@.(machine-readable results written to BENCH_1.json)@.";
   write_independence_json "BENCH_2.json";
   Format.printf "(independence on/off comparison written to BENCH_2.json)@.";
+  write_incremental_json "BENCH_7.json";
+  Format.printf "(incremental on/off comparison written to BENCH_7.json)@.";
   let scaling_rows = List.map scaling_campaign scaling_workers in
   write_scaling_json "BENCH_4.json" scaling_rows;
   Format.printf "(worker-scaling comparison written to BENCH_4.json)@.";

@@ -46,8 +46,10 @@ let max_solver_conflicts =
 
 let solver_timeout_ms =
   let doc =
-    "Per-query solver deadline in milliseconds, polled inside the CDCL \
-     loop; an over-deadline query kills only the current path."
+    "Per-query solver deadline in milliseconds — a true per-query \
+     ceiling shared by bit-blasting, the CDCL loop and every \
+     --solver-retries attempt; an over-deadline query kills only the \
+     current path."
   in
   Arg.(value & opt (some int) None
        & info [ "solver-timeout-ms" ] ~docv:"MS" ~doc)
@@ -92,6 +94,15 @@ let no_independence =
      query as one monolithic constraint set)."
   in
   Arg.(value & flag & info [ "no-independence" ] ~doc)
+
+let no_incremental =
+  let doc =
+    "Disable incremental scope solving (rebuild the SAT instance from \
+     scratch for every query instead of reusing retained instances \
+     across the decision tree).  Verdicts and bug sites are identical \
+     either way; only solving cost differs."
+  in
+  Arg.(value & flag & info [ "no-incremental" ] ~doc)
 
 let heartbeat_ms =
   let doc =
@@ -163,9 +174,10 @@ let strategy =
 let scenario_term =
   let make interrupts t5_len max_paths max_seconds max_solver_conflicts
       solver_timeout_ms max_memory_mb seed solver_cache_cap no_independence
-      strategy workers heartbeat_ms solver_retries no_validate chaos_spec
-      chaos_seed =
+      no_incremental strategy workers heartbeat_ms solver_retries no_validate
+      chaos_spec chaos_seed =
     Smt.Solver.set_independence (not no_independence);
+    Smt.Solver.set_incremental (not no_incremental);
     Option.iter (fun cap -> Smt.Solver.set_cache_capacity ~query:cap ())
       solver_cache_cap;
     Smt.Solver.set_retries solver_retries;
@@ -184,8 +196,9 @@ let scenario_term =
   Term.(
     const make $ interrupts $ t5_len $ max_paths $ max_seconds
     $ max_solver_conflicts $ solver_timeout_ms $ max_memory_mb $ seed
-    $ solver_cache_cap $ no_independence $ strategy $ workers $ heartbeat_ms
-    $ solver_retries $ no_validate $ chaos_spec $ chaos_seed)
+    $ solver_cache_cap $ no_independence $ no_incremental $ strategy
+    $ workers $ heartbeat_ms $ solver_retries $ no_validate $ chaos_spec
+    $ chaos_seed)
 
 (* ---- observability options ---- *)
 

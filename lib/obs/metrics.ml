@@ -27,11 +27,23 @@ let invalid_reuse name =
   invalid_arg
     (Printf.sprintf "Obs.Metrics: %s already registered with another type" name)
 
+(* Re-registering a name is an idempotent lookup as long as it cannot
+   change what [render] prints: an empty [help] never prints, so it is
+   compatible with anything, but two call sites claiming the same name
+   with different non-empty helps are a genuine collision — fail fast
+   instead of silently keeping whichever registered first. *)
+let check_help name existing help =
+  if help <> "" && existing <> "" && help <> existing then
+    invalid_arg
+      (Printf.sprintf
+         "Obs.Metrics: %s already registered with a different help string"
+         name)
+
 let counter ?(help = "") name =
   match
     find_or_add name (fun () -> C { c_name = name; c_help = help; c_value = 0 })
   with
-  | C c -> c
+  | C c -> check_help name c.c_help help; c
   | G _ | H _ -> invalid_reuse name
 
 let gauge ?(help = "") name =
@@ -39,7 +51,7 @@ let gauge ?(help = "") name =
     find_or_add name (fun () ->
         G { g_name = name; g_help = help; g_value = 0.0 })
   with
-  | G g -> g
+  | G g -> check_help name g.g_help help; g
   | C _ | H _ -> invalid_reuse name
 
 let default_buckets =
@@ -60,7 +72,7 @@ let histogram ?(help = "") ?(buckets = default_buckets) name =
             h_sum = 0.0;
           })
   with
-  | H h -> h
+  | H h -> check_help name h.h_help help; h
   | C _ | G _ -> invalid_reuse name
 
 let inc ?(by = 1) c = c.c_value <- c.c_value + by

@@ -3,9 +3,13 @@
 
     Metrics are registered by name; registering the same name twice
     with the same type returns the existing instance (so independent
-    subsystems can share a metric), while a type clash raises
-    [Invalid_argument].  Rendering is deterministic: metrics are
-    emitted sorted by name. *)
+    subsystems can share a metric).  Duplicate registration fails fast
+    with [Invalid_argument] when it could change the rendered output:
+    a type clash, or two different non-empty [help] strings for one
+    name.  Re-registering with an empty [help] is always an idempotent
+    lookup, so call sites that just want the handle need not repeat the
+    help text.  Rendering is deterministic: metrics are emitted sorted
+    by name. *)
 
 type counter
 type gauge

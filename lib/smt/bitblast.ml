@@ -7,14 +7,19 @@ type ctx = {
   memo : (int, repr) Hashtbl.t;        (* Expr.id -> repr *)
   vars : (int, int array) Hashtbl.t;   (* var_id -> bit literals *)
   mutable true_lit : int;              (* literal asserted true, 0 if none *)
-  deadline : float option;
-  stop : (unit -> bool) option;
+  mutable deadline : float option;     (* per-query; mutable for reuse *)
+  mutable stop : (unit -> bool) option;
   mutable steps : int;                 (* poll subsampling counter *)
 }
 
 let create ?deadline ?stop sat =
   { sat; memo = Hashtbl.create 1024; vars = Hashtbl.create 64; true_lit = 0;
     deadline; stop; steps = 0 }
+
+(* A context retained across queries (Solver.Scope) carries a different
+   budget each time. *)
+let set_deadline ctx d = ctx.deadline <- d
+let set_stop ctx f = ctx.stop <- f
 
 (* Encoding a huge term must not blow far past the per-query deadline
    before the CDCL loop ever gets to poll it, so translation polls the
@@ -340,6 +345,11 @@ and translate_uncached ctx (e : Expr.t) : repr =
     Bits (Array.init w (fun i -> if i < n then bx.(i) else bx.(n - 1)))
 
 let assert_true ctx e = Sat.add_clause ctx.sat [ bool_lit ctx e ]
+
+(* The Tseitin literal of a boolean term, without asserting it — used by
+   Solver.Scope to tie a constraint to a guard variable so it can be
+   enabled per-query via assumptions. *)
+let literal ctx e = bool_lit ctx e
 
 let var_bits ctx (v : Expr.var) = Hashtbl.find_opt ctx.vars v.Expr.var_id
 

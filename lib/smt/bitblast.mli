@@ -14,8 +14,23 @@ val create : ?deadline:float -> ?stop:(unit -> bool) -> Sat.t -> ctx
     a huge term respects the same per-query budget as the CDCL search
     that follows it. *)
 
+val set_deadline : ctx -> float option -> unit
+(** Replace the deadline polled during translation.  A context kept
+    alive across queries ({!Solver.Scope}) gets a fresh per-query
+    budget each time. *)
+
+val set_stop : ctx -> (unit -> bool) option -> unit
+(** Replace the external-stop predicate polled during translation. *)
+
 val assert_true : ctx -> Expr.t -> unit
 (** Assert a boolean term as a top-level constraint. *)
+
+val literal : ctx -> Expr.t -> int
+(** The (memoized) Tseitin literal of a boolean term {e without}
+    asserting it.  {!Solver.Scope} guards each path constraint with a
+    clause [(-guard \/ literal)] and enables it per-query by assuming
+    [guard], so popped constraints cost nothing and learned clauses
+    stay sound forever. *)
 
 val var_bits : ctx -> Expr.var -> int array option
 (** SAT literals allocated for a symbolic variable, if it was

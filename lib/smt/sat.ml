@@ -161,8 +161,25 @@ let add_clause_internal t lits =
   end;
   id
 
+let cancel_until t lvl =
+  if decision_level t > lvl then begin
+    let bound = t.trail_lim.(lvl) in
+    for i = t.trail_len - 1 downto bound do
+      let v = ilit_var t.trail.(i) in
+      t.assign.(v) <- -1;
+      t.reason.(v) <- -1
+    done;
+    t.trail_len <- bound;
+    t.qhead <- bound;
+    t.trail_lim_len <- lvl
+  end
+
 let add_clause t dimacs_lits =
   if not t.unsat then begin
+    (* Incremental use leaves the trail populated after a [Sat] answer;
+       the level-0 simplification below is only sound against the
+       level-0 prefix, so drop any standing decisions first. *)
+    if decision_level t > 0 then cancel_until t 0;
     (* Dedupe and detect tautologies. *)
     let lits = List.sort_uniq Int.compare (List.map ilit_of_dimacs dimacs_lits) in
     let taut = List.exists (fun l -> List.mem (ilit_neg l) lits) lits in
@@ -311,19 +328,6 @@ let analyze t conflict =
   end;
   learned, !btlevel
 
-let cancel_until t lvl =
-  if decision_level t > lvl then begin
-    let bound = t.trail_lim.(lvl) in
-    for i = t.trail_len - 1 downto bound do
-      let v = ilit_var t.trail.(i) in
-      t.assign.(v) <- -1;
-      t.reason.(v) <- -1
-    done;
-    t.trail_len <- bound;
-    t.qhead <- bound;
-    t.trail_lim_len <- lvl
-  end
-
 let pick_branch_var t =
   let best = ref 0 and best_act = ref neg_infinity in
   for v = 1 to t.nvars do
@@ -342,9 +346,17 @@ let rec luby i =
   if (1 lsl !k) - 1 = i + 1 then 1 lsl (!k - 1)
   else luby (i + 1 - (1 lsl (!k - 1)))
 
-let solve ?(conflict_limit = max_int) ?deadline ?stop t =
+let solve ?(assumptions = []) ?(conflict_limit = max_int) ?deadline ?stop t =
   if t.unsat then Unsat
   else begin
+    (* Incremental discipline: every call starts from a clean trail
+       (learned clauses, activities and phases persist across calls). *)
+    cancel_until t 0;
+    let assumps = Array.of_list (List.map ilit_of_dimacs assumptions) in
+    let nassumps = Array.length assumps in
+    (* [t.conflicts] is cumulative across calls; the limit bounds this
+       call only. *)
+    let conflicts0 = t.conflicts in
     let restart_base = 100 in
     let restart_num = ref 0 in
     let result = ref None in
@@ -376,11 +388,18 @@ let solve ?(conflict_limit = max_int) ?deadline ?stop t =
         if conflict <> -1 then begin
           t.conflicts <- t.conflicts + 1;
           incr local_conflicts;
-          if t.conflicts > conflict_limit then raise Resource_exhausted;
+          if t.conflicts - conflicts0 > conflict_limit then
+            raise Resource_exhausted;
           if decision_level t = 0 then begin
             t.unsat <- true;
             result := Some Unsat
           end
+          else if decision_level t <= nassumps then
+            (* Every decision so far is an assumption, so the conflict
+               is forced by the assumption set: unsat {e under
+               assumptions}.  The instance itself stays usable — do NOT
+               latch [t.unsat]. *)
+            result := Some Unsat
           else begin
             let learned, btlevel = analyze t conflict in
             cancel_until t btlevel;
@@ -392,6 +411,25 @@ let solve ?(conflict_limit = max_int) ?deadline ?stop t =
             t.var_inc <- t.var_inc /. 0.95;
             if !local_conflicts >= budget then restart := true
           end
+        end
+        else if decision_level t < nassumps then begin
+          (* Assert the next assumption as a decision (MiniSat-style
+             solving under assumptions).  An already-implied assumption
+             still opens an (empty) decision level so level indices stay
+             aligned with assumption indices; a falsified one means
+             unsat under assumptions, again without latching
+             [t.unsat]. *)
+          let a = assumps.(decision_level t) in
+          match lit_value t a with
+          | 1 ->
+            t.trail_lim.(t.trail_lim_len) <- t.trail_len;
+            t.trail_lim_len <- t.trail_lim_len + 1
+          | 0 -> result := Some Unsat
+          | _ ->
+            t.decisions <- t.decisions + 1;
+            t.trail_lim.(t.trail_lim_len) <- t.trail_len;
+            t.trail_lim_len <- t.trail_lim_len + 1;
+            enqueue t a (-1)
         end
         else begin
           let v = pick_branch_var t in
@@ -407,6 +445,9 @@ let solve ?(conflict_limit = max_int) ?deadline ?stop t =
       done;
       if !restart then cancel_until t 0
     done;
+    (* On Unsat leave a clean trail for the next incremental call; on
+       Sat keep the assignment so [value] can read the model. *)
+    (match !result with Some Unsat -> cancel_until t 0 | _ -> ());
     match !result with Some r -> r | None -> assert false
   end
 

@@ -22,19 +22,33 @@ val add_clause : t -> int list -> unit
 (** Add a clause given as DIMACS literals.  Tautologies are dropped and
     duplicate literals removed.  Adding the empty clause (or a clause
     that is immediately falsified at level 0) makes the instance
-    unsatisfiable. *)
+    unsatisfiable.  Safe to call between incremental {!solve} calls:
+    any standing decisions from a previous [Sat] answer are undone
+    first. *)
 
 type result = Sat | Unsat
 
 val solve :
+  ?assumptions:int list ->
   ?conflict_limit:int -> ?deadline:float -> ?stop:(unit -> bool) -> t -> result
-(** Solve the current clause set.  [conflict_limit] bounds the total
-    number of conflicts (default: unlimited); reaching it raises
-    {!Resource_exhausted}.  [deadline] is an absolute
-    [Unix.gettimeofday] instant; the CDCL loop polls it at propagation
-    boundaries and raises {!Timeout} once passed.  [stop] is polled at
-    the same points and raises {!Interrupted} when it returns [true]
-    (used for SIGINT-responsive solving). *)
+(** Solve the current clause set, optionally under [assumptions] —
+    DIMACS literals asserted as the first decisions (MiniSat-style).
+    [Unsat] under a non-empty assumption set does {e not} poison the
+    instance: a later call with different assumptions may answer [Sat].
+    Only a conflict at decision level 0 (independent of any assumption)
+    makes the instance permanently unsatisfiable.
+
+    [conflict_limit] bounds the number of conflicts {e of this call}
+    (default: unlimited); reaching it raises {!Resource_exhausted}.
+    [deadline] is an absolute [Unix.gettimeofday] instant; the CDCL
+    loop polls it at propagation boundaries and raises {!Timeout} once
+    passed.  [stop] is polled at the same points and raises
+    {!Interrupted} when it returns [true] (used for SIGINT-responsive
+    solving).
+
+    Learned clauses, VSIDS activities and saved phases persist across
+    calls, so repeated queries over a shared clause set get cheaper —
+    this is the substrate of {!Solver.Scope}. *)
 
 exception Resource_exhausted
 exception Timeout

@@ -20,6 +20,10 @@ module Stats = struct
     sat_propagations : int;
     sat_timeouts : int;
     sat_retries : int;
+    scope_pushes : int;
+    scope_pops : int;
+    scope_reused : int;
+    scope_rebuilds : int;
     time : float;
     interval_time : float;
     bitblast_time : float;
@@ -31,7 +35,9 @@ module Stats = struct
       query_evictions = 0; cex_evictions = 0;
       interval_unsat = 0; interval_sat = 0; sat_calls = 0; sat_conflicts = 0;
       sat_decisions = 0; sat_propagations = 0; sat_timeouts = 0;
-      sat_retries = 0; time = 0.0;
+      sat_retries = 0;
+      scope_pushes = 0; scope_pops = 0; scope_reused = 0; scope_rebuilds = 0;
+      time = 0.0;
       interval_time = 0.0; bitblast_time = 0.0; sat_time = 0.0 }
 
   let current = ref zero
@@ -55,6 +61,10 @@ module Stats = struct
       sat_propagations = a.sat_propagations - b.sat_propagations;
       sat_timeouts = a.sat_timeouts - b.sat_timeouts;
       sat_retries = a.sat_retries - b.sat_retries;
+      scope_pushes = a.scope_pushes - b.scope_pushes;
+      scope_pops = a.scope_pops - b.scope_pops;
+      scope_reused = a.scope_reused - b.scope_reused;
+      scope_rebuilds = a.scope_rebuilds - b.scope_rebuilds;
       time = a.time -. b.time;
       interval_time = a.interval_time -. b.interval_time;
       bitblast_time = a.bitblast_time -. b.bitblast_time;
@@ -78,6 +88,10 @@ module Stats = struct
       sat_propagations = a.sat_propagations + b.sat_propagations;
       sat_timeouts = a.sat_timeouts + b.sat_timeouts;
       sat_retries = a.sat_retries + b.sat_retries;
+      scope_pushes = a.scope_pushes + b.scope_pushes;
+      scope_pops = a.scope_pops + b.scope_pops;
+      scope_reused = a.scope_reused + b.scope_reused;
+      scope_rebuilds = a.scope_rebuilds + b.scope_rebuilds;
       time = a.time +. b.time;
       interval_time = a.interval_time +. b.interval_time;
       bitblast_time = a.bitblast_time +. b.bitblast_time;
@@ -94,12 +108,13 @@ module Stats = struct
     Format.fprintf ppf
       "queries=%d slices=%d slice-hits=%d cache=%d cex=%d evict=%d/%d \
        itv-unsat=%d itv-sat=%d sat-calls=%d conflicts=%d decisions=%d \
-       propagations=%d timeouts=%d retries=%d time=%.3fs (itv=%.3fs \
-       blast=%.3fs sat=%.3fs)"
+       propagations=%d timeouts=%d retries=%d scope=%d/%d reuse=%d \
+       rebuilds=%d time=%.3fs (itv=%.3fs blast=%.3fs sat=%.3fs)"
       t.queries t.slices t.slice_hits t.cache_hits t.cex_hits
       t.query_evictions t.cex_evictions t.interval_unsat
       t.interval_sat t.sat_calls t.sat_conflicts t.sat_decisions
-      t.sat_propagations t.sat_timeouts t.sat_retries t.time
+      t.sat_propagations t.sat_timeouts t.sat_retries
+      t.scope_pushes t.scope_pops t.scope_reused t.scope_rebuilds t.time
       t.interval_time t.bitblast_time t.sat_time
 
   let to_json t =
@@ -119,6 +134,10 @@ module Stats = struct
         ("sat_propagations", Obs.Json.Int t.sat_propagations);
         ("sat_timeouts", Obs.Json.Int t.sat_timeouts);
         ("sat_retries", Obs.Json.Int t.sat_retries);
+        ("scope_pushes", Obs.Json.Int t.scope_pushes);
+        ("scope_pops", Obs.Json.Int t.scope_pops);
+        ("scope_reused", Obs.Json.Int t.scope_reused);
+        ("scope_rebuilds", Obs.Json.Int t.scope_rebuilds);
         ("time", Obs.Json.Float t.time);
         ("interval_time", Obs.Json.Float t.interval_time);
         ("bitblast_time", Obs.Json.Float t.bitblast_time);
@@ -147,6 +166,10 @@ module Stats = struct
       sat_propagations = int "sat_propagations";
       sat_timeouts = int "sat_timeouts";
       sat_retries = int "sat_retries";
+      scope_pushes = int "scope_pushes";
+      scope_pops = int "scope_pops";
+      scope_reused = int "scope_reused";
+      scope_rebuilds = int "scope_rebuilds";
       time = flt "time";
       interval_time = flt "interval_time";
       bitblast_time = flt "bitblast_time";
@@ -158,6 +181,101 @@ let set_caching b = caching := b
 
 let independence = ref true
 let set_independence b = independence := b
+
+let incremental = ref true
+let set_incremental b = incremental := b
+let incremental_enabled () = !incremental
+
+(* An incremental solving scope: retained CDCL instances (learned
+   clauses, VSIDS activities, watch lists, variable numbering) plus a
+   frame stack mirroring the engine's decision tree.
+
+   Each path constraint is encoded once per retained instance and tied
+   to a fresh {e guard} variable [g] by the clause [(-g \/ tseitin c)];
+   a query enables exactly its constraints by solving under the
+   assumption set of their guards.  Pops therefore cost nothing — a
+   popped constraint's guard simply stops being assumed — and every
+   learned clause remains sound forever (it was derived from guarded
+   clauses only).  Guards' saved phase starts [false], so the CDCL
+   search decides un-assumed guards negative and never explores the
+   circuits of disabled constraints.
+
+   Instances are kept {e per variable family}, keyed on the smallest
+   [var_id] of the slice being solved (0 for ground slices): one global
+   instance would make every solve assign the whole accumulated
+   universe.  An instance whose guard table outgrows
+   [scope_rebuild_cap] is dropped and rebuilt on next use. *)
+module Scope = struct
+  type instance = {
+    i_sat : Sat.t;
+    i_ctx : Bitblast.ctx;
+    i_guards : (int, int) Hashtbl.t; (* Expr.id -> guard variable *)
+  }
+
+  type t = {
+    mutable frames : Expr.t list list; (* top first, one per decision *)
+    instances : (int, instance) Hashtbl.t; (* family key -> instance *)
+  }
+
+  let create () = { frames = []; instances = Hashtbl.create 8 }
+
+  let push t =
+    t.frames <- [] :: t.frames;
+    Stats.(
+      current := { !current with scope_pushes = !current.scope_pushes + 1 })
+
+  (* Recording only: encoding is deferred to query time, so assuming
+     along a replayed decision prefix stays solver-free and a query
+     answered from the caches never encodes at all. *)
+  let assume t c =
+    match t.frames with
+    | [] -> t.frames <- [ [ c ] ]
+    | f :: rest -> t.frames <- (c :: f) :: rest
+
+  let pop t =
+    match t.frames with
+    | [] -> ()
+    | _ :: rest ->
+      t.frames <- rest;
+      Stats.(
+        current := { !current with scope_pops = !current.scope_pops + 1 })
+
+  let pop_to_root t =
+    let n = List.length t.frames in
+    if n > 0 then begin
+      t.frames <- [];
+      Stats.(
+        current := { !current with scope_pops = !current.scope_pops + n })
+    end
+
+  let depth t = List.length t.frames
+end
+
+let scope_rebuild_cap = 1024
+
+let scope_instance (scope : Scope.t) vars =
+  let key =
+    match vars with [] -> 0 | (v : Expr.var) :: _ -> v.Expr.var_id
+  in
+  let fresh () =
+    let sat = Sat.create () in
+    let inst =
+      { Scope.i_sat = sat;
+        i_ctx = Bitblast.create sat;
+        i_guards = Hashtbl.create 64 }
+    in
+    Hashtbl.replace scope.Scope.instances key inst;
+    inst
+  in
+  match Hashtbl.find_opt scope.Scope.instances key with
+  | Some inst when Hashtbl.length inst.Scope.i_guards < scope_rebuild_cap ->
+    inst
+  | Some _ ->
+    Stats.(
+      current :=
+        { !current with scope_rebuilds = !current.scope_rebuilds + 1 });
+    fresh ()
+  | None -> fresh ()
 
 (* Per-slice query cache: the canonical key is the sorted list of term
    ids of one independent slice (terms are hash-consed, so equal
@@ -349,11 +467,102 @@ let solve_with_sat ?conflict_limit ?deadline ~attempt constraints vars =
          failwith "Solver: internal error, SAT model fails evaluation";
        Sat model)
 
+(* The incremental variant of [solve_with_sat]: reuse the family's
+   retained instance, encode only constraints it has never seen (each
+   behind a fresh guard variable), and solve under the assumption set
+   of this slice's guards.  Stage accounting matches the scratch path,
+   so the "bitblast" profile bucket directly shows encoding skipped by
+   reuse. *)
+let scope_solve scope ?conflict_limit ?deadline ~attempt constraints vars =
+  let inst = scope_instance scope vars in
+  let sat = inst.Scope.i_sat and ctx = inst.Scope.i_ctx in
+  let stop () = !interrupt_check () in
+  Bitblast.set_deadline ctx deadline;
+  Bitblast.set_stop ctx (Some stop);
+  let blast =
+    stage "bitblast"
+      (fun s dt -> { s with Stats.bitblast_time = s.Stats.bitblast_time +. dt })
+      (fun _ -> [ ("vars", Obs.Event.Int (Sat.num_vars sat)) ])
+      (fun () ->
+         match
+           List.map
+             (fun (c : Expr.t) ->
+                match Hashtbl.find_opt inst.Scope.i_guards c.Expr.id with
+                | Some g ->
+                  Stats.(
+                    current :=
+                      { !current with
+                        scope_reused = !current.scope_reused + 1 });
+                  g
+                | None ->
+                  let l = Bitblast.literal ctx c in
+                  let g = Sat.new_var sat in
+                  Sat.add_clause sat [ -g; l ];
+                  Hashtbl.add inst.Scope.i_guards c.Expr.id g;
+                  g)
+             constraints
+         with
+         | gs -> Ok gs
+         | exception Sat.Timeout ->
+           Stats.(
+             current :=
+               { !current with sat_timeouts = !current.sat_timeouts + 1 });
+           Error "solver timeout"
+         | exception Sat.Interrupted -> Error "interrupted")
+  in
+  match blast with
+  | Error msg -> Unknown msg
+  | Ok assumptions ->
+    if attempt > 0 then Sat.perturb sat (Int64.of_int attempt);
+    (* The instance's counters are cumulative across queries; fold only
+       this call's delta into the global stats. *)
+    let c0 = Sat.stats_conflicts sat
+    and d0 = Sat.stats_decisions sat
+    and p0 = Sat.stats_propagations sat in
+    let result =
+      stage "sat"
+        (fun s dt -> { s with Stats.sat_time = s.Stats.sat_time +. dt })
+        (fun r ->
+           [ ("result",
+              Obs.Event.Str
+                (match r with
+                 | Ok Sat.Sat -> "sat"
+                 | Ok Sat.Unsat -> "unsat"
+                 | Error msg -> msg));
+             ("conflicts", Obs.Event.Int (Sat.stats_conflicts sat - c0)) ])
+        (fun () ->
+           match Sat.solve ~assumptions ?conflict_limit ?deadline ~stop sat with
+           | r -> Ok r
+           | exception Sat.Resource_exhausted -> Error "conflict limit reached"
+           | exception Sat.Timeout ->
+             Stats.(
+               current :=
+                 { !current with sat_timeouts = !current.sat_timeouts + 1 });
+             Error "solver timeout"
+           | exception Sat.Interrupted -> Error "interrupted")
+    in
+    Stats.(
+      current :=
+        { !current with
+          sat_conflicts = !current.sat_conflicts + Sat.stats_conflicts sat - c0;
+          sat_decisions = !current.sat_decisions + Sat.stats_decisions sat - d0;
+          sat_propagations =
+            !current.sat_propagations + Sat.stats_propagations sat - p0 });
+    (match result with
+     | Error msg -> Unknown msg
+     | Ok Sat.Unsat -> Unsat
+     | Ok Sat.Sat ->
+       let model = Bitblast.extract_model ctx vars in
+       (* Safety net: a model must satisfy the query by evaluation. *)
+       if not (Model.satisfies model constraints) then
+         failwith "Solver: internal error, SAT model fails evaluation";
+       Sat model)
+
 (* One SAT attempt, chaos points included: [Solver_unknown] replaces
    the backend's answer, [Solver_stall] burns (a bounded slice of) the
    query budget and reports a timeout — both are then healed or
    surfaced by the retry loop exactly like organic Unknowns. *)
-let sat_attempt ?conflict_limit ?deadline ~attempt constraints vars =
+let sat_attempt ?scope ?conflict_limit ?deadline ~attempt constraints vars =
   if Chaos.fire Chaos.Solver_unknown then Unknown "chaos: injected unknown"
   else if Chaos.fire Chaos.Solver_stall then begin
     let now = Unix.gettimeofday () in
@@ -367,11 +576,18 @@ let sat_attempt ?conflict_limit ?deadline ~attempt constraints vars =
       current := { !current with sat_timeouts = !current.sat_timeouts + 1 });
     Unknown "solver timeout (chaos stall)"
   end
-  else solve_with_sat ?conflict_limit ?deadline ~attempt constraints vars
+  else
+    match scope with
+    | Some sc when !incremental ->
+      scope_solve sc ?conflict_limit ?deadline ~attempt constraints vars
+    | Some _ | None ->
+      solve_with_sat ?conflict_limit ?deadline ~attempt constraints vars
 
-let sat_with_retries ?conflict_limit ?deadline ?timeout_ms constraints vars =
-  let rec go attempt deadline =
-    let r = sat_attempt ?conflict_limit ?deadline ~attempt constraints vars in
+let sat_with_retries ?scope ?conflict_limit ?deadline constraints vars =
+  let rec go attempt =
+    let r =
+      sat_attempt ?scope ?conflict_limit ?deadline ~attempt constraints vars
+    in
     match r with
     | Unknown msg
       when attempt < !retries && msg <> "interrupted"
@@ -382,22 +598,28 @@ let sat_with_retries ?conflict_limit ?deadline ?timeout_ms constraints vars =
         Obs.Sink.instant ~cat:"solver"
           ~args:[ ("reason", Obs.Event.Str msg) ]
           "retry";
-      (* A fresh per-attempt deadline: the documented worst case per
-         query is (retries + 1) x timeout_ms. *)
-      let deadline' =
-        match timeout_ms with
-        | Some ms ->
-          Some (Unix.gettimeofday () +. (float_of_int ms /. 1000.0))
-        | None -> deadline
-      in
-      go (attempt + 1) deadline'
+      (* Every retry draws from the query's one shared deadline, so
+         [--solver-timeout-ms] is a true per-query ceiling.  A retry
+         whose budget is already exhausted is still counted above (it
+         was requested and denied) but returns the Unknown at once. *)
+      (match deadline with
+       | Some d when Unix.gettimeofday () >= d -> r
+       | Some _ | None -> go (attempt + 1))
     | r -> r
   in
-  go 0 deadline
+  go 0
 
 (* The uncached tail of the per-slice pipeline: interval prescreen
-   (range propagation plus candidate probing), then bit-blast + SAT. *)
-let solve_slice ?conflict_limit ?deadline ?timeout_ms constraints vars =
+   (range propagation plus candidate probing), then bit-blast + SAT.
+   Returns the outcome plus a cacheability flag: a [Sat] answer from a
+   scope's retained instance is history-dependent (learned clauses and
+   saved phases steer the model search), so it must stay out of the
+   query and counterexample caches — otherwise a model-consuming query
+   (concretization, error witnesses) could observe a model that a
+   worker replaying the same decision prefix would never compute, and
+   sequential/parallel equivalence would break.  Verdicts and interval
+   models are pure functions of the slice and cache fine. *)
+let solve_slice ?scope ?conflict_limit ?deadline constraints vars =
   let prescreen =
     stage "interval"
       (fun s dt ->
@@ -427,23 +649,26 @@ let solve_slice ?conflict_limit ?deadline ?timeout_ms constraints vars =
   match prescreen with
   | `Unsat ->
     Stats.(current := { !current with interval_unsat = !current.interval_unsat + 1 });
-    Unsat
+    (Unsat, true)
   | `Model m ->
     Stats.(current := { !current with interval_sat = !current.interval_sat + 1 });
     remember_model m;
-    Sat m
+    (Sat m, true)
   | `Inconclusive ->
     Stats.(current := { !current with sat_calls = !current.sat_calls + 1 });
     let r =
-      sat_with_retries ?conflict_limit ?deadline ?timeout_ms constraints vars
+      sat_with_retries ?scope ?conflict_limit ?deadline constraints vars
     in
-    (match r with Sat m -> remember_model m | Unsat | Unknown _ -> ());
-    r
+    let scoped = match scope with Some _ -> !incremental | None -> false in
+    (match r with
+     | Sat m when not scoped -> remember_model m
+     | Sat _ | Unsat | Unknown _ -> ());
+    (r, (match r with Sat _ -> not scoped | Unsat | Unknown _ -> true))
 
 (* One independent slice: per-slice query cache, then the variable-
    indexed counterexample cache, then the solving pipeline.  Emits a
    [solver/slice] span per slice when the sink is enabled. *)
-let check_slice ?conflict_limit ?deadline ?timeout_ms constraints =
+let check_slice ?scope ?conflict_limit ?deadline constraints =
   let t0 = Unix.gettimeofday () in
   Stats.(current := { !current with slices = !current.slices + 1 });
   let finish ~via r =
@@ -497,23 +722,52 @@ let check_slice ?conflict_limit ?deadline ?timeout_ms constraints =
        end;
        finish ~via:"cex" (Sat m)
      | None ->
-       let r =
-         solve_slice ?conflict_limit ?deadline ?timeout_ms constraints vars
+       let r, cacheable =
+         solve_slice ?scope ?conflict_limit ?deadline constraints vars
        in
        (match r with
         | Unknown _ -> ()
         | Sat _ | Unsat ->
-          if !caching then begin
+          if !caching && cacheable then begin
             Lru.put query_cache key r;
             note_evictions ()
           end);
        finish ~via:"pipeline" r)
 
-let check ?conflict_limit ?timeout_ms constraints =
+(* Slicing plus the per-slice pipeline over an already constant-filtered
+   constraint set.  An unsat slice settles the conjunction immediately;
+   a slice at its resource limit is remembered but the remaining slices
+   are still examined, since any of them may still prove Unsat. *)
+let solve_sliced ?scope ?conflict_limit ?deadline constraints =
+  let slices =
+    if !independence then Slice.partition constraints else [ constraints ]
+  in
+  let rec solve_all model unknown = function
+    | [] ->
+      (match unknown with
+       | Some msg -> Unknown msg
+       | None ->
+         (* Safety net: the merged model must satisfy the whole set
+            by evaluation (slices bind disjoint variables, so this
+            can only fail if the partition itself is wrong). *)
+         if not (Model.satisfies model constraints) then
+           failwith "Solver: internal error, merged model fails evaluation";
+         Sat model)
+    | s :: rest ->
+      (match check_slice ?scope ?conflict_limit ?deadline s with
+       | Unsat -> Unsat
+       | Unknown msg ->
+         solve_all model (Some (match unknown with Some m -> m | None -> msg)) rest
+       | Sat m -> solve_all (Model.union model m) unknown rest)
+  in
+  let via = match slices with [ _ ] -> "pipeline" | _ -> "slices" in
+  (solve_all Model.empty None slices, via)
+
+let check ?scope ?conflict_limit ?timeout_ms constraints =
   let t0 = Unix.gettimeofday () in
   (* The per-query timeout becomes an absolute deadline shared by every
-     slice of the conjunction: a query is one budget unit regardless of
-     how many independent slices it splits into. *)
+     slice of the conjunction — and by every retry attempt: a query is
+     one budget unit, full stop. *)
   let deadline =
     Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) timeout_ms
   in
@@ -541,33 +795,124 @@ let check ?conflict_limit ?timeout_ms constraints =
     finish ~via:"const" Unsat
   else if constraints = [] then finish ~via:"const" (Sat Model.empty)
   else begin
-    let slices =
-      if !independence then Slice.partition constraints else [ constraints ]
-    in
-    (* An unsat slice settles the conjunction immediately; a slice at
-       its resource limit is remembered but the remaining slices are
-       still examined, since any of them may still prove Unsat. *)
-    let rec solve_all model unknown = function
-      | [] ->
-        (match unknown with
-         | Some msg -> Unknown msg
-         | None ->
-           (* Safety net: the merged model must satisfy the whole set
-              by evaluation (slices bind disjoint variables, so this
-              can only fail if the partition itself is wrong). *)
-           if not (Model.satisfies model constraints) then
-             failwith "Solver: internal error, merged model fails evaluation";
-           Sat model)
-      | s :: rest ->
-        (match check_slice ?conflict_limit ?deadline ?timeout_ms s with
-         | Unsat -> Unsat
-         | Unknown msg ->
-           solve_all model (Some (match unknown with Some m -> m | None -> msg)) rest
-         | Sat m -> solve_all (Model.union model m) unknown rest)
-    in
-    let via = match slices with [ _ ] -> "pipeline" | _ -> "slices" in
-    finish ~via (solve_all Model.empty None slices)
+    let r, via = solve_sliced ?scope ?conflict_limit ?deadline constraints in
+    finish ~via r
   end
+
+(* Both children of a branch — [pc /\ cond] and [pc /\ not cond] — as
+   one variational query.  The prefix [pc] is partitioned once; slices
+   sharing no variable with [cond] are {e common} and are solved a
+   single time, with the verdict applied to both children.  Only the
+   variational remainder — [cond] (resp. its negation) plus the prefix
+   slices touching its variables, which is exactly one slice of the
+   child's own partition — is solved per child, and it is routed
+   through {!check_slice} so its cache entry is shared with standalone
+   checks of the same child.  Counted as two queries. *)
+let check_pair ?scope ?conflict_limit ?timeout_ms ~cond pc =
+  let t0 = Unix.gettimeofday () in
+  let deadline =
+    Option.map (fun ms -> t0 +. (float_of_int ms /. 1000.0)) timeout_ms
+  in
+  Stats.(current := { !current with queries = !current.queries + 2 });
+  let clock0 = Obs.Profile.stage_clock () in
+  (* Each child is its own query unit, so the sink sees two [query]
+     spans (tagged via=pair) — the same contract as two standalone
+     [check] calls, which keeps trace consumers and the metrics bridge
+     oblivious to the batching. *)
+  let t_split = ref None in
+  let finish (rt, rf) =
+    let t1 = Unix.gettimeofday () in
+    let dt = t1 -. t0 in
+    Stats.(current := { !current with time = !current.time +. dt });
+    Obs.Profile.record ~stage:"other"
+      (dt -. (Obs.Profile.stage_clock () -. clock0));
+    if !Obs.Sink.enabled then begin
+      let tm = match !t_split with Some t -> t | None -> t1 in
+      let emit dur r which =
+        Obs.Sink.complete ~cat:"solver" ~dur_us:(dur *. 1e6)
+          ~args:
+            [ ("outcome", Obs.Event.Str (outcome_to_string r));
+              ("via", Obs.Event.Str "pair");
+              ("child", Obs.Event.Str which) ]
+          "query"
+      in
+      emit (tm -. t0) rt "true";
+      emit (t1 -. tm) rf "false"
+    end;
+    (rt, rf)
+  in
+  let pc = List.filter (fun c -> Expr.to_bool c <> Some true) pc in
+  if List.exists (fun c -> Expr.to_bool c = Some false) pc then
+    finish (Unsat, Unsat)
+  else
+    match Expr.to_bool cond with
+    | Some true ->
+      let r =
+        if pc = [] then Sat Model.empty
+        else fst (solve_sliced ?scope ?conflict_limit ?deadline pc)
+      in
+      finish (r, Unsat)
+    | Some false ->
+      let r =
+        if pc = [] then Sat Model.empty
+        else fst (solve_sliced ?scope ?conflict_limit ?deadline pc)
+      in
+      finish (Unsat, r)
+    | None ->
+      let cond_vars = Slice.vars [ cond ] in
+      let touches s =
+        let vs = Slice.vars s in
+        List.exists
+          (fun (v : Expr.var) ->
+             List.exists
+               (fun (v' : Expr.var) -> v.Expr.var_id = v'.Expr.var_id)
+               cond_vars)
+          vs
+      in
+      let slices =
+        if !independence then Slice.partition pc else [ pc ]
+      in
+      let touching, common = List.partition touches slices in
+      (* Common prefix slices: solved once, verdict shared. *)
+      let rec go model unknown = function
+        | [] -> `Common (model, unknown)
+        | s :: rest ->
+          (match check_slice ?scope ?conflict_limit ?deadline s with
+           | Unsat -> `Unsat
+           | Unknown msg ->
+             go model (Some (match unknown with Some m -> m | None -> msg)) rest
+           | Sat m -> go (Model.union model m) unknown rest)
+      in
+      (match go Model.empty None common with
+       | `Unsat -> finish (Unsat, Unsat)
+       | `Common (model, unknown) ->
+         let child lit deadline =
+           let cs = lit :: List.concat touching in
+           match check_slice ?scope ?conflict_limit ?deadline cs with
+           | Unsat -> Unsat (* Unsat dominates a common Unknown *)
+           | Unknown msg ->
+             Unknown (match unknown with Some m -> m | None -> msg)
+           | Sat m ->
+             (match unknown with
+              | Some msg -> Unknown msg
+              | None ->
+                let full = Model.union model m in
+                if not (Model.satisfies full (lit :: pc)) then
+                  failwith
+                    "Solver: internal error, merged model fails evaluation";
+                Sat full)
+         in
+         let rt = child cond deadline in
+         (* The false child is its own query unit: a fresh deadline, not
+            the true child's leftovers. *)
+         let t_mid = Unix.gettimeofday () in
+         t_split := Some t_mid;
+         let deadline' =
+           Option.map (fun ms -> t_mid +. (float_of_int ms /. 1000.0))
+             timeout_ms
+         in
+         let rf = child (Expr.not_ cond) deadline' in
+         finish (rt, rf))
 
 let is_sat ?conflict_limit constraints =
   match check ?conflict_limit constraints with

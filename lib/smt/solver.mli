@@ -29,7 +29,51 @@ type outcome =
   | Unsat
   | Unknown of string  (** resource limit reached *)
 
-val check : ?conflict_limit:int -> ?timeout_ms:int -> Expr.t list -> outcome
+(** {1 Incremental solving scopes} *)
+
+module Scope : sig
+  type t
+  (** A stack of assumption frames mirroring the engine's decision
+      tree, backed by retained CDCL instances — one per variable family
+      (keyed on the smallest [var_id] of each independence slice) —
+      whose learned clauses, VSIDS activities, watch lists and variable
+      numbering survive across pops.
+
+      Constraints are never asserted directly: each one is encoded once
+      behind a fresh {e guard} variable ([(-g \/ c)]) and a query
+      enables its constraint set by solving under the assumption set of
+      the guards.  Popping a frame just stops assuming its guards, so
+      pops are free and learned clauses stay sound forever.  [assume]
+      only records the constraint; encoding happens lazily at query
+      time, so replaying a decision prefix (pool workers do this
+      constantly) and cache-hit queries never touch the SAT solver. *)
+
+  val create : unit -> t
+  (** A fresh scope with no frames and no retained instances.  Each
+      exploration context (the sequential engine, every forked pool
+      worker) owns exactly one. *)
+
+  val push : t -> unit
+  (** Open a frame; counted in {!Stats.scope_pushes}. *)
+
+  val assume : t -> Expr.t -> unit
+  (** Record a constraint in the top frame (opens a root frame if none
+      exists). *)
+
+  val pop : t -> unit
+  (** Discard the top frame; a no-op at the root.  Counted in
+      {!Stats.scope_pops}. *)
+
+  val pop_to_root : t -> unit
+  (** Discard every frame — the engine's per-path reset point. *)
+
+  val depth : t -> int
+  (** Number of open frames. *)
+end
+
+val check :
+  ?scope:Scope.t -> ?conflict_limit:int -> ?timeout_ms:int ->
+  Expr.t list -> outcome
 (** Satisfiability of the conjunction of the given boolean terms.
     On [Sat], the returned model satisfies every constraint (this is
     verified internally by evaluation).  [Unknown] is returned when any
@@ -40,12 +84,33 @@ val check : ?conflict_limit:int -> ?timeout_ms:int -> Expr.t list -> outcome
     settles the query as [Unsat] even if another slice was cut short.
 
     A SAT attempt that would answer Unknown is first retried up to
-    {!set_retries} times with {!Sat.perturb}ed search order and — for
-    timeouts — a fresh per-attempt deadline, so the worst case per
-    query is [(retries + 1) * timeout_ms].  Interrupts never retry.
-    With a {!Chaos} spec armed, the [solver-unknown] / [solver-stall]
-    points inject Unknowns/timeouts at the same place, healed by the
-    same retry loop. *)
+    {!set_retries} times with {!Sat.perturb}ed search order.  Every
+    retry draws from the query's single [timeout_ms] deadline — the
+    budget is a true per-query ceiling, not per-attempt — and a retry
+    requested after the deadline passed is counted in
+    {!Stats.sat_retries} but returns the Unknown immediately.
+    Interrupts never retry.  With a {!Chaos} spec armed, the
+    [solver-unknown] / [solver-stall] points inject Unknowns/timeouts
+    at the same place, healed by the same retry loop.
+
+    With [scope] (and incremental mode enabled, the default), slices
+    that reach the SAT stage are solved on the scope's retained
+    instances under guard assumptions instead of a scratch
+    [Sat.create]; verdicts are identical either way — the caches and
+    the interval prescreen run identically in both modes. *)
+
+val check_pair :
+  ?scope:Scope.t -> ?conflict_limit:int -> ?timeout_ms:int ->
+  cond:Expr.t -> Expr.t list -> outcome * outcome
+(** [check_pair ~cond pc] decides both children of a branch —
+    [(pc /\ cond, pc /\ not cond)] — as one variational query: prefix
+    slices disjoint from [cond]'s variables are solved once and their
+    verdict shared, and only the variational remainder is solved per
+    child (through the same per-slice caches as standalone checks, so
+    either form hits the other's entries).  Each child is its own query
+    unit: counted separately in {!Stats.queries}, and the false child
+    gets a fresh [timeout_ms] budget rather than the true child's
+    leftovers. *)
 
 val set_retries : int -> unit
 (** Bound the retry-with-restart loop (default 0: a first Unknown is
@@ -92,6 +157,16 @@ val set_independence : bool -> unit
     before; results are identical either way, only cost differs.  Used
     by [--no-independence] and the independence-ablation benchmark. *)
 
+val set_incremental : bool -> unit
+(** Enable or disable incremental scope solving (enabled by default).
+    When disabled, [check] with a [scope] falls back to the scratch
+    bit-blast + fresh-[Sat.create] path; results are identical either
+    way, only cost differs.  Used by [--no-incremental] and the
+    incremental-ablation benchmark. *)
+
+val incremental_enabled : unit -> bool
+(** Current incremental-mode setting. *)
+
 val outcome_to_string : outcome -> string
 (** ["sat"], ["unsat"] or ["unknown"]. *)
 
@@ -112,7 +187,15 @@ module Stats : sig
     sat_propagations : int;   (** unit propagations, summed over queries *)
     sat_timeouts : int;       (** SAT calls cut short by [timeout_ms] *)
     sat_retries : int;        (** Unknown answers retried with a
-                                  perturbed search order *)
+                                  perturbed search order (including
+                                  retries denied for an exhausted
+                                  deadline) *)
+    scope_pushes : int;       (** scope frames opened *)
+    scope_pops : int;         (** scope frames discarded *)
+    scope_reused : int;       (** constraints whose encoding was reused
+                                  from a retained instance *)
+    scope_rebuilds : int;     (** retained instances dropped for
+                                  outgrowing the guard cap *)
     time : float;             (** total seconds spent inside [check] *)
     interval_time : float;    (** seconds in the interval prescreen *)
     bitblast_time : float;    (** seconds bit-blasting to CNF *)

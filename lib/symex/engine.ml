@@ -99,6 +99,9 @@ type path_state = {
 
 type explore_state = {
   cfg : config;
+  scope : Solver.Scope.t;
+      (* incremental solving scope mirroring this context's decision
+         stack; owned per exploration context (one per pool worker) *)
   mutable frontier : Decision.t array Search.t;
       (* the run's frontier in a sequential exploration; a per-unit
          fork collector in a pool worker (replaced for every unit) *)
@@ -262,7 +265,22 @@ let solver_unknown st msg =
   raise (Terminate_path End_unknown)
 
 let path_check st constraints =
-  Solver.check ?conflict_limit:st.cfg.limits.max_solver_conflicts
+  Solver.check ~scope:st.scope
+    ?conflict_limit:st.cfg.limits.max_solver_conflicts
+    ?timeout_ms:st.cfg.limits.solver_timeout_ms constraints
+
+(* Queries whose [Sat] model is consumed — error witnesses and
+   concretization values — run without the scope: a scratch solve's
+   model is a pure function of the constraint slice, so witnesses and
+   value enumeration are identical across sequential, parallel and
+   incremental-off runs.  The scope's retained instances answer with
+   history-dependent models (learned clauses and saved phases steer the
+   search), which is fine for feasibility verdicts but would make a
+   worker replaying a decision prefix pick different concrete values
+   than the run that forked it. *)
+let path_model st constraints =
+  Solver.check
+    ?conflict_limit:st.cfg.limits.max_solver_conflicts
     ?timeout_ms:st.cfg.limits.solver_timeout_ms constraints
 
 let feasible st constraints =
@@ -271,10 +289,18 @@ let feasible st constraints =
   | Solver.Unsat -> false
   | Solver.Unknown msg -> solver_unknown st msg
 
+(* Every path-condition extension mirrors its decision into the
+   context's solver scope: one frame per appended constraint, so the
+   scope stack tracks the decision stack exactly (and is reset by
+   [exec_path] when the next path restarts from the root). *)
+let extend_pc st ps c =
+  ps.pc <- c :: ps.pc;
+  Solver.Scope.push st.scope;
+  Solver.Scope.assume st.scope c
+
 let take ~site st ps cond d =
-  ignore st;
   ps.taken <- Decision.Dir d :: ps.taken;
-  ps.pc <- (if d then cond else Expr.not_ cond) :: ps.pc;
+  extend_pc st ps (if d then cond else Expr.not_ cond);
   Obs.Coverage.record_arm ~site d;
   d
 
@@ -316,8 +342,22 @@ let branch ?(site = "branch") cond =
               concretization at a branch)"
        end
        else begin
-         let sat_true = feasible st (cond :: ps.pc) in
-         let sat_false = feasible st (Expr.not_ cond :: ps.pc) in
+         (* Both children decided as one variational query: the prefix
+            slices untouched by [cond] are solved once and shared.  The
+            true child's outcome is inspected first, preserving the
+            pre-batching order of solver-unknown path kills. *)
+         let rt, rf =
+           Solver.check_pair ~scope:st.scope
+             ?conflict_limit:st.cfg.limits.max_solver_conflicts
+             ?timeout_ms:st.cfg.limits.solver_timeout_ms ~cond ps.pc
+         in
+         let verdict = function
+           | Solver.Sat _ -> true
+           | Solver.Unsat -> false
+           | Solver.Unknown msg -> solver_unknown st msg
+         in
+         let sat_true = verdict rt in
+         let sat_false = verdict rf in
          match sat_true, sat_false with
          | true, true ->
            let alt =
@@ -363,7 +403,7 @@ let assume cond =
      | Some false -> raise (Terminate_path End_infeasible)
      | None ->
        Obs.Profile.set_origin "assume";
-       if feasible st (cond :: ps.pc) then ps.pc <- cond :: ps.pc
+       if feasible st (cond :: ps.pc) then extend_pc st ps cond
        else raise (Terminate_path End_infeasible))
 
 (* ------------------------------------------------------------------ *)
@@ -464,21 +504,21 @@ let check_kind kind ~site ?(message = "property violated") cond =
     (match Expr.to_bool cond with
      | Some true -> ()
      | Some false ->
-       (match path_check st ps.pc with
+       (match path_model st ps.pc with
         | Solver.Sat m ->
           record_error st ps kind site message m;
           raise (Terminate_path End_error)
         | Solver.Unsat -> raise (Terminate_path End_infeasible)
         | Solver.Unknown msg -> solver_unknown st msg)
      | None ->
-       (match path_check st (Expr.not_ cond :: ps.pc) with
+       (match path_model st (Expr.not_ cond :: ps.pc) with
         | Solver.Sat m ->
           record_error st ps kind site message m;
           (* The failing side terminates; continue on the passing side
              when it is feasible. *)
-          if feasible st (cond :: ps.pc) then ps.pc <- cond :: ps.pc
+          if feasible st (cond :: ps.pc) then extend_pc st ps cond
           else raise (Terminate_path End_error)
-        | Solver.Unsat -> ps.pc <- cond :: ps.pc
+        | Solver.Unsat -> extend_pc st ps cond
         | Solver.Unknown msg -> solver_unknown st msg))
 
 let check ~site ?message cond = check_kind Error.Assertion_failure ~site ?message cond
@@ -492,7 +532,7 @@ let report_error kind ~site ~message =
   | Explore st ->
     let ps = current_path st in
     Obs.Profile.set_origin site;
-    (match path_check st ps.pc with
+    (match path_model st ps.pc with
      | Solver.Sat m ->
        record_error st ps kind site message m;
        raise (Terminate_path End_error)
@@ -528,7 +568,7 @@ let rec concretize ?(site = "concretize") e =
            ps.pos <- ps.pos + 1;
            let cond = Expr.eq e (Expr.const value) in
            ps.taken <- Decision.Pick { value; dir } :: ps.taken;
-           ps.pc <- (if dir then cond else Expr.not_ cond) :: ps.pc;
+           extend_pc st ps (if dir then cond else Expr.not_ cond);
            Obs.Coverage.record_arm ~site dir;
            if dir then value else concretize ~site e
          | Decision.Dir _ ->
@@ -537,7 +577,7 @@ let rec concretize ?(site = "concretize") e =
               branch at a concretization)"
        end
        else
-         (match path_check st ps.pc with
+         (match path_model st ps.pc with
           | Solver.Sat m ->
             let v = Model.eval m e in
             let cond = Expr.eq e (Expr.const v) in
@@ -558,7 +598,7 @@ let rec concretize ?(site = "concretize") e =
                       ("frontier", Obs.Event.Int (Search.length st.frontier)) ]
             end;
             ps.taken <- Decision.Pick { value = v; dir = true } :: ps.taken;
-            ps.pc <- cond :: ps.pc;
+            extend_pc st ps cond;
             Obs.Coverage.record_arm ~site true;
             v
           | Solver.Unsat -> raise (Terminate_path End_infeasible)
@@ -574,6 +614,9 @@ let rec concretize ?(site = "concretize") e =
    re-queue them: the sequential loop pushes them back onto its own
    frontier, the worker-pool unit runner ships them to the master. *)
 let exec_path st body ~prefix =
+  (* Each path restarts from the decision-tree root — including after a
+     resume, whose checkpoint may have been written mid-scope. *)
+  Solver.Scope.pop_to_root st.scope;
   let ps =
     {
       prefix;
@@ -728,6 +771,7 @@ let seq_run ~(config : config) ~label ?resume ?checkpoint body =
   let st =
     {
       cfg = config;
+      scope = Solver.Scope.create ();
       frontier = Search.create config.strategy;
       pool = Array.make 16 ("", 0, Expr.tru);
       pool_len = 0;
@@ -895,6 +939,7 @@ let unit_ctx config =
   in
   {
     cfg = { config with limits; stop_after_errors = None };
+    scope = Solver.Scope.create ();
     frontier = Search.create config.strategy;
     pool = Array.make 16 ("", 0, Expr.tru);
     pool_len = 0;

@@ -16,6 +16,7 @@ let () =
       ("integration", Test_core.suite);
       ("resilience", Test_resilience.suite);
       ("pool", Test_pool.suite);
+      ("incremental", Test_incremental.suite);
       ("chaos", Test_chaos.suite);
       ("deepobs", Test_deepobs.suite);
     ]

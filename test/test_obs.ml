@@ -371,6 +371,34 @@ let test_json_escaping () =
 (* ------------------------------------------------------------------ *)
 (* Metrics                                                             *)
 
+let test_metrics_duplicate_registration () =
+  Obs.Metrics.reset ();
+  let c = Obs.Metrics.counter ~help:"first help" "obs_dup_total" in
+  (* Same help and empty help are idempotent lookups of the same
+     instance; only a conflicting non-empty help or a type clash is a
+     registration bug and fails fast. *)
+  Obs.Metrics.inc (Obs.Metrics.counter ~help:"first help" "obs_dup_total");
+  Obs.Metrics.inc (Obs.Metrics.counter "obs_dup_total");
+  Alcotest.(check int) "one shared instance" 2 (Obs.Metrics.counter_value c);
+  let raises f =
+    match f () with
+    | exception Invalid_argument _ -> true
+    | _ -> false
+  in
+  Alcotest.(check bool) "conflicting help raises" true
+    (raises (fun () -> Obs.Metrics.counter ~help:"second help" "obs_dup_total"));
+  Alcotest.(check bool) "type clash raises" true
+    (raises (fun () -> Obs.Metrics.gauge "obs_dup_total"));
+  (* A first registration with empty help accepts one later non-empty
+     help (it cannot change what was already rendered). *)
+  ignore (Obs.Metrics.gauge "obs_dup_gauge");
+  ignore (Obs.Metrics.gauge ~help:"late help" "obs_dup_gauge");
+  Alcotest.(check bool) "histogram help clash raises" true
+    (raises (fun () ->
+         ignore (Obs.Metrics.histogram ~help:"a" "obs_dup_seconds");
+         Obs.Metrics.histogram ~help:"b" "obs_dup_seconds"));
+  Obs.Metrics.reset ()
+
 let test_metrics_render () =
   Obs.Metrics.reset ();
   let c = Obs.Metrics.counter ~help:"test counter" "obs_test_total" in
@@ -501,6 +529,8 @@ let suite =
     ("export: chrome trace structure", `Quick, test_chrome_trace_structure);
     ("export: jsonl structure", `Quick, test_jsonl_structure);
     ("export: json escaping", `Quick, test_json_escaping);
+    ("metrics: duplicate registration", `Quick,
+     test_metrics_duplicate_registration);
     ("metrics: prometheus render", `Quick, test_metrics_render);
     ("metrics: event bridge", `Quick, test_metrics_bridge);
     ("progress: stats lines", `Quick, test_progress_lines);

@@ -773,7 +773,8 @@ let test_solver_stats_json_roundtrip () =
       cex_hits = 1; query_evictions = 2; cex_evictions = 5;
       interval_unsat = 6; interval_sat = 8; sat_calls = 10;
       sat_conflicts = 11; sat_decisions = 12; sat_propagations = 13;
-      sat_timeouts = 14; sat_retries = 15; time = 1.5; interval_time = 0.25;
+      sat_timeouts = 14; sat_retries = 15; scope_pushes = 16; scope_pops = 17;
+      scope_reused = 18; scope_rebuilds = 19; time = 1.5; interval_time = 0.25;
       bitblast_time = 0.5; sat_time = 0.75 }
   in
   let s' = Solver.Stats.of_json (Solver.Stats.to_json s) in
@@ -782,6 +783,190 @@ let test_solver_stats_json_roundtrip () =
   let z = Solver.Stats.of_json (Obs.Json.Obj [ ("queries", Obs.Json.Int 3) ]) in
   Alcotest.(check int) "present field" 3 z.Solver.Stats.queries;
   Alcotest.(check int) "missing field" 0 z.Solver.Stats.sat_timeouts
+
+(* ------------------------------------------------------------------ *)
+(* Incremental solving: assumptions, scopes, the shared retry budget   *)
+
+let test_sat_assumptions () =
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Alcotest.(check bool) "sat under [a]" true
+    (Sat.solve ~assumptions:[ a ] s = Sat.Sat);
+  Alcotest.(check bool) "a honoured in model" true (Sat.value s a);
+  Alcotest.(check bool) "sat under [-a]" true
+    (Sat.solve ~assumptions:[ -a ] s = Sat.Sat);
+  Alcotest.(check bool) "b carries the clause" true (Sat.value s b);
+  Alcotest.(check bool) "contradictory assumptions" true
+    (Sat.solve ~assumptions:[ a; -a ] s = Sat.Unsat);
+  (* Make a <-> b, then refute a /\ -b under assumptions: the Unsat
+     answer must not poison the instance for later calls. *)
+  Sat.add_clause s [ -a; b ];
+  Sat.add_clause s [ -b; a ];
+  Alcotest.(check bool) "unsat under [a; -b]" true
+    (Sat.solve ~assumptions:[ a; -b ] s = Sat.Unsat);
+  Alcotest.(check bool) "still sat without assumptions" true
+    (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "still sat under [a; b]" true
+    (Sat.solve ~assumptions:[ a; b ] s = Sat.Sat)
+
+let test_sat_perturb_after_growth () =
+  (* Activity rescaling and the perturbation walk must stay bounded to
+     live variables on an instance that grew between solves — the shape
+     a Solver.Scope produces (encode, solve, encode more, solve). *)
+  let s = Sat.create () in
+  let a = Sat.new_var s and b = Sat.new_var s in
+  Sat.add_clause s [ a; b ];
+  Alcotest.(check bool) "sat small" true (Sat.solve ~assumptions:[ a ] s = Sat.Sat);
+  let more = List.init 64 (fun _ -> Sat.new_var s) in
+  List.iter (fun v -> Sat.add_clause s [ v; a ]) more;
+  Alcotest.(check bool) "sat grown" true (Sat.solve s = Sat.Sat);
+  Sat.perturb s 42L;
+  Alcotest.(check bool) "sat after perturb" true (Sat.solve s = Sat.Sat);
+  Alcotest.(check bool) "assumption unsat on grown instance" true
+    (Sat.solve ~assumptions:[ -a; -(List.hd more) ] s = Sat.Unsat);
+  Sat.perturb s 7L;
+  Alcotest.(check bool) "reusable after unsat + perturb" true
+    (Sat.solve s = Sat.Sat)
+
+let test_scope_reuse () =
+  Solver.clear_caches ();
+  let scope = Solver.Scope.create () in
+  let x = Expr.fresh_var "scope_x" 16 in
+  let sq = Expr.mul x x in
+  (* x*x = 5776 has solutions (+-76 and friends mod 2^16) that neither
+     folding nor interval candidates find, so these queries genuinely
+     exercise the retained CDCL instance. *)
+  let c1 = Expr.eq sq (Expr.int ~width:16 5776) in
+  Solver.Scope.push scope;
+  Solver.Scope.assume scope c1;
+  Alcotest.(check int) "one frame" 1 (Solver.Scope.depth scope);
+  (match Solver.check ~scope [ c1 ] with
+   | Solver.Sat m ->
+     Alcotest.(check bool) "model satisfies" true (Model.satisfies m [ c1 ])
+   | _ -> Alcotest.fail "expected Sat");
+  (* A deeper query re-encodes nothing for c1. *)
+  let c2 = Expr.ugt x (Expr.int ~width:16 1000) in
+  Solver.Scope.push scope;
+  Solver.Scope.assume scope c2;
+  let before = (Solver.Stats.get ()).Solver.Stats.scope_reused in
+  Solver.clear_caches ();
+  (match Solver.check ~scope [ c2; c1 ] with
+   | Solver.Sat m ->
+     Alcotest.(check bool) "deeper model satisfies" true
+       (Model.satisfies m [ c1; c2 ])
+   | _ -> Alcotest.fail "expected Sat at depth 2");
+  let after = (Solver.Stats.get ()).Solver.Stats.scope_reused in
+  Alcotest.(check bool) "encoding reused" true (after > before);
+  (* Pop to a sibling whose refutation runs under assumptions: the
+     Unsat must leave the retained instance reusable. *)
+  Solver.Scope.pop scope;
+  let c3 = Expr.eq sq (Expr.int ~width:16 3) in
+  Solver.Scope.push scope;
+  Solver.Scope.assume scope c3;
+  Solver.clear_caches ();
+  (match Solver.check ~scope [ c3; c1 ] with
+   | Solver.Unsat -> ()
+   | _ -> Alcotest.fail "expected Unsat sibling");
+  Solver.Scope.pop scope;
+  Solver.Scope.push scope;
+  Solver.Scope.assume scope c2;
+  Solver.clear_caches ();
+  (match Solver.check ~scope [ c2; c1 ] with
+   | Solver.Sat _ -> ()
+   | _ -> Alcotest.fail "instance poisoned by sibling Unsat");
+  Solver.Scope.pop_to_root scope;
+  Alcotest.(check int) "back at root" 0 (Solver.Scope.depth scope);
+  Solver.clear_caches ()
+
+let test_incremental_on_off_equivalent () =
+  (* Incremental scope solving is an optimization: verdicts must match
+     the scratch pipeline on random queries issued through a scope. *)
+  let st = Random.State.make [| 48 |] in
+  let width = 4 in
+  Fun.protect
+    ~finally:(fun () ->
+        Solver.set_incremental true;
+        Solver.clear_caches ())
+    (fun () ->
+       for _ = 1 to 40 do
+         let x = Expr.fresh_var "inca" width in
+         let y = Expr.fresh_var "incb" width in
+         let rand_const () =
+           Expr.const (Bv.make ~width (Random.State.int64 st 16L))
+         in
+         let rand_cmp v =
+           match Random.State.int st 3 with
+           | 0 -> Expr.eq v (rand_const ())
+           | 1 -> Expr.ult v (rand_const ())
+           | _ -> Expr.ugt v (rand_const ())
+         in
+         let constraints =
+           List.init
+             (1 + Random.State.int st 4)
+             (fun _ ->
+                rand_cmp
+                  (let v = if Random.State.bool st then x else y in
+                   if Random.State.bool st then v else Expr.mul v v))
+         in
+         let scope = Solver.Scope.create () in
+         List.iter
+           (fun c ->
+              Solver.Scope.push scope;
+              Solver.Scope.assume scope c)
+           constraints;
+         Solver.set_incremental true;
+         Solver.clear_caches ();
+         let on =
+           match Solver.check ~scope constraints with
+           | Solver.Sat _ -> true
+           | Solver.Unsat -> false
+           | Solver.Unknown m -> Alcotest.failf "unknown (on): %s" m
+         in
+         Solver.set_incremental false;
+         Solver.clear_caches ();
+         let off =
+           match Solver.check ~scope constraints with
+           | Solver.Sat _ -> true
+           | Solver.Unsat -> false
+           | Solver.Unknown m -> Alcotest.failf "unknown (off): %s" m
+         in
+         if on <> off then
+           Alcotest.failf "incremental changed verdict (%b vs %b) on %s" on
+             off
+             (String.concat " & " (List.map Expr.to_string constraints))
+       done)
+
+let test_solver_timeout_budget_shared () =
+  (* Regression for the per-query timeout contract: with a permanently
+     stalling solver (each attempt burns up to 50ms) and 3 retries, a
+     100ms budget must bound the whole retry loop at ~1x the budget —
+     per-attempt deadlines would take ~200ms.  Deterministic: the chaos
+     point fires at rate 1. *)
+  Solver.clear_caches ();
+  Fun.protect
+    ~finally:(fun () ->
+        Chaos.disable ();
+        Solver.set_retries 0)
+    (fun () ->
+       Chaos.configure ~seed:0 [ (Chaos.Solver_stall, 1.0) ];
+       Solver.set_retries 3;
+       let before = Solver.Stats.get () in
+       let t0 = Unix.gettimeofday () in
+       let r = Solver.check ~timeout_ms:100 (hard_query ()) in
+       let wall = Unix.gettimeofday () -. t0 in
+       let after = Solver.Stats.get () in
+       (match r with
+        | Solver.Unknown _ -> ()
+        | Solver.Sat _ | Solver.Unsat ->
+          Alcotest.fail "expected Unknown under a permanent stall");
+       Alcotest.(check bool)
+         (Printf.sprintf "wall %.3fs stays within ~1x the 100ms budget" wall)
+         true (wall < 0.18);
+       Alcotest.(check bool) "denied retry still counted" true
+         (after.Solver.Stats.sat_retries > before.Solver.Stats.sat_retries);
+       Alcotest.(check bool) "stalls counted as timeouts" true
+         (after.Solver.Stats.sat_timeouts > before.Solver.Stats.sat_timeouts))
 
 let suite =
   [
@@ -833,5 +1018,12 @@ let suite =
     ("solver: per-query timeout", `Quick, test_solver_timeout_returns_unknown);
     ("solver: interrupt hook", `Quick, test_solver_interrupt_returns_unknown);
     ("solver: stats JSON roundtrip", `Quick, test_solver_stats_json_roundtrip);
+    ("sat: assumptions", `Quick, test_sat_assumptions);
+    ("sat: perturb after growth", `Quick, test_sat_perturb_after_growth);
+    ("scope: encoding reuse and sibling unsat", `Quick, test_scope_reuse);
+    ("solver: incremental on/off equivalence", `Quick,
+     test_incremental_on_off_equivalent);
+    ("solver: retry budget is per-query", `Quick,
+     test_solver_timeout_budget_shared);
   ]
   @ bv_props
