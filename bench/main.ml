@@ -728,8 +728,7 @@ let write_incremental_json path =
    <= 1x, the fork/IPC overhead). *)
 
 (* Available cores, so BENCH_4 consumers can judge the speedup column.
-   The bench binary deliberately has no Unix dependency; Linux sysfs is
-   enough here and the fallback is harmless elsewhere. *)
+   Linux sysfs is enough here and the fallback is harmless elsewhere. *)
 let online_cores () =
   try
     let ic = open_in "/sys/devices/system/cpu/online" in
@@ -813,6 +812,109 @@ let write_scaling_json path rows =
     ~finally:(fun () -> close_out oc)
     (fun () -> Buffer.output_buffer oc buf)
 
+(* BENCH_8.json: pipe vs loopback-TCP transport comparison.  The same
+   T1–T5 campaign runs once per worker count on each transport — local
+   forked workers over pipes, then a remote worker pool dialing a
+   loopback listener — and the error-site sets are machine-checked
+   equal across every row.  TCP wall times on one machine price the
+   framing/registration overhead, not network latency. *)
+
+let distributed_workers = [ 1; 2; 4 ]
+let distributed_sources = if smoke then bench_sources else 8
+let distributed_t5_len = if smoke then 8 else 16
+
+let dist_scenario ?listen ?workers () =
+  Symsysc.Verify.scenario ~num_sources:distributed_sources
+    ~t5_max_len:distributed_t5_len ?listen ?workers ()
+
+(* One test over loopback TCP: listen on an ephemeral port, fork a
+   child running the remote worker pool, explore as a master with no
+   local workers. *)
+let tcp_test_report ~workers name =
+  let l = Symex.Transport.listen ~host:"127.0.0.1" ~port:0 () in
+  let _, port = Symex.Transport.listener_addr l in
+  flush stdout;
+  flush stderr;
+  let kid =
+    match Unix.fork () with
+    | 0 ->
+      Unix.close (Symex.Transport.listener_fd l);
+      Obs.Progress.disable ();
+      Obs.Sink.reset ();
+      let code =
+        try
+          Symsysc.Verify.serve ~host:"127.0.0.1" ~port ~workers
+            (dist_scenario ()) name
+        with _ -> 1
+      in
+      Unix._exit code
+    | pid -> pid
+  in
+  let report =
+    Symsysc.Verify.run_test
+      (dist_scenario ~listen:l ~workers:0 ())
+      name
+  in
+  Symex.Transport.close_listener l;
+  ignore (Unix.waitpid [] kid);
+  report
+
+let distributed_campaigns workers =
+  Smt.Solver.clear_caches ();
+  let pipe = Symsysc.Verify.table1 (dist_scenario ~workers ()) in
+  Smt.Solver.clear_caches ();
+  let tcp =
+    List.map (fun (name, _) -> tcp_test_report ~workers name)
+      Symsysc.Tests.all
+  in
+  (workers, pipe, tcp)
+
+let write_distributed_json path rows =
+  let base_sites =
+    match rows with (_, pipe, _) :: _ -> campaign_sites pipe | [] -> []
+  in
+  let transport_json buf reports =
+    let total f =
+      List.fold_left
+        (fun acc (r : Symsysc.Report.t) -> acc + f r.Symsysc.Report.engine)
+        0 reports
+    in
+    Printf.bprintf buf
+      "{\"wall_s\":%.3f,\"paths\":%d,\"instructions\":%d,\"error_sites\":["
+      (campaign_wall reports)
+      (total (fun e -> e.Engine.paths))
+      (total (fun e -> e.Engine.instructions));
+    List.iteri
+      (fun j site ->
+         if j > 0 then Buffer.add_char buf ',';
+         Printf.bprintf buf "\"%s\"" (Obs.Export.escape_json site))
+      (campaign_sites reports);
+    Buffer.add_string buf "]}"
+  in
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\"schema\":\"symsysc-bench-distributed-v1\",";
+  Printf.bprintf buf "\"sources\":%d,\"t5_max_len\":%d,\"cores\":%d,\"rows\":["
+    distributed_sources distributed_t5_len (online_cores ());
+  List.iteri
+    (fun i (workers, pipe, tcp) ->
+       if i > 0 then Buffer.add_char buf ',';
+       Printf.bprintf buf "{\"workers\":%d,\"pipe\":" workers;
+       transport_json buf pipe;
+       Buffer.add_string buf ",\"tcp\":";
+       transport_json buf tcp;
+       Buffer.add_string buf "}")
+    rows;
+  Printf.bprintf buf "],\"summary\":{\"same_error_sites\":%b}}\n"
+    (List.for_all
+       (fun (_, pipe, tcp) ->
+          campaign_sites pipe = base_sites
+          && campaign_sites tcp = base_sites)
+       rows);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
 let () =
   Format.printf "=== SymSysC benchmark harness ===@.@.";
   Format.printf "-- Table 1 workload (per-test exploration, %d sources) --@."
@@ -851,6 +953,9 @@ let () =
   let scaling_rows = List.map scaling_campaign scaling_workers in
   write_scaling_json "BENCH_4.json" scaling_rows;
   Format.printf "(worker-scaling comparison written to BENCH_4.json)@.";
+  let distributed_rows = List.map distributed_campaigns distributed_workers in
+  write_distributed_json "BENCH_8.json" distributed_rows;
+  Format.printf "(pipe vs loopback-TCP comparison written to BENCH_8.json)@.";
   Format.printf "@.worker scaling (Table 1 campaign, %d cores online):@."
     (online_cores ());
   Symsysc.Tables.print_scaling Format.std_formatter scaling_rows;

@@ -114,6 +114,66 @@ let heartbeat_ms =
   in
   Arg.(value & opt (some int) None & info [ "heartbeat-ms" ] ~docv:"MS" ~doc)
 
+(* HOST:PORT parsing shared by --listen and --connect.  The split is on
+   the last ':' so a future bracketed-IPv6 host keeps its colons. *)
+let hostport_conv =
+  let parse s =
+    match String.rindex_opt s ':' with
+    | None -> Error (`Msg (Printf.sprintf "%S is not HOST:PORT" s))
+    | Some i ->
+      let host = String.sub s 0 i in
+      let port = String.sub s (i + 1) (String.length s - i - 1) in
+      (match int_of_string_opt port with
+       | Some p when p >= 0 && p < 65536 && host <> "" -> Ok (host, p)
+       | _ -> Error (`Msg (Printf.sprintf "%S is not HOST:PORT" s)))
+  in
+  let print ppf (h, p) = Format.fprintf ppf "%s:%d" h p in
+  Arg.conv (parse, print)
+
+let listen =
+  let doc =
+    "Accept remote TCP worker pools on $(docv) (port 0 picks a free \
+     port; the bound address is printed to stderr).  Remote workers \
+     dial in with --connect and are dispatched to exactly like local \
+     --workers processes; with --listen, --workers 0 is allowed (remote \
+     peers do all the work).  The final report is equivalent to a \
+     local run of the same session regardless of worker placement."
+  in
+  Arg.(value & opt (some hostport_conv) None
+       & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+
+let lease_ms =
+  let doc =
+    "Work-unit lease deadline in milliseconds: a unit granted to a \
+     peer that stays silent this long is re-queued for another peer \
+     (the holder is not killed; if its result arrives late it is \
+     dropped first-result-wins).  Bounds the stall any lost or wedged \
+     peer can cause.  Heartbeats renew leases, so set --lease-ms well \
+     above --heartbeat-ms."
+  in
+  Arg.(value & opt (some int) None & info [ "lease-ms" ] ~docv:"MS" ~doc)
+
+let connect =
+  let doc =
+    "Run as a remote worker pool for a master started with --listen on \
+     $(docv): serve its work units with --workers processes until it \
+     stops us, reconnecting with seeded exponential backoff when the \
+     connection drops.  SIGTERM drains gracefully (current unit \
+     finishes and is flushed).  Scale, variant, fault and strategy \
+     flags must match the master's — mismatches are rejected in the \
+     registration handshake."
+  in
+  Arg.(value & opt (some hostport_conv) None
+       & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+
+let backoff_seed =
+  let doc =
+    "Seed of the reconnect backoff jitter (with --connect); the delay \
+     schedule is a pure function of (seed, slot, attempt), so outage \
+     recovery is reproducible."
+  in
+  Arg.(value & opt int 0 & info [ "backoff-seed" ] ~docv:"N" ~doc)
+
 let solver_retries =
   let doc =
     "Retry an Unknown solver query up to $(docv) times with a restarted, \
@@ -144,8 +204,9 @@ let chaos_spec =
      \"point:rate,point:rate,...\" (rates in [0,1], default 1): e.g. \
      \"solver-unknown:0.05,worker-crash:0.02\".  Points: solver-unknown, \
      solver-stall, worker-hang, worker-crash, frame-truncate, \
-     frame-corrupt, checkpoint-corrupt.  Injections are deterministic \
-     for a fixed --chaos-seed and are accounted in the report."
+     frame-corrupt, checkpoint-corrupt, conn-drop, conn-stall, \
+     frame-shear, dup-result.  Injections are deterministic for a \
+     fixed --chaos-seed and are accounted in the report."
   in
   Arg.(value & opt (some chaos_conv) None
        & info [ "chaos-spec" ] ~docv:"SPEC" ~doc)
@@ -174,8 +235,8 @@ let strategy =
 let scenario_term =
   let make interrupts t5_len max_paths max_seconds max_solver_conflicts
       solver_timeout_ms max_memory_mb seed solver_cache_cap no_independence
-      no_incremental strategy workers heartbeat_ms solver_retries no_validate
-      chaos_spec chaos_seed =
+      no_incremental strategy workers heartbeat_ms listen lease_ms
+      solver_retries no_validate chaos_spec chaos_seed =
     Smt.Solver.set_independence (not no_independence);
     Smt.Solver.set_incremental (not no_incremental);
     Option.iter (fun cap -> Smt.Solver.set_cache_capacity ~query:cap ())
@@ -188,17 +249,26 @@ let scenario_term =
        make SIGINT/SIGTERM graceful for every command. *)
     Symex.Budget.install_signal_handlers ();
     Symex.Budget.clear_interrupt ();
+    let listen =
+      Option.map
+        (fun (host, port) ->
+           let l = Symex.Transport.listen ~host ~port () in
+           let bound_host, bound_port = Symex.Transport.listener_addr l in
+           Format.eprintf "[pool] listening on %s:%d@." bound_host bound_port;
+           l)
+        listen
+    in
     Symsysc.Verify.scenario ~num_sources:interrupts ~t5_max_len:t5_len
       ?max_paths ?max_seconds ?max_solver_conflicts ?solver_timeout_ms
-      ?max_memory_mb ?seed ?strategy ~workers ?heartbeat_ms
+      ?max_memory_mb ?seed ?strategy ~workers ?heartbeat_ms ?listen ?lease_ms
       ~validate:(not no_validate) ()
   in
   Term.(
     const make $ interrupts $ t5_len $ max_paths $ max_seconds
     $ max_solver_conflicts $ solver_timeout_ms $ max_memory_mb $ seed
     $ solver_cache_cap $ no_independence $ no_incremental $ strategy
-    $ workers $ heartbeat_ms $ solver_retries $ no_validate $ chaos_spec
-    $ chaos_seed)
+    $ workers $ heartbeat_ms $ listen $ lease_ms $ solver_retries
+    $ no_validate $ chaos_spec $ chaos_seed)
 
 (* ---- observability options ---- *)
 
@@ -408,7 +478,8 @@ let report_out =
 
 let run_cmd =
   let run scenario variant faults coverage solver_stats profile obs
-      checkpoint_out checkpoint_every_s resume_from report_out name =
+      checkpoint_out checkpoint_every_s resume_from report_out connect
+      backoff_seed name =
     match Symsysc.Tests.by_name name with
     | None -> `Error (false, "unknown test " ^ name)
     | Some _ ->
@@ -417,6 +488,27 @@ let run_cmd =
         Symsysc.Tests.with_faults faults
           (Symsysc.Tests.with_variant variant scenario.Symsysc.Verify.params)
       in
+      (* The handshake cookie must cover the variant/fault rewrites made
+         here, not just the scenario-level scale, so recompute it from
+         the final parameter set on both sides of the socket. *)
+      let scenario =
+        { Symsysc.Verify.params;
+          session =
+            { scenario.Symsysc.Verify.session with
+              Engine.Session.cookie =
+                Some (Symsysc.Verify.params_signature params) } }
+      in
+      match connect with
+      | Some (host, port) ->
+        let workers =
+          max 1 scenario.Symsysc.Verify.session.Engine.Session.workers
+        in
+        let code =
+          Symsysc.Verify.serve ~host ~port ~workers ~backoff_seed scenario
+            label
+        in
+        if code = 0 then `Ok () else `Error (false, "worker pool failed")
+      | None ->
       let resume =
         Option.map
           (fun path ->
@@ -492,7 +584,8 @@ let run_cmd =
     Term.(
       ret (const run $ scenario_term $ variant $ faults $ coverage_flag
            $ solver_stats_flag $ profile_flag $ obs_term $ checkpoint_out
-           $ checkpoint_every_s $ resume_from $ report_out $ test_name))
+           $ checkpoint_every_s $ resume_from $ report_out $ connect
+           $ backoff_seed $ test_name))
 
 (* ---- table1 ---- *)
 

@@ -8,10 +8,15 @@ type point =
   | Frame_truncate
   | Frame_corrupt
   | Checkpoint_corrupt
+  | Conn_drop
+  | Conn_stall
+  | Frame_shear
+  | Dup_result
 
 let all_points =
   [ Solver_unknown; Solver_stall; Worker_hang; Worker_crash;
-    Frame_truncate; Frame_corrupt; Checkpoint_corrupt ]
+    Frame_truncate; Frame_corrupt; Checkpoint_corrupt;
+    Conn_drop; Conn_stall; Frame_shear; Dup_result ]
 
 let point_to_string = function
   | Solver_unknown -> "solver-unknown"
@@ -21,6 +26,10 @@ let point_to_string = function
   | Frame_truncate -> "frame-truncate"
   | Frame_corrupt -> "frame-corrupt"
   | Checkpoint_corrupt -> "checkpoint-corrupt"
+  | Conn_drop -> "conn-drop"
+  | Conn_stall -> "conn-stall"
+  | Frame_shear -> "frame-shear"
+  | Dup_result -> "dup-result"
 
 let point_of_string s =
   List.find_opt (fun p -> point_to_string p = s) all_points
@@ -33,6 +42,10 @@ let idx = function
   | Frame_truncate -> 4
   | Frame_corrupt -> 5
   | Checkpoint_corrupt -> 6
+  | Conn_drop -> 7
+  | Conn_stall -> 8
+  | Frame_shear -> 9
+  | Dup_result -> 10
 
 let n_points = List.length all_points
 

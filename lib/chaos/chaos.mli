@@ -30,6 +30,10 @@ type point =
   | Frame_truncate      (** result frame cut short mid-write *)
   | Frame_corrupt       (** result frame payload corrupted *)
   | Checkpoint_corrupt  (** checkpoint file corrupted on write *)
+  | Conn_drop           (** worker connection dropped before a send *)
+  | Conn_stall          (** worker socket stalls (delayed write) *)
+  | Frame_shear         (** connection cut mid-write, half a frame sent *)
+  | Dup_result          (** result frame delivered twice *)
 
 val all_points : point list
 

@@ -38,6 +38,9 @@ let resilience_suffix (r : Engine.resilience) =
         (r.Engine.res_quarantined, "quarantined");
         (r.Engine.res_hung, "hung");
         (r.Engine.res_worker_deaths, "worker deaths");
+        (r.Engine.res_lease_expired, "leases expired");
+        (r.Engine.res_duplicates, "duplicate results");
+        (r.Engine.res_reconnects, "reconnects");
         (r.Engine.res_checkpoint_fallbacks, "checkpoint fallbacks");
         (Engine.(List.fold_left (fun a (_, n) -> a + n) 0 r.res_chaos),
          "injected faults") ]
@@ -154,6 +157,9 @@ let record_metrics t =
    gi "symsysc_engine_worker_deaths" r.Engine.res_worker_deaths;
    ci "symsysc_pool_workers_hung" r.Engine.res_hung;
    ci "symsysc_pool_units_quarantined" r.Engine.res_quarantined;
+   ci "symsysc_pool_lease_expired_total" r.Engine.res_lease_expired;
+   ci "symsysc_pool_duplicate_results_total" r.Engine.res_duplicates;
+   ci "symsysc_pool_reconnects_total" r.Engine.res_reconnects;
    ci "symsysc_checkpoint_fallbacks_total" r.Engine.res_checkpoint_fallbacks;
    ci "symsysc_unvalidated_errors_total" r.Engine.res_unvalidated;
    List.iter
@@ -252,6 +258,9 @@ let to_json t =
             ("worker_deaths", Int r.Engine.res_worker_deaths);
             ("hung", Int r.Engine.res_hung);
             ("quarantined", Int r.Engine.res_quarantined);
+            ("lease_expired", Int r.Engine.res_lease_expired);
+            ("duplicates", Int r.Engine.res_duplicates);
+            ("reconnects", Int r.Engine.res_reconnects);
             ("checkpoint_fallbacks", Int r.Engine.res_checkpoint_fallbacks);
             ("unvalidated", Int r.Engine.res_unvalidated);
             ("chaos",

@@ -40,9 +40,24 @@ type scenario = {
   session : Engine.Session.t;
 }
 
+(* The cookie a distributed campaign uses to reject mismatched remote
+   workers: a master and a worker launched with different PLIC scales,
+   variants or fault plants would silently merge incomparable paths. *)
+let params_signature (p : Tests.params) =
+  Printf.sprintf "harts=%d;sources=%d;maxprio=%d;variant=%s;faults=%s;\
+                  t4=%d;t5=%d;latency=%s"
+    p.Tests.cfg.Config.num_harts p.Tests.cfg.Config.num_sources
+    p.Tests.cfg.Config.max_priority
+    (Config.variant_to_string p.Tests.variant)
+    (String.concat "," (List.map Fault.to_string p.Tests.faults))
+    p.Tests.t4_max_len p.Tests.t5_max_len
+    (Pk.Sc_time.to_string p.Tests.latency_budget)
+
 let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?session ?max_paths
     ?max_seconds ?max_solver_conflicts ?solver_timeout_ms ?max_memory_mb
-    ?stop_after_errors ?seed ?workers ?heartbeat_ms ?validate ?strategy () =
+    ?stop_after_errors ?seed ?workers ?heartbeat_ms ?listen ?lease_ms
+    ?validate ?strategy () =
+  let params = Tests.scaled_params ~num_sources ~t5_max_len in
   let session =
     match session with
     | Some s -> s
@@ -55,9 +70,10 @@ let scenario ?(num_sources = 8) ?(t5_max_len = 16) ?session ?max_paths
             max_solver_conflicts;
             solver_timeout_ms;
             max_memory_mb }
-        ?stop_after_errors ?seed ?workers ?heartbeat_ms ?validate ()
+        ?stop_after_errors ?seed ?workers ?heartbeat_ms ?listen ?lease_ms
+        ~cookie:(params_signature params) ?validate ()
   in
-  { params = Tests.scaled_params ~num_sources ~t5_max_len; session }
+  { params; session }
 
 let run_named session name params =
   match Tests.by_name name with
@@ -67,6 +83,17 @@ let run_named session name params =
     Report.make name report
 
 let run_test scenario name = run_named scenario.session name scenario.params
+
+(* Remote worker side of a distributed campaign: serve one test's work
+   units to a listening master.  The scenario must be built with the
+   same parameters as the master's — the cookie in the hello handshake
+   enforces it. *)
+let serve ~host ~port ~workers ?backoff_seed scenario name =
+  match Tests.by_name name with
+  | None -> invalid_arg ("Verify.serve: unknown test " ^ name)
+  | Some test ->
+    Engine.Session.serve ~host ~port ~workers ?backoff_seed ~label:name
+      scenario.session (test scenario.params)
 
 (* Campaign runs execute many labelled tests under one scenario, so a
    session-level [resume] (whose checkpoint names a single test) and a

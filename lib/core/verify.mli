@@ -28,6 +28,13 @@ type scenario = {
           worker count, checkpointing, resume *)
 }
 
+val params_signature : Tests.params -> string
+(** Canonical one-line fingerprint of a parameter set (scale, variant,
+    faults, length bounds, latency budget).  Used as the distributed
+    handshake cookie: a remote worker whose scenario fingerprint
+    differs from the master's is rejected at registration instead of
+    silently merging incomparable paths. *)
+
 val scenario :
   ?num_sources:int ->
   ?t5_max_len:int ->
@@ -41,6 +48,8 @@ val scenario :
   ?seed:int ->
   ?workers:int ->
   ?heartbeat_ms:int ->
+  ?listen:Symex.Transport.listener ->
+  ?lease_ms:int ->
   ?validate:bool ->
   ?strategy:Symex.Search.strategy ->
   unit ->
@@ -49,13 +58,27 @@ val scenario :
     (default 8) and [t5_max_len] (default 16).  Pass a pre-built
     [session] (as the CLI does — one session shared by every layer) or
     let the remaining arguments build one via
-    {!Symex.Engine.Session.make} with no budgets except those given. *)
+    {!Symex.Engine.Session.make} with no budgets except those given;
+    a scenario-built session carries {!params_signature} as its
+    handshake cookie.  [listen] accepts remote TCP workers; [lease_ms]
+    bounds how long a granted work unit may sit on a silent peer. *)
 
 val run_test : scenario -> string -> Report.t
 (** Run one test (by name, "T1".."T5") on the scenario's variant and
     faults under the scenario's session.  Raises [Invalid_argument] on
     unknown names.  Checkpointing and resume come from the session: a
     resume checkpoint's label must be the test name. *)
+
+val serve :
+  host:string -> port:int -> workers:int -> ?backoff_seed:int ->
+  scenario -> string -> int
+(** Remote worker pool for a distributed run of one test: dial the
+    listening master at [host:port] and serve its work units with
+    [workers] processes until it stops us (returns the worst worker
+    exit code; 0 = clean).  The scenario must be built with the same
+    parameters and strategy as the master's — {!params_signature}
+    mismatches are rejected in the handshake.  Raises
+    [Invalid_argument] on unknown test names. *)
 
 val table1 : scenario -> Report.t list
 (** All five tests against the {e original} PLIC — the paper's

@@ -1,4 +1,5 @@
-type worker_row = { wr_id : int; wr_busy : bool; wr_age : float }
+type worker_row =
+  { wr_id : int; wr_addr : string; wr_busy : bool; wr_age : float }
 
 type snapshot = {
   paths : int;
@@ -130,7 +131,7 @@ let tick_top s snap =
       Format.fprintf s.out "\027[2K[top]";
       List.iter
         (fun w ->
-           Format.fprintf s.out "  w%d %s hb=%.1fs" w.wr_id
+           Format.fprintf s.out "  w%d[%s] %s hb=%.1fs" w.wr_id w.wr_addr
              (if w.wr_busy then "busy" else "idle")
              w.wr_age)
         chunk;

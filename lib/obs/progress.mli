@@ -16,6 +16,8 @@
 
 type worker_row = {
   wr_id : int;
+  wr_addr : string;     (** peer transport/address, e.g. [pipe:w0] or
+                            [tcp:127.0.0.1:51234] *)
   wr_busy : bool;       (** a work unit is currently dispatched to it *)
   wr_age : float;       (** seconds since its last heartbeat/frame *)
 }

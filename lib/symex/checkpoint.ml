@@ -4,6 +4,7 @@ type t = {
   label : string;
   strategy : string;
   frontier : (string * Decision.t array) list;
+  leases : (string * Decision.t array * int) list;
   visits : (string * int) list;
   rng : int64;
   paths : int;
@@ -45,6 +46,26 @@ let to_json t =
                             (fun d -> Json.Str (Decision.to_string d))
                             prefix))) ])
             t.frontier));
+      (* In-flight and pending leases at snapshot time: work that was
+         granted but not yet settled.  Kept separate from the frontier
+         so a resume can restore the attempt counts (quarantine
+         accounting survives the restart).  Absent in pre-lease
+         checkpoints, where the writer folded in-flight units back
+         into the frontier — of_json defaults to []. *)
+      ("leases",
+       Json.List
+         (List.map
+            (fun (site, prefix, attempts) ->
+               Json.Obj
+                 [ ("site", Json.Str site);
+                   ("attempts", Json.Int attempts);
+                   ("prefix",
+                    Json.List
+                      (Array.to_list
+                         (Array.map
+                            (fun d -> Json.Str (Decision.to_string d))
+                            prefix))) ])
+            t.leases));
       ("visits",
        Json.List
          (List.map
@@ -121,6 +142,35 @@ let of_json j =
          Ok (site, Array.of_list decisions))
       frontier_l
   in
+  let* leases =
+    match Option.bind (Json.member "leases" j) Json.to_list_opt with
+    | None -> Ok []
+    | Some l ->
+      map_result
+        (fun ej ->
+           let* site =
+             require "lease site"
+               (Option.bind (Json.member "site" ej) Json.to_string_opt)
+           in
+           let* prefix_l =
+             require "lease prefix"
+               (Option.bind (Json.member "prefix" ej) Json.to_list_opt)
+           in
+           let* decisions =
+             map_result
+               (fun dj ->
+                  match Json.to_string_opt dj with
+                  | Some s -> Decision.of_string s
+                  | None -> Error "checkpoint: malformed decision")
+               prefix_l
+           in
+           let attempts =
+             Option.value ~default:1
+               (Option.bind (Json.member "attempts" ej) Json.to_int_opt)
+           in
+           Ok (site, Array.of_list decisions, attempts))
+        l
+  in
   let* visits =
     match Option.bind (Json.member "visits" j) Json.to_list_opt with
     | None -> Ok []
@@ -149,6 +199,7 @@ let of_json j =
     { label;
       strategy;
       frontier;
+      leases;
       visits;
       rng;
       paths = Option.value ~default:0 (int "paths");

@@ -22,6 +22,14 @@ type t = {
   label : string;            (** testbench name, checked on resume *)
   strategy : string;         (** {!Search.strategy_to_string} form *)
   frontier : (string * Decision.t array) list;  (** oldest first *)
+  leases : (string * Decision.t array * int) list;
+      (** [(site, prefix, attempts)] for units granted but not yet
+          settled when the snapshot was taken — in-flight on a worker
+          or awaiting regrant.  A resume folds them back into the
+          frontier with their attempt counts intact, so poison-unit
+          quarantine accounting survives a restart.  Empty for
+          sequential runs and absent in pre-lease checkpoints (decoded
+          as [[]]). *)
   visits : (string * int) list;
   rng : int64;
   paths : int;
@@ -49,8 +57,8 @@ type policy = {
           is always written when the run stops or exhausts *)
 }
 (** How an exploration persists snapshots.  Shared by the sequential
-    engine and the worker-pool master (whose snapshots also fold the
-    in-flight work units back into the frontier). *)
+    engine and the worker-pool master (whose snapshots record granted
+    but unsettled units in [leases]). *)
 
 val to_json : t -> Obs.Json.t
 val of_json : Obs.Json.t -> (t, string) result

@@ -37,6 +37,9 @@ type resilience = {
   res_worker_deaths : int;
   res_hung : int;
   res_quarantined : int;
+  res_lease_expired : int;
+  res_duplicates : int;
+  res_reconnects : int;
   res_checkpoint_fallbacks : int;
   res_unvalidated : int;
   res_chaos : (string * int) list;
@@ -47,6 +50,9 @@ let no_resilience =
     res_worker_deaths = 0;
     res_hung = 0;
     res_quarantined = 0;
+    res_lease_expired = 0;
+    res_duplicates = 0;
+    res_reconnects = 0;
     res_checkpoint_fallbacks = 0;
     res_unvalidated = 0;
     res_chaos = [] }
@@ -718,6 +724,7 @@ let snapshot ~label st solver_base ~final =
     Checkpoint.label;
     strategy = Search.strategy_to_string st.cfg.strategy;
     frontier = Search.entries st.frontier;
+    leases = [];
     visits = Search.visit_counts st.frontier;
     rng = Search.rng_state st.frontier;
     paths = st.n_paths;
@@ -798,6 +805,12 @@ let seq_run ~(config : config) ~label ?resume ?checkpoint body =
      List.iter
        (fun (site, prefix) -> Search.push st.frontier ~site prefix)
        ck.Checkpoint.frontier;
+     (* A pool/distributed checkpoint may carry granted-but-unsettled
+        leases; a sequential resume just re-executes those prefixes as
+        ordinary frontier entries. *)
+     List.iter
+       (fun (site, prefix, _attempts) -> Search.push st.frontier ~site prefix)
+       ck.Checkpoint.leases;
      Search.set_visit_counts st.frontier ck.Checkpoint.visits;
      Search.set_rng_state st.frontier ck.Checkpoint.rng;
      st.errors_rev <- List.rev ck.Checkpoint.errors;
@@ -1131,6 +1144,9 @@ module Session = struct
     seed : int option;
     workers : int;
     heartbeat_ms : int option;
+    listen : Transport.listener option;
+    lease_ms : int option;
+    cookie : string option;
     validate : bool;
   }
 
@@ -1139,12 +1155,19 @@ module Session = struct
   let max_unit_crashes = 3
 
   let make ?strategy ?(limits = no_limits) ?stop_after_errors ?checkpoint
-      ?resume ?seed ?(workers = 1) ?heartbeat_ms ?(validate = true) () =
-    if workers < 1 then
+      ?resume ?seed ?(workers = 1) ?heartbeat_ms ?listen ?lease_ms ?cookie
+      ?(validate = true) () =
+    if workers < 1 && listen = None then
       invalid_arg "Engine.Session.make: workers must be >= 1";
+    if workers < 0 then
+      invalid_arg "Engine.Session.make: workers must be >= 0";
     (match heartbeat_ms with
      | Some ms when ms < 1 ->
        invalid_arg "Engine.Session.make: heartbeat_ms must be >= 1"
+     | _ -> ());
+    (match lease_ms with
+     | Some ms when ms < 1 ->
+       invalid_arg "Engine.Session.make: lease_ms must be >= 1"
      | _ -> ());
     let strategy =
       match strategy, seed with
@@ -1153,7 +1176,7 @@ module Session = struct
       | None, None -> Search.Dfs
     in
     { strategy; limits; stop_after_errors; checkpoint; resume; seed; workers;
-      heartbeat_ms; validate }
+      heartbeat_ms; listen; lease_ms; cookie; validate }
 
   let config t =
     { strategy = t.strategy;
@@ -1162,7 +1185,7 @@ module Session = struct
 
   let run ?(label = "run") t body =
     let rep =
-      if t.workers = 1 then
+      if t.workers = 1 && t.listen = None then
         seq_run ~config:(config t) ~label ?resume:t.resume
           ?checkpoint:t.checkpoint body
       else begin
@@ -1177,7 +1200,10 @@ module Session = struct
             stop_after_errors = t.stop_after_errors;
             label;
             heartbeat_ms = t.heartbeat_ms;
-            max_unit_crashes }
+            max_unit_crashes;
+            listen = t.listen;
+            lease_ms = t.lease_ms;
+            cookie = t.cookie }
         in
         (* The context is created lazily so it materializes in each
            worker process after the fork, never in the master. *)
@@ -1209,6 +1235,9 @@ module Session = struct
               res_worker_deaths = r.Pool.r_worker_deaths;
               res_hung = r.Pool.r_hung;
               res_quarantined = r.Pool.r_quarantined;
+              res_lease_expired = r.Pool.r_lease_expired;
+              res_duplicates = r.Pool.r_duplicates;
+              res_reconnects = r.Pool.r_reconnects;
               res_checkpoint_fallbacks = Checkpoint.fallbacks ();
               res_chaos = r.Pool.r_chaos };
           coverage = r.Pool.r_coverage;
@@ -1218,6 +1247,21 @@ module Session = struct
       end
     in
     if t.validate then validate_errors body rep else rep
+
+  (* Remote worker side of a distributed run: dial the master and serve
+     units with the same per-worker execution context a local forked
+     worker would use. *)
+  let serve ~host ~port ~workers ?backoff_seed ~label t body =
+    if workers < 1 then
+      invalid_arg "Engine.Session.serve: workers must be >= 1";
+    (match !mode with
+     | Off -> ()
+     | Explore _ | Replay _ | Rand _ ->
+       failwith "Engine.Session.serve: nested runs are not allowed");
+    let ctx = lazy (unit_ctx (config t)) in
+    let exec ~prefix = run_unit (Lazy.force ctx) body ~prefix in
+    Pool.serve ~host ~port ~workers ~label ~strategy:t.strategy
+      ?cookie:t.cookie ?backoff_seed ~exec ()
 end
 
 (* Deprecated pre-Session entry point, kept for one release: builds a

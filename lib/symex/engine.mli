@@ -76,6 +76,11 @@ type resilience = {
   res_worker_deaths : int;   (** worker processes lost (incl. watchdog kills) *)
   res_hung : int;            (** workers killed by the heartbeat watchdog *)
   res_quarantined : int;     (** poison units dropped after repeated crashes *)
+  res_lease_expired : int;   (** leases past deadline, re-granted elsewhere *)
+  res_duplicates : int;      (** duplicate/late results dropped
+                                 (first-result-wins) *)
+  res_reconnects : int;      (** remote peer re-registrations after a lost
+                                 connection *)
   res_checkpoint_fallbacks : int;
       (** checkpoint loads answered by the [.bak] rotation (process
           total, see {!Checkpoint.fallbacks}) *)
@@ -145,7 +150,20 @@ module Session : sig
         (** worker heartbeat period: workers emit liveness frames at
             this period and the master kills (and requeues the unit
             of) any worker silent for [max (8*hb, 1s)]; [None]
-            disables the watchdog.  Ignored when [workers = 1]. *)
+            disables the watchdog.  Ignored for sequential runs. *)
+    listen : Transport.listener option;
+        (** accept remote TCP workers on this bound listener (the
+            caller owns and closes it); forces the pool engine even
+            with [workers <= 1], and allows [workers = 0] *)
+    lease_ms : int option;
+        (** work-unit lease deadline: a granted unit whose holder is
+            silent this long is re-queued for another peer (the holder
+            is not killed; its late result is dropped
+            first-result-wins).  [None] disables lease expiry. *)
+    cookie : string option;
+        (** parameter fingerprint checked against remote workers'
+            hello frames; a mismatch rejects the worker before it can
+            corrupt the campaign *)
     validate : bool;
         (** replay every error's counterexample concretely after the
             run and demote unconfirmed errors to
@@ -161,14 +179,19 @@ module Session : sig
     ?seed:int ->
     ?workers:int ->
     ?heartbeat_ms:int ->
+    ?listen:Transport.listener ->
+    ?lease_ms:int ->
+    ?cookie:string ->
     ?validate:bool ->
     unit ->
     t
   (** Build a session.  Defaults: no budgets, no checkpointing, one
-      worker, no heartbeats, validation on.  The strategy defaults to
-      [Random_path seed] when [seed] is given and [strategy] is not,
-      and to [Dfs] otherwise.  Raises [Invalid_argument] when
-      [workers < 1] or [heartbeat_ms < 1]. *)
+      worker, no heartbeats, no listener, no leases, validation on.
+      The strategy defaults to [Random_path seed] when [seed] is given
+      and [strategy] is not, and to [Dfs] otherwise.  Raises
+      [Invalid_argument] when [workers < 1] without [listen] (with a
+      listener [workers = 0] is allowed — remote peers do all the
+      work), or when [heartbeat_ms < 1] or [lease_ms < 1]. *)
 
   val config : t -> config
   (** The legacy config bundle this session denotes (strategy, limits,
@@ -206,7 +229,26 @@ module Session : sig
       [resilience.res_unvalidated] and in the
       [symsysc_unvalidated_errors_total] metric.  A clean engine and
       solver produce zero unvalidated errors; a nonzero count means
-      the verifier itself (not the DUV) is suspect. *)
+      the verifier itself (not the DUV) is suspect.
+
+      With [t.listen] set the master also accepts remote TCP workers
+      (see {!serve}); units are leased ([t.lease_ms]) and results
+      merged first-result-wins, so the final report is byte-equivalent
+      to a pipe-only run of the same session regardless of worker
+      placement, reconnects or duplicated results. *)
+
+  val serve :
+    host:string -> port:int -> workers:int -> ?backoff_seed:int ->
+    label:string -> t -> (unit -> unit) -> int
+  (** Remote worker side of a distributed run: fork [workers] processes
+      that dial a listening master at [host:port] and execute its work
+      units over the session's testbench.  The session's [strategy],
+      [cookie] and label must match the master's or registration is
+      rejected.  Lost connections re-dial with
+      {!Transport.backoff_delay} seeded by [backoff_seed].  Blocks
+      until the master sends [stop] (or SIGTERM drains the pool);
+      returns the worst worker exit code (0 = clean).  Raises
+      [Invalid_argument] when [workers < 1]. *)
 end
 
 val run :

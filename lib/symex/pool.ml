@@ -32,6 +32,9 @@ type config = {
   label : string;
   heartbeat_ms : int option;
   max_unit_crashes : int;
+  listen : Transport.listener option;
+  lease_ms : int option;
+  cookie : string option;
 }
 
 type result = {
@@ -52,75 +55,22 @@ type result = {
   r_worker_deaths : int;
   r_hung : int;
   r_quarantined : int;
+  r_lease_expired : int;
+  r_duplicates : int;
+  r_reconnects : int;
   r_chaos : (string * int) list;
   r_coverage : Obs.Coverage.t;
   r_profile : Obs.Profile.t;
 }
 
 (* ------------------------------------------------------------------ *)
-(* Framing: ASCII decimal payload length, a newline, then one JSON
-   document.  Both directions of both pipes speak this format; it
-   reuses the existing Obs.Json printer/parser rather than inventing a
-   binary protocol, and a frame is trivially inspectable with strace
-   or by dumping the pipe. *)
-
-let rec write_all fd buf off len =
-  if len > 0 then begin
-    let n =
-      try Unix.write fd buf off len
-      with Unix.Unix_error (Unix.EINTR, _, _) -> 0
-    in
-    write_all fd buf (off + n) (len - n)
-  end
-
-let frame_string j =
-  let payload = Json.to_string j in
-  string_of_int (String.length payload) ^ "\n" ^ payload
-
-let write_frame fd j =
-  let s = frame_string j in
-  write_all fd (Bytes.unsafe_of_string s) 0 (String.length s)
-
-let rec read_byte fd =
-  let b = Bytes.create 1 in
-  match Unix.read fd b 0 1 with
-  | 0 -> raise End_of_file
-  | _ -> Bytes.get b 0
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> read_byte fd
-
-let read_exact fd n =
-  let b = Bytes.create n in
-  let rec go off =
-    if off < n then
-      match Unix.read fd b off (n - off) with
-      | 0 -> raise End_of_file
-      | k -> go (off + k)
-      | exception Unix.Unix_error (Unix.EINTR, _, _) -> go off
-  in
-  go 0;
-  Bytes.unsafe_to_string b
-
-let read_frame fd =
-  let hdr = Buffer.create 8 in
-  let rec header () =
-    match read_byte fd with
-    | '\n' -> ()
-    | c -> Buffer.add_char hdr c; header ()
-  in
-  header ();
-  let len =
-    match int_of_string_opt (Buffer.contents hdr) with
-    | Some n when n >= 0 && n <= 1 lsl 30 -> n
-    | _ -> failwith "pool: malformed frame header"
-  in
-  match Json.of_string (read_exact fd len) with
-  | Ok j -> j
-  | Error e -> failwith ("pool: malformed frame: " ^ e)
-
-(* ------------------------------------------------------------------ *)
 (* Message encoding.  Prefixes travel in their Decision.to_string form
    — the same representation checkpoints use — so work units are
-   replayed without consulting the solver. *)
+   replayed without consulting the solver.  The framing itself
+   (length-prefixed JSON) lives in {!Transport} and is identical over
+   pipes and sockets. *)
+
+let frame_string = Transport.frame_string
 
 let prefix_to_json prefix =
   Json.List
@@ -170,10 +120,35 @@ let unit_to_json id prefix =
 
 let stop_msg = Json.Obj [ ("cmd", Json.Str "stop") ]
 
+let bye_msg = Json.Obj [ ("cmd", Json.Str "bye") ]
+
 let fatal_msg msg =
   Json.Obj [ ("cmd", Json.Str "fatal"); ("msg", Json.Str msg) ]
 
 let hb_msg id = Json.Obj [ ("cmd", Json.Str "hb"); ("worker", Json.Int id) ]
+
+(* The TCP registration handshake.  A dialing worker introduces itself
+   with [hello]; the master either answers [welcome] (assigning the
+   peer id and pushing down heartbeat/forwarding settings) or a [fatal]
+   frame naming the mismatch — a worker started with the wrong
+   testbench, strategy or parameters must fail loudly, not corrupt the
+   campaign. *)
+let hello_msg ~label ~strategy ~slot ~reconnects ~cookie =
+  Json.Obj
+    ([ ("cmd", Json.Str "hello");
+       ("label", Json.Str label);
+       ("strategy", Json.Str strategy);
+       ("slot", Json.Int slot);
+       ("reconnects", Json.Int reconnects) ]
+     @ match cookie with None -> [] | Some c -> [ ("cookie", Json.Str c) ])
+
+let welcome_msg ~peer ~heartbeat_ms ~forward ~epoch =
+  Json.Obj
+    [ ("cmd", Json.Str "welcome");
+      ("peer", Json.Int peer);
+      ("heartbeat_ms", Json.Int (Option.value ~default:0 heartbeat_ms));
+      ("forward", Json.Bool forward);
+      ("epoch", if Float.is_nan epoch then Json.Null else Json.Float epoch) ]
 
 let result_to_json id (r : unit_result) =
   Json.Obj
@@ -310,17 +285,181 @@ let result_of_json j =
             (Option.bind (Json.member "events_dropped" j) Json.to_int_opt) } )
 
 (* ------------------------------------------------------------------ *)
-(* Worker side.  Runs after [fork]: silence the inherited telemetry
-   (the master keeps the only progress meter and trace recorder), then
-   serve units until a stop frame or EOF.  A worker exits through
-   [Unix._exit] so it never runs the parent's [at_exit] hooks or
-   re-flushes inherited channel buffers.
+(* Worker side: the unit-serving loop, shared by forked pipe workers
+   and remote TCP workers.  Both silence inherited telemetry, serve
+   units until a stop frame, EOF or drain, and exit without running the
+   master's [at_exit] hooks.
 
-   With [heartbeat_ms] set, a SIGALRM-driven timer writes a tiny "hb"
-   frame at that period, proving to the master's watchdog that the
-   worker is alive even while a long solver call is in flight.  The
-   [writing] flag keeps the handler from splicing a heartbeat into the
-   middle of a result frame. *)
+   With a heartbeat period configured, a SIGALRM-driven timer writes a
+   tiny "hb" frame at that period, proving to the master's watchdog
+   that the worker is alive even while a long solver call is in
+   flight.  The [writing] flag keeps the handler from splicing a
+   heartbeat into the middle of a result frame.
+
+   SIGTERM requests a {e drain}: the worker finishes the unit in hand,
+   flushes its result (with the event/coverage/profile deltas), sends a
+   [bye] frame so the master deregisters it without counting a death,
+   and exits. *)
+
+type served = Served_stop | Served_drain
+
+let stop_heartbeat () =
+  try
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = 0.0; it_value = 0.0 })
+  with _ -> ()
+
+let start_heartbeat ~heartbeat_ms ~writing conn id =
+  match heartbeat_ms with
+  | None -> ()
+  | Some ms ->
+    let iv = float_of_int (max 1 ms) /. 1000.0 in
+    Sys.set_signal Sys.sigalrm
+      (Sys.Signal_handle
+         (fun _ ->
+            if not !writing then
+              try Transport.write_frame conn (hb_msg id) with _ -> ()));
+    ignore
+      (Unix.setitimer Unix.ITIMER_REAL
+         { Unix.it_interval = iv; it_value = iv })
+
+let serve_conn ~exec ~conn ~drain ~writing ~forward ~reconnectable () =
+  let send_raw s len =
+    writing := true;
+    Fun.protect
+      ~finally:(fun () -> writing := false)
+      (fun () ->
+         Transport.write_all conn.Transport.c_out (Bytes.unsafe_of_string s) 0
+           len)
+  in
+  let send j =
+    let s = frame_string j in
+    send_raw s (String.length s)
+  in
+  (* A pipe worker cannot redial its pipe: connection-level chaos kills
+     the process so the master sees EOF, exactly as a real crash
+     would.  A TCP worker closes the socket and unwinds to its
+     reconnect loop instead. *)
+  let vanish code =
+    stop_heartbeat ();
+    Unix._exit code
+  in
+  let send_result id res =
+    let res =
+      if forward then begin
+        let events, events_dropped = Obs.Export.forwarding_take () in
+        { res with chaos = Chaos.counts (); events; events_dropped }
+      end
+      else { res with chaos = Chaos.counts () }
+    in
+    let j = result_to_json id res in
+    if Chaos.fire Chaos.Frame_truncate then begin
+      (* A worker dying mid-write: half a frame, then gone. *)
+      let s = frame_string j in
+      (try send_raw s (String.length s / 2) with _ -> ());
+      vanish 132
+    end
+    else if Chaos.fire Chaos.Frame_corrupt then begin
+      (* Well-framed garbage: the length header is intact but the
+         payload no longer parses, so the master must treat this
+         worker as compromised and requeue its unit. *)
+      let payload = Bytes.of_string (Json.to_string j) in
+      if Bytes.length payload > 0 then Bytes.set payload 0 'X';
+      let s =
+        string_of_int (Bytes.length payload) ^ "\n" ^ Bytes.to_string payload
+      in
+      send_raw s (String.length s)
+    end
+    else if Chaos.fire Chaos.Conn_drop then begin
+      (* The connection goes away before the result ships: the master
+         requeues the unit under its lease. *)
+      if reconnectable then begin
+        Transport.close conn;
+        raise (Transport.Disconnected "chaos conn-drop")
+      end
+      else vanish 134
+    end
+    else if Chaos.fire Chaos.Frame_shear then begin
+      (* The connection dies mid-write: the master reads a sheared
+         frame, then EOF. *)
+      let s = frame_string j in
+      (try send_raw s (String.length s / 2) with _ -> ());
+      if reconnectable then begin
+        Transport.close conn;
+        raise (Transport.Disconnected "chaos frame-shear")
+      end
+      else vanish 133
+    end
+    else begin
+      if Chaos.fire Chaos.Conn_stall then begin
+        (* A stalled socket: the result arrives, but late — late enough
+           to expire a short lease, short enough that a clean run's
+           watchdog (>= 1 s grace) never reaps the worker.  [writing]
+           also suppresses heartbeats for the duration, so the stall is
+           real silence on the wire. *)
+        writing := true;
+        Unix.sleepf 0.2;
+        writing := false
+      end;
+      send j;
+      (* First-result-wins on the master makes the duplicate frame a
+         counted no-op. *)
+      if Chaos.fire Chaos.Dup_result then send j
+    end
+  in
+  let graceful () =
+    (try send bye_msg with _ -> ());
+    Served_drain
+  in
+  (* Wait for a frame without blocking past a drain request: a SIGTERM
+     during the select shows up as EINTR (or the next timeout) and the
+     idle worker deregisters immediately instead of hanging in read. *)
+  let rec await () =
+    if !drain then None
+    else
+      match Unix.select [ conn.Transport.c_in ] [] [] 0.25 with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> await ()
+      | [], _, _ -> await ()
+      | _ -> Some (Transport.read_frame conn)
+  in
+  let rec loop () =
+    match await () with
+    | None -> graceful ()
+    | Some j ->
+      (match Option.bind (Json.member "cmd" j) Json.to_string_opt with
+       | Some "stop" | None -> Served_stop
+       | Some "unit" ->
+         let id =
+           Option.value ~default:0
+             (Option.bind (Json.member "id" j) Json.to_int_opt)
+         in
+         (match
+            match Json.member "prefix" j with
+            | Some pj -> prefix_of_json pj
+            | None -> Error "pool: unit missing prefix"
+          with
+          | Error msg -> send (fatal_msg msg); Served_stop
+          | Ok prefix ->
+            if Chaos.fire Chaos.Worker_crash then vanish 131;
+            if Chaos.fire Chaos.Worker_hang then begin
+              (* A stuck worker: no heartbeats, no result, no exit.
+                 Only the master's watchdog (or lease) can clear it. *)
+              stop_heartbeat ();
+              while true do
+                Unix.sleepf 3600.0
+              done
+            end;
+            (match exec ~prefix with
+             | res ->
+               send_result id res;
+               if !drain then graceful () else loop ()
+             | exception exn ->
+               send (fatal_msg (Printexc.to_string exn));
+               Served_stop))
+       | Some _ -> loop ())
+  in
+  loop ()
 
 let worker_main ~exec ~worker_id ~heartbeat_ms r w =
   Obs.Progress.disable ();
@@ -335,123 +474,37 @@ let worker_main ~exec ~worker_id ~heartbeat_ms r w =
     if not (Float.is_nan master_epoch) then Obs.Sink.set_epoch master_epoch;
     Obs.Export.forwarding_begin ()
   end;
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Transport.init ();
   (* Each forked worker must draw its own chaos decisions — siblings
      inherit identical PRNG streams over [fork] and would otherwise all
      fail on the same draw.  This also zeroes the injection counters
      inherited from the master, so the worker accounts only its own. *)
   if Chaos.active () then Chaos.reseed worker_id;
+  let conn = Transport.pipe_conn ~addr:(Printf.sprintf "w%d" worker_id) r w in
   let writing = ref false in
-  let stop_heartbeat () =
-    try
-      ignore
-        (Unix.setitimer Unix.ITIMER_REAL
-           { Unix.it_interval = 0.0; it_value = 0.0 })
-    with _ -> ()
-  in
-  (match heartbeat_ms with
-   | None -> ()
-   | Some ms ->
-     let iv = float_of_int (max 1 ms) /. 1000.0 in
-     Sys.set_signal Sys.sigalrm
-       (Sys.Signal_handle
-          (fun _ ->
-             if not !writing then
-               try write_frame w (hb_msg worker_id) with _ -> ()));
-     ignore
-       (Unix.setitimer Unix.ITIMER_REAL
-          { Unix.it_interval = iv; it_value = iv }));
-  let send_string s =
-    writing := true;
-    Fun.protect
-      ~finally:(fun () -> writing := false)
-      (fun () -> write_all w (Bytes.unsafe_of_string s) 0 (String.length s))
-  in
-  let send j = send_string (frame_string j) in
-  let send_result id res =
-    let res =
-      if forward then begin
-        let events, events_dropped = Obs.Export.forwarding_take () in
-        { res with chaos = Chaos.counts (); events; events_dropped }
-      end
-      else { res with chaos = Chaos.counts () }
-    in
-    let j = result_to_json id res in
-    if Chaos.fire Chaos.Frame_truncate then begin
-      (* A worker dying mid-write: half a frame, then gone.  Exiting
-         here (rather than carrying on) makes the master see EOF right
-         after the torn bytes, exactly as a real crash would. *)
-      let s = frame_string j in
-      writing := true;
-      (try write_all w (Bytes.unsafe_of_string s) 0 (String.length s / 2)
-       with _ -> ());
-      stop_heartbeat ();
-      Unix._exit 132
-    end
-    else if Chaos.fire Chaos.Frame_corrupt then begin
-      (* Well-framed garbage: the length header is intact but the
-         payload no longer parses, so the master must treat this
-         worker as compromised and requeue its unit. *)
-      let payload = Bytes.of_string (Json.to_string j) in
-      if Bytes.length payload > 0 then Bytes.set payload 0 'X';
-      send_string
-        (string_of_int (Bytes.length payload) ^ "\n"
-        ^ Bytes.to_string payload)
-    end
-    else send j
-  in
-  let rec loop () =
-    let j = read_frame r in
-    match Option.bind (Json.member "cmd" j) Json.to_string_opt with
-    | Some "stop" | None -> ()
-    | Some "unit" ->
-      let id =
-        Option.value ~default:0
-          (Option.bind (Json.member "id" j) Json.to_int_opt)
-      in
-      (match
-         match Json.member "prefix" j with
-         | Some pj -> prefix_of_json pj
-         | None -> Error "pool: unit missing prefix"
-       with
-       | Error msg -> send (fatal_msg msg)
-       | Ok prefix ->
-         if Chaos.fire Chaos.Worker_crash then begin
-           stop_heartbeat ();
-           Unix._exit 131
-         end;
-         if Chaos.fire Chaos.Worker_hang then begin
-           (* A stuck worker: no heartbeats, no result, no exit.  Only
-              the master's watchdog can clear it. *)
-           stop_heartbeat ();
-           while true do
-             Unix.sleepf 3600.0
-           done
-         end;
-         (match exec ~prefix with
-          | res -> send_result id res; loop ()
-          | exception exn -> send (fatal_msg (Printexc.to_string exn))))
-    | Some _ -> loop ()
-  in
-  (try loop () with End_of_file -> () | _ -> ());
+  let drain = ref false in
+  Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain := true));
+  start_heartbeat ~heartbeat_ms ~writing conn worker_id;
+  (match serve_conn ~exec ~conn ~drain ~writing ~forward ~reconnectable:false () with
+   | Served_stop | Served_drain -> ()
+   | exception _ -> ());
   stop_heartbeat ();
   Unix._exit 0
 
 (* ------------------------------------------------------------------ *)
 (* Master side. *)
 
-type worker_state = {
-  w_id : int;
-  w_pid : int;
-  w_in : Unix.file_descr;   (* master -> worker *)
-  w_out : Unix.file_descr;  (* worker -> master *)
-  mutable w_unit : (int * Decision.t array * float) option;
-      (* unit id, dispatched prefix, dispatch time *)
-  mutable w_alive : bool;
-  mutable w_last_seen : float;
-      (* last frame (result or heartbeat) received from this worker *)
-  mutable w_chaos : (string * int) list;
-      (* cumulative injection counts last reported by this worker *)
+type peer = {
+  p_id : int;
+  p_pid : int option;          (* forked local workers only *)
+  p_conn : Transport.conn;
+  mutable p_lease : (Lease.entry * float) option;
+      (* granted lease and dispatch time *)
+  mutable p_alive : bool;
+  mutable p_last_seen : float;
+      (* last frame (result, bye or heartbeat) received from this peer *)
+  mutable p_chaos : (string * int) list;
+      (* cumulative injection counts last reported by this peer *)
 }
 
 exception Worker_fatal of string
@@ -461,11 +514,24 @@ exception Worker_fatal of string
    iterations before the master gives up and persists the frontier. *)
 let max_dispatch_stalls = 10_000
 
+(* A dialed-in connection that never completes its hello is dropped
+   after this long, so a port scanner or wedged dialer cannot pin
+   master resources. *)
+let handshake_timeout_s = 5.0
+
 let run cfg ?resume ?checkpoint ~exec () =
-  if cfg.workers < 1 then invalid_arg "Pool.run: workers must be >= 1";
+  (match cfg.listen with
+   | None ->
+     if cfg.workers < 1 then invalid_arg "Pool.run: workers must be >= 1"
+   | Some _ ->
+     if cfg.workers < 0 then invalid_arg "Pool.run: workers must be >= 0");
   if cfg.max_unit_crashes < 1 then
     invalid_arg "Pool.run: max_unit_crashes must be >= 1";
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  (match cfg.lease_ms with
+   | Some ms when ms < 1 -> invalid_arg "Pool.run: lease_ms must be >= 1"
+   | _ -> ());
+  Transport.init ();
+  let leases = Lease.create ~lease_ms:cfg.lease_ms in
   let frontier = Search.create cfg.strategy in
   let error_table : (string * Error.kind, unit) Hashtbl.t =
     Hashtbl.create 16
@@ -481,11 +547,19 @@ let run cfg ?resume ?checkpoint ~exec () =
   let solver_acc = ref Stats.zero in
   let degraded = ref false in
   let stop_reason = ref None in
+  (* Unit ids come from their own monotonic sequence, never reused:
+     aborts and quarantines shrink [n_paths], and a reused id would
+     collide with the settled table and drop a fresh result as a
+     duplicate. *)
+  let unit_seq = ref 0 in
   let dispatched = ref 0 in
   let requeued = ref 0 in
   let deaths = ref 0 in
   let hung = ref 0 in
   let quarantined = ref 0 in
+  let lease_expired = ref 0 in
+  let duplicates = ref 0 in
+  let reconnects = ref 0 in
   let stalls = ref 0 in
   let chaos0 = Chaos.counts () in
   let worker_chaos = ref [] in
@@ -521,6 +595,20 @@ let run cfg ?resume ?checkpoint ~exec () =
      instr := ck.Checkpoint.instructions;
      solver_acc := ck.Checkpoint.solver;
      degraded := ck.Checkpoint.degraded;
+     (* Units that were granted but unsettled at snapshot time re-enter
+        through the pending queue with their attempt counts intact.
+        They were excluded from the snapshot's [paths], so count them
+        back in as the outstanding grants they are. *)
+     List.iter
+       (fun (site, prefix, attempts) ->
+          let e =
+            { Lease.l_id = !unit_seq; l_site = site; l_prefix = prefix;
+              l_attempts = attempts; l_deadline = infinity }
+          in
+          incr unit_seq;
+          incr n_paths;
+          Lease.requeue leases e)
+       ck.Checkpoint.leases;
      List.iter
        (fun (e : Error.t) ->
           Hashtbl.replace error_table (e.Error.site, e.Error.kind) ();
@@ -541,7 +629,7 @@ let run cfg ?resume ?checkpoint ~exec () =
   in
   let m_requeued =
     Obs.Metrics.counter
-      ~help:"work units re-queued (aborts and worker deaths)"
+      ~help:"work units re-queued (aborts, worker deaths, lease expiries)"
       "symsysc_pool_requeues"
   in
   let m_deaths =
@@ -558,15 +646,30 @@ let run cfg ?resume ?checkpoint ~exec () =
       ~help:"work units quarantined after repeatedly killing workers"
       "symsysc_pool_units_quarantined"
   in
+  let m_lease_expired =
+    Obs.Metrics.counter
+      ~help:"leases that passed their deadline and were requeued"
+      "symsysc_pool_lease_expired_total"
+  in
+  let m_duplicates =
+    Obs.Metrics.counter
+      ~help:"duplicate or late unit results dropped by first-result-wins"
+      "symsysc_pool_duplicate_results_total"
+  in
+  let m_reconnects =
+    Obs.Metrics.counter ~help:"remote worker re-registrations"
+      "symsysc_pool_reconnects_total"
+  in
   (* Workers are spawned dynamically (the master replaces dead ones),
      so each spawn creates its own pipe pair and the master closes the
      worker-side ends immediately after the fork.  A child can then
-     only inherit the master-side ends (write-to-worker / read-from-
-     worker) of the siblings alive at its fork — it closes those too —
-     and crucially can never inherit a sibling's result-write end,
-     which is what would mask the EOF that signals that sibling's
-     death. *)
-  let workers : worker_state list ref = ref [] in
+     only inherit the master-side ends of the siblings alive at its
+     fork — it closes those too — and crucially can never inherit a
+     sibling's result-write end, which is what would mask the EOF that
+     signals that sibling's death.  The listener descriptor is closed
+     in the child for the same reason. *)
+  let peers : peer list ref = ref [] in
+  let unregistered : (Transport.conn * float) list ref = ref [] in
   let next_id = ref 0 in
   let spawns = ref 0 in
   let spawn_cap = cfg.workers + 1024 in
@@ -582,11 +685,11 @@ let run cfg ?resume ?checkpoint ~exec () =
     | 0 ->
       (try Unix.close uw with _ -> ());
       (try Unix.close rr with _ -> ());
-      List.iter
-        (fun w ->
-           (try Unix.close w.w_in with _ -> ());
-           (try Unix.close w.w_out with _ -> ()))
-        !workers;
+      (match cfg.listen with
+       | Some l -> (try Unix.close (Transport.listener_fd l) with _ -> ())
+       | None -> ());
+      List.iter (fun p -> Transport.close p.p_conn) !peers;
+      List.iter (fun (c, _) -> Transport.close c) !unregistered;
       (try
          worker_main ~exec ~worker_id:id ~heartbeat_ms:cfg.heartbeat_ms ur rw
        with _ -> ());
@@ -594,36 +697,52 @@ let run cfg ?resume ?checkpoint ~exec () =
     | pid ->
       (try Unix.close ur with _ -> ());
       (try Unix.close rw with _ -> ());
-      let w =
-        { w_id = id; w_pid = pid; w_in = uw; w_out = rr; w_unit = None;
-          w_alive = true; w_last_seen = Unix.gettimeofday (); w_chaos = [] }
+      let p =
+        { p_id = id; p_pid = Some pid;
+          p_conn = Transport.pipe_conn ~addr:(Printf.sprintf "w%d" id) rr uw;
+          p_lease = None; p_alive = true;
+          p_last_seen = Unix.gettimeofday (); p_chaos = [] }
       in
-      workers := !workers @ [ w ]
+      peers := !peers @ [ p ]
   in
   for _ = 1 to cfg.workers do spawn () done;
   let elapsed () = Unix.gettimeofday () -. started in
-  let alive () = List.filter (fun w -> w.w_alive) !workers in
+  let local_alive () =
+    List.filter (fun p -> p.p_alive && p.p_pid <> None) !peers
+  in
   let inflight () =
     List.fold_left
-      (fun acc w -> acc + (match w.w_unit with Some _ -> 1 | None -> 0))
-      0 !workers
+      (fun acc p -> acc + (match p.p_lease with Some _ -> 1 | None -> 0))
+      0 !peers
   in
   let stop reason = if !stop_reason = None then stop_reason := Some reason in
-  let snapshot ~final =
-    let in_flight =
+  (* All grants not yet settled: held by peers (minus already-settled
+     ids a slow holder is still finishing) plus the pending queue. *)
+  let unsettled_entries () =
+    let held =
       List.filter_map
-        (fun w ->
-           match w.w_unit with
-           | Some (_, prefix, _) -> Some ("in-flight", prefix)
-           | None -> None)
-        !workers
+        (fun p ->
+           match p.p_lease with
+           | Some (e, _) when not (Lease.is_settled leases e.Lease.l_id) ->
+             Some e
+           | _ -> None)
+        !peers
     in
+    held @ Lease.pending_entries leases
+  in
+  let snapshot ~final =
+    let entries = unsettled_entries () in
     { Checkpoint.label = cfg.label;
       strategy = Search.strategy_to_string cfg.strategy;
-      frontier = Search.entries frontier @ in_flight;
+      frontier = Search.entries frontier;
+      leases =
+        List.map
+          (fun (e : Lease.entry) ->
+             (e.Lease.l_site, e.Lease.l_prefix, e.Lease.l_attempts))
+          entries;
       visits = Search.visit_counts frontier;
       rng = Search.rng_state frontier;
-      paths = !n_paths - inflight ();
+      paths = !n_paths - List.length entries;
       completed = !n_completed;
       errored = !n_errored;
       infeasible = !n_infeasible;
@@ -640,94 +759,156 @@ let run cfg ?resume ?checkpoint ~exec () =
   (* Units that repeatedly take their worker down with them are poison:
      after [max_unit_crashes] deaths attributable to the same prefix,
      the unit is quarantined instead of requeued — losing one path
-     (and the exhaustiveness claim) beats losing the whole campaign. *)
+     (and the exhaustiveness claim) beats losing the whole campaign.
+     Keyed on crashes, not lease attempts: expiry regrants of a merely
+     slow unit must never quarantine it. *)
   let crash_counts : (string, int) Hashtbl.t = Hashtbl.create 16 in
   let prefix_key p =
     String.concat ";" (Array.to_list (Array.map Decision.to_string p))
   in
-  let handle_death ?(hung = false) w =
-    w.w_alive <- false;
-    (* SIGKILL before reaping: a hung worker never exits on its own,
-       and one that sent a corrupt frame may still be running. *)
-    (try Unix.kill w.w_pid Sys.sigkill with _ -> ());
-    (try Unix.close w.w_in with _ -> ());
-    (try Unix.close w.w_out with _ -> ());
-    (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
-    incr deaths;
-    Obs.Metrics.inc m_deaths;
-    (match w.w_unit with
-     | Some (id, prefix, _) ->
-       w.w_unit <- None;
-       decr n_paths;
-       let key = prefix_key prefix in
-       let crashes =
-         1 + Option.value ~default:0 (Hashtbl.find_opt crash_counts key)
-       in
-       Hashtbl.replace crash_counts key crashes;
-       let quarantine = crashes >= cfg.max_unit_crashes in
-       if quarantine then begin
-         incr quarantined;
-         Obs.Metrics.inc m_quarantined;
-         degraded := true
-       end
-       else begin
+  let handle_death ?(hung = false) ?(graceful = false) p =
+    p.p_alive <- false;
+    (match p.p_pid with
+     | Some pid ->
+       (* SIGKILL before reaping: a hung worker never exits on its own,
+          and one that sent a corrupt frame may still be running. *)
+       if not graceful then (try Unix.kill pid Sys.sigkill with _ -> ());
+       Transport.close p.p_conn;
+       (try ignore (Unix.waitpid [] pid) with _ -> ())
+     | None -> Transport.close p.p_conn);
+    if not graceful then begin
+      incr deaths;
+      Obs.Metrics.inc m_deaths
+    end;
+    (match p.p_lease with
+     | Some (e, _) ->
+       p.p_lease <- None;
+       if Lease.is_settled leases e.Lease.l_id then ()
+       else if graceful then begin
+         (* A draining peer should have settled its unit first; if not,
+            the unit is simply another orphaned grant. *)
          incr requeued;
          Obs.Metrics.inc m_requeued;
-         Search.push frontier ~site:"requeued" prefix
-       end;
-       if !Obs.Sink.enabled then
-         Obs.Sink.instant ~cat:"pool"
-           (if quarantine then "quarantine" else "worker-death")
-           ~args:[ ("worker", Obs.Event.Int w.w_id);
-                   ("unit", Obs.Event.Int id);
-                   ("hung", Obs.Event.Bool hung);
-                   ("crashes", Obs.Event.Int crashes);
-                   ("requeued", Obs.Event.Bool (not quarantine)) ]
+         Lease.requeue leases e
+       end
+       else begin
+         let key = prefix_key e.Lease.l_prefix in
+         let crashes =
+           1 + Option.value ~default:0 (Hashtbl.find_opt crash_counts key)
+         in
+         Hashtbl.replace crash_counts key crashes;
+         let quarantine = crashes >= cfg.max_unit_crashes in
+         if quarantine then begin
+           incr quarantined;
+           Obs.Metrics.inc m_quarantined;
+           degraded := true;
+           decr n_paths;
+           (* Pre-settle the dropped unit so a late result from an
+              earlier grant cannot resurrect the path and corrupt the
+              counters. *)
+           Lease.force_settle leases e.Lease.l_id
+         end
+         else begin
+           incr requeued;
+           Obs.Metrics.inc m_requeued;
+           Lease.requeue leases e
+         end;
+         if !Obs.Sink.enabled then
+           Obs.Sink.instant ~cat:"pool"
+             (if quarantine then "quarantine" else "worker-death")
+             ~args:[ ("worker", Obs.Event.Int p.p_id);
+                     ("addr", Obs.Event.Str (Transport.describe p.p_conn));
+                     ("unit", Obs.Event.Int e.Lease.l_id);
+                     ("attempt", Obs.Event.Int e.Lease.l_attempts);
+                     ("hung", Obs.Event.Bool hung);
+                     ("crashes", Obs.Event.Int crashes);
+                     ("requeued", Obs.Event.Bool (not quarantine)) ]
+       end
      | None ->
        if !Obs.Sink.enabled then
-         Obs.Sink.instant ~cat:"pool" "worker-death"
-           ~args:[ ("worker", Obs.Event.Int w.w_id);
+         Obs.Sink.instant ~cat:"pool"
+           (if graceful then "peer-drain" else "worker-death")
+           ~args:[ ("worker", Obs.Event.Int p.p_id);
+                   ("addr", Obs.Event.Str (Transport.describe p.p_conn));
                    ("hung", Obs.Event.Bool hung);
                    ("requeued", Obs.Event.Bool false) ])
   in
-  let dispatch w =
-    match Search.pop frontier with
+  let dispatch p =
+    let t = Unix.gettimeofday () in
+    let entry =
+      match Lease.take_pending leases with
+      | Some e -> Some (Lease.regrant leases e ~now:t)
+      | None ->
+        (match Search.pop frontier with
+         | None -> None
+         | Some prefix ->
+           let id = !unit_seq in
+           incr unit_seq;
+           incr n_paths;
+           Some (Lease.make_entry leases ~id ~site:"in-flight" ~prefix ~now:t))
+    in
+    match entry with
     | None -> ()
-    | Some prefix ->
-      let id = !n_paths in
-      incr n_paths;
+    | Some e ->
       incr dispatched;
-      w.w_unit <- Some (id, prefix, Unix.gettimeofday ());
-      w.w_last_seen <- Unix.gettimeofday ();
+      p.p_lease <- Some (e, t);
+      p.p_last_seen <- t;
       Obs.Metrics.inc m_dispatched;
       Obs.Metrics.set m_queue (float_of_int (Search.length frontier));
       if !Obs.Sink.enabled then
         Obs.Sink.instant ~cat:"pool" "dispatch"
-          ~args:[ ("worker", Obs.Event.Int w.w_id);
-                  ("unit", Obs.Event.Int id);
-                  ("prefix_len", Obs.Event.Int (Array.length prefix));
+          ~args:[ ("worker", Obs.Event.Int p.p_id);
+                  ("unit", Obs.Event.Int e.Lease.l_id);
+                  ("attempt", Obs.Event.Int e.Lease.l_attempts);
+                  ("prefix_len", Obs.Event.Int (Array.length e.Lease.l_prefix));
                   ("frontier", Obs.Event.Int (Search.length frontier)) ];
-      (try write_frame w.w_in (unit_to_json id prefix); stalls := 0
-       with _ -> handle_death w)
+      (try
+         Transport.write_frame p.p_conn
+           (unit_to_json e.Lease.l_id e.Lease.l_prefix);
+         stalls := 0
+       with _ -> handle_death p)
   in
-  let merge w id (r : unit_result) =
-    match w.w_unit with
-    | Some (uid, prefix, t0) when uid = id ->
-      w.w_unit <- None;
-      stalls := 0;
-      (* The worker reports cumulative injection counts; fold in the
-         delta since its previous report so multi-unit workers are
-         accounted exactly once. *)
-      let delta = Chaos.sub_counts r.chaos w.w_chaos in
-      w.w_chaos <- r.chaos;
-      worker_chaos := Chaos.add_counts !worker_chaos delta;
+  let merge p id (r : unit_result) =
+    (* Fold the chaos delta on every result frame — duplicates resend
+       the same cumulative counts, so their delta is zero. *)
+    let delta = Chaos.sub_counts r.chaos p.p_chaos in
+    p.p_chaos <- r.chaos;
+    worker_chaos := Chaos.add_counts !worker_chaos delta;
+    let held =
+      match p.p_lease with
+      | Some (e, t0) when e.Lease.l_id = id -> Some (e, t0)
+      | _ -> None
+    in
+    (match held with
+     | Some _ ->
+       p.p_lease <- None;
+       stalls := 0
+     | None -> ());
+    match Lease.settle leases id with
+    | `Duplicate ->
+      (* First-result-wins: a regrant raced the original holder (or the
+         dup-result chaos point fired).  Count it; merge nothing. *)
+      incr duplicates;
+      Obs.Metrics.inc m_duplicates;
+      if !Obs.Sink.enabled then
+        Obs.Sink.instant ~cat:"pool" "duplicate-result"
+          ~args:[ ("worker", Obs.Event.Int p.p_id);
+                  ("unit", Obs.Event.Int id) ]
+    | `Fresh ->
       (match r.outcome with
        | Unit_aborted ->
          decr n_paths;
          incr requeued;
          Obs.Metrics.inc m_requeued;
-         let p = match r.requeue with Some p -> p | None -> prefix in
-         Search.push frontier ~site:"requeued" p
+         (match r.requeue, held with
+          | Some pr, _ -> Search.push frontier ~site:"requeued" pr
+          | None, Some (e, _) ->
+            Search.push frontier ~site:"requeued" e.Lease.l_prefix
+          | None, None ->
+            (* No prefix to recover (a late abort from a peer that no
+               longer holds the lease, carrying no requeue): the path
+               is lost and the run can no longer claim exhaustion. *)
+            degraded := true)
        | Unit_completed -> incr n_completed
        | Unit_errored -> incr n_errored
        | Unit_infeasible -> incr n_infeasible
@@ -740,12 +921,12 @@ let run cfg ?resume ?checkpoint ~exec () =
            sequential run over the same path set bit for bit. *)
         coverage_acc := Obs.Coverage.add !coverage_acc r.coverage
       end;
-      List.iter (fun (site, p) -> Search.push frontier ~site p) r.forks;
+      List.iter (fun (site, pr) -> Search.push frontier ~site pr) r.forks;
       solver_acc := Stats.add !solver_acc r.solver;
       (* Profile and forwarded events mirror the solver stats: work
          done is accounted even when the unit aborted. *)
       profile_acc := Obs.Profile.add !profile_acc r.profile;
-      Obs.Export.inject ~worker:w.w_id r.events;
+      Obs.Export.inject ~worker:p.p_id r.events;
       if r.events_dropped > 0 then
         Obs.Export.note_remote_dropped r.events_dropped;
       if r.degraded then degraded := true;
@@ -769,7 +950,7 @@ let run cfg ?resume ?checkpoint ~exec () =
                  ~args:[ ("site", Obs.Event.Str e.Error.site);
                          ("kind",
                           Obs.Event.Str (Error.kind_to_string e.Error.kind));
-                         ("worker", Obs.Event.Int w.w_id) ];
+                         ("worker", Obs.Event.Int p.p_id) ];
              match cfg.stop_after_errors with
              | Some n when !n_errors >= n -> stop Budget.Errors
              | _ -> ()
@@ -778,35 +959,118 @@ let run cfg ?resume ?checkpoint ~exec () =
       Obs.Metrics.set m_queue (float_of_int (Search.length frontier));
       if !Obs.Sink.enabled then
         Obs.Sink.complete ~cat:"pool"
-          ~dur_us:((Unix.gettimeofday () -. t0) *. 1e6)
+          ~dur_us:
+            ((match held with
+              | Some (_, t0) -> Unix.gettimeofday () -. t0
+              | None -> 0.0)
+             *. 1e6)
           "unit"
-          ~args:[ ("worker", Obs.Event.Int w.w_id);
+          ~args:[ ("worker", Obs.Event.Int p.p_id);
                   ("unit", Obs.Event.Int id);
                   ("outcome", Obs.Event.Str (outcome_to_string r.outcome));
                   ("forks", Obs.Event.Int (List.length r.forks)) ]
-    | Some _ | None -> ()
+  in
+  let strategy_str = Search.strategy_to_string cfg.strategy in
+  (* TCP registration: answer a well-formed, matching hello with a
+     welcome (assigning the peer id); answer anything else with a fatal
+     frame naming the mismatch, so a misconfigured worker fails loudly
+     instead of silently computing the wrong campaign. *)
+  let register c =
+    match Transport.read_frame c with
+    | exception _ -> Transport.close c
+    | j ->
+      let field k = Option.bind (Json.member k j) Json.to_string_opt in
+      let cmd = field "cmd" in
+      let label_ok = field "label" = Some cfg.label in
+      let strat_ok = field "strategy" = Some strategy_str in
+      let cookie_ok =
+        match cfg.cookie with
+        | None -> true
+        | Some c0 -> field "cookie" = Some c0
+      in
+      if cmd <> Some "hello" || not (label_ok && strat_ok && cookie_ok) then begin
+        let why =
+          if cmd <> Some "hello" then "expected a hello frame"
+          else if not label_ok then
+            Printf.sprintf "label mismatch (master runs %S)" cfg.label
+          else if not strat_ok then
+            Printf.sprintf "strategy mismatch (master uses %s)" strategy_str
+          else
+            "parameter mismatch (worker flags must match the master's \
+             test parameters)"
+        in
+        (try Transport.write_frame c (fatal_msg ("hello rejected: " ^ why))
+         with _ -> ());
+        Transport.close c
+      end
+      else begin
+        let id = !next_id in
+        incr next_id;
+        let recon =
+          Option.value ~default:0
+            (Option.bind (Json.member "reconnects" j) Json.to_int_opt)
+        in
+        if recon > 0 then begin
+          incr reconnects;
+          Obs.Metrics.inc m_reconnects
+        end;
+        match
+          Transport.write_frame c
+            (welcome_msg ~peer:id ~heartbeat_ms:cfg.heartbeat_ms
+               ~forward:(Obs.Export.active ())
+               ~epoch:(Obs.Sink.current_epoch ()))
+        with
+        | exception _ -> Transport.close c
+        | () ->
+          let p =
+            { p_id = id; p_pid = None; p_conn = c; p_lease = None;
+              p_alive = true; p_last_seen = Unix.gettimeofday ();
+              p_chaos = [] }
+          in
+          peers := !peers @ [ p ];
+          if !Obs.Sink.enabled then
+            Obs.Sink.instant ~cat:"pool" "peer-join"
+              ~args:[ ("worker", Obs.Event.Int id);
+                      ("addr", Obs.Event.Str (Transport.describe c));
+                      ("reconnects", Obs.Event.Int recon) ]
+      end
   in
   let shutdown ~force () =
     List.iter
-      (fun w ->
-         if w.w_alive then begin
-           if force then (try Unix.kill w.w_pid Sys.sigkill with _ -> ())
-           else (try write_frame w.w_in stop_msg with _ -> ());
-           (try Unix.close w.w_in with _ -> ());
-           (try Unix.close w.w_out with _ -> ());
-           (try ignore (Unix.waitpid [] w.w_pid) with _ -> ());
-           w.w_alive <- false
+      (fun p ->
+         if p.p_alive then begin
+           (match p.p_pid with
+            | Some pid ->
+              if force then (try Unix.kill pid Sys.sigkill with _ -> ())
+              else (try Transport.write_frame p.p_conn stop_msg with _ -> ());
+              Transport.close p.p_conn;
+              (try ignore (Unix.waitpid [] pid) with _ -> ())
+            | None ->
+              if not force then
+                (try Transport.write_frame p.p_conn stop_msg with _ -> ());
+              Transport.close p.p_conn);
+           p.p_alive <- false
          end)
-      !workers
+      !peers;
+    List.iter (fun (c, _) -> Transport.close c) !unregistered;
+    unregistered := []
   in
   if !Obs.Sink.enabled then
     Obs.Sink.instant ~cat:"pool" "run:start"
-      ~args:[ ("workers", Obs.Event.Int cfg.workers);
-              ("strategy",
-               Obs.Event.Str (Search.strategy_to_string cfg.strategy));
-              ("heartbeat_ms",
-               Obs.Event.Int (Option.value ~default:0 cfg.heartbeat_ms));
-              ("resumed", Obs.Event.Bool (resume <> None)) ];
+      ~args:
+        ([ ("workers", Obs.Event.Int cfg.workers);
+           ("strategy", Obs.Event.Str strategy_str);
+           ("heartbeat_ms",
+            Obs.Event.Int (Option.value ~default:0 cfg.heartbeat_ms));
+           ("lease_ms",
+            Obs.Event.Int (Option.value ~default:0 cfg.lease_ms));
+           ("resumed", Obs.Event.Bool (resume <> None)) ]
+         @
+         match cfg.listen with
+         | None -> []
+         | Some l ->
+           let host, port = Transport.listener_addr l in
+           [ ("listen", Obs.Event.Str (Printf.sprintf "%s:%d" host port)) ]);
   let last_checkpoint = ref now in
   let main_loop () =
     let continue = ref true in
@@ -839,11 +1103,42 @@ let run cfg ?resume ?checkpoint ~exec () =
            p.Checkpoint.write (snapshot ~final:false)
          end
        | None -> ());
-      (* Watchdog: a worker with a unit in flight that has produced no
+      (* Lease expiry: a holder silent past its deadline loses the
+         grant — the unit is requeued for another peer — but is NOT
+         killed.  If the slow result still arrives it settles the unit
+         iff nobody beat it; otherwise it is a counted duplicate.
+         This bounds every lost-connection / stalled-socket shape by
+         the lease deadline without ever discarding work. *)
+      (match cfg.lease_ms with
+       | None -> ()
+       | Some _ ->
+         let t = Unix.gettimeofday () in
+         List.iter
+           (fun p ->
+              match p.p_lease with
+              | Some (e, _) when p.p_alive && Lease.expired e ~now:t ->
+                p.p_lease <- None;
+                if not (Lease.is_settled leases e.Lease.l_id) then begin
+                  incr lease_expired;
+                  Obs.Metrics.inc m_lease_expired;
+                  incr requeued;
+                  Obs.Metrics.inc m_requeued;
+                  Lease.requeue leases e;
+                  if !Obs.Sink.enabled then
+                    Obs.Sink.instant ~cat:"pool" "lease-expired"
+                      ~args:[ ("worker", Obs.Event.Int p.p_id);
+                              ("addr",
+                               Obs.Event.Str (Transport.describe p.p_conn));
+                              ("unit", Obs.Event.Int e.Lease.l_id);
+                              ("attempt", Obs.Event.Int e.Lease.l_attempts) ]
+                end
+              | _ -> ())
+           !peers);
+      (* Watchdog: a peer with a unit in flight that has produced no
          frame — result or heartbeat — within the grace period is
          presumed wedged (SIGSTOP, runaway loop, injected hang).  It is
-         killed and its unit requeued; EOF detection alone would wait
-         on it forever. *)
+         killed (local) or disconnected (remote) and its unit requeued;
+         EOF detection alone would wait on it forever. *)
       (match cfg.heartbeat_ms with
        | None -> ()
        | Some ms ->
@@ -854,33 +1149,42 @@ let run cfg ?resume ?checkpoint ~exec () =
          let grace = Float.max (8.0 *. float_of_int ms /. 1000.0) 1.0 in
          let t = Unix.gettimeofday () in
          List.iter
-           (fun w ->
-              if w.w_alive && w.w_unit <> None
-                 && t -. w.w_last_seen > grace
+           (fun p ->
+              if p.p_alive && p.p_lease <> None
+                 && t -. p.p_last_seen > grace
               then begin
                 incr hung;
                 Obs.Metrics.inc m_hung;
                 if !Obs.Sink.enabled then
                   Obs.Sink.instant ~cat:"pool" "watchdog-kill"
-                    ~args:[ ("worker", Obs.Event.Int w.w_id);
+                    ~args:[ ("worker", Obs.Event.Int p.p_id);
+                            ("addr",
+                             Obs.Event.Str (Transport.describe p.p_conn));
                             ("silent_s",
-                             Obs.Event.Float (t -. w.w_last_seen)) ];
-                handle_death ~hung:true w
+                             Obs.Event.Float (t -. p.p_last_seen)) ];
+                handle_death ~hung:true p
               end)
-           !workers);
-      (* Keep the pool at strength: dead workers are replaced while
-         work remains, so a chaos campaign (or a string of genuine
-         crashes) degrades throughput rather than the verdict.  The
-         spawn cap bounds a pathological crash loop. *)
-      if !stop_reason = None && not (Search.is_empty frontier) then begin
-        let missing = cfg.workers - List.length (alive ()) in
+           !peers);
+      (* Keep the local pool at strength: dead forked workers are
+         replaced while work remains, so a chaos campaign (or a string
+         of genuine crashes) degrades throughput rather than the
+         verdict.  The spawn cap bounds a pathological crash loop.
+         Remote peers replace themselves by reconnecting. *)
+      if !stop_reason = None
+         && (Lease.pending leases > 0 || not (Search.is_empty frontier))
+      then begin
+        let missing = cfg.workers - List.length (local_alive ()) in
         for _ = 1 to min missing (spawn_cap - !spawns) do
           spawn ()
         done
       end;
-      (* Work-sharing: fill every idle worker while budget remains. *)
+      (* Work-sharing: fill every idle peer while budget remains.
+         Orphaned grants (pending regrants) go out before fresh
+         frontier pops, so a requeued unit is never starved. *)
       let rec fill () =
-        if !stop_reason = None && not (Search.is_empty frontier) then begin
+        if !stop_reason = None
+           && (Lease.pending leases > 0 || not (Search.is_empty frontier))
+        then begin
           let paths_left =
             match cfg.limits.Budget.max_paths with
             | Some n -> !n_paths < n
@@ -888,9 +1192,9 @@ let run cfg ?resume ?checkpoint ~exec () =
           in
           if paths_left then
             match
-              List.find_opt (fun w -> w.w_alive && w.w_unit = None) !workers
+              List.find_opt (fun p -> p.p_alive && p.p_lease = None) !peers
             with
-            | Some w -> dispatch w; fill ()
+            | Some p -> dispatch p; fill ()
             | None -> ()
         end
       in
@@ -899,7 +1203,8 @@ let run cfg ?resume ?checkpoint ~exec () =
       Obs.Metrics.set m_busy (float_of_int busy);
       (* Live progress (line mode or the --top dashboard); [due]
          dedupes, so polling every loop iteration is cheap. *)
-      (let done_paths = !n_paths - busy in
+      (let outstanding = List.length (unsettled_entries ()) in
+       let done_paths = !n_paths - outstanding in
        if Obs.Progress.due ~paths:done_paths then begin
          let t = Unix.gettimeofday () in
          Obs.Progress.tick
@@ -913,20 +1218,23 @@ let run cfg ?resume ?checkpoint ~exec () =
              wall = elapsed ();
              workers =
                List.filter_map
-                 (fun w ->
-                    if w.w_alive then
+                 (fun p ->
+                    if p.p_alive then
                       Some
-                        { Obs.Progress.wr_id = w.w_id;
-                          wr_busy = w.w_unit <> None;
-                          wr_age = t -. w.w_last_seen }
+                        { Obs.Progress.wr_id = p.p_id;
+                          wr_busy = p.p_lease <> None;
+                          wr_age = t -. p.p_last_seen;
+                          wr_addr = Transport.describe p.p_conn }
                     else None)
-                 !workers }
+                 !peers }
        end);
-      if busy = 0 then begin
-        if Search.is_empty frontier || !stop_reason <> None then
-          continue := false
-        else if
-          not (List.exists (fun w -> w.w_alive) !workers)
+      if busy = 0
+         && (!stop_reason <> None
+             || (Search.is_empty frontier && Lease.pending leases = 0))
+      then continue := false
+      else if busy = 0 && cfg.listen = None then begin
+        if
+          not (List.exists (fun p -> p.p_alive) !peers)
           && !spawns >= spawn_cap
         then begin
           (* Work remains but nobody can run it and the respawn budget
@@ -962,49 +1270,96 @@ let run cfg ?resume ?checkpoint ~exec () =
         end
       end
       else begin
-        let fds =
-          List.filter_map
-            (fun w -> if w.w_alive then Some w.w_out else None)
-            !workers
+        let listener_fds =
+          match cfg.listen with
+          | Some l -> [ Transport.listener_fd l ]
+          | None -> []
         in
-        match Unix.select fds [] [] 0.1 with
-        | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-        | ready, _, _ ->
-          List.iter
-            (fun fd ->
-               (* Match on liveness too: a dead worker's closed fd
-                  number is reused by the next spawn's pipe, and the
-                  stale entry would otherwise shadow the live worker —
-                  swallowing its frames until the watchdog killed it. *)
-               match
-                 List.find_opt
-                   (fun w -> w.w_alive && w.w_out == fd)
-                   !workers
-               with
-               | None -> ()
-               | Some w ->
-                 if w.w_alive then
-                   match read_frame fd with
-                   | exception _ -> handle_death w
-                   | j ->
-                     w.w_last_seen <- Unix.gettimeofday ();
+        let unreg_fds =
+          List.map (fun (c, _) -> c.Transport.c_in) !unregistered
+        in
+        let peer_fds =
+          List.filter_map
+            (fun p -> if p.p_alive then Some p.p_conn.Transport.c_in else None)
+            !peers
+        in
+        (match Unix.select (listener_fds @ unreg_fds @ peer_fds) [] [] 0.1 with
+         | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+         | ready, _, _ ->
+           List.iter
+             (fun fd ->
+                match cfg.listen with
+                | Some l when fd == Transport.listener_fd l ->
+                  (match Transport.accept l with
+                   | c ->
+                     unregistered :=
+                       !unregistered @ [ (c, Unix.gettimeofday ()) ]
+                   | exception _ -> ())
+                | _ ->
+                  (match
+                     List.find_opt
+                       (fun (c, _) -> c.Transport.c_in == fd)
+                       !unregistered
+                   with
+                   | Some (c, _) ->
+                     unregistered :=
+                       List.filter (fun (c', _) -> c' != c) !unregistered;
+                     register c
+                   | None ->
+                     (* Match on liveness too: a dead peer's closed fd
+                        number is reused by the next spawn or accept,
+                        and the stale entry would otherwise shadow the
+                        live peer — swallowing its frames until the
+                        watchdog killed it. *)
                      (match
-                        Option.bind (Json.member "cmd" j) Json.to_string_opt
+                        List.find_opt
+                          (fun p ->
+                             p.p_alive && p.p_conn.Transport.c_in == fd)
+                          !peers
                       with
-                      | Some "result" ->
-                        (match result_of_json j with
-                         | Ok (id, r) -> merge w id r
-                         | Error msg -> raise (Worker_fatal msg))
-                      | Some "hb" -> ()
-                      | Some "fatal" ->
-                        let msg =
-                          Option.value ~default:"worker failure"
-                            (Option.bind (Json.member "msg" j)
-                               Json.to_string_opt)
-                        in
-                        raise (Worker_fatal msg)
-                      | _ -> ()))
-            ready
+                      | None -> ()
+                      | Some p ->
+                        (match Transport.read_frame p.p_conn with
+                         | exception _ -> handle_death p
+                         | j ->
+                           p.p_last_seen <- Unix.gettimeofday ();
+                           (* Any frame from the holder proves liveness:
+                              renew the lease so heartbeats keep a slow
+                              unit from expiring. *)
+                           (match p.p_lease with
+                            | Some (e, _) ->
+                              Lease.renew leases e ~now:p.p_last_seen
+                            | None -> ());
+                           (match
+                              Option.bind (Json.member "cmd" j)
+                                Json.to_string_opt
+                            with
+                            | Some "result" ->
+                              (match result_of_json j with
+                               | Ok (id, r) -> merge p id r
+                               | Error msg -> raise (Worker_fatal msg))
+                            | Some "hb" -> ()
+                            | Some "bye" -> handle_death ~graceful:true p
+                            | Some "fatal" ->
+                              let msg =
+                                Option.value ~default:"worker failure"
+                                  (Option.bind (Json.member "msg" j)
+                                     Json.to_string_opt)
+                              in
+                              raise (Worker_fatal msg)
+                            | _ -> ())))))
+             ready);
+        (* Reap half-open dials that never said hello. *)
+        let t = Unix.gettimeofday () in
+        unregistered :=
+          List.filter
+            (fun (c, t0) ->
+               if t -. t0 > handshake_timeout_s then begin
+                 Transport.close c;
+                 false
+               end
+               else true)
+            !unregistered
       end
     done
   in
@@ -1037,7 +1392,10 @@ let run cfg ?resume ?checkpoint ~exec () =
                 ("requeues", Obs.Event.Int !requeued);
                 ("worker_deaths", Obs.Event.Int !deaths);
                 ("hung", Obs.Event.Int !hung);
-                ("quarantined", Obs.Event.Int !quarantined) ];
+                ("quarantined", Obs.Event.Int !quarantined);
+                ("lease_expired", Obs.Event.Int !lease_expired);
+                ("duplicates", Obs.Event.Int !duplicates);
+                ("reconnects", Obs.Event.Int !reconnects) ];
     { r_errors = errors;
       r_paths = !n_paths;
       r_completed = !n_completed;
@@ -1055,6 +1413,9 @@ let run cfg ?resume ?checkpoint ~exec () =
       r_worker_deaths = !deaths;
       r_hung = !hung;
       r_quarantined = !quarantined;
+      r_lease_expired = !lease_expired;
+      r_duplicates = !duplicates;
+      r_reconnects = !reconnects;
       r_chaos = chaos;
       r_coverage = !coverage_acc;
       r_profile = !profile_acc }
@@ -1066,10 +1427,152 @@ let run cfg ?resume ?checkpoint ~exec () =
     raise exn
 
 (* ------------------------------------------------------------------ *)
+(* Remote worker pool: dial a listening master, register, serve units.
+   Reconnects with seeded exponential backoff + jitter; a fatal frame
+   from the master (configuration mismatch) is terminal.  SIGTERM
+   drains: finish the unit in hand, flush the result, send bye, exit. *)
+
+let serve ~host ~port ~workers ~label ~strategy ?cookie ?(backoff_seed = 0)
+    ?max_dials ~exec () =
+  if workers < 1 then invalid_arg "Pool.serve: workers must be >= 1";
+  (match max_dials with
+   | Some n when n < 1 -> invalid_arg "Pool.serve: max_dials must be >= 1"
+   | _ -> ());
+  Transport.init ();
+  let strategy_str = Search.strategy_to_string strategy in
+  let worker_loop slot =
+    let drain = ref false in
+    Sys.set_signal Sys.sigterm (Sys.Signal_handle (fun _ -> drain := true));
+    let writing = ref false in
+    let reconnects = ref 0 in
+    let dial_attempt = ref 0 in
+    let continue = ref true in
+    let code = ref 0 in
+    let backoff_or_give_up () =
+      incr dial_attempt;
+      match max_dials with
+      | Some n when !dial_attempt >= n ->
+        Printf.eprintf "symsysc worker %d: giving up after %d failed dials\n%!"
+          slot !dial_attempt;
+        code := 1;
+        continue := false
+      | _ ->
+        (* Distinct per-slot seeds desynchronize a worker pool that was
+           cut off at the same instant. *)
+        Unix.sleepf
+          (Transport.backoff_delay
+             ~seed:(backoff_seed + (31 * slot))
+             ~attempt:!dial_attempt)
+    in
+    while !continue && not !drain do
+      match Transport.connect ~host ~port with
+      | exception Transport.Disconnected _ -> backoff_or_give_up ()
+      | conn ->
+        (match
+           Transport.write_frame conn
+             (hello_msg ~label ~strategy:strategy_str ~slot
+                ~reconnects:!reconnects ~cookie);
+           Transport.read_frame conn
+         with
+         | exception _ ->
+           Transport.close conn;
+           backoff_or_give_up ()
+         | j ->
+           (match Option.bind (Json.member "cmd" j) Json.to_string_opt with
+            | Some "fatal" ->
+              Printf.eprintf "symsysc worker %d: %s\n%!" slot
+                (Option.value ~default:"registration rejected"
+                   (Option.bind (Json.member "msg" j) Json.to_string_opt));
+              Transport.close conn;
+              code := 1;
+              continue := false
+            | Some "welcome" ->
+              dial_attempt := 0;
+              let peer =
+                Option.value ~default:0
+                  (Option.bind (Json.member "peer" j) Json.to_int_opt)
+              in
+              let heartbeat_ms =
+                match
+                  Option.bind (Json.member "heartbeat_ms" j) Json.to_int_opt
+                with
+                | Some ms when ms > 0 -> Some ms
+                | _ -> None
+              in
+              let forward =
+                Option.value ~default:false
+                  (Option.bind (Json.member "forward" j) Json.to_bool_opt)
+              in
+              if forward then begin
+                Obs.Sink.reset ();
+                (match
+                   Option.bind (Json.member "epoch" j) Json.to_float_opt
+                 with
+                 | Some e -> Obs.Sink.set_epoch e
+                 | None -> ());
+                Obs.Export.forwarding_begin ()
+              end;
+              (* The master-assigned peer id is unique per registration,
+                 so reseeded chaos streams differ across reconnects and
+                 across siblings. *)
+              if Chaos.active () then Chaos.reseed peer;
+              start_heartbeat ~heartbeat_ms ~writing conn peer;
+              (match
+                 serve_conn ~exec ~conn ~drain ~writing ~forward
+                   ~reconnectable:true ()
+               with
+               | Served_stop | Served_drain ->
+                 stop_heartbeat ();
+                 Transport.close conn;
+                 continue := false
+               | exception Transport.Disconnected _ | exception Failure _ ->
+                 (* The master went away (or chaos cut the line): come
+                    back with backoff, starting the schedule over. *)
+                 stop_heartbeat ();
+                 Transport.close conn;
+                 incr reconnects;
+                 backoff_or_give_up ())
+            | _ ->
+              Transport.close conn;
+              backoff_or_give_up ()))
+    done;
+    !code
+  in
+  if workers = 1 then worker_loop 0
+  else begin
+    flush stdout;
+    flush stderr;
+    let pids =
+      List.init workers (fun slot ->
+          match Unix.fork () with
+          | 0 ->
+            Obs.Progress.disable ();
+            Obs.Sink.reset ();
+            let code = try worker_loop slot with _ -> 1 in
+            Unix._exit code
+          | pid -> pid)
+    in
+    (* Forward a drain request to every worker in the pool. *)
+    Sys.set_signal Sys.sigterm
+      (Sys.Signal_handle
+         (fun _ ->
+            List.iter
+              (fun pid -> try Unix.kill pid Sys.sigterm with _ -> ())
+              pids));
+    List.fold_left
+      (fun worst pid ->
+         match Unix.waitpid [] pid with
+         | _, Unix.WEXITED c -> max worst c
+         | _, (Unix.WSIGNALED _ | Unix.WSTOPPED _) -> max worst 1
+         | exception _ -> worst)
+      0 pids
+  end
+
+(* ------------------------------------------------------------------ *)
 
 let fork_map ~workers f =
   if workers < 1 then invalid_arg "Pool.fork_map: workers must be >= 1";
-  Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+  Transport.init ();
   flush stdout;
   flush stderr;
   (* Create every pipe before the first fork so each child can close
@@ -1091,7 +1594,8 @@ let fork_map ~workers f =
                pipes;
              Obs.Progress.disable ();
              Obs.Sink.reset ();
-             (try write_frame (snd pipes.(i)) (f i) with _ -> ());
+             (try Transport.write_frame_fd (snd pipes.(i)) (f i)
+              with _ -> ());
              Unix._exit 0
            | pid -> (pid, fst pipes.(i))))
   in
@@ -1099,7 +1603,7 @@ let fork_map ~workers f =
   List.map
     (fun (pid, r) ->
        let res =
-         match read_frame r with
+         match Transport.read_frame_fd r with
          | j -> Ok j
          | exception _ -> Error "worker died before reporting"
        in

@@ -1,20 +1,39 @@
-(** Master/worker parallel path exploration.
+(** Master/worker parallel path exploration — local and distributed.
 
     Pending paths of the re-execution engine share nothing but the
     testbench, so exploration parallelizes at the path level: the
     {e master} owns the frontier and hands out {e work units} — one
-    decision prefix each — to [N] forked worker processes over pipes
-    (length-prefixed {!Obs.Json} frames).  Each worker re-executes the
+    decision prefix each — to worker processes over length-prefixed
+    {!Obs.Json} frames (see {!Transport}).  Workers come in two
+    transports, speaking the same protocol: [config.workers] forked
+    local processes over pipes, and — with [config.listen] set — any
+    number of remote TCP peers that dial in, register with a
+    [hello]/[welcome] handshake, and are dispatched to exactly like
+    local workers (see {!serve}).  Each worker re-executes the
     testbench under its prefix with a private solver (caches and all)
     and streams back the forks it discovered, the errors it found, and
     its counter / {!Smt.Solver.Stats} deltas.  The master re-balances
-    by work-sharing: a unit is dispatched to whichever worker is idle,
-    so no worker idles while the frontier is non-empty.
+    by work-sharing: a unit is dispatched to whichever peer is idle,
+    so no peer idles while the frontier is non-empty.
 
     This module is deliberately independent of {!Engine}: the actual
     unit execution is injected as the [exec] callback (which runs in
-    the worker processes, after [fork]).  {!Engine.Session} wires the
-    two together and is the API testbenches use.
+    the worker processes).  {!Engine.Session} wires the two together
+    and is the API testbenches use.
+
+    {1 Leases}
+
+    Every dispatched unit is tracked by a {!Lease}: a never-reused unit
+    id, a deadline, and an attempt count.  Any frame from the holder
+    (heartbeat or result) renews the deadline; a holder silent past it
+    loses the grant — the unit is requeued for another peer — but is
+    {e not} killed, so a merely slow worker keeps computing.  Whichever
+    copy finishes first {e settles} the unit; every later result for
+    the same id is counted in [r_duplicates] and dropped
+    (first-result-wins).  This makes the master idempotent under
+    duplicate, late and replayed results, and bounds every
+    lost-connection or stalled-socket shape by the lease deadline
+    instead of hanging.
 
     {1 Merge semantics}
 
@@ -25,34 +44,46 @@
     exceed wall time under parallelism).  Budgets are enforced by the
     master between dispatches; a budget stop lets in-flight units
     finish and merges them.  A checkpoint is the master frontier plus
-    the in-flight prefixes folded back into it, so parallel runs
-    compose with [--checkpoint-out] / [--resume-from] (in either
-    direction: a sequential run can resume a parallel checkpoint and
-    vice versa).
+    the granted-but-unsettled leases (prefix + attempt count), so
+    parallel and distributed runs compose with [--checkpoint-out] /
+    [--resume-from] in any direction: sequential, parallel and
+    distributed runs can resume each other's checkpoints.
 
     {1 Fault tolerance}
 
-    A worker that dies mid-unit (killed, crashed) is detected by EOF
-    on its pipe — or by a torn/unparsable frame, which marks the worker
-    compromised.  Its in-flight prefix is re-queued and a replacement
-    worker is forked while work remains, so the run completes at full
-    strength (a spawn cap bounds pathological crash loops).
+    A peer that dies mid-unit (killed, crashed, connection reset) is
+    detected by EOF or a transport error on its connection — or by a
+    torn/unparsable frame, which marks the peer compromised.  Its
+    in-flight lease is re-queued; dead {e local} workers are replaced
+    by respawning while work remains (a spawn cap bounds pathological
+    crash loops), dead {e remote} workers replace themselves by
+    reconnecting with seeded exponential backoff
+    ({!Transport.backoff_delay}).  A remote worker receiving SIGTERM
+    drains gracefully: it finishes the unit in hand, flushes the
+    result, sends a [bye] frame and deregisters without counting as a
+    death.
 
     With [heartbeat_ms] set, workers emit periodic heartbeat frames
-    from a SIGALRM timer and the master runs a {e watchdog}: a worker
+    from a SIGALRM timer and the master runs a {e watchdog}: a peer
     holding a unit that produces no frame for [max (8*hb, 1s)] is
-    presumed wedged (e.g. SIGSTOPped), killed, and treated as a death
-    — without heartbeats such a worker would block the run forever.
+    presumed wedged (e.g. SIGSTOPped), killed (local) or disconnected
+    (remote), and treated as a death — without heartbeats such a
+    worker would block the run forever (unless a lease deadline is
+    set, which requeues the unit without the kill).
 
     A {e poison unit} whose prefix kills [max_unit_crashes] workers is
-    quarantined rather than requeued: the path is dropped, the run is
+    quarantined rather than requeued: the path is dropped (and
+    pre-settled, so a late result cannot resurrect it), the run is
     marked degraded (no exhaustiveness claim) and the quarantine is
-    surfaced in [r_quarantined].
+    surfaced in [r_quarantined].  Quarantine is keyed on worker
+    {e crashes}, never on lease expiries: a slow unit regranted many
+    times is not poison.
 
     With a {!Chaos} spec armed, workers reseed their injection streams
-    with their worker id and fire the [worker-crash], [worker-hang],
-    [frame-truncate] and [frame-corrupt] points; the per-worker
-    injection counts travel back in result frames and are merged into
+    with their peer id and fire the [worker-crash], [worker-hang],
+    [frame-truncate], [frame-corrupt], [conn-drop], [conn-stall],
+    [frame-shear] and [dup-result] points; the per-worker injection
+    counts travel back in result frames and are merged into
     [r_chaos]. *)
 
 (** How a single work-unit execution ended in the worker. *)
@@ -95,17 +126,35 @@ type unit_result = {
 }
 
 type config = {
-  workers : int;                  (** worker processes to fork, >= 1 *)
+  workers : int;
+      (** local worker processes to fork: >= 1, or >= 0 with [listen]
+          set (a listening master may rely on remote peers alone) *)
   strategy : Search.strategy;     (** master frontier pop order *)
   limits : Budget.t;              (** global budgets (master-enforced) *)
   stop_after_errors : int option;
-  label : string;                 (** run name, checked on resume *)
+  label : string;                 (** run name, checked on resume and
+                                      in the remote hello handshake *)
   heartbeat_ms : int option;
-      (** worker heartbeat period; [None] disables heartbeats and the
-          watchdog (a wedged worker then blocks the run) *)
+      (** worker heartbeat period, pushed to remote peers in the
+          welcome frame; [None] disables heartbeats and the watchdog
+          (a wedged worker then blocks the run unless [lease_ms]
+          bounds it) *)
   max_unit_crashes : int;
       (** worker deaths attributable to one prefix before that unit is
           quarantined instead of requeued; >= 1 *)
+  listen : Transport.listener option;
+      (** accept remote TCP workers on this (already-bound) listener;
+          the caller owns and closes it.  [None] for a purely local
+          pool *)
+  lease_ms : int option;
+      (** lease deadline per grant; a holder silent this long loses
+          the grant (requeue, no kill).  [None] disables expiry —
+          liveness then rests on the watchdog alone *)
+  cookie : string option;
+      (** opaque parameter fingerprint; a dialing worker must present
+          the same cookie or its hello is rejected, catching
+          master/worker flag mismatches before they corrupt a
+          campaign.  [None] skips the check *)
 }
 
 type result = {
@@ -122,11 +171,18 @@ type result = {
   r_exhausted : bool;
   r_stop_reason : Budget.reason option;
   r_visits : (string * int) list;  (** merged branch coverage *)
-  r_dispatched : int;   (** units handed to workers (incl. re-runs) *)
-  r_requeued : int;     (** units re-queued (aborts + worker deaths) *)
-  r_worker_deaths : int;  (** workers lost (crashes + watchdog kills) *)
-  r_hung : int;         (** workers killed by the heartbeat watchdog *)
+  r_dispatched : int;   (** units handed to workers (incl. re-grants) *)
+  r_requeued : int;
+      (** units re-queued (aborts + worker deaths + lease expiries) *)
+  r_worker_deaths : int;  (** peers lost (crashes, resets, watchdog) *)
+  r_hung : int;         (** peers killed by the heartbeat watchdog *)
   r_quarantined : int;  (** poison units dropped after repeated crashes *)
+  r_lease_expired : int;
+      (** leases that passed their deadline and were re-granted *)
+  r_duplicates : int;
+      (** duplicate/late results dropped by first-result-wins *)
+  r_reconnects : int;
+      (** remote peer re-registrations after a lost connection *)
   r_chaos : (string * int) list;
       (** merged {!Chaos} injection counts: the master's own plus the
           per-result deltas reported by workers (injections in a
@@ -146,13 +202,40 @@ val run :
   exec:(prefix:Decision.t array -> unit_result) ->
   unit ->
   result
-(** Explore with [config.workers] forked workers.  [exec] is called in
-    the worker processes only — one call per received unit; worker
-    state (solver caches, pooled inputs) persists across calls within
-    one worker.  Raises [Failure] if every worker dies while work
-    remains and the respawn cap is spent, if the master's dispatch
-    stalls without progress, or if a worker reports a fatal testbench
-    error (the analogue of an exception escaping {!Engine.run}). *)
+(** Explore with [config.workers] forked workers plus any remote peers
+    accepted on [config.listen].  [exec] is called in the worker
+    processes only — one call per received unit; worker state (solver
+    caches, pooled inputs) persists across calls within one worker.
+    Raises [Failure] if every local worker dies while work remains and
+    the respawn cap is spent (with no listener to wait on), if the
+    master's dispatch stalls without progress, or if a worker reports
+    a fatal testbench error (the analogue of an exception escaping
+    {!Engine.run}).  A listening master with work remaining and no
+    live peers waits for (re)connections instead — bound it with a
+    budget. *)
+
+val serve :
+  host:string ->
+  port:int ->
+  workers:int ->
+  label:string ->
+  strategy:Search.strategy ->
+  ?cookie:string ->
+  ?backoff_seed:int ->
+  ?max_dials:int ->
+  exec:(prefix:Decision.t array -> unit_result) ->
+  unit ->
+  int
+(** Run a remote worker pool: fork [workers] processes ([workers = 1]
+    serves in the calling process), each dialing [host:port],
+    registering with [hello] (label, strategy, [cookie]) and serving
+    units until the master sends [stop].  A lost connection reconnects
+    with {!Transport.backoff_delay} under a per-slot seed derived from
+    [backoff_seed]; [max_dials] bounds consecutive failed dials (the
+    default retries forever).  A [fatal] answer to the hello
+    (label/strategy/cookie mismatch) is terminal, not retried.
+    SIGTERM drains the pool gracefully.  Returns the worst worker exit
+    code (0 = clean stop or drain). *)
 
 val fork_map :
   workers:int -> (int -> Obs.Json.t) -> (Obs.Json.t, string) Stdlib.result list

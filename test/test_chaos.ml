@@ -253,6 +253,7 @@ let test_validated_error_confirmed () =
 let mk_ck label =
   { Checkpoint.label; strategy = "dfs";
     frontier = [ ("root", [| Decision.Dir true |]) ];
+    leases = [];
     visits = [ ("root", 1) ]; rng = 7L; paths = 1; completed = 1;
     errored = 0; infeasible = 0; unknown = 0; instructions = 3;
     wall_time = 0.1; solver = Solver.Stats.zero; errors = [];
@@ -355,7 +356,8 @@ let test_watchdog_reaps_sigstopped_worker () =
          { Pool.workers = 2; strategy = Search.Dfs;
            limits = Engine.no_limits; stop_after_errors = None;
            label = "stop-test"; heartbeat_ms = Some 50;
-           max_unit_crashes = 3 }
+           max_unit_crashes = 3; listen = None; lease_ms = None;
+           cookie = None }
        in
        let exec ~prefix =
          match Array.to_list prefix with
@@ -389,7 +391,8 @@ let test_poison_unit_quarantined () =
   let config =
     { Pool.workers = 2; strategy = Search.Dfs; limits = Engine.no_limits;
       stop_after_errors = None; label = "poison-test";
-      heartbeat_ms = None; max_unit_crashes = 2 }
+      heartbeat_ms = None; max_unit_crashes = 2; listen = None;
+      lease_ms = None; cookie = None }
   in
   let exec ~prefix =
     match Array.to_list prefix with

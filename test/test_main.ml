@@ -19,4 +19,5 @@ let () =
       ("incremental", Test_incremental.suite);
       ("chaos", Test_chaos.suite);
       ("deepobs", Test_deepobs.suite);
+      ("distributed", Test_distributed.suite);
     ]

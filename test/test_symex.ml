@@ -627,6 +627,7 @@ let test_checkpoint_json_roundtrip () =
           ("site-b",
            [| Symex.Decision.Pick
                 { value = Bv.make ~width:32 5L; dir = false } |]) ];
+      leases = [ ("site-c", [| Symex.Decision.Dir false |], 2) ];
       visits = [ ("site-a", 2); ("site-b", 1) ];
       rng = 0x123456789abcdef0L;
       paths = 7;
@@ -656,6 +657,7 @@ let test_checkpoint_file_roundtrip () =
            Symex.Checkpoint.label = "t1";
            strategy = "dfs";
            frontier = [];
+           leases = [];
            visits = [];
            rng = 1L;
            paths = 0;
