@@ -224,6 +224,24 @@ let incremental_tests =
   ]
 
 (* ------------------------------------------------------------------ *)
+(* Snapshot-forking ablation: the whole Table 1 workload with fork
+   fast-forward on vs off (pure decision-prefix replay)                *)
+
+let snapshot_workload snapshots () =
+  let original = params Config.Original [] in
+  let session = { bench_session with Engine.Session.snapshots } in
+  Smt.Solver.clear_caches ();
+  List.iter
+    (fun (_, test) -> ignore (Engine.Session.run session (test original)))
+    Symsysc.Tests.all
+
+let snapshot_tests =
+  [
+    Test.make ~name:"snapshots-on" (Staged.stage (snapshot_workload true));
+    Test.make ~name:"snapshots-off" (Staged.stage (snapshot_workload false));
+  ]
+
+(* ------------------------------------------------------------------ *)
 (* First-error vs exhaustive exploration (Section 5.3's observation)   *)
 
 let exploration_tests =
@@ -720,6 +738,126 @@ let write_incremental_json path =
     (fun () -> Buffer.output_buffer oc buf)
 
 (* ------------------------------------------------------------------ *)
+(* BENCH_9.json: snapshot forking vs decision-prefix replay.  One
+   exploration per test per mode.  [instructions] (the DUV work the
+   path set represents) is mode-independent by construction — the
+   equivalence suites assert it — while [executed] = instructions -
+   instructions_saved is what was actually re-executed: fast-forward
+   must push the per-path executed count strictly below the replay
+   baseline on every multi-path test, with identical error sites. *)
+
+type snap_row = {
+  n_test : string;
+  n_wall_ms : float;
+  n_paths : int;
+  n_instructions : int;
+  n_saved : int;
+  n_snapshots : int;
+  n_restores : int;
+  n_sites : string list;
+}
+
+let instrumented_snapshots snapshots =
+  let original =
+    Symsysc.Tests.with_faults []
+      (Symsysc.Tests.with_variant Config.Original
+         (Symsysc.Tests.scaled_params ~num_sources:independence_sources
+            ~t5_max_len:(if smoke then 8 else 16)))
+  in
+  let session =
+    let base =
+      if smoke then bench_session
+      else
+        Engine.Session.make
+          ~limits:{ Engine.no_limits with Engine.max_paths = Some 20_000 }
+          ()
+    in
+    { base with Engine.Session.snapshots }
+  in
+  List.map
+    (fun (name, test) ->
+       Smt.Solver.clear_caches ();
+       let report = Engine.Session.run session (test original) in
+       {
+         n_test = name;
+         n_wall_ms = report.Engine.wall_time *. 1000.0;
+         n_paths = report.Engine.paths;
+         n_instructions = report.Engine.instructions;
+         n_saved = report.Engine.instructions_saved;
+         n_snapshots = report.Engine.snapshots_taken;
+         n_restores = report.Engine.snapshot_restores;
+         n_sites =
+           List.sort String.compare
+             (List.map
+                (fun (e : Symex.Error.t) -> e.Symex.Error.site)
+                report.Engine.errors);
+       })
+    Symsysc.Tests.all
+
+let snap_executed_per_path r =
+  if r.n_paths = 0 then 0.0
+  else float_of_int (r.n_instructions - r.n_saved) /. float_of_int r.n_paths
+
+let write_snapshots_json path =
+  let on_rows = instrumented_snapshots true in
+  let off_rows = instrumented_snapshots false in
+  let buf = Buffer.create 4096 in
+  let row_json r =
+    Printf.bprintf buf
+      "{\"test\":\"%s\",\"wall_ms\":%.3f,\"paths\":%d,\"instructions\":%d,\
+       \"instructions_saved\":%d,\"executed\":%d,\"executed_per_path\":%.3f,\
+       \"snapshots_taken\":%d,\"snapshot_restores\":%d,\"error_sites\":["
+      (Obs.Export.escape_json r.n_test)
+      r.n_wall_ms r.n_paths r.n_instructions r.n_saved
+      (r.n_instructions - r.n_saved)
+      (snap_executed_per_path r)
+      r.n_snapshots r.n_restores;
+    List.iteri
+      (fun i site ->
+         if i > 0 then Buffer.add_char buf ',';
+         Printf.bprintf buf "\"%s\"" (Obs.Export.escape_json site))
+      r.n_sites;
+    Buffer.add_string buf "]}"
+  in
+  let mode_json name rows =
+    Printf.bprintf buf "\"%s\":[" name;
+    List.iteri
+      (fun i r ->
+         if i > 0 then Buffer.add_char buf ',';
+         row_json r)
+      rows;
+    Buffer.add_char buf ']'
+  in
+  Buffer.add_string buf "{\"schema\":\"symsysc-bench-snapshots-v1\",";
+  Printf.bprintf buf "\"sources\":%d," independence_sources;
+  mode_json "snapshots_on" on_rows;
+  Buffer.add_char buf ',';
+  mode_json "snapshots_off" off_rows;
+  let wall rows = List.fold_left (fun acc r -> acc +. r.n_wall_ms) 0.0 rows in
+  let saved rows = List.fold_left (fun acc r -> acc + r.n_saved) 0 rows in
+  let w_on = wall on_rows and w_off = wall off_rows in
+  Printf.bprintf buf
+    ",\"summary\":{\"wall_ms_on\":%.3f,\"wall_ms_off\":%.3f,\
+     \"instructions_saved\":%d,\"same_instructions\":%b,\
+     \"executed_below_replay\":%b,\"same_error_sites\":%b}}\n"
+    w_on w_off (saved on_rows)
+    (List.for_all2
+       (fun a b -> a.n_instructions = b.n_instructions)
+       on_rows off_rows)
+    (List.for_all2
+       (fun a b ->
+          a.n_paths <= 1
+          || snap_executed_per_path a < snap_executed_per_path b)
+       on_rows off_rows)
+    (List.for_all2
+       (fun a b -> a.n_test = b.n_test && a.n_sites = b.n_sites)
+       on_rows off_rows);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> Buffer.output_buffer oc buf)
+
+(* ------------------------------------------------------------------ *)
 (* BENCH_4.json: worker-scaling of the whole Table 1 campaign.  One
    run of all five tests per worker count; error-site equality against
    the single-worker run is machine-checked, and the speedups are
@@ -934,6 +1072,9 @@ let () =
   Format.printf
     "@.-- Ablation: incremental scope solving (Table 1 workload) --@.";
   benchmark_group "incremental" incremental_tests;
+  Format.printf
+    "@.-- Ablation: snapshot forking vs prefix replay (Table 1 workload) --@.";
+  benchmark_group "snapshots" snapshot_tests;
   Format.printf "@.-- Ablation: first error vs exhaustive exploration (T1) --@.";
   benchmark_group "exploration" exploration_tests;
   Format.printf "@.-- Scaling: parallel workers (T1 exploration) --@.";
@@ -950,6 +1091,8 @@ let () =
   Format.printf "(independence on/off comparison written to BENCH_2.json)@.";
   write_incremental_json "BENCH_7.json";
   Format.printf "(incremental on/off comparison written to BENCH_7.json)@.";
+  write_snapshots_json "BENCH_9.json";
+  Format.printf "(snapshot vs replay comparison written to BENCH_9.json)@.";
   let scaling_rows = List.map scaling_campaign scaling_workers in
   write_scaling_json "BENCH_4.json" scaling_rows;
   Format.printf "(worker-scaling comparison written to BENCH_4.json)@.";

@@ -71,7 +71,7 @@ let testbench ?trace () =
 
 let () =
   Format.printf "== CLINT timer: symbolic verification ==@.@.";
-  let report = Engine.run (fun () -> testbench ()) in
+  let report = Engine.Session.run (Engine.Session.make ()) (fun () -> testbench ()) in
   Format.printf "paths: %d  (one per comparator value)@." report.Engine.paths;
   Format.printf "errors: %d@." (List.length report.Engine.errors);
   List.iter

@@ -115,7 +115,7 @@ let testbench () =
 
 let () =
   Format.printf "== mini virtual prototype: sensor + PLIC behind a bus ==@.@.";
-  let report = Engine.run testbench in
+  let report = Engine.Session.run (Engine.Session.make ()) testbench in
   Format.printf "paths: %d  instructions: %d  time: %.2fs  errors: %d@."
     report.Engine.paths report.Engine.instructions report.Engine.wall_time
     (List.length report.Engine.errors);

@@ -92,7 +92,7 @@ let testbench () =
 
 let () =
   Format.printf "== quickstart: symbolic verification of a watchdog ==@.@.";
-  let report = Engine.run testbench in
+  let report = Engine.Session.run (Engine.Session.make ()) testbench in
   Format.printf
     "explored %d paths (%d completed), %d instructions, %.2fs (%.0f%% solver)@."
     report.Engine.paths report.Engine.paths_completed

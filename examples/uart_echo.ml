@@ -106,7 +106,7 @@ let testbench () =
 
 let () =
   Format.printf "== interrupt-driven UART echo through the PLIC ==@.@.";
-  let report = Engine.run testbench in
+  let report = Engine.Session.run (Engine.Session.make ()) testbench in
   Format.printf "paths: %d  instructions: %d  time: %.2fs  errors: %d@."
     report.Engine.paths report.Engine.instructions report.Engine.wall_time
     (List.length report.Engine.errors);

@@ -38,6 +38,18 @@ let addr_window = 0xC000
    re-arms if mtimecmp changes). *)
 let horizon_ticks = Int64.shift_left 1L 40
 
+(* Resume labels of the translated timer thread. *)
+type run_label = Init | Lbl1
+
+(* Captured device state: pure data, no aliasing into the live device. *)
+type snap = {
+  sn_msip : Mem.state;
+  sn_mtimecmp : Mem.state;
+  sn_mtime : Mem.state;
+  sn_ports : (bool * bool * int * Sc_time.t) list;
+  sn_fsm : run_label;
+}
+
 type t = {
   cfg : Config.t;
   sched : Pk.Scheduler.t;
@@ -47,6 +59,8 @@ type t = {
   mtime : Mem.t;
   e_timer : Pk.Event.t;
   mutable ports : Port.t list;
+  timer_fsm : run_label Pk.Process.Fsm.t;
+  mutable reset_snap : snap option;
 }
 
 let mtime_now t =
@@ -89,10 +103,45 @@ let update_software t =
   let level = Value.truth ~site:"clint:msip" pending in
   List.iter (fun (port : Port.t) -> port.Port.software_pending <- level) t.ports
 
-type run_label = Init | Lbl1
+(* ---- whole-device state capture ---- *)
+
+let snapshot t =
+  {
+    sn_msip = Mem.save t.msip;
+    sn_mtimecmp = Mem.save t.mtimecmp;
+    sn_mtime = Mem.save t.mtime;
+    sn_ports =
+      List.map
+        (fun (p : Port.t) ->
+           (p.Port.software_pending, p.Port.timer_pending,
+            p.Port.timer_trigger_count, p.Port.last_timer_time))
+        t.ports;
+    sn_fsm = Pk.Process.Fsm.position t.timer_fsm;
+  }
+
+let restore t s =
+  Mem.load t.msip s.sn_msip;
+  Mem.load t.mtimecmp s.sn_mtimecmp;
+  Mem.load t.mtime s.sn_mtime;
+  (* [ports] is newest-first and only grows by [connect]; a snapshot
+     taken before later connects covers the oldest suffix. *)
+  let extra = List.length t.ports - List.length s.sn_ports in
+  if extra < 0 then
+    invalid_arg "Clint.restore: snapshot from a different device shape";
+  let rec drop n l = if n = 0 then l else drop (n - 1) (List.tl l) in
+  List.iter2
+    (fun (p : Port.t) (sw, tp, tc, lt) ->
+       p.Port.software_pending <- sw;
+       p.Port.timer_pending <- tp;
+       p.Port.timer_trigger_count <- tc;
+       p.Port.last_timer_time <- lt)
+    (drop extra t.ports) s.sn_ports;
+  Pk.Process.Fsm.set t.timer_fsm s.sn_fsm
+
+type Engine.component_state += Clint_state of snap
 
 let spawn_timer_thread t =
-  let fsm = Pk.Process.Fsm.make ~init:Init in
+  let fsm = t.timer_fsm in
   let body () =
     match Pk.Process.Fsm.position fsm with
     | Init ->
@@ -114,6 +163,8 @@ let create ?(policy = Tlm.Register.Fixed) cfg sched =
       mtime = Mem.create ~name:"clint-mtime" ~size:8;
       e_timer = Pk.Event.make "clint:e_timer";
       ports = [];
+      timer_fsm = Pk.Process.Fsm.make ~init:Init;
+      reset_snap = None;
     }
   in
   (* Reset value: mtimecmp all-ones, so the timer is quiet at boot. *)
@@ -134,7 +185,44 @@ let create ?(policy = Tlm.Register.Fixed) cfg sched =
        ~pre_read:(fun () -> Mem.write64 t.mtime 0 (mtime_now t))
        t.mtime);
   spawn_timer_thread t;
+  Engine.register_component
+    ~save:(fun () -> Clint_state (snapshot t))
+    ~restore:(function
+      | Clint_state s -> restore t s
+      | _ -> assert false);
+  t.reset_snap <- Some (snapshot t);
   t
 
 let connect t port = t.ports <- port :: t.ports
 let transport t payload delay = Tlm.Register.transport t.regs payload delay
+
+let reset t =
+  (* Ports connected after construction are absent from the snapshot;
+     clear them to their power-on defaults first. *)
+  List.iter
+    (fun (p : Port.t) ->
+       p.Port.software_pending <- false;
+       p.Port.timer_pending <- false;
+       p.Port.timer_trigger_count <- 0;
+       p.Port.last_timer_time <- Sc_time.zero)
+    t.ports;
+  match t.reset_snap with
+  | Some s -> restore t s
+  | None -> assert false
+
+module Peripheral = struct
+  type nonrec t = t
+
+  type config = {
+    cc_policy : Tlm.Register.policy;
+    cc_cfg : Config.t;
+  }
+
+  type state = snap
+
+  let make c sched = create ~policy:c.cc_policy c.cc_cfg sched
+  let reset = reset
+  let serve = transport
+  let snapshot = snapshot
+  let restore = restore
+end

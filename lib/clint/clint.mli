@@ -56,6 +56,20 @@ val create :
 val connect : t -> Port.t -> unit
 val transport : t -> Tlm.Payload.t -> Pk.Sc_time.t -> Pk.Sc_time.t
 
+val reset : t -> unit
+(** Restore the just-constructed device state (registers, port lines,
+    thread FSM); scheduler state is untouched. *)
+
+(** The unified peripheral surface ({!Tlm.Peripheral.S}). *)
+module Peripheral : sig
+  type config = {
+    cc_policy : Tlm.Register.policy;
+    cc_cfg : Config.t;
+  }
+
+  include Tlm.Peripheral.S with type t = t and type config := config
+end
+
 val mtime_now : t -> Smt.Expr.t
 (** Current counter value (64-bit), derived from simulation time. *)
 

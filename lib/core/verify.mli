@@ -51,6 +51,7 @@ val scenario :
   ?listen:Symex.Transport.listener ->
   ?lease_ms:int ->
   ?validate:bool ->
+  ?snapshots:bool ->
   ?strategy:Symex.Search.strategy ->
   unit ->
   scenario

@@ -16,6 +16,8 @@ type t = {
 
 let next_id = ref 0
 
+let reset_ids () = next_id := 0
+
 let make proc_name body =
   let proc_id = !next_id in
   incr next_id;
@@ -34,6 +36,7 @@ module Fsm = struct
 
   let make ~init = { pos = init }
   let position t = t.pos
+  let set t pos = t.pos <- pos
 
   let suspend t ~at wait =
     t.pos <- at;

@@ -33,6 +33,10 @@ val make : string -> (unit -> wait) -> t
 (** Allocate a process with a unique id.  The process must still be
     registered with a scheduler ({!Scheduler.spawn}). *)
 
+val reset_ids : unit -> unit
+(** Reset the id counter; the symbolic engine calls this at every path
+    start so re-executed testbenches allocate deterministic ids. *)
+
 val pp : Format.formatter -> t -> unit
 
 (** Helper for writing translated bodies with an explicit label, exactly
@@ -44,6 +48,9 @@ module Fsm : sig
 
   val position : 'label t -> 'label
   (** Current resume label (the static [position] variable). *)
+
+  val set : 'label t -> 'label -> unit
+  (** Overwrite the resume label (used when restoring a snapshot). *)
 
   val suspend : 'label t -> at:'label -> wait -> wait
   (** Record the resume label and yield — the translated [wait()]. *)

@@ -23,3 +23,24 @@ let trigger_external_interrupt t now =
 let reset_flags t =
   t.was_triggered <- false;
   t.was_cleared <- false
+
+type state = {
+  st_was_triggered : bool;
+  st_trigger_count : int;
+  st_last_trigger_time : Pk.Sc_time.t;
+  st_was_cleared : bool;
+}
+
+let save t =
+  {
+    st_was_triggered = t.was_triggered;
+    st_trigger_count = t.trigger_count;
+    st_last_trigger_time = t.last_trigger_time;
+    st_was_cleared = t.was_cleared;
+  }
+
+let load t s =
+  t.was_triggered <- s.st_was_triggered;
+  t.trigger_count <- s.st_trigger_count;
+  t.last_trigger_time <- s.st_last_trigger_time;
+  t.was_cleared <- s.st_was_cleared

@@ -22,3 +22,9 @@ val trigger_external_interrupt : t -> Pk.Sc_time.t -> unit
 val reset_flags : t -> unit
 (** Clear [was_triggered]/[was_cleared] before the next observation
     window (does not reset the counters). *)
+
+type state
+(** Captured observation flags and counters (pure data). *)
+
+val save : t -> state
+val load : t -> state -> unit

@@ -8,6 +8,24 @@ module Engine = Symex.Engine
 module Mem = Symex.Mem
 module Sc_time = Pk.Sc_time
 
+(* Resume labels of the translated run thread (Fig. 4). *)
+type run_label = Init | Lbl1
+
+(* Captured device state: pure data, no aliasing into the live device
+   (Mem.save is copy-on-write; arrays are copied). *)
+type snap = {
+  sn_pending : Mem.state;
+  sn_priorities : Mem.state;
+  sn_pending_mmio : Mem.state;
+  sn_enable : Mem.state;
+  sn_threshold : Mem.state;
+  sn_claim_response : Mem.state;
+  sn_smode_claim : Mem.state;
+  sn_eip : bool array;
+  sn_harts : Hart.state option array;
+  sn_fsm : run_label;
+}
+
 type t = {
   cfg : Config.t;
   plic_variant : Config.variant;
@@ -28,6 +46,8 @@ type t = {
   eip : bool array;
   harts : Hart.t option array;
   run_event : Pk.Event.t;
+  run_fsm : run_label Pk.Process.Fsm.t;
+  mutable reset_snap : snap option;
 }
 
 let config t = t.cfg
@@ -121,7 +141,7 @@ let notify_run t ~(id : Value.t) =
   in
   Pk.Scheduler.notify_at t.sched t.run_event delay
 
-let trigger_interrupt t id =
+let trigger_interrupt_body t id =
   let n = t.cfg.Config.num_sources in
   let bound = if fault_on t Fault.IF1 then n + 1 else n in
   let valid =
@@ -146,6 +166,14 @@ let trigger_interrupt t id =
       ~len:Value.one [| Expr.int ~width:8 1 |];
     notify_run t ~id
   end
+
+(* Logged like a TLM transport: the latch and scheduler notification
+   land in tracked components, so no payload effect is needed. *)
+let trigger_interrupt t id =
+  Engine.syscall
+    ~capture:(fun () -> Engine.Effect_none)
+    ~apply:(fun _ -> ())
+    (fun () -> trigger_interrupt_body t id)
 
 (* ---- claim / complete ---- *)
 
@@ -208,6 +236,44 @@ let pack_pending t =
     Mem.write32 t.pending_mmio (4 * w) !word
   done
 
+(* ---- whole-device state capture ---- *)
+
+let snapshot t =
+  {
+    sn_pending = Mem.save t.pending;
+    sn_priorities = Mem.save t.priorities;
+    sn_pending_mmio = Mem.save t.pending_mmio;
+    sn_enable = Mem.save t.enable;
+    sn_threshold = Mem.save t.threshold;
+    sn_claim_response = Mem.save t.claim_response;
+    sn_smode_claim = Mem.save t.smode_claim;
+    sn_eip = Array.copy t.eip;
+    sn_harts = Array.map (Option.map Hart.save) t.harts;
+    sn_fsm = Pk.Process.Fsm.position t.run_fsm;
+  }
+
+let restore t s =
+  Mem.load t.pending s.sn_pending;
+  Mem.load t.priorities s.sn_priorities;
+  Mem.load t.pending_mmio s.sn_pending_mmio;
+  Mem.load t.enable s.sn_enable;
+  Mem.load t.threshold s.sn_threshold;
+  Mem.load t.claim_response s.sn_claim_response;
+  Mem.load t.smode_claim s.sn_smode_claim;
+  Array.blit s.sn_eip 0 t.eip 0 (Array.length t.eip);
+  Array.iteri
+    (fun i hs ->
+       match hs, t.harts.(i) with
+       | Some hs, Some h -> Hart.load h hs
+       | None, _ -> ()
+       | Some _, None -> ())
+    s.sn_harts;
+  Pk.Process.Fsm.set t.run_fsm s.sn_fsm
+
+(* Engine-component hook: the whole device is one tracked component,
+   so a fast-forwarded path restores it without replaying transports. *)
+type Engine.component_state += Plic_state of snap
+
 (* ---- construction ---- *)
 
 let build_memory_map t =
@@ -240,10 +306,8 @@ let build_memory_map t =
 
 (* The translated run thread (Fig. 4): first activation immediately
    waits on e_run; every later activation scans and waits again. *)
-type run_label = Init | Lbl1
-
 let spawn_run_thread t =
-  let fsm = Pk.Process.Fsm.make ~init:Init in
+  let fsm = t.run_fsm in
   let body () =
     match Pk.Process.Fsm.position fsm with
     | Init ->
@@ -278,12 +342,43 @@ let create ?(variant = Config.Original) ?(faults = []) cfg sched =
       eip = Array.make cfg.Config.num_harts false;
       harts = Array.make cfg.Config.num_harts None;
       run_event = Pk.Event.make "plic:e_run";
+      run_fsm = Pk.Process.Fsm.make ~init:Init;
+      reset_snap = None;
     }
   in
   build_memory_map t;
   spawn_run_thread t;
+  Engine.register_component
+    ~save:(fun () -> Plic_state (snapshot t))
+    ~restore:(function
+      | Plic_state s -> restore t s
+      | _ -> assert false);
+  t.reset_snap <- Some (snapshot t);
   t
 
 let connect_hart t i hart = t.harts.(i) <- Some hart
 
 let transport t payload delay = Tlm.Register.transport t.regs payload delay
+
+let reset t =
+  match t.reset_snap with
+  | Some s -> restore t s
+  | None -> assert false
+
+module Peripheral = struct
+  type nonrec t = t
+
+  type config = {
+    pc_variant : Config.variant;
+    pc_faults : Fault.t list;
+    pc_cfg : Config.t;
+  }
+
+  type state = snap
+
+  let make c sched = create ~variant:c.pc_variant ~faults:c.pc_faults c.pc_cfg sched
+  let reset = reset
+  let serve = transport
+  let snapshot = snapshot
+  let restore = restore
+end

@@ -55,6 +55,25 @@ val trigger_interrupt : t -> Symex.Value.t -> unit
 val transport : t -> Tlm.Payload.t -> Pk.Sc_time.t -> Pk.Sc_time.t
 (** The TLM target socket (blocking transport). *)
 
+val reset : t -> unit
+(** Restore the just-constructed device state (registers, latches,
+    hart flags, thread FSM); scheduler state is untouched. *)
+
+(** The unified peripheral surface ({!Tlm.Peripheral.S}): [make] maps
+    the memory map, spawns the run thread and registers the device as
+    an engine component; [snapshot]/[restore] capture the pending
+    latch, all register backings, eip lines, connected-hart flags and
+    the run-thread FSM position. *)
+module Peripheral : sig
+  type config = {
+    pc_variant : Config.variant;
+    pc_faults : Fault.t list;
+    pc_cfg : Config.t;
+  }
+
+  include Tlm.Peripheral.S with type t = t and type config := config
+end
+
 val e_run : t -> Pk.Event.t
 (** The synchronization event of the [run] thread (exposed for
     scheduler-level tests). *)

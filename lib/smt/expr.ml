@@ -93,6 +93,20 @@ let instruction_count () = !instructions
 let reset_instruction_count () = instructions := 0
 let add_instructions n = instructions := !instructions + n
 
+(* Term construction performed by the solving machinery (feasibility
+   probes, negated query sides, scope mirroring) must not count as DUV
+   instructions: whether those probes run depends on the exploration
+   mode (live fork vs prescribed replay vs snapshot fast-forward), and
+   instruction totals are required to be identical across modes. *)
+let counting = ref true
+
+let without_counting f =
+  if not !counting then f ()
+  else begin
+    counting := false;
+    Fun.protect ~finally:(fun () -> counting := true) f
+  end
+
 let mk sort node =
   match Table.find_opt table node with
   | Some t -> t
@@ -124,7 +138,7 @@ let to_bv t =
 let is_const t =
   match t.node with Bool_const _ | Bv_const _ -> true | _ -> false
 
-let count () = incr instructions
+let count () = if !counting then incr instructions
 
 (* Canonical operand order for commutative operations: constants first,
    then by id.  Improves hash-consing hits and puts the constant in a

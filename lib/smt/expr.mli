@@ -63,6 +63,13 @@ val add_instructions : int -> unit
 (** Lets other layers (scheduler, TLM dispatch) account work as
     executed instructions. *)
 
+val without_counting : (unit -> 'a) -> 'a
+(** Run [f] with instruction accounting suspended.  Term construction
+    performed by the solving machinery (feasibility probes, variational
+    branch queries, scope mirroring) is exploration overhead, not DUV
+    work — counting it would make the instruction total depend on which
+    queries a particular exploration mode happens to issue. *)
+
 (* Leaves. *)
 
 val tru : t

@@ -1,19 +1,49 @@
 module Expr = Smt.Expr
 module Bv = Smt.Bv
 
-type t = { mem_name : string; data : Expr.t array }
+(* Copy-on-write: [save] marks the array shared and returns it without
+   copying, so snapshotting a memory is O(1); the first mutation after a
+   share copies.  Cells are immutable terms, so sharing the array is the
+   only aliasing concern. *)
+type t = {
+  mem_name : string;
+  mutable data : Expr.t array;
+  mutable shared : bool;
+}
+
+type state = Expr.t array
 
 let byte_zero = lazy (Expr.int ~width:8 0)
 
 let create ~name ~size =
-  { mem_name = name; data = Array.make size (Lazy.force byte_zero) }
+  { mem_name = name;
+    data = Array.make size (Lazy.force byte_zero);
+    shared = false }
 
 let name t = t.mem_name
 let size t = Array.length t.data
 let read_byte t i = t.data.(i)
+
+let unshare t =
+  if t.shared then begin
+    t.data <- Array.copy t.data;
+    t.shared <- false
+  end
+
 let write_byte t i b =
   if Expr.width b <> 8 then invalid_arg "Mem.write_byte: byte expected";
+  unshare t;
   t.data.(i) <- b
+
+let save t =
+  t.shared <- true;
+  t.data
+
+let load t data =
+  if Array.length data <> Array.length t.data then
+    invalid_arg "Mem.load: size mismatch";
+  t.shared <- true;
+  t.data <- data
 
 let read32 t off =
   let b i = Expr.zext 32 (read_byte t (off + i)) in
@@ -53,6 +83,7 @@ let write64 t off v =
   done
 
 let fill_zero t =
+  unshare t;
   Array.fill t.data 0 (Array.length t.data) (Lazy.force byte_zero)
 
 (* offset + len <= size, computed without 32-bit wrap by extending. *)

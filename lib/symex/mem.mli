@@ -15,6 +15,18 @@ val create : name:string -> size:int -> t
 val name : t -> string
 val size : t -> int
 
+(** {1 Snapshots (copy-on-write)} *)
+
+type state
+
+val save : t -> state
+(** O(1): marks the backing array shared and returns it; the first
+    subsequent write copies. *)
+
+val load : t -> state -> unit
+(** Restore a previously saved state (also O(1), copy-on-write).
+    Raises [Invalid_argument] on size mismatch. *)
+
 (* Concrete-offset accessors (no checks beyond array bounds, which are
    programming errors, not modeled bugs). *)
 

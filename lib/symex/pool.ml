@@ -22,6 +22,10 @@ type unit_result = {
   profile : Obs.Profile.t;
   events : Obs.Event.t list;
   events_dropped : int;
+  snapshots_taken : int;
+  snapshot_restores : int;
+  replay_fallbacks : int;
+  instructions_saved : int;
 }
 
 type config = {
@@ -61,6 +65,10 @@ type result = {
   r_chaos : (string * int) list;
   r_coverage : Obs.Coverage.t;
   r_profile : Obs.Profile.t;
+  r_snapshots_taken : int;
+  r_snapshot_restores : int;
+  r_replay_fallbacks : int;
+  r_instructions_saved : int;
 }
 
 (* ------------------------------------------------------------------ *)
@@ -178,6 +186,10 @@ let result_to_json id (r : unit_result) =
       ("profile", Obs.Profile.to_json r.profile);
       ("events", Json.List (List.map Obs.Event.to_json r.events));
       ("events_dropped", Json.Int r.events_dropped);
+      ("snapshots_taken", Json.Int r.snapshots_taken);
+      ("snapshot_restores", Json.Int r.snapshot_restores);
+      ("replay_fallbacks", Json.Int r.replay_fallbacks);
+      ("instructions_saved", Json.Int r.instructions_saved);
       ("requeue",
        match r.requeue with None -> Json.Null | Some p -> prefix_to_json p) ]
 
@@ -282,7 +294,19 @@ let result_of_json j =
         events;
         events_dropped =
           Option.value ~default:0
-            (Option.bind (Json.member "events_dropped" j) Json.to_int_opt) } )
+            (Option.bind (Json.member "events_dropped" j) Json.to_int_opt);
+        snapshots_taken =
+          Option.value ~default:0
+            (Option.bind (Json.member "snapshots_taken" j) Json.to_int_opt);
+        snapshot_restores =
+          Option.value ~default:0
+            (Option.bind (Json.member "snapshot_restores" j) Json.to_int_opt);
+        replay_fallbacks =
+          Option.value ~default:0
+            (Option.bind (Json.member "replay_fallbacks" j) Json.to_int_opt);
+        instructions_saved =
+          Option.value ~default:0
+            (Option.bind (Json.member "instructions_saved" j) Json.to_int_opt) } )
 
 (* ------------------------------------------------------------------ *)
 (* Worker side: the unit-serving loop, shared by forked pipe workers
@@ -544,6 +568,10 @@ let run cfg ?resume ?checkpoint ~exec () =
   let n_infeasible = ref 0 in
   let n_unknown = ref 0 in
   let instr = ref 0 in
+  let snapshots_taken = ref 0 in
+  let snapshot_restores = ref 0 in
+  let replay_fallbacks = ref 0 in
+  let instructions_saved = ref 0 in
   let solver_acc = ref Stats.zero in
   let degraded = ref false in
   let stop_reason = ref None in
@@ -922,6 +950,10 @@ let run cfg ?resume ?checkpoint ~exec () =
         coverage_acc := Obs.Coverage.add !coverage_acc r.coverage
       end;
       List.iter (fun (site, pr) -> Search.push frontier ~site pr) r.forks;
+      snapshots_taken := !snapshots_taken + r.snapshots_taken;
+      snapshot_restores := !snapshot_restores + r.snapshot_restores;
+      replay_fallbacks := !replay_fallbacks + r.replay_fallbacks;
+      instructions_saved := !instructions_saved + r.instructions_saved;
       solver_acc := Stats.add !solver_acc r.solver;
       (* Profile and forwarded events mirror the solver stats: work
          done is accounted even when the unit aborted. *)
@@ -1418,7 +1450,11 @@ let run cfg ?resume ?checkpoint ~exec () =
       r_reconnects = !reconnects;
       r_chaos = chaos;
       r_coverage = !coverage_acc;
-      r_profile = !profile_acc }
+      r_profile = !profile_acc;
+      r_snapshots_taken = !snapshots_taken;
+      r_snapshot_restores = !snapshot_restores;
+      r_replay_fallbacks = !replay_fallbacks;
+      r_instructions_saved = !instructions_saved }
   | exception Worker_fatal msg ->
     shutdown ~force:true ();
     failwith ("Engine pool: " ^ msg)

@@ -123,6 +123,16 @@ type unit_result = {
           requested forwarding *)
   events_dropped : int;
       (** events lost to the worker's forwarding buffer limit *)
+  snapshots_taken : int;
+      (** forks pushed with a usable syscall-log snapshot *)
+  snapshot_restores : int;
+      (** paths fast-forwarded from the worker's snapshot cache *)
+  replay_fallbacks : int;
+      (** 1 when this unit's prefix missed the snapshot cache and was
+          replayed in full, 0 otherwise *)
+  instructions_saved : int;
+      (** instruction count accounted by fast-forward (included in
+          [instructions]) *)
 }
 
 type config = {
@@ -193,6 +203,13 @@ type result = {
           sequential run over the same path set *)
   r_profile : Obs.Profile.t;
       (** merged solver-time attribution (CPU seconds, like [r_solver]) *)
+  r_snapshots_taken : int;
+  r_snapshot_restores : int;
+  r_replay_fallbacks : int;
+      (** summed snapshot counters of all non-duplicate unit results;
+          snapshots never cross the wire, so a unit executed away from
+          the worker that discovered it counts one fallback *)
+  r_instructions_saved : int;
 }
 
 val run :
@@ -210,7 +227,7 @@ val run :
     the respawn cap is spent (with no listener to wait on), if the
     master's dispatch stalls without progress, or if a worker reports
     a fatal testbench error (the analogue of an exception escaping
-    {!Engine.run}).  A listening master with work remaining and no
+    {!Engine.Session.run}).  A listening master with work remaining and no
     live peers waits for (re)connections instead — bound it with a
     budget. *)
 

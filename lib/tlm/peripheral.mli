@@ -1,0 +1,69 @@
+(** The unified peripheral surface.
+
+    Every TLM peripheral of this repository ({!Plic}, {!Clint},
+    {!Uart}) exposes a submodule conforming to {!S}: construction
+    ([make]), return-to-power-on ([reset]), the blocking-transport
+    socket ([serve]) and whole-device state capture
+    ([snapshot]/[restore]).  The [state] value is pure data — arrays
+    and scalars, no aliasing into the live device — so restoring it
+    onto the device it came from reproduces the exact pre-snapshot
+    observable behaviour.
+
+    Conforming peripherals also register themselves as engine
+    components at [make] time, which is what lets the engine's
+    snapshot-forking fast-forward restore them without re-executing
+    transports (see {!Symex.Engine.syscall}).
+
+    {1 State ownership rules}
+
+    - A peripheral owns everything behind its register file: backing
+      stores, internal latches, FIFOs, thread FSM positions, and the
+      flags of connected hart/port objects.  All of it is captured by
+      [snapshot].
+    - The scheduler is shared between peripherals and is therefore
+      {e not} part of any peripheral's [state]; testbenches track it
+      once via {!track_scheduler}.
+    - Symbolic path-condition bookkeeping belongs to the engine and is
+      restored by the engine itself during fast-forward. *)
+
+module type S = sig
+  type t
+
+  type config
+  (** Per-peripheral construction parameters (variant, faults, register
+      policy, clocking...). *)
+
+  type state
+  (** Captured device state: pure data, no aliasing into [t]. *)
+
+  val make : config -> Pk.Scheduler.t -> t
+  (** Build the device, map its registers, spawn its threads on the
+      scheduler, and register it as an engine component. *)
+
+  val reset : t -> unit
+  (** Restore the just-constructed state captured by [make].  Scheduler
+      state (pending notifications, thread wait sets) is not touched. *)
+
+  val serve : t -> Payload.t -> Pk.Sc_time.t -> Pk.Sc_time.t
+  (** The TLM blocking-transport target socket. *)
+
+  val snapshot : t -> state
+
+  val restore : t -> state -> unit
+  (** [restore t s] only makes sense for an [s] snapshotted from [t]
+      (or from a structurally identical device built by the same
+      deterministic construction glue). *)
+end
+
+val track_scheduler : Pk.Scheduler.t -> unit
+(** Register the scheduler as an engine component so snapshot-forking
+    restores queues, wait sets and simulation time.  Call once per
+    scheduler, from construction glue inside the testbench thunk. *)
+
+val step : Pk.Scheduler.t -> bool
+(** {!Pk.Scheduler.step} wrapped in the engine's syscall log: on a
+    fast-forwarded path the logged scheduler activity is restored
+    instead of re-executed. *)
+
+val run_ready : Pk.Scheduler.t -> unit
+(** {!Pk.Scheduler.run_ready}, logged like {!step}. *)

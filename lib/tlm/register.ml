@@ -34,6 +34,11 @@ let ranges t = List.rev t.rev_ranges
 let overlaps a b =
   a.base < b.base + b.rg_size && b.base < a.base + a.rg_size
 
+(* Snapshot plumbing: every mapped backing store is tracked as an
+   engine component, so a fast-forwarded path restores register-file
+   contents without re-executing the transports that produced them. *)
+type Engine.component_state += Mem_state of Mem.state
+
 let add_range t ~name ~base ~access ?pre_read ?post_write backing =
   let range =
     {
@@ -52,6 +57,11 @@ let add_range t ~name ~base ~access ?pre_read ?post_write backing =
        (Printf.sprintf "Register.add_range: %s overlaps %s" name other.rg_name)
    | None -> ());
   t.rev_ranges <- range :: t.rev_ranges;
+  Engine.register_component
+    ~save:(fun () -> Mem_state (Mem.save backing))
+    ~restore:(function
+      | Mem_state s -> Mem.load backing s
+      | _ -> assert false);
   if Engine.exploring () then
     Obs.Coverage.declare ~peripheral:t.rf_name ~register:name
       ~size:range.rg_size;
@@ -137,7 +147,7 @@ let serve t (p : Payload.t) r =
     Option.iter (fun f -> f ()) r.post_write;
     p.Payload.response <- Payload.Ok_response
 
-let transport t (p : Payload.t) delay =
+let transport_body t (p : Payload.t) =
   (try
      (* F2: alignment.  The original read path asserts word alignment;
         the write path stores byte lanes and never checks (which is why
@@ -191,5 +201,24 @@ let transport t (p : Payload.t) delay =
          end
      in
      dispatch (ranges t)
-   with Done -> ());
+   with Done -> ())
+
+(* The payload's observable effect.  Both capture and apply copy the
+   data array: several forked children can consume the same physically
+   shared log entry, and caller glue is free to mutate [p.data] in
+   place afterwards. *)
+type Engine.effect_data +=
+  | Transport_effect of { t_data : Expr.t array; t_response : Payload.response }
+
+let transport t (p : Payload.t) delay =
+  Engine.syscall
+    ~capture:(fun () ->
+      Transport_effect
+        { t_data = Array.copy p.Payload.data; t_response = p.Payload.response })
+    ~apply:(function
+      | Transport_effect { t_data; t_response } ->
+        p.Payload.data <- Array.copy t_data;
+        p.Payload.response <- t_response
+      | _ -> ())
+    (fun () -> transport_body t p);
   Pk.Sc_time.add delay access_latency

@@ -14,6 +14,25 @@ let ip_base = 0x14
 let div_base = 0x18
 let addr_window = 0x1C
 
+(* Resume labels of the translated transmitter thread. *)
+type tx_label = Idle | Draining
+
+(* Captured device state: pure data, no aliasing into the live device. *)
+type snap = {
+  sn_txdata : Mem.state;
+  sn_rxdata : Mem.state;
+  sn_txctrl : Mem.state;
+  sn_rxctrl : Mem.state;
+  sn_ie : Mem.state;
+  sn_ip : Mem.state;
+  sn_divider : Mem.state;
+  sn_tx_fifo : Expr.t Queue.t;  (* private copy, never mutated *)
+  sn_rx_fifo : Expr.t Queue.t;
+  sn_sent : Expr.t list;
+  sn_line : bool;
+  sn_fsm : tx_label;
+}
+
 type t = {
   sched : Pk.Scheduler.t;
   clock : Sc_time.t;
@@ -31,6 +50,8 @@ type t = {
   mutable sent : Expr.t list;      (* newest first *)
   mutable line : bool;             (* interrupt output level *)
   e_kick : Pk.Event.t;
+  tx_fsm : tx_label Pk.Process.Fsm.t;
+  mutable reset_snap : snap option;
 }
 
 let tx_level t = Queue.length t.tx_fifo
@@ -99,10 +120,16 @@ let on_rxdata_read t =
 (* ---- wire side ---- *)
 
 let receive_byte t byte =
-  if rx_level t < fifo_depth then begin
-    Queue.push (Expr.extract ~hi:7 ~lo:0 byte) t.rx_fifo;
-    update_irq t
-  end
+  (* Logged like a TLM transport: FIFO and irq-line changes land in
+     the tracked component, so no payload effect is needed. *)
+  Engine.syscall
+    ~capture:(fun () -> Engine.Effect_none)
+    ~apply:(fun _ -> ())
+    (fun () ->
+       if rx_level t < fifo_depth then begin
+         Queue.push (Expr.extract ~hi:7 ~lo:0 byte) t.rx_fifo;
+         update_irq t
+       end)
 
 (* Time to shift one frame out: (div + 1) ticks for each of the ~10
    bits of an 8N1 frame, collapsed into one wait. *)
@@ -110,10 +137,44 @@ let frame_time t =
   let div = Value.to_concrete ~site:"uart:div" (Mem.read32 t.divider 0) in
   Sc_time.mul_int t.clock ((div + 1) * 10)
 
-type tx_label = Idle | Draining
+(* ---- whole-device state capture ---- *)
+
+let snapshot t =
+  {
+    sn_txdata = Mem.save t.txdata;
+    sn_rxdata = Mem.save t.rxdata;
+    sn_txctrl = Mem.save t.txctrl;
+    sn_rxctrl = Mem.save t.rxctrl;
+    sn_ie = Mem.save t.ie;
+    sn_ip = Mem.save t.ip;
+    sn_divider = Mem.save t.divider;
+    sn_tx_fifo = Queue.copy t.tx_fifo;
+    sn_rx_fifo = Queue.copy t.rx_fifo;
+    sn_sent = t.sent;
+    sn_line = t.line;
+    sn_fsm = Pk.Process.Fsm.position t.tx_fsm;
+  }
+
+let restore t s =
+  Mem.load t.txdata s.sn_txdata;
+  Mem.load t.rxdata s.sn_rxdata;
+  Mem.load t.txctrl s.sn_txctrl;
+  Mem.load t.rxctrl s.sn_rxctrl;
+  Mem.load t.ie s.sn_ie;
+  Mem.load t.ip s.sn_ip;
+  Mem.load t.divider s.sn_divider;
+  Queue.clear t.tx_fifo;
+  Queue.transfer (Queue.copy s.sn_tx_fifo) t.tx_fifo;
+  Queue.clear t.rx_fifo;
+  Queue.transfer (Queue.copy s.sn_rx_fifo) t.rx_fifo;
+  t.sent <- s.sn_sent;
+  t.line <- s.sn_line;
+  Pk.Process.Fsm.set t.tx_fsm s.sn_fsm
+
+type Engine.component_state += Uart_state of snap
 
 let spawn_transmitter t =
-  let fsm = Pk.Process.Fsm.make ~init:Idle in
+  let fsm = t.tx_fsm in
   let can_send () =
     tx_level t > 0
     && Value.truth ~site:"uart:txen" (enabled_bit (Mem.read32 t.txctrl 0))
@@ -160,6 +221,8 @@ let create ?(policy = Tlm.Register.Fixed) ?(clock = Sc_time.ns 10)
       sent = [];
       line = false;
       e_kick = Pk.Event.make "uart:kick";
+      tx_fsm = Pk.Process.Fsm.make ~init:Idle;
+      reset_snap = None;
     }
   in
   let add = Tlm.Register.add_range t.regs in
@@ -193,6 +256,35 @@ let create ?(policy = Tlm.Register.Fixed) ?(clock = Sc_time.ns 10)
   ignore
     (add ~name:"div" ~base:div_base ~access:Tlm.Register.Read_write t.divider);
   spawn_transmitter t;
+  Engine.register_component
+    ~save:(fun () -> Uart_state (snapshot t))
+    ~restore:(function
+      | Uart_state s -> restore t s
+      | _ -> assert false);
+  t.reset_snap <- Some (snapshot t);
   t
 
 let transport t payload delay = Tlm.Register.transport t.regs payload delay
+
+let reset t =
+  match t.reset_snap with
+  | Some s -> restore t s
+  | None -> assert false
+
+module Peripheral = struct
+  type nonrec t = t
+
+  type config = {
+    uc_policy : Tlm.Register.policy;
+    uc_clock : Sc_time.t;
+    uc_irq : unit -> unit;
+  }
+
+  type state = snap
+
+  let make c sched = create ~policy:c.uc_policy ~clock:c.uc_clock ~irq:c.uc_irq sched
+  let reset = reset
+  let serve = transport
+  let snapshot = snapshot
+  let restore = restore
+end

@@ -63,3 +63,18 @@ val tx_level : t -> int
 val rx_level : t -> int
 val interrupt_line : t -> bool
 (** Current level of the interrupt output. *)
+
+val reset : t -> unit
+(** Restore the just-constructed device state (registers, FIFOs,
+    transmit history, thread FSM); scheduler state is untouched. *)
+
+(** The unified peripheral surface ({!Tlm.Peripheral.S}). *)
+module Peripheral : sig
+  type config = {
+    uc_policy : Tlm.Register.policy;
+    uc_clock : Pk.Sc_time.t;
+    uc_irq : unit -> unit;
+  }
+
+  include Tlm.Peripheral.S with type t = t and type config := config
+end

@@ -343,7 +343,9 @@ let unit_ok ?(forks = []) () =
     instructions = 1; degraded = false; solver = Solver.Stats.zero;
     requeue = None; chaos = [];
     coverage = Obs.Coverage.zero; profile = Obs.Profile.zero;
-    events = []; events_dropped = 0 }
+    events = []; events_dropped = 0;
+    snapshots_taken = 0; snapshot_restores = 0; replay_fallbacks = 0;
+    instructions_saved = 0 }
 
 (* A SIGSTOPped worker emits no heartbeats and never exits, which used
    to block the run forever; the watchdog must reap and replace it. *)

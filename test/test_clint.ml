@@ -134,7 +134,7 @@ let test_original_policy_applies () =
    timer fires exactly at the comparator instant, never earlier. *)
 let test_symbolic_comparator () =
   let report =
-    Engine.run (fun () ->
+    Engine.Session.run (Engine.Session.make ()) (fun () ->
         let sched = Pk.Scheduler.create () in
         let clint = Clint.create Clint.Config.fe310 sched in
         let port = Clint.Port.create () in

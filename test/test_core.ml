@@ -259,7 +259,7 @@ let test_bug_names_roundtrip () =
 let test_order_exploration_covers_all_schedules () =
   let orders = ref [] in
   let report =
-    Engine.run (fun () ->
+    Engine.Session.run (Engine.Session.make ()) (fun () ->
         let sched = Pk.Scheduler.create () in
         Symsysc.Order.explore_schedules sched;
         let log = ref [] in
@@ -283,7 +283,7 @@ let test_order_exploration_property_holds () =
      two same-instant triggers are processed. *)
   let claims = ref [] in
   let report =
-    Engine.run (fun () ->
+    Engine.Session.run (Engine.Session.make ()) (fun () ->
         let sched = Pk.Scheduler.create () in
         Symsysc.Order.explore_schedules sched;
         let cfg = Config.scaled ~num_sources:4 in
@@ -368,7 +368,7 @@ let test_driver_symbolic_program () =
   (* The masking property written as a driver program, split around the
      wire-side trigger and sharing one environment. *)
   let report =
-    Engine.run (fun () ->
+    Engine.Session.run (Engine.Session.make ()) (fun () ->
         let sched, dut, hart, bus = plic_bus () in
         let open Symsysc.Driver in
         let env =

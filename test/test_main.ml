@@ -17,6 +17,7 @@ let () =
       ("resilience", Test_resilience.suite);
       ("pool", Test_pool.suite);
       ("incremental", Test_incremental.suite);
+      ("snapshots", Test_snapshots.suite);
       ("chaos", Test_chaos.suite);
       ("deepobs", Test_deepobs.suite);
       ("distributed", Test_distributed.suite);

@@ -192,7 +192,7 @@ let test_sink_with_span () =
 
 let test_engine_events () =
   let events, report =
-    capture (fun () -> Engine.run two_path_testbench)
+    capture (fun () -> Engine.Session.run (Engine.Session.make ()) two_path_testbench)
   in
   Alcotest.(check int) "two paths" 2 report.Engine.paths;
   let ns = names events in
@@ -277,7 +277,7 @@ let test_router_events () =
 (* Exporters                                                           *)
 
 let captured_run_events () =
-  fst (capture (fun () -> Engine.run two_path_testbench))
+  fst (capture (fun () -> Engine.Session.run (Engine.Session.make ()) two_path_testbench))
 
 let test_chrome_trace_structure () =
   let events = captured_run_events () in
@@ -444,7 +444,7 @@ let test_metrics_bridge () =
   Obs.Metrics.reset ();
   Obs.Sink.reset ();
   let id = Obs.Export.metrics_bridge () in
-  ignore (Engine.run two_path_testbench);
+  ignore (Engine.Session.run (Engine.Session.make ()) two_path_testbench);
   Obs.Sink.unsubscribe id;
   let text = Obs.Metrics.render () in
   Alcotest.(check bool) "path counter" true
@@ -465,7 +465,7 @@ let test_progress_lines () =
   let buf = Buffer.create 256 in
   let ppf = Format.formatter_of_buffer buf in
   Obs.Progress.configure ~out:ppf ~interval:1 ();
-  ignore (Engine.run two_path_testbench);
+  ignore (Engine.Session.run (Engine.Session.make ()) two_path_testbench);
   Obs.Progress.disable ();
   Format.pp_print_flush ppf ();
   let lines =
@@ -495,7 +495,7 @@ let test_progress_due () =
 (* Report integration                                                  *)
 
 let test_report_breakdown () =
-  let report = Engine.run two_path_testbench in
+  let report = Engine.Session.run (Engine.Session.make ()) two_path_testbench in
   let s = report.Engine.solver_stats in
   Alcotest.(check bool) "queries counted" true
     (s.Smt.Solver.Stats.queries > 0);

@@ -83,7 +83,9 @@ let unit_ok ?(forks = []) () =
     instructions = 1; degraded = false; solver = Smt.Solver.Stats.zero;
     requeue = None; chaos = [];
     coverage = Obs.Coverage.zero; profile = Obs.Profile.zero;
-    events = []; events_dropped = 0 }
+    events = []; events_dropped = 0;
+    snapshots_taken = 0; snapshot_restores = 0; replay_fallbacks = 0;
+    instructions_saved = 0 }
 
 (* A worker SIGKILLed in the middle of a unit must have its prefix
    re-queued and served by a surviving worker.  The exec callback runs

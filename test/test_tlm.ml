@@ -121,7 +121,7 @@ let test_regfile_original_boundary_crossing () =
      crossing read reaches the checked memcpy, which reports OOB. *)
   let rf, _, _, _ = make_regfile Register.Original in
   let r =
-    Engine.run (fun () -> ignore (do_read rf ~addr:0x10 ~len:8))
+    Engine.Session.run (Engine.Session.make ()) (fun () -> ignore (do_read rf ~addr:0x10 ~len:8))
   in
   match r.Symex.Engine.errors with
   | [ e ] ->

@@ -166,7 +166,7 @@ let test_ip_read_only () =
 let test_symbolic_loopback () =
   (* Whatever symbolic byte arrives must be read back identically. *)
   let report =
-    Engine.run (fun () ->
+    Engine.Session.run (Engine.Session.make ()) (fun () ->
         let sched = Pk.Scheduler.create () in
         let uart = Uart.create sched in
         Pk.Scheduler.run_ready sched;
@@ -187,7 +187,7 @@ let test_symbolic_loopback () =
 let test_symbolic_watermark_property () =
   (* For every watermark, the rx interrupt is pending iff level > wm. *)
   let report =
-    Engine.run (fun () ->
+    Engine.Session.run (Engine.Session.make ()) (fun () ->
         let sched = Pk.Scheduler.create () in
         let uart = Uart.create sched in
         Pk.Scheduler.run_ready sched;
