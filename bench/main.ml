@@ -463,10 +463,7 @@ let write_bench_json path =
        Buffer.add_string buf "]}")
     groups;
   Buffer.add_string buf "]}\n";
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Obs.Json.write_atomic path (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_2.json: instrumented independence on/off comparison.  One
@@ -606,10 +603,7 @@ let write_independence_json path =
     (List.for_all2
        (fun a b -> a.m_test = b.m_test && a.m_sites = b.m_sites)
        on_rows off_rows);
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Obs.Json.write_atomic path (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_7.json: instrumented incremental on/off comparison.  One
@@ -732,10 +726,7 @@ let write_incremental_json path =
     (List.for_all2
        (fun a b -> a.i_test = b.i_test && a.i_sites = b.i_sites)
        on_rows off_rows);
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Obs.Json.write_atomic path (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_9.json: snapshot forking vs decision-prefix replay.  One
@@ -852,10 +843,7 @@ let write_snapshots_json path =
     (List.for_all2
        (fun a b -> a.n_test = b.n_test && a.n_sites = b.n_sites)
        on_rows off_rows);
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Obs.Json.write_atomic path (Buffer.contents buf)
 
 (* ------------------------------------------------------------------ *)
 (* BENCH_4.json: worker-scaling of the whole Table 1 campaign.  One
@@ -945,10 +933,7 @@ let write_scaling_json path rows =
   Printf.bprintf buf "],\"summary\":{\"cores\":%d,\"same_error_sites\":%b}}\n"
     cores
     (List.for_all (fun (_, reports) -> campaign_sites reports = base_sites) rows);
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+  Obs.Json.write_atomic path (Buffer.contents buf)
 
 (* BENCH_8.json: pipe vs loopback-TCP transport comparison.  The same
    T1–T5 campaign runs once per worker count on each transport — local
@@ -1048,10 +1033,137 @@ let write_distributed_json path rows =
           campaign_sites pipe = base_sites
           && campaign_sites tcp = base_sites)
        rows);
-  let oc = open_out path in
+  Obs.Json.write_atomic path (Buffer.contents buf)
+
+(* BENCH_10.json: what the campaign service costs.  The same small
+   job matrix runs twice — directly (one forked Runner per job, no
+   journal) and through an in-process daemon (WAL fsyncs, supervision,
+   client-frame plumbing) — and the verdicts are machine-checked
+   equal.  The wall-time ratio prices the durability machinery. *)
+
+let service_matrix =
+  [
+    { Service.Jobspec.default with Service.Jobspec.test = "T1";
+      num_sources = bench_sources };
+    { Service.Jobspec.default with
+      Service.Jobspec.peripheral = "uart"; test = "loopback" };
+    { Service.Jobspec.default with
+      Service.Jobspec.peripheral = "clint"; test = "timer";
+      mode = Service.Jobspec.Random; trials = 64; seed = Some 7 };
+  ]
+
+let bench_temp_dir tag =
+  let path = Filename.temp_file ("symsysc_bench_" ^ tag) "" in
+  Sys.remove path;
+  Unix.mkdir path 0o755;
+  path
+
+let rec bench_rm_rf path =
+  if Sys.is_directory path then begin
+    Array.iter
+      (fun n -> bench_rm_rf (Filename.concat path n))
+      (Sys.readdir path);
+    Unix.rmdir path
+  end
+  else Sys.remove path
+
+let service_verdicts dir =
+  List.mapi
+    (fun i _ ->
+       let path = Service.Runner.report_path ~journal_dir:dir (i + 1) in
+       match Obs.Json.load path with
+       | Ok doc ->
+         Option.bind (Obs.Json.member "verdict" doc) Obs.Json.to_string_opt
+         |> Option.value ~default:"missing"
+       | Error _ -> "missing")
+    service_matrix
+
+let service_direct_run dir =
+  let t0 = Unix.gettimeofday () in
+  List.iteri
+    (fun i spec ->
+       flush stdout;
+       flush stderr;
+       match Unix.fork () with
+       | 0 ->
+         Obs.Progress.disable ();
+         let code =
+           try
+             Service.Runner.exec ~journal_dir:dir ~checkpoint_every_s:1.0
+               ~id:(i + 1) ~attempt:1 ~budget_scale:1.0 spec
+           with _ -> 1
+         in
+         Unix._exit code
+       | pid -> ignore (Unix.waitpid [] pid))
+    service_matrix;
+  Unix.gettimeofday () -. t0
+
+let service_daemon_run dir =
+  (* Pre-load the queue, then run the daemon to idle with one job at a
+     time — the same sequential schedule as the direct run. *)
+  let wal, records, _ = Service.Wal.open_dir dir in
+  let sup =
+    Service.Supervisor.create ~wal ~job_retries:0 ~backoff_seed:0 records
+  in
+  List.iter (fun s -> ignore (Service.Supervisor.submit sup s)) service_matrix;
+  Service.Wal.close wal;
+  let listener = Symex.Transport.listen ~host:"127.0.0.1" ~port:0 () in
+  let t0 = Unix.gettimeofday () in
+  let code =
+    Service.Daemon.run ~listener
+      { (Service.Daemon.default_opts ~journal_dir:dir) with
+        Service.Daemon.max_jobs = 1;
+        exit_when_idle = true }
+  in
+  let wall = Unix.gettimeofday () -. t0 in
+  Symex.Transport.close_listener listener;
+  let journal_bytes =
+    Sys.readdir dir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".log")
+    |> List.fold_left
+         (fun acc n ->
+            acc + (Unix.stat (Filename.concat dir n)).Unix.st_size)
+         0
+  in
+  (code, wall, journal_bytes)
+
+let write_service_json path =
+  let direct_dir = bench_temp_dir "direct" in
+  let daemon_dir = bench_temp_dir "daemon" in
   Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf)
+    ~finally:(fun () ->
+      (try bench_rm_rf direct_dir with _ -> ());
+      try bench_rm_rf daemon_dir with _ -> ())
+    (fun () ->
+       let direct_wall = service_direct_run direct_dir in
+       let direct_verdicts = service_verdicts direct_dir in
+       let code, daemon_wall, journal_bytes = service_daemon_run daemon_dir in
+       let daemon_verdicts = service_verdicts daemon_dir in
+       let buf = Buffer.create 1024 in
+       Buffer.add_string buf "{\"schema\":\"symsysc-bench-service-v1\",";
+       Printf.bprintf buf "\"jobs\":[";
+       List.iteri
+         (fun i spec ->
+            if i > 0 then Buffer.add_char buf ',';
+            Printf.bprintf buf "\"%s\""
+              (Obs.Export.escape_json (Service.Jobspec.describe spec)))
+         service_matrix;
+       Printf.bprintf buf "],\"direct\":{\"wall_s\":%.3f,\"verdicts\":[%s]},"
+         direct_wall
+         (String.concat ","
+            (List.map (Printf.sprintf "\"%s\"") direct_verdicts));
+       Printf.bprintf buf
+         "\"daemon\":{\"wall_s\":%.3f,\"exit_code\":%d,\"journal_bytes\":%d,\"verdicts\":[%s]},"
+         daemon_wall code journal_bytes
+         (String.concat ","
+            (List.map (Printf.sprintf "\"%s\"") daemon_verdicts));
+       Printf.bprintf buf
+         "\"summary\":{\"same_verdicts\":%b,\"clean_exit\":%b,\"overhead_ratio\":%.3f}}\n"
+         (direct_verdicts = daemon_verdicts
+         && not (List.mem "missing" direct_verdicts))
+         (code = 0)
+         (if direct_wall > 0.0 then daemon_wall /. direct_wall else 0.0);
+       Obs.Json.write_atomic path (Buffer.contents buf))
 
 let () =
   Format.printf "=== SymSysC benchmark harness ===@.@.";
@@ -1099,6 +1211,8 @@ let () =
   let distributed_rows = List.map distributed_campaigns distributed_workers in
   write_distributed_json "BENCH_8.json" distributed_rows;
   Format.printf "(pipe vs loopback-TCP comparison written to BENCH_8.json)@.";
+  write_service_json "BENCH_10.json";
+  Format.printf "(campaign-service overhead written to BENCH_10.json)@.";
   Format.printf "@.worker scaling (Table 1 campaign, %d cores online):@."
     (online_cores ());
   Symsysc.Tables.print_scaling Format.std_formatter scaling_rows;

@@ -215,8 +215,9 @@ let chaos_spec =
      \"solver-unknown:0.05,worker-crash:0.02\".  Points: solver-unknown, \
      solver-stall, worker-hang, worker-crash, frame-truncate, \
      frame-corrupt, checkpoint-corrupt, conn-drop, conn-stall, \
-     frame-shear, dup-result.  Injections are deterministic for a \
-     fixed --chaos-seed and are accounted in the report."
+     frame-shear, dup-result, journal-truncate, job-crash, \
+     service-kill.  Injections are deterministic for a fixed \
+     --chaos-seed and are accounted in the report."
   in
   Arg.(value & opt (some chaos_conv) None
        & info [ "chaos-spec" ] ~docv:"SPEC" ~doc)
@@ -679,6 +680,338 @@ let report_diff_cmd =
     (Cmd.info "report-diff" ~doc)
     Term.(ret (const run $ file 0 $ file 1))
 
+(* ---- campaign service ---- *)
+
+let journal_dir =
+  let doc =
+    "Journal directory: the daemon's only durable state (WAL segments \
+     plus per-job checkpoint/report artifacts).  Restarting on the \
+     same directory resumes the campaign."
+  in
+  Arg.(required & opt (some string) None
+       & info [ "journal" ] ~docv:"DIR" ~doc)
+
+let daemon_addr =
+  let doc = "Address of a running $(b,symsysc serve) daemon." in
+  Arg.(value & opt hostport_conv ("127.0.0.1", 7321)
+       & info [ "connect" ] ~docv:"HOST:PORT" ~doc)
+
+let serve_cmd =
+  let serve_listen =
+    let doc =
+      "Listen for client frames on $(docv) (port 0 picks a free port; \
+       the bound address is printed to stderr)."
+    in
+    Arg.(value & opt hostport_conv ("127.0.0.1", 7321)
+         & info [ "listen" ] ~docv:"HOST:PORT" ~doc)
+  in
+  let max_jobs =
+    let doc = "Admission cap: concurrent job processes." in
+    Arg.(value & opt int 2 & info [ "max-jobs" ] ~docv:"N" ~doc)
+  in
+  let job_retries =
+    let doc =
+      "Failed attempts before a job is quarantined by the circuit \
+       breaker (retries are gated by seeded exponential backoff)."
+    in
+    Arg.(value & opt int 2 & info [ "job-retries" ] ~docv:"N" ~doc)
+  in
+  let job_timeout =
+    let doc = "Per-job wall-clock timeout in seconds (SIGKILL + retry)." in
+    Arg.(value & opt (some float) None
+         & info [ "job-timeout-s" ] ~docv:"S" ~doc)
+  in
+  let watermark =
+    let doc =
+      "Memory watermark in MB: above it admission pauses and the \
+       newest running job is shed back to the queue with its budget \
+       halved (never below one running job)."
+    in
+    Arg.(value & opt (some float) None
+         & info [ "mem-watermark-mb" ] ~docv:"MB" ~doc)
+  in
+  let segment_bytes =
+    let doc = "Journal segment rotation threshold in bytes." in
+    Arg.(value & opt int (1 lsl 20) & info [ "segment-bytes" ] ~docv:"N" ~doc)
+  in
+  let exit_when_idle =
+    let doc =
+      "Exit 0 once at least one job was submitted and every job is \
+       terminal (for batch campaigns and CI)."
+    in
+    Arg.(value & flag & info [ "exit-when-idle" ] ~doc)
+  in
+  let ck_every =
+    let doc = "Seconds between periodic job checkpoints." in
+    Arg.(value & opt float 0.5 & info [ "checkpoint-every-s" ] ~docv:"S" ~doc)
+  in
+  let run (host, port) journal_dir max_jobs job_retries job_timeout_s
+      mem_watermark_mb segment_bytes exit_when_idle checkpoint_every_s
+      backoff_seed chaos_spec chaos_seed =
+    (match chaos_spec with
+     | Some spec -> Chaos.configure ~seed:chaos_seed spec
+     | None -> Chaos.disable ());
+    let listener = Symex.Transport.listen ~host ~port () in
+    let bound_host, bound_port = Symex.Transport.listener_addr listener in
+    Format.eprintf "[serve] listening on %s:%d, journal %s@." bound_host
+      bound_port journal_dir;
+    let opts =
+      {
+        (Service.Daemon.default_opts ~journal_dir) with
+        Service.Daemon.max_jobs;
+        job_retries;
+        job_timeout_s;
+        mem_watermark_mb;
+        segment_bytes;
+        backoff_seed;
+        checkpoint_every_s;
+        exit_when_idle;
+      }
+    in
+    exit (Service.Daemon.run ~listener opts)
+  in
+  let doc =
+    "Run the crash-safe campaign daemon: accept submitted jobs, run \
+     each as a supervised process with retry/backoff/quarantine, \
+     journal every transition (fsync before ack), shed load under \
+     memory pressure, and drain to checkpoints on SIGTERM.  \
+     Restarting on the same --journal resumes the campaign; a clean \
+     kill-at-any-point recovery is part of the contract."
+  in
+  Cmd.v (Cmd.info "serve" ~doc)
+    Term.(
+      const run $ serve_listen $ journal_dir $ max_jobs $ job_retries
+      $ job_timeout $ watermark $ segment_bytes $ exit_when_idle $ ck_every
+      $ backoff_seed $ chaos_spec $ chaos_seed)
+
+let client_fail msg =
+  Format.eprintf "symsysc: %s@." msg;
+  exit 2
+
+let submit_cmd =
+  let peripheral =
+    let doc = "Peripheral: plic, clint or uart." in
+    Arg.(value & opt string "plic" & info [ "peripheral" ] ~docv:"P" ~doc)
+  in
+  let test =
+    let doc = "Test name: T1..T5 (plic), timer (clint), loopback (uart)." in
+    Arg.(value & opt string "T1" & info [ "test" ] ~docv:"T" ~doc)
+  in
+  let mode =
+    let mode_conv =
+      Arg.conv
+        ( (fun s ->
+             match Service.Jobspec.mode_of_string s with
+             | Some m -> Ok m
+             | None -> Error (`Msg (Printf.sprintf "unknown mode %S" s))),
+          fun ppf m ->
+            Format.pp_print_string ppf (Service.Jobspec.mode_to_string m) )
+    in
+    let doc = "Exploration mode: symbolic (default) or random." in
+    Arg.(value & opt mode_conv Service.Jobspec.Symbolic
+         & info [ "mode" ] ~docv:"M" ~doc)
+  in
+  let strategy =
+    let doc = "Search strategy (symbolic mode): dfs, bfs, random[:seed], cover-new." in
+    Arg.(value & opt (some string) None & info [ "strategy" ] ~docv:"S" ~doc)
+  in
+  let seed =
+    let doc = "Seed (random campaigns and random[:seed] strategies)." in
+    Arg.(value & opt (some int) None & info [ "seed" ] ~docv:"N" ~doc)
+  in
+  let trials =
+    let doc = "Trials for --mode random." in
+    Arg.(value & opt int 256 & info [ "trials" ] ~docv:"N" ~doc)
+  in
+  let max_paths =
+    let doc = "Path budget for the job." in
+    Arg.(value & opt (some int) None & info [ "max-paths" ] ~docv:"N" ~doc)
+  in
+  let max_seconds =
+    let doc = "Time budget for the job (seconds)." in
+    Arg.(value & opt (some float) None & info [ "max-seconds" ] ~docv:"S" ~doc)
+  in
+  let max_memory_mb =
+    let doc = "Heap budget for the job (MB)." in
+    Arg.(value & opt (some int) None & info [ "max-memory-mb" ] ~docv:"MB" ~doc)
+  in
+  let workers =
+    let doc = "Worker processes inside the job." in
+    Arg.(value & opt int 1 & info [ "workers" ] ~docv:"N" ~doc)
+  in
+  let num_sources =
+    let doc = "PLIC interrupt sources (scenario scale)." in
+    Arg.(value & opt int 4 & info [ "num-sources" ] ~docv:"N" ~doc)
+  in
+  let t5_len =
+    let doc = "T5 symbolic-sequence length." in
+    Arg.(value & opt int 8 & info [ "t5-len" ] ~docv:"N" ~doc)
+  in
+  let run (host, port) peripheral test mode strategy seed trials max_paths
+      max_seconds max_memory_mb workers num_sources t5_len =
+    let spec =
+      {
+        Service.Jobspec.peripheral;
+        test;
+        mode;
+        strategy;
+        seed;
+        trials;
+        max_paths;
+        max_seconds;
+        max_memory_mb;
+        workers;
+        num_sources;
+        t5_len;
+      }
+    in
+    match Service.Jobspec.validate spec with
+    | Error msg -> client_fail msg
+    | Ok () ->
+      (match Service.Client.submit ~host ~port spec with
+       | Ok id -> Format.printf "submitted job %d (%s)@." id
+                    (Service.Jobspec.describe spec)
+       | Error msg -> client_fail msg)
+  in
+  let doc = "Submit a job to a running campaign daemon (durable on ack)." in
+  Cmd.v (Cmd.info "submit" ~doc)
+    Term.(
+      const run $ daemon_addr $ peripheral $ test $ mode $ strategy $ seed
+      $ trials $ max_paths $ max_seconds $ max_memory_mb $ workers
+      $ num_sources $ t5_len)
+
+let status_cmd =
+  let json_flag =
+    let doc = "Print the raw status document as JSON." in
+    Arg.(value & flag & info [ "json" ] ~doc)
+  in
+  let run (host, port) json =
+    match Service.Client.status ~host ~port with
+    | Error msg -> client_fail msg
+    | Ok doc ->
+      if json then print_endline (Obs.Json.to_string doc)
+      else begin
+        let str k j = Option.bind (Obs.Json.member k j) Obs.Json.to_string_opt in
+        let uptime =
+          Option.bind (Obs.Json.member "uptime" doc) Obs.Json.to_float_opt
+          |> Option.value ~default:0.0
+        in
+        Format.printf "daemon up %.1fs@." uptime;
+        (match Obs.Json.member "counts" doc with
+         | Some (Obs.Json.Obj kvs) ->
+           Format.printf "counts:";
+           List.iter
+             (fun (k, v) ->
+                match Obs.Json.to_int_opt v with
+                | Some n -> Format.printf " %s=%d" k n
+                | None -> ())
+             kvs;
+           Format.printf "@."
+         | _ -> ());
+        match Option.bind (Obs.Json.member "jobs" doc) Obs.Json.to_list_opt with
+        | None -> ()
+        | Some jobs ->
+          List.iter
+            (fun j ->
+               let int k =
+                 Option.bind (Obs.Json.member k j) Obs.Json.to_int_opt
+                 |> Option.value ~default:0
+               in
+               Format.printf "  #%-3d %-28s %-12s attempts=%d%s%s@."
+                 (int "id")
+                 (Option.value ~default:"?" (str "job" j))
+                 (Option.value ~default:"?" (str "state" j))
+                 (int "attempts")
+                 (match str "verdict" j with
+                  | Some v -> " verdict=" ^ v
+                  | None -> "")
+                 (match str "fail_reason" j with
+                  | Some r -> " reason=" ^ r
+                  | None -> ""))
+            jobs
+      end
+  in
+  let doc = "Show a campaign daemon's queue, counters and journal state." in
+  Cmd.v (Cmd.info "status" ~doc) Term.(const run $ daemon_addr $ json_flag)
+
+let cancel_cmd =
+  let id =
+    let doc = "Job id to cancel." in
+    Arg.(required & pos 0 (some int) None & info [] ~docv:"ID" ~doc)
+  in
+  let run (host, port) id =
+    match Service.Client.cancel ~host ~port id with
+    | Ok () -> Format.printf "cancelled job %d@." id
+    | Error msg -> client_fail msg
+  in
+  let doc = "Cancel a queued or running job." in
+  Cmd.v (Cmd.info "cancel" ~doc) Term.(const run $ daemon_addr $ id)
+
+let drain_cmd =
+  let run (host, port) =
+    match Service.Client.drain ~host ~port with
+    | Ok () -> Format.printf "draining@."
+    | Error msg -> client_fail msg
+  in
+  let doc =
+    "Ask the daemon to drain: running jobs checkpoint and re-queue, \
+     the journal is flushed, and the daemon exits 0."
+  in
+  Cmd.v (Cmd.info "drain" ~doc) Term.(const run $ daemon_addr)
+
+let jobs_cmd =
+  let run journal_dir =
+    let wal, records, dropped = Service.Wal.open_dir journal_dir in
+    let sup =
+      Service.Supervisor.create ~wal ~job_retries:0 ~backoff_seed:0 records
+    in
+    Service.Wal.close wal;
+    let doc =
+      Obs.Json.Obj
+        [
+          ("dropped_bytes", Obs.Json.Int dropped);
+          ( "counts",
+            Obs.Json.Obj
+              (List.map
+                 (fun (k, v) -> (k, Obs.Json.Int v))
+                 (Service.Supervisor.counts sup)) );
+          ( "jobs",
+            Obs.Json.List
+              (List.map
+                 (fun (j : Service.Supervisor.job) ->
+                    let opt = function
+                      | Some s -> Obs.Json.Str s
+                      | None -> Obs.Json.Null
+                    in
+                    Obs.Json.Obj
+                      [
+                        ("id", Obs.Json.Int j.Service.Supervisor.id);
+                        ( "job",
+                          Obs.Json.Str
+                            (Service.Jobspec.describe j.Service.Supervisor.spec)
+                        );
+                        ( "state",
+                          Obs.Json.Str
+                            (Service.Supervisor.state_to_string
+                               j.Service.Supervisor.state) );
+                        ("attempts", Obs.Json.Int j.Service.Supervisor.attempts);
+                        ("sheds", Obs.Json.Int j.Service.Supervisor.sheds);
+                        ("verdict", opt j.Service.Supervisor.verdict);
+                        ("report", opt j.Service.Supervisor.report);
+                        ("checkpoint", opt j.Service.Supervisor.checkpoint);
+                      ])
+                 (Service.Supervisor.jobs sup)) );
+        ]
+    in
+    print_endline (Obs.Json.to_string doc)
+  in
+  let doc =
+    "Replay a campaign journal offline (no daemon needed) and print \
+     the recovered job table as JSON — what a restarted daemon would \
+     see.  For CI assertions and post-mortems."
+  in
+  Cmd.v (Cmd.info "jobs" ~doc) Term.(const run $ journal_dir)
+
 (* ---- list ---- *)
 
 let list_cmd =
@@ -707,4 +1040,6 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ run_cmd; table1_cmd; table2_cmd; report_diff_cmd; list_cmd ]))
+          [ run_cmd; table1_cmd; table2_cmd; report_diff_cmd; serve_cmd;
+            submit_cmd; status_cmd; cancel_cmd; drain_cmd; jobs_cmd;
+            list_cmd ]))

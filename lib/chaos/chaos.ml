@@ -12,11 +12,15 @@ type point =
   | Conn_stall
   | Frame_shear
   | Dup_result
+  | Journal_truncate
+  | Job_crash
+  | Service_kill
 
 let all_points =
   [ Solver_unknown; Solver_stall; Worker_hang; Worker_crash;
     Frame_truncate; Frame_corrupt; Checkpoint_corrupt;
-    Conn_drop; Conn_stall; Frame_shear; Dup_result ]
+    Conn_drop; Conn_stall; Frame_shear; Dup_result;
+    Journal_truncate; Job_crash; Service_kill ]
 
 let point_to_string = function
   | Solver_unknown -> "solver-unknown"
@@ -30,6 +34,9 @@ let point_to_string = function
   | Conn_stall -> "conn-stall"
   | Frame_shear -> "frame-shear"
   | Dup_result -> "dup-result"
+  | Journal_truncate -> "journal-truncate"
+  | Job_crash -> "job-crash"
+  | Service_kill -> "service-kill"
 
 let point_of_string s =
   List.find_opt (fun p -> point_to_string p = s) all_points
@@ -46,6 +53,9 @@ let idx = function
   | Conn_stall -> 8
   | Frame_shear -> 9
   | Dup_result -> 10
+  | Journal_truncate -> 11
+  | Job_crash -> 12
+  | Service_kill -> 13
 
 let n_points = List.length all_points
 

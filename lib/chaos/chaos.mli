@@ -34,6 +34,12 @@ type point =
   | Conn_stall          (** worker socket stalls (delayed write) *)
   | Frame_shear         (** connection cut mid-write, half a frame sent *)
   | Dup_result          (** result frame delivered twice *)
+  | Journal_truncate    (** campaign journal append torn mid-record (the
+                            writing process dies with half a frame on
+                            disk) *)
+  | Job_crash           (** campaign job process dies abruptly mid-run *)
+  | Service_kill        (** campaign daemon killed abruptly (SIGKILL
+                            semantics — no drain, no final flush) *)
 
 val all_points : point list
 

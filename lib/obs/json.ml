@@ -60,15 +60,40 @@ let to_string v =
   write buf v;
   Buffer.contents buf
 
-let save path v =
+(* Durable atomic replace.  Write-to-tmp-and-rename alone is not
+   crash-safe: after a power cut the rename can be on disk while the
+   data blocks are not, leaving a zero-length (or partial) file where
+   the old good one was.  So: write the temporary, fsync it, rename,
+   then fsync the directory so the new directory entry itself is
+   durable before we report success. *)
+let fsync_dir dir =
+  match Unix.openfile (if dir = "" then "." else dir) [ Unix.O_RDONLY ] 0 with
+  | fd ->
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () -> try Unix.fsync fd with Unix.Unix_error _ -> ())
+  | exception Unix.Unix_error _ ->
+    (* Directories that refuse O_RDONLY (some filesystems) lose the
+       directory-entry barrier but keep the data barrier. *)
+    ()
+
+let write_atomic path contents =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let fd = Unix.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   Fun.protect
-    ~finally:(fun () -> close_out_noerr oc)
+    ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
     (fun () ->
-       output_string oc (to_string v);
-       output_char oc '\n');
-  Sys.rename tmp path
+       let buf = Bytes.of_string contents in
+       let n = Bytes.length buf in
+       let written = ref 0 in
+       while !written < n do
+         written := !written + Unix.write fd buf !written (n - !written)
+       done;
+       Unix.fsync fd);
+  Sys.rename tmp path;
+  fsync_dir (Filename.dirname path)
+
+let save path v = write_atomic path (to_string v ^ "\n")
 
 (* ---- parsing ---- *)
 

@@ -18,9 +18,18 @@ type t =
 val to_string : t -> string
 
 val save : string -> t -> unit
-(** Write atomically: the value is written to a temporary file in the
-    same directory and renamed over the target, so readers never see a
-    torn checkpoint. *)
+(** Write atomically and durably: {!write_atomic} of the printed value
+    plus a trailing newline, so readers never see a torn checkpoint and
+    a crash cannot leave a zero-length replacement. *)
+
+val write_atomic : string -> string -> unit
+(** [write_atomic path contents] — the shared crash-safe replace used
+    by every JSON writer in the tree (checkpoints, [--report-out],
+    bench artifacts, the campaign journal's segment rotation): write
+    [contents] to [path ^ ".tmp"], [fsync] the file, rename over
+    [path], then [fsync] the directory.  Without the two syncs a crash
+    shortly after the rename can surface as a zero-length file where
+    the previous good one was. *)
 
 val of_string : string -> (t, string) result
 val load : string -> (t, string) result

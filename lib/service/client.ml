@@ -1,0 +1,64 @@
+(* Campaign-daemon client; see client.mli. *)
+
+module Json = Obs.Json
+module Transport = Symex.Transport
+
+let request ~host ~port req =
+  Transport.init ();
+  match Transport.connect ~host ~port with
+  | exception (Transport.Disconnected msg) -> Error msg
+  | exception (Unix.Unix_error (e, _, _)) -> Error (Unix.error_message e)
+  | conn ->
+    Fun.protect
+      ~finally:(fun () -> Transport.close conn)
+      (fun () ->
+         match
+           Transport.write_frame conn req;
+           Transport.read_frame conn
+         with
+         | reply -> Ok reply
+         | exception (Transport.Disconnected msg) -> Error msg
+         | exception (Unix.Unix_error (e, _, _)) ->
+           Error (Unix.error_message e))
+
+(* Unwrap {"ok":bool,...}: an ok:false reply's "error" is the error. *)
+let checked ~host ~port req =
+  match request ~host ~port req with
+  | Error _ as e -> e
+  | Ok reply ->
+    (match Option.bind (Json.member "ok" reply) Json.to_bool_opt with
+     | Some true -> Ok reply
+     | _ ->
+       Error
+         (Option.bind (Json.member "error" reply) Json.to_string_opt
+          |> Option.value ~default:"daemon refused the request"))
+
+let submit ~host ~port spec =
+  match
+    checked ~host ~port
+      (Json.Obj [ ("cmd", Json.Str "submit"); ("spec", Jobspec.to_json spec) ])
+  with
+  | Error _ as e -> e
+  | Ok reply ->
+    (match Option.bind (Json.member "id" reply) Json.to_int_opt with
+     | Some id -> Ok id
+     | None -> Error "daemon reply without a job id")
+
+let status ~host ~port =
+  checked ~host ~port (Json.Obj [ ("cmd", Json.Str "status") ])
+
+let cancel ~host ~port id =
+  Result.map ignore
+    (checked ~host ~port
+       (Json.Obj [ ("cmd", Json.Str "cancel"); ("id", Json.Int id) ]))
+
+let drain ~host ~port =
+  Result.map ignore (checked ~host ~port (Json.Obj [ ("cmd", Json.Str "drain") ]))
+
+let ping ~host ~port =
+  match checked ~host ~port (Json.Obj [ ("cmd", Json.Str "ping") ]) with
+  | Error _ as e -> e
+  | Ok reply ->
+    (match Option.bind (Json.member "pid" reply) Json.to_int_opt with
+     | Some pid -> Ok pid
+     | None -> Error "daemon reply without a pid")

@@ -1,0 +1,27 @@
+(** Thin client for the campaign daemon's frame protocol.
+
+    One TCP connection per request: connect, send one
+    {!Symex.Transport} JSON frame, read one reply, close.  Every
+    helper returns [Error msg] instead of raising — connection
+    refused, a dead daemon mid-reply, or an ["ok": false] reply all
+    surface as the error string. *)
+
+val request :
+  host:string -> port:int -> Obs.Json.t -> (Obs.Json.t, string) result
+(** Send a raw frame and return the raw reply (network errors as
+    [Error]; the reply's ["ok"] field is {e not} interpreted). *)
+
+val submit : host:string -> port:int -> Jobspec.t -> (int, string) result
+(** Returns the job id.  The daemon fsyncs the journal before
+    replying, so an [Ok id] is durable. *)
+
+val status : host:string -> port:int -> (Obs.Json.t, string) result
+(** The full status document (uptime, counts, journal, per-job rows). *)
+
+val cancel : host:string -> port:int -> int -> (unit, string) result
+
+val drain : host:string -> port:int -> (unit, string) result
+(** Ask the daemon to drain: checkpoint running jobs, flush, exit 0. *)
+
+val ping : host:string -> port:int -> (int, string) result
+(** Returns the daemon's pid. *)

@@ -1,0 +1,70 @@
+(** The campaign daemon: accept jobs, run them, survive everything.
+
+    One [run] call owns a journal directory and a listening socket and
+    loops: accept client frames (submit / status / cancel / drain /
+    ping), fork one {!Runner} process per runnable job, reap exits into
+    {!Supervisor} transitions, and keep the {!Wal} ahead of every state
+    change.  Durability is the journal's job; this module's job is the
+    process tree and the degradation ladder:
+
+    + {b admission cap} — at most [max_jobs] job processes run at once;
+      the rest wait Queued.
+    + {b memory pressure} — while [pressure_mb () > mem_watermark_mb],
+      admission pauses, and if more than one job is running the newest
+      is shed: SIGTERM, checkpoint, re-queued with its budget halved
+      ([Shed] journaled, surfaced in status counts).  Shedding never
+      reduces the pool below one job, so the campaign always makes
+      progress.
+    + {b drain} — SIGTERM/SIGINT (or a client [drain] frame) stops
+      admission, SIGTERMs every running job (each checkpoints and exits
+      3), records their checkpoint refs, and returns 0 with the journal
+      fully flushed.  A restart on the same journal resumes every
+      unfinished job from its checkpoint.
+
+    Per-job failures go through the supervisor's retry/backoff circuit
+    breaker; a job that exceeds [job_timeout_s] is SIGKILLed and
+    counted as a failed attempt.
+
+    Chaos: the [service-kill] point (drawn once per loop tick) SIGKILLs
+    the daemon itself — recovery is the next [run] on the same journal.
+
+    {1 Client protocol}
+
+    One length-prefixed {!Symex.Transport} JSON frame per connection,
+    one frame back:
+
+    {v
+      {"cmd":"submit","spec":{...}}  -> {"ok":true,"id":N}   (fsynced first)
+      {"cmd":"status"}               -> {"ok":true,"uptime":...,"counts":{...},
+                                         "journal":{...},"jobs":[...]}
+      {"cmd":"cancel","id":N}        -> {"ok":true|false,...}
+      {"cmd":"drain"}                -> {"ok":true}
+      {"cmd":"ping"}                 -> {"ok":true,"pid":N}
+    v} *)
+
+type opts = {
+  journal_dir : string;
+  max_jobs : int;              (** concurrent job processes (>= 1) *)
+  job_retries : int;           (** failed attempts before quarantine *)
+  job_timeout_s : float option;      (** per-job wall clock; None = none *)
+  mem_watermark_mb : float option;   (** pressure threshold; None = off *)
+  segment_bytes : int;         (** journal rotation threshold *)
+  backoff_seed : int;          (** retry-backoff jitter seed *)
+  checkpoint_every_s : float;  (** job checkpoint period *)
+  poll_s : float;              (** loop tick / accept timeout *)
+  exit_when_idle : bool;
+      (** return 0 once at least one job was ever submitted and all
+          jobs are terminal — for batch campaigns and CI *)
+}
+
+val default_opts : journal_dir:string -> opts
+(** max_jobs 2, job_retries 2, no timeout, no watermark, 1 MiB
+    segments, backoff seed 1, checkpoint every 0.5 s, 50 ms poll,
+    [exit_when_idle] false. *)
+
+val run :
+  ?pressure_mb:(unit -> float) -> listener:Symex.Transport.listener -> opts -> int
+(** Run until drained (or idle, with [exit_when_idle]); returns the
+    process exit code (0 on a clean drain).  The caller owns the
+    listener.  [pressure_mb] defaults to {!Symex.Budget.heap_mb} (the
+    daemon's own heap) and exists so tests can inject pressure. *)

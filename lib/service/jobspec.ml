@@ -1,0 +1,211 @@
+(* Campaign job descriptions; see jobspec.mli. *)
+
+module Json = Obs.Json
+module Expr = Smt.Expr
+module Bv = Smt.Bv
+module Value = Symex.Value
+module Engine = Symex.Engine
+module Payload = Tlm.Payload
+module Sc_time = Pk.Sc_time
+
+type mode = Symbolic | Random
+
+let mode_to_string = function Symbolic -> "symbolic" | Random -> "random"
+
+let mode_of_string = function
+  | "symbolic" -> Some Symbolic
+  | "random" -> Some Random
+  | _ -> None
+
+type t = {
+  peripheral : string;
+  test : string;
+  mode : mode;
+  strategy : string option;
+  seed : int option;
+  trials : int;
+  max_paths : int option;
+  max_seconds : float option;
+  max_memory_mb : int option;
+  workers : int;
+  num_sources : int;
+  t5_len : int;
+}
+
+let default =
+  {
+    peripheral = "plic";
+    test = "T1";
+    mode = Symbolic;
+    strategy = None;
+    seed = None;
+    trials = 256;
+    max_paths = None;
+    max_seconds = None;
+    max_memory_mb = None;
+    workers = 1;
+    num_sources = 4;
+    t5_len = 8;
+  }
+
+let known_tests = function
+  | "plic" -> List.map fst Symsysc.Tests.all
+  | "clint" -> [ "timer" ]
+  | "uart" -> [ "loopback" ]
+  | _ -> []
+
+let validate t =
+  let ( let* ) = Result.bind in
+  let* () =
+    match known_tests t.peripheral with
+    | [] -> Error (Printf.sprintf "unknown peripheral %S" t.peripheral)
+    | tests ->
+      if List.mem t.test tests then Ok ()
+      else
+        Error
+          (Printf.sprintf "unknown test %S for %s (have: %s)" t.test
+             t.peripheral (String.concat ", " tests))
+  in
+  let* () =
+    match t.strategy with
+    | None -> Ok ()
+    | Some s ->
+      (match Symex.Search.strategy_of_string s with
+       | Some _ -> Ok ()
+       | None -> Error (Printf.sprintf "unknown strategy %S" s))
+  in
+  let* () = if t.workers >= 1 then Ok () else Error "workers must be >= 1" in
+  let* () = if t.trials >= 1 then Ok () else Error "trials must be >= 1" in
+  let* () =
+    if t.num_sources >= 1 then Ok () else Error "num_sources must be >= 1"
+  in
+  if t.t5_len >= 1 then Ok () else Error "t5_len must be >= 1"
+
+let describe t =
+  Printf.sprintf "%s/%s %s%s" t.peripheral t.test (mode_to_string t.mode)
+    (match t.strategy with Some s -> " " ^ s | None -> "")
+
+let label t =
+  match t.peripheral with
+  | "plic" -> t.test
+  | p -> p ^ "-" ^ t.test
+
+(* ---- JSON ---- *)
+
+let opt_int = function Some n -> Json.Int n | None -> Json.Null
+let opt_float = function Some f -> Json.Float f | None -> Json.Null
+let opt_str = function Some s -> Json.Str s | None -> Json.Null
+
+let to_json t =
+  Json.Obj
+    [
+      ("peripheral", Json.Str t.peripheral);
+      ("test", Json.Str t.test);
+      ("mode", Json.Str (mode_to_string t.mode));
+      ("strategy", opt_str t.strategy);
+      ("seed", opt_int t.seed);
+      ("trials", Json.Int t.trials);
+      ("max_paths", opt_int t.max_paths);
+      ("max_seconds", opt_float t.max_seconds);
+      ("max_memory_mb", opt_int t.max_memory_mb);
+      ("workers", Json.Int t.workers);
+      ("num_sources", Json.Int t.num_sources);
+      ("t5_len", Json.Int t.t5_len);
+    ]
+
+let of_json j =
+  let str key = Option.bind (Json.member key j) Json.to_string_opt in
+  let int key = Option.bind (Json.member key j) Json.to_int_opt in
+  let flt key = Option.bind (Json.member key j) Json.to_float_opt in
+  match (str "peripheral", str "test", Option.bind (str "mode") mode_of_string)
+  with
+  | Some peripheral, Some test, Some mode ->
+    let t =
+      {
+        peripheral;
+        test;
+        mode;
+        strategy = str "strategy";
+        seed = int "seed";
+        trials = Option.value ~default:default.trials (int "trials");
+        max_paths = int "max_paths";
+        max_seconds = flt "max_seconds";
+        max_memory_mb = int "max_memory_mb";
+        workers = Option.value ~default:1 (int "workers");
+        num_sources =
+          Option.value ~default:default.num_sources (int "num_sources");
+        t5_len = Option.value ~default:default.t5_len (int "t5_len");
+      }
+    in
+    (match validate t with Ok () -> Ok t | Error msg -> Error msg)
+  | _ -> Error "job spec: missing peripheral/test/mode"
+
+(* ---- testbenches ---- *)
+
+(* The CLINT timer property (the clint_timer example at unit-test
+   scale): for every comparator in 1..5 the interrupt asserts exactly
+   at the comparator instant, never earlier. *)
+let clint_timer () =
+  let tick = Clint.Config.fe310.Clint.Config.tick in
+  let sched = Pk.Scheduler.create () in
+  let clint = Clint.create Clint.Config.fe310 sched in
+  let port = Clint.Port.create () in
+  Clint.connect clint port;
+  Pk.Scheduler.run_ready sched;
+  let cmp = Engine.fresh "mtimecmp" 64 in
+  Engine.assume
+    (Expr.and_
+       (Expr.uge cmp (Expr.int ~width:64 1))
+       (Expr.ule cmp (Expr.int ~width:64 5)));
+  let data =
+    Array.init 8 (fun i -> Expr.extract ~hi:((8 * i) + 7) ~lo:(8 * i) cmp)
+  in
+  let p =
+    Payload.make_write
+      ~addr:(Value.of_int Clint.mtimecmp_base)
+      ~len:(Value.of_int 8) ~data
+  in
+  ignore (Clint.transport clint p Sc_time.zero);
+  Engine.check ~site:"clint:not-early" ~message:"timer fired early"
+    (Expr.bool (not port.Clint.Port.timer_pending));
+  Pk.Scheduler.run_until sched (Sc_time.mul_int tick 10);
+  Engine.check ~site:"clint:fired" ~message:"timer never fired"
+    (Expr.bool port.Clint.Port.timer_pending);
+  let fired_tick =
+    Int64.div
+      (Sc_time.to_ps port.Clint.Port.last_timer_time)
+      (Sc_time.to_ps tick)
+  in
+  Engine.check ~site:"clint:exact" ~message:"timer fired at a wrong tick"
+    (Expr.eq (Expr.const (Bv.make ~width:64 fired_tick)) cmp)
+
+(* The UART loopback property: any received byte reads back intact. *)
+let uart_loopback () =
+  let sched = Pk.Scheduler.create () in
+  let uart = Uart.create sched in
+  Pk.Scheduler.run_ready sched;
+  let data = Engine.fresh "rx_byte" 32 in
+  Engine.assume (Value.le data (Value.of_int 0xFF));
+  Uart.receive_byte uart data;
+  let p =
+    Payload.make_read ~addr:(Value.of_int Uart.rxdata_base)
+      ~len:(Value.of_int 4)
+  in
+  ignore (Uart.transport uart p Sc_time.zero);
+  Engine.check ~site:"uart:loopback" ~message:"byte corrupted"
+    (Value.eq (Payload.data32 p) data)
+
+let thunk t =
+  match (t.peripheral, t.test) with
+  | "plic", name ->
+    (match Symsysc.Tests.by_name name with
+     | Some test ->
+       let params =
+         Symsysc.Tests.scaled_params ~num_sources:t.num_sources
+           ~t5_max_len:t.t5_len
+       in
+       Ok (test params)
+     | None -> Error (Printf.sprintf "unknown PLIC test %S" name))
+  | "clint", "timer" -> Ok clint_timer
+  | "uart", "loopback" -> Ok uart_loopback
+  | p, n -> Error (Printf.sprintf "unknown job %s/%s" p n)

@@ -1,0 +1,57 @@
+(** Campaign job descriptions.
+
+    A job is one (peripheral, testbench, strategy, budget) cell of the
+    verification matrix the campaign service works through: the five
+    PLIC paper tests, the CLINT timer property and the UART loopback
+    property, each runnable either symbolically (an {!Symex.Engine.Session}
+    under any search strategy) or as a seeded random-testing campaign.
+    Specs round-trip through JSON — they ride in [submit] frames and in
+    the journal's [submit] records, so a recovered daemon re-creates
+    exactly the jobs it was asked to run. *)
+
+type mode = Symbolic | Random
+
+val mode_to_string : mode -> string
+(** ["symbolic"] / ["random"]. *)
+
+val mode_of_string : string -> mode option
+
+type t = {
+  peripheral : string;     (** ["plic"], ["clint"] or ["uart"] *)
+  test : string;           (** ["T1"].."[T5"] / ["timer"] / ["loopback"] *)
+  mode : mode;
+  strategy : string option;
+      (** {!Symex.Search} strategy name (symbolic mode); [None] = engine
+          default *)
+  seed : int option;       (** random-strategy / random-campaign seed *)
+  trials : int;            (** random-mode trial budget *)
+  max_paths : int option;
+  max_seconds : float option;
+  max_memory_mb : int option;
+  workers : int;           (** engine workers for this job (>= 1) *)
+  num_sources : int;       (** PLIC scale *)
+  t5_len : int;            (** T5 symbolic write length bound *)
+}
+
+val default : t
+(** A symbolic [plic]/[T1] job at the smoke scale (4 sources, T5 len 8),
+    one worker, no budgets, 256 random trials. *)
+
+val validate : t -> (unit, string) result
+(** Reject unknown peripherals, tests, strategies, nonpositive worker
+    or trial counts — before the job is accepted into the queue. *)
+
+val describe : t -> string
+(** One-line human form, e.g. ["plic/T4 symbolic dfs"]. *)
+
+val label : t -> string
+(** The run label used for checkpoints and reports
+    (["T1"], ["clint-timer"], ["uart-loopback"]). *)
+
+val to_json : t -> Obs.Json.t
+val of_json : Obs.Json.t -> (t, string) result
+
+val thunk : t -> (unit -> unit, string) result
+(** The testbench this job explores — built fresh per execution so
+    re-runs start clean.  [Error] on an unknown (peripheral, test)
+    pair. *)

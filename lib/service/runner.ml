@@ -1,0 +1,117 @@
+(* Forked job-process body; see runner.mli for the exit-code contract. *)
+
+module Json = Obs.Json
+module Engine = Symex.Engine
+module Budget = Symex.Budget
+module Checkpoint = Symex.Checkpoint
+
+let report_path ~journal_dir id =
+  Filename.concat journal_dir (Printf.sprintf "job-%d-report.json" id)
+
+let checkpoint_path ~journal_dir id =
+  Filename.concat journal_dir (Printf.sprintf "job-%d.ck" id)
+
+let sigkill_self () = Unix.kill (Unix.getpid ()) Sys.sigkill
+
+let scaled_limits (spec : Jobspec.t) ~budget_scale =
+  let scale_int v =
+    Option.map
+      (fun n -> max 1 (int_of_float (Float.round (float_of_int n *. budget_scale))))
+      v
+  in
+  {
+    Budget.unlimited with
+    Budget.max_paths = scale_int spec.Jobspec.max_paths;
+    max_seconds =
+      Option.map (fun s -> Float.max 0.05 (s *. budget_scale))
+        spec.Jobspec.max_seconds;
+    max_memory_mb = scale_int spec.Jobspec.max_memory_mb;
+  }
+
+let run_random ~rpt_path ~label (spec : Jobspec.t) thunk =
+  let seed = Option.value ~default:42 spec.Jobspec.seed in
+  let rr =
+    Engine.random_test ~seed ~max_trials:spec.Jobspec.trials
+      ?max_seconds:spec.Jobspec.max_seconds ~workers:spec.Jobspec.workers thunk
+  in
+  (* Only deterministic fields go in the artifact: kill-and-resume
+     equivalence is checked by diffing these files. *)
+  let failure =
+    match rr.Engine.failure with
+    | None -> Json.Null
+    | Some (e, trial) ->
+      Json.Obj
+        [
+          ("site", Json.Str e.Symex.Error.site);
+          ("kind", Json.Str (Symex.Error.kind_to_string e.Symex.Error.kind));
+          ("trial", Json.Int trial);
+        ]
+  in
+  let verdict = match rr.Engine.failure with None -> "Pass" | Some _ -> "Fail (1)" in
+  Json.save rpt_path
+    (Json.Obj
+       [
+         ("test", Json.Str label);
+         ("mode", Json.Str "random");
+         ("seed", Json.Int rr.Engine.seed);
+         ("trials", Json.Int rr.Engine.trials);
+         ("rejected", Json.Int rr.Engine.rejected);
+         ("failure", failure);
+         ("verdict", Json.Str verdict);
+       ]);
+  0
+
+let run_symbolic ~rpt_path ~ck_path ~checkpoint_every_s ~label
+    (spec : Jobspec.t) ~budget_scale thunk =
+  let resume =
+    if Sys.file_exists ck_path then
+      match Checkpoint.load ck_path with Ok ck -> Some ck | Error _ -> None
+    else None
+  in
+  let policy =
+    { Checkpoint.write = Checkpoint.save ck_path; every_s = checkpoint_every_s }
+  in
+  let session =
+    Engine.Session.make
+      ?strategy:(Option.bind spec.Jobspec.strategy Symex.Search.strategy_of_string)
+      ~limits:(scaled_limits spec ~budget_scale)
+      ~checkpoint:policy ?resume ?seed:spec.Jobspec.seed
+      ~workers:spec.Jobspec.workers ()
+  in
+  let engine_report = Engine.Session.run ~label session thunk in
+  match engine_report.Engine.stop_reason with
+  | Some Budget.Interrupt ->
+    (* Drained: the policy wrote a final checkpoint when the run
+       stopped; the next attempt resumes from it. *)
+    3
+  | _ ->
+    Symsysc.Report.save_json rpt_path
+      (Symsysc.Report.make label engine_report);
+    (try if Sys.file_exists ck_path then Sys.remove ck_path
+     with Sys_error _ -> ());
+    0
+
+let exec ~journal_dir ~checkpoint_every_s ~id ~attempt ~budget_scale spec =
+  if Chaos.active () then Chaos.reseed ((id * 1000) + attempt);
+  if Chaos.fire Chaos.Job_crash then sigkill_self ();
+  Engine.add_path_start_hook (fun () ->
+      if Chaos.fire Chaos.Job_crash then sigkill_self ());
+  Budget.clear_interrupt ();
+  Budget.install_signal_handlers ();
+  let rpt_path = report_path ~journal_dir id in
+  let ck_path = checkpoint_path ~journal_dir id in
+  let label = Jobspec.label spec in
+  match Jobspec.thunk spec with
+  | Error msg ->
+    prerr_endline ("job spec error: " ^ msg);
+    1
+  | Ok thunk ->
+    (try
+       match spec.Jobspec.mode with
+       | Jobspec.Random -> run_random ~rpt_path ~label spec thunk
+       | Jobspec.Symbolic ->
+         run_symbolic ~rpt_path ~ck_path ~checkpoint_every_s ~label spec
+           ~budget_scale thunk
+     with exn ->
+       prerr_endline ("job failed: " ^ Printexc.to_string exn);
+       1)

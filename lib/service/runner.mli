@@ -1,0 +1,40 @@
+(** The body of a forked job process.
+
+    The daemon forks one process per job attempt and the child calls
+    {!exec}, whose return value becomes the process exit code.  The
+    contract with the parent:
+
+    - {b 0} — the job finished: its report is durably written to
+      {!report_path} (atomic replace) and the checkpoint artifact, if
+      any, has been removed.
+    - {b 3} — the job was drained: a SIGTERM (or SIGINT) interrupted
+      the exploration, a final checkpoint is durable at
+      {!checkpoint_path}, and no report was written.  The parent
+      re-queues the job; the next attempt resumes from the checkpoint.
+    - anything else (including death by signal) — a crash.  The parent
+      retries with backoff and eventually quarantines.
+
+    Chaos: when a spec is armed the child re-seeds deterministically
+    from [(id, attempt)] so retried attempts draw fresh fault
+    schedules, and the [job-crash] point (drawn at start and at every
+    path start) kills the process with SIGKILL — the crash the
+    supervisor must absorb. *)
+
+val report_path : journal_dir:string -> int -> string
+(** [<journal_dir>/job-<id>-report.json] *)
+
+val checkpoint_path : journal_dir:string -> int -> string
+(** [<journal_dir>/job-<id>.ck] *)
+
+val exec :
+  journal_dir:string ->
+  checkpoint_every_s:float ->
+  id:int ->
+  attempt:int ->
+  budget_scale:float ->
+  Jobspec.t ->
+  int
+(** Run the job to an exit code (see above).  [budget_scale] shrinks
+    the spec's path/time/memory budgets (memory-pressure sheds halve
+    it); the scaled budgets floor at 1 path / 0.05 s / 1 MB so a
+    much-shed job still makes progress. *)

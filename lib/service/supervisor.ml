@@ -1,0 +1,313 @@
+(* Journal-backed job table; see supervisor.mli. *)
+
+module Json = Obs.Json
+
+type state = Queued | Running | Finished | Quarantined | Cancelled
+
+let state_to_string = function
+  | Queued -> "queued"
+  | Running -> "running"
+  | Finished -> "finished"
+  | Quarantined -> "quarantined"
+  | Cancelled -> "cancelled"
+
+let state_of_string = function
+  | "queued" -> Some Queued
+  | "running" -> Some Running
+  | "finished" -> Some Finished
+  | "quarantined" -> Some Quarantined
+  | "cancelled" -> Some Cancelled
+  | _ -> None
+
+type job = {
+  id : int;
+  spec : Jobspec.t;
+  mutable state : state;
+  mutable attempts : int;
+  mutable sheds : int;
+  mutable budget_scale : float;
+  mutable checkpoint : string option;
+  mutable verdict : string option;
+  mutable report : string option;
+  mutable fail_reason : string option;
+  mutable not_before : float;
+}
+
+type t = {
+  wal : Wal.t;
+  job_retries : int;
+  backoff_seed : int;
+  table : (int, job) Hashtbl.t;
+  mutable next_id : int;
+  mutable retried : int;
+  mutable shed_total : int;
+}
+
+(* ---- snapshot (compaction) codec ---- *)
+
+let opt_str = function Some s -> Json.Str s | None -> Json.Null
+
+let job_to_json j =
+  Json.Obj
+    [
+      ("id", Json.Int j.id);
+      ("spec", Jobspec.to_json j.spec);
+      ("state", Json.Str (state_to_string j.state));
+      ("attempts", Json.Int j.attempts);
+      ("sheds", Json.Int j.sheds);
+      ("budget_scale", Json.Float j.budget_scale);
+      ("checkpoint", opt_str j.checkpoint);
+      ("verdict", opt_str j.verdict);
+      ("report", opt_str j.report);
+      ("fail_reason", opt_str j.fail_reason);
+    ]
+
+let job_of_json j =
+  let int key = Option.bind (Json.member key j) Json.to_int_opt in
+  let str key = Option.bind (Json.member key j) Json.to_string_opt in
+  let flt key = Option.bind (Json.member key j) Json.to_float_opt in
+  match
+    ( int "id",
+      Option.map Jobspec.of_json (Json.member "spec" j),
+      Option.bind (str "state") state_of_string )
+  with
+  | Some id, Some (Ok spec), Some state ->
+    Some
+      {
+        id;
+        spec;
+        state;
+        attempts = Option.value ~default:0 (int "attempts");
+        sheds = Option.value ~default:0 (int "sheds");
+        budget_scale = Option.value ~default:1.0 (flt "budget_scale");
+        checkpoint = str "checkpoint";
+        verdict = str "verdict";
+        report = str "report";
+        fail_reason = str "fail_reason";
+        not_before = 0.0;
+      }
+  | _ -> None
+
+let snapshot t =
+  let jobs =
+    Hashtbl.fold (fun _ j acc -> j :: acc) t.table []
+    |> List.sort (fun a b -> compare a.id b.id)
+  in
+  Json.Obj
+    [
+      ("next_id", Json.Int t.next_id);
+      ("retried", Json.Int t.retried);
+      ("shed", Json.Int t.shed_total);
+      ("jobs", Json.List (List.map job_to_json jobs));
+    ]
+
+let load_snapshot t state =
+  Hashtbl.reset t.table;
+  (match Option.bind (Json.member "next_id" state) Json.to_int_opt with
+   | Some n -> t.next_id <- n
+   | None -> ());
+  (match Option.bind (Json.member "retried" state) Json.to_int_opt with
+   | Some n -> t.retried <- n
+   | None -> ());
+  (match Option.bind (Json.member "shed" state) Json.to_int_opt with
+   | Some n -> t.shed_total <- n
+   | None -> ());
+  match Option.bind (Json.member "jobs" state) Json.to_list_opt with
+  | Some jobs ->
+    List.iter
+      (fun jj ->
+         match job_of_json jj with
+         | Some job -> Hashtbl.replace t.table job.id job
+         | None -> ())
+      jobs
+  | None -> ()
+
+(* ---- replay ---- *)
+
+let apply_record t r =
+  let with_job id f =
+    match Hashtbl.find_opt t.table id with Some j -> f j | None -> ()
+  in
+  match r with
+  | Wal.Snapshot state -> load_snapshot t state
+  | Wal.Submit (id, spec_json) ->
+    (match Jobspec.of_json spec_json with
+     | Ok spec ->
+       Hashtbl.replace t.table id
+         {
+           id;
+           spec;
+           state = Queued;
+           attempts = 0;
+           sheds = 0;
+           budget_scale = 1.0;
+           checkpoint = None;
+           verdict = None;
+           report = None;
+           fail_reason = None;
+           not_before = 0.0;
+         };
+       if id >= t.next_id then t.next_id <- id + 1
+     | Error _ -> ())
+  | Wal.Start (id, attempt) ->
+    with_job id (fun j ->
+        j.state <- Running;
+        ignore attempt)
+  | Wal.Checkpoint_ref (id, path) ->
+    with_job id (fun j -> j.checkpoint <- Some path)
+  | Wal.Finish (id, verdict, report) ->
+    with_job id (fun j ->
+        j.state <- Finished;
+        j.verdict <- Some verdict;
+        j.report <- Some report)
+  | Wal.Fail (id, attempt, reason) ->
+    with_job id (fun j ->
+        j.state <- Queued;
+        j.attempts <- max j.attempts attempt;
+        j.fail_reason <- Some reason;
+        t.retried <- t.retried + 1)
+  | Wal.Shed (id, scale) ->
+    with_job id (fun j ->
+        j.state <- Queued;
+        j.sheds <- j.sheds + 1;
+        j.budget_scale <- scale;
+        t.shed_total <- t.shed_total + 1)
+  | Wal.Cancel id -> with_job id (fun j -> j.state <- Cancelled)
+  | Wal.Quarantine (id, attempts) ->
+    with_job id (fun j ->
+        j.state <- Quarantined;
+        j.attempts <- max j.attempts attempts)
+
+let create ~wal ~job_retries ~backoff_seed records =
+  let t =
+    {
+      wal;
+      job_retries;
+      backoff_seed;
+      table = Hashtbl.create 64;
+      next_id = 1;
+      retried = 0;
+      shed_total = 0;
+    }
+  in
+  List.iter (apply_record t) records;
+  (* Jobs that were Running when the daemon died have a Start with no
+     terminal record: they are in flight nowhere now — re-queue them.
+     Their Checkpoint_ref artifact (if recorded) makes the re-run a
+     resume, not a restart. *)
+  Hashtbl.iter
+    (fun _ j -> if j.state = Running then j.state <- Queued)
+    t.table;
+  t
+
+(* ---- transitions (journal leads memory) ---- *)
+
+let submit t spec =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  Wal.append t.wal (Wal.Submit (id, Jobspec.to_json spec));
+  let job =
+    {
+      id;
+      spec;
+      state = Queued;
+      attempts = 0;
+      sheds = 0;
+      budget_scale = 1.0;
+      checkpoint = None;
+      verdict = None;
+      report = None;
+      fail_reason = None;
+      not_before = 0.0;
+    }
+  in
+  Hashtbl.replace t.table id job;
+  job
+
+let job t id = Hashtbl.find_opt t.table id
+
+let jobs t =
+  Hashtbl.fold (fun _ j acc -> j :: acc) t.table []
+  |> List.sort (fun a b -> compare a.id b.id)
+
+let cancel t id =
+  match Hashtbl.find_opt t.table id with
+  | Some j when j.state = Queued || j.state = Running ->
+    Wal.append t.wal (Wal.Cancel id);
+    j.state <- Cancelled;
+    Some j
+  | _ -> None
+
+let next_runnable t ~now =
+  jobs t
+  |> List.find_opt (fun j -> j.state = Queued && j.not_before <= now)
+
+let note_start t j =
+  Wal.append t.wal (Wal.Start (j.id, j.attempts + 1));
+  j.state <- Running
+
+let note_checkpoint t j path =
+  if j.checkpoint <> Some path then begin
+    Wal.append t.wal (Wal.Checkpoint_ref (j.id, path));
+    j.checkpoint <- Some path
+  end
+
+let note_finish t j ~verdict ~report =
+  Wal.append t.wal (Wal.Finish (j.id, verdict, report));
+  j.state <- Finished;
+  j.verdict <- Some verdict;
+  j.report <- Some report
+
+let note_fail t j ~reason =
+  let attempt = j.attempts + 1 in
+  if attempt > t.job_retries then begin
+    (* Circuit breaker: the job is poison (or the environment is) —
+       stop burning attempts, surface it, keep the campaign moving. *)
+    Wal.append t.wal (Wal.Quarantine (j.id, attempt));
+    j.state <- Quarantined;
+    j.attempts <- attempt;
+    j.fail_reason <- Some reason
+  end
+  else begin
+    Wal.append t.wal (Wal.Fail (j.id, attempt, reason));
+    j.state <- Queued;
+    j.attempts <- attempt;
+    j.fail_reason <- Some reason;
+    t.retried <- t.retried + 1;
+    j.not_before <-
+      Unix.gettimeofday ()
+      +. Symex.Transport.backoff_delay
+           ~seed:(t.backoff_seed lxor (j.id * 0x9e3779b9))
+           ~attempt
+  end
+
+let note_interrupted j =
+  (* A drained job needs no journal record: its Start has no terminal
+     record, which is exactly what replay turns back into Queued.  The
+     in-memory table just has to agree. *)
+  j.state <- Queued
+
+let note_shed t j =
+  let scale = j.budget_scale /. 2.0 in
+  Wal.append t.wal (Wal.Shed (j.id, scale));
+  j.state <- Queued;
+  j.sheds <- j.sheds + 1;
+  j.budget_scale <- scale;
+  t.shed_total <- t.shed_total + 1
+
+let counts t =
+  let count s = List.length (List.filter (fun j -> j.state = s) (jobs t)) in
+  [
+    ("queued", count Queued);
+    ("running", count Running);
+    ("finished", count Finished);
+    ("quarantined", count Quarantined);
+    ("cancelled", count Cancelled);
+    ("retried", t.retried);
+    ("shed", t.shed_total);
+  ]
+
+let all_terminal t =
+  List.for_all
+    (fun j -> match j.state with Queued | Running -> false | _ -> true)
+    (jobs t)

@@ -1,0 +1,101 @@
+(** The campaign supervisor: a journal-backed job table.
+
+    Pure bookkeeping — process management (forking, killing, reaping)
+    stays in {!Daemon}; this module owns the job state machine and
+    writes every transition to the {!Wal} {e before} mutating the
+    in-memory table, so the durable log always leads the volatile
+    state.
+
+    {1 State machine}
+
+    {v
+      submit            start              finish
+    ----------> Queued -------> Running ----------> Finished
+                  ^  ^            |  |
+                  |  |   fail     |  | fail (attempt > retries)
+                  |  +------------+  +-------------> Quarantined
+                  |  (backoff gate)
+                  |      shed / drain (checkpointed)
+                  +---------------+
+      cancel: Queued | Running -> Cancelled
+    v}
+
+    A [fail] re-queues with a seeded {!Symex.Transport.backoff_delay}
+    gate (the job may not start again before the gate) until the
+    configured retry budget is spent, after which the job is
+    quarantined — surfaced in [status] and the journal, never silently
+    dropped (the circuit breaker).  A [shed] re-queues the job with a
+    halved budget scale.  Replaying a journal whose job has a [Start]
+    but no terminal record leaves the job {e Queued} again — that is
+    exactly the crash-recovery path, and the job resumes from its
+    recorded [Checkpoint_ref] artifact if any. *)
+
+type state = Queued | Running | Finished | Quarantined | Cancelled
+
+val state_to_string : state -> string
+
+type job = {
+  id : int;
+  spec : Jobspec.t;
+  mutable state : state;
+  mutable attempts : int;       (** failed attempts so far *)
+  mutable sheds : int;          (** times shed under memory pressure *)
+  mutable budget_scale : float; (** halved per shed; 1.0 initially *)
+  mutable checkpoint : string option;  (** resume artifact, if recorded *)
+  mutable verdict : string option;
+  mutable report : string option;
+  mutable fail_reason : string option;
+  mutable not_before : float;   (** retry backoff gate (absolute time) *)
+}
+
+type t
+
+val create :
+  wal:Wal.t -> job_retries:int -> backoff_seed:int -> Wal.record list -> t
+(** Build the table by replaying recovered records (no journal writes
+    during replay).  [job_retries] failed attempts quarantine a job. *)
+
+val submit : t -> Jobspec.t -> job
+(** Journal (fsync) then enqueue — the returned job is durable, so the
+    caller may ack. *)
+
+val cancel : t -> int -> job option
+(** Journal + mark Cancelled.  Returns the job if it was cancellable
+    (Queued or Running — a Running job's process must still be killed
+    by the caller). *)
+
+val job : t -> int -> job option
+val jobs : t -> job list
+(** All jobs, id order. *)
+
+val next_runnable : t -> now:float -> job option
+(** Oldest Queued job whose backoff gate has passed. *)
+
+val note_start : t -> job -> unit
+val note_checkpoint : t -> job -> string -> unit
+val note_finish : t -> job -> verdict:string -> report:string -> unit
+
+val note_fail : t -> job -> reason:string -> unit
+(** Bump attempts; re-queue behind the backoff gate, or quarantine when
+    the retry budget is spent. *)
+
+val note_interrupted : job -> unit
+(** A drained (checkpointed, exit-3) job goes back to Queued with no
+    journal write — a Start without a terminal record already replays
+    as Queued, so memory just mirrors what the journal will say. *)
+
+val note_shed : t -> job -> unit
+(** Memory-pressure shed: re-queue immediately with budget scale
+    halved. *)
+
+val counts : t -> (string * int) list
+(** [("queued", _); ("running", _); ("finished", _); ("quarantined", _);
+    ("cancelled", _); ("retried", _); ("shed", _)] — the state counts
+    plus cumulative retry/shed totals. *)
+
+val all_terminal : t -> bool
+(** No job is Queued or Running (vacuously true when empty). *)
+
+val snapshot : t -> Obs.Json.t
+(** Compaction state for {!Wal.rotate}: the whole table, re-loadable by
+    {!create} (it arrives wrapped in a [Snapshot] record on replay). *)

@@ -54,12 +54,39 @@ let interrupted () = !interrupt_flag
 let interrupt_now () = interrupt_flag := true
 let clear_interrupt () = interrupt_flag := false
 
-let handlers_installed = ref false
+(* Installing the interrupt route must compose with handlers other
+   layers own: the campaign daemon installs a drain handler on SIGTERM
+   and then per-job code calls [install_signal_handlers] again — the
+   second install must keep the daemon's handler alive, not clobber
+   it.  So installation chains: our handler sets the flag and then
+   invokes whatever handler was installed before us.  Re-installs are
+   detected (the previously installed closure is physically ours) and
+   keep the existing chain instead of linking the handler to itself. *)
+
+let chained : (int, (int -> unit)) Hashtbl.t = Hashtbl.create 4
+let ours : (int, (int -> unit)) Hashtbl.t = Hashtbl.create 4
 
 let install_signal_handlers () =
-  if not !handlers_installed then begin
-    handlers_installed := true;
-    let handle = Sys.Signal_handle (fun _ -> interrupt_now ()) in
-    ignore (Sys.signal Sys.sigint handle);
-    ignore (Sys.signal Sys.sigterm handle)
-  end
+  List.iter
+    (fun signo ->
+       let handler s =
+         interrupt_now ();
+         match Hashtbl.find_opt chained signo with
+         | Some f -> f s
+         | None -> ()
+       in
+       match Sys.signal signo (Sys.Signal_handle handler) with
+       | Sys.Signal_handle prev
+         when (match Hashtbl.find_opt ours signo with
+               | Some mine -> mine == prev
+               | None -> false) ->
+         (* Second install over our own handler: keep the chain. *)
+         Hashtbl.replace ours signo handler
+       | Sys.Signal_handle prev ->
+         Hashtbl.replace chained signo prev;
+         Hashtbl.replace ours signo handler
+       | Sys.Signal_default | Sys.Signal_ignore ->
+         Hashtbl.remove chained signo;
+         Hashtbl.replace ours signo handler
+       | exception (Invalid_argument _ | Sys_error _) -> ())
+    [ Sys.sigint; Sys.sigterm ]

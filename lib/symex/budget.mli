@@ -57,8 +57,14 @@ val interrupt_now : unit -> unit
 val clear_interrupt : unit -> unit
 
 val install_signal_handlers : unit -> unit
-(** Route SIGINT and SIGTERM to {!interrupt_now} (idempotent).  The
-    engine then stops at the next branch or propagation boundary,
-    writes the final checkpoint when one was requested, and returns a
-    partial report — callers keep their [Fun.protect] epilogues (sink
-    flushing) because the process is not killed. *)
+(** Route SIGINT and SIGTERM to {!interrupt_now}.  The engine then
+    stops at the next branch or propagation boundary, writes the final
+    checkpoint when one was requested, and returns a partial report —
+    callers keep their [Fun.protect] epilogues (sink flushing) because
+    the process is not killed.
+
+    Installation {e chains}: a handler some other layer installed
+    first (e.g. the campaign daemon's SIGTERM drain) keeps running
+    after ours sets the flag, so a daemon and a per-job session can
+    both install without clobbering each other.  Re-installing over
+    our own handler is idempotent (the chain is not extended). *)

@@ -279,13 +279,8 @@ let save path t =
       String.sub doc 0 (String.length doc / 2)
     else doc
   in
-  let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
-  output_string oc doc;
-  output_char oc '\n';
-  close_out oc;
   if Sys.file_exists path then Sys.rename path (backup_path path);
-  Sys.rename tmp path
+  Obs.Json.write_atomic path (doc ^ "\n")
 
 let decode j =
   match Json.member "payload" j with

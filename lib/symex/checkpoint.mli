@@ -82,3 +82,9 @@ val fallbacks : unit -> int
 
 val backup_path : string -> string
 (** [path ^ ".bak"] — where {!save} rotates the previous snapshot. *)
+
+val crc32 : string -> int32
+(** The CRC-32 (IEEE 802.3, the zlib polynomial) used by the integrity
+    envelope — exposed so other append-only formats (the campaign
+    service's write-ahead journal) frame their records with the same
+    discipline. *)

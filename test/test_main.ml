@@ -21,4 +21,5 @@ let () =
       ("chaos", Test_chaos.suite);
       ("deepobs", Test_deepobs.suite);
       ("distributed", Test_distributed.suite);
+      ("service", Test_service.suite);
     ]
